@@ -1,0 +1,42 @@
+//! Ablation: benefit per recursion level (max_depth sweep) — the runtime
+//! analog of the paper's 38.2%-from-cutoffs observation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+
+use bench::profiles::rs6000_like;
+use blas::level2::Op;
+use matrix::{random, Matrix};
+use strassen::{dgefmm_with_workspace, CutoffCriterion, StrassenConfig, Workspace};
+
+fn bench(c: &mut Criterion) {
+    let p = rs6000_like();
+    let m = 832usize;
+    let a = random::uniform::<f64>(m, m, 1);
+    let b = random::uniform::<f64>(m, m, 2);
+    let mut out = Matrix::<f64>::zeros(m, m);
+    let mut g = c.benchmark_group("ablation_depth");
+    g.sample_size(10);
+    for depth in 0usize..=3 {
+        let cfg = StrassenConfig::dgefmm()
+            .gemm(p.gemm)
+            .cutoff(CutoffCriterion::Never)
+            .max_depth(depth);
+        let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, true);
+        g.bench_function(format!("depth_{depth}"), |bch| {
+            bch.iter(|| dgefmm_with_workspace(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, out.as_mut(), &mut ws))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{ name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

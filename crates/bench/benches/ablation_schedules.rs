@@ -1,0 +1,84 @@
+//! Ablation: the design choices DESIGN.md calls out — schedule,
+//! odd-handling, and variant — each isolated at one problem size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+
+use blas::level2::Op;
+use matrix::{random, Matrix};
+use strassen::{dgefmm_with_workspace, CutoffCriterion, OddHandling, Scheme, StrassenConfig, Variant, Workspace};
+
+fn bench(c: &mut Criterion) {
+    let base = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 96 });
+
+    // Schedules at an even size (beta = 1 so STRASSEN2's strength shows).
+    {
+        let m = 384usize;
+        let a = random::uniform::<f64>(m, m, 1);
+        let b = random::uniform::<f64>(m, m, 2);
+        let mut out = random::uniform::<f64>(m, m, 3);
+        let mut g = c.benchmark_group("ablation_scheme");
+        for (name, scheme) in [
+            ("strassen1", Scheme::Strassen1),
+            ("strassen2", Scheme::Strassen2),
+            ("seven_temp", Scheme::SevenTemp),
+        ] {
+            let cfg = base.scheme(scheme);
+            let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, false);
+            g.bench_function(name, |bch| {
+                bch.iter(|| dgefmm_with_workspace(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 1.0, out.as_mut(), &mut ws))
+            });
+        }
+        g.finish();
+    }
+
+    // Odd handling at an odd size (the peel-vs-pad question).
+    {
+        let m = 383usize;
+        let a = random::uniform::<f64>(m, m, 1);
+        let b = random::uniform::<f64>(m, m, 2);
+        let mut out = Matrix::<f64>::zeros(m, m);
+        let mut g = c.benchmark_group("ablation_odd_handling");
+        for (name, odd) in [
+            ("dynamic_peeling", OddHandling::DynamicPeeling),
+            ("dynamic_peeling_first", OddHandling::DynamicPeelingFirst),
+            ("dynamic_padding", OddHandling::DynamicPadding),
+            ("static_padding", OddHandling::StaticPadding),
+        ] {
+            let cfg = base.odd(odd);
+            let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, true);
+            g.bench_function(name, |bch| {
+                bch.iter(|| dgefmm_with_workspace(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, out.as_mut(), &mut ws))
+            });
+        }
+        g.finish();
+    }
+
+    // Winograd vs original variant (the 15-vs-18-adds question).
+    {
+        let m = 384usize;
+        let a = random::uniform::<f64>(m, m, 1);
+        let b = random::uniform::<f64>(m, m, 2);
+        let mut out = Matrix::<f64>::zeros(m, m);
+        let mut g = c.benchmark_group("ablation_variant");
+        for (name, variant) in [("winograd", Variant::Winograd), ("original", Variant::Original)] {
+            let cfg = base.variant(variant);
+            let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, true);
+            g.bench_function(name, |bch| {
+                bch.iter(|| dgefmm_with_workspace(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, out.as_mut(), &mut ws))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!{ name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Extension bench: Strassen-accelerated blocked LU (the dense-solve use
+//! case of the paper's reference [3]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+use bench::profiles::rs6000_like;
+use linsys::lu::lu_factor;
+use matrix::random;
+use strassen::{GemmBackend, StrassenBackend};
+
+fn bench(c: &mut Criterion) {
+    let p = rs6000_like();
+    let n = 512usize;
+    let nb = 64usize;
+    let a = random::uniform::<f64>(n, n, 1);
+    let mut g = c.benchmark_group("extension_lu");
+    let gb = GemmBackend(p.gemm);
+    g.bench_function("lu_dgemm", |bch| bch.iter(|| lu_factor(&a, nb, &gb).unwrap()));
+    let sb = StrassenBackend::new(p.dgefmm_config());
+    g.bench_function("lu_dgefmm", |bch| bch.iter(|| lu_factor(&a, nb, &sb).unwrap()));
+    g.finish();
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 2 bench: plain GEMM vs one level of Strassen around the
+//! crossover, blocked-kernel profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+
+use bench::profiles::rs6000_like;
+use blas::level2::Op;
+use blas::level3::gemm;
+use matrix::{random, Matrix};
+use strassen::tuning::one_level_config;
+use strassen::{dgefmm_with_workspace, Workspace};
+
+fn bench(c: &mut Criterion) {
+    let p = rs6000_like();
+    let mut g = c.benchmark_group("fig2_square_cutoff");
+    for m in [256usize, 416, 512] {
+        let a = random::uniform::<f64>(m, m, 1);
+        let b = random::uniform::<f64>(m, m, 2);
+        let mut out = Matrix::<f64>::zeros(m, m);
+        g.bench_function(format!("dgemm/{m}"), |bch| {
+            bch.iter(|| {
+                gemm(&p.gemm, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, out.as_mut())
+            })
+        });
+        let one = one_level_config(p.gemm);
+        let mut ws = Workspace::<f64>::for_problem(&one, m, m, m, true);
+        g.bench_function(format!("dgefmm_one_level/{m}"), |bch| {
+            bch.iter(|| {
+                dgefmm_with_workspace(&one, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, out.as_mut(), &mut ws)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{ name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 5 bench: DGEFMM vs the DGEMMW analog.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+
+use bench::profiles::rs6000_like;
+use blas::level2::Op;
+use matrix::random;
+use strassen::comparators::dgemmw;
+use strassen::{dgefmm_with_workspace, Workspace};
+
+fn bench(c: &mut Criterion) {
+    let p = rs6000_like();
+    let tau = p.tuned.tau;
+    let m = tau + tau / 2;
+    let (alpha, beta) = (0.7, 0.3);
+    let a = random::uniform::<f64>(m, m, 1);
+    let b = random::uniform::<f64>(m, m, 2);
+    let mut out = random::uniform::<f64>(m, m, 3);
+    let mut g = c.benchmark_group("fig5_vs_dgemmw");
+    let cfg = p.dgefmm_config();
+    let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, false);
+    g.bench_function(format!("dgefmm/{m}"), |bch| {
+        bch.iter(|| dgefmm_with_workspace(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, out.as_mut(), &mut ws))
+    });
+    g.bench_function(format!("dgemmw/{m}"), |bch| {
+        bch.iter(|| dgemmw::dgemmw(tau, p.gemm, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, out.as_mut()))
+    });
+    g.finish();
+}
+
+criterion_group!{ name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 6 bench: DGEFMM vs DGEMMW on rectangular problems where the
+//! hybrid criterion gains an extra recursion level.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+
+use bench::profiles::rs6000_like;
+use blas::level2::Op;
+use matrix::random;
+use strassen::comparators::dgemmw;
+use strassen::{dgefmm_with_workspace, Workspace};
+
+fn bench(c: &mut Criterion) {
+    let p = rs6000_like();
+    let t = p.tuned;
+    let shapes = [(t.tau * 3 / 4, t.tau * 2, t.tau * 2), (t.tau * 2, t.tau / 2, t.tau * 2)];
+    let (alpha, beta) = (0.7, 0.3);
+    let mut g = c.benchmark_group("fig6_rect");
+    for (m, k, n) in shapes {
+        let a = random::uniform::<f64>(m, k, 1);
+        let b = random::uniform::<f64>(k, n, 2);
+        let mut out = random::uniform::<f64>(m, n, 3);
+        let cfg = p.dgefmm_config();
+        let mut ws = Workspace::<f64>::for_problem(&cfg, m, k, n, false);
+        g.bench_function(format!("dgefmm/{m}x{k}x{n}"), |bch| {
+            bch.iter(|| dgefmm_with_workspace(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, out.as_mut(), &mut ws))
+        });
+        g.bench_function(format!("dgemmw/{m}x{k}x{n}"), |bch| {
+            bch.iter(|| dgemmw::dgemmw(t.tau, p.gemm, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, out.as_mut()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{ name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

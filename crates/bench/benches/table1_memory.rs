@@ -1,0 +1,46 @@
+//! Table 1 bench: the three schedules at one size — shows that the
+//! low-memory schedules cost no time (the memory numbers themselves are
+//! printed by `experiments table1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+
+use blas::level2::Op;
+use matrix::{random, Matrix};
+use strassen::{dgefmm_with_workspace, CutoffCriterion, Scheme, StrassenConfig, Workspace};
+
+fn bench(c: &mut Criterion) {
+    let m = 384usize;
+    let a = random::uniform::<f64>(m, m, 1);
+    let b = random::uniform::<f64>(m, m, 2);
+    let mut out = Matrix::<f64>::zeros(m, m);
+    let base = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 96 });
+    let mut g = c.benchmark_group("table1_schedules");
+    for (name, scheme, beta) in [
+        ("strassen1_beta0", Scheme::Strassen1, 0.0),
+        ("strassen2_beta0", Scheme::Strassen2, 0.0),
+        ("strassen2_general", Scheme::Strassen2, 0.5),
+        ("seven_temp_beta0", Scheme::SevenTemp, 0.0),
+    ] {
+        let cfg = base.scheme(scheme);
+        eprintln!("{name}: workspace = {} elements", strassen::required_workspace(&cfg, m, m, m, beta == 0.0));
+        let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, beta == 0.0);
+        g.bench_function(name, |bch| {
+            bch.iter(|| {
+                dgefmm_with_workspace(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, out.as_mut(), &mut ws)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{ name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table 4 bench: the same rectangular problem under the three cutoff
+//! criteria. The shape has one dimension below the square cutoff, so the
+//! simple criterion refuses to recurse while the hybrid one gains a level.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+
+use bench::profiles::rs6000_like;
+use blas::level2::Op;
+use matrix::{random, Matrix};
+use strassen::{dgefmm_with_workspace, CutoffCriterion, Workspace};
+
+fn bench(c: &mut Criterion) {
+    let p = rs6000_like();
+    let t = p.tuned;
+    // m below tau, k and n large: the paper's motivating shape.
+    let (m, k, n) = (t.tau * 3 / 4, t.tau * 2, t.tau * 2);
+    let a = random::uniform::<f64>(m, k, 1);
+    let b = random::uniform::<f64>(k, n, 2);
+    let mut out = Matrix::<f64>::zeros(m, n);
+    let mut g = c.benchmark_group("table4_criteria");
+    for (name, crit) in [
+        ("simple_eq11", CutoffCriterion::Simple { tau: t.tau }),
+        ("higham_eq12", CutoffCriterion::HighamScaled { tau: t.tau }),
+        ("hybrid_eq15", t.criterion()),
+    ] {
+        let cfg = p.dgefmm_config().cutoff(crit);
+        let mut ws = Workspace::<f64>::for_problem(&cfg, m, k, n, true);
+        g.bench_function(name, |bch| {
+            bch.iter(|| {
+                dgefmm_with_workspace(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, out.as_mut(), &mut ws)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{ name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 5 bench: DGEMM vs DGEFMM at the smallest orders doing 1 and 2
+//! recursions (alpha = 1/3, beta = 1/4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+
+use bench::profiles::rs6000_like;
+use blas::level2::Op;
+use blas::level3::gemm;
+use matrix::random;
+use strassen::{dgefmm_with_workspace, Workspace};
+
+fn bench(c: &mut Criterion) {
+    let p = rs6000_like();
+    let cfg = p.dgefmm_config();
+    let (alpha, beta) = (1.0 / 3.0, 0.25);
+    let mut g = c.benchmark_group("table5_scaling");
+    g.sample_size(10);
+    for recs in [1usize, 2] {
+        let m = (p.tuned.tau + 1) << (recs - 1);
+        let a = random::uniform::<f64>(m, m, 1);
+        let b = random::uniform::<f64>(m, m, 2);
+        let mut out = random::uniform::<f64>(m, m, 3);
+        g.bench_function(format!("dgemm/{m}"), |bch| {
+            bch.iter(|| gemm(&p.gemm, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, out.as_mut()))
+        });
+        let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, false);
+        g.bench_function(format!("dgefmm/{m}"), |bch| {
+            bch.iter(|| dgefmm_with_workspace(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, out.as_mut(), &mut ws))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{ name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 6 bench: the ISDA eigensolver with DGEMM vs DGEFMM kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+
+use bench::profiles::rs6000_like;
+use eigen::backend::{GemmBackend, StrassenBackend};
+use eigen::isda::{isda_eigen, IsdaOptions};
+use matrix::random;
+
+fn bench(c: &mut Criterion) {
+    let p = rs6000_like();
+    let n = 160usize;
+    let evals: Vec<f64> = (0..n).map(|i| i as f64 * 0.4 - 20.0).collect();
+    let a = random::symmetric_with_spectrum::<f64>(&evals, 7);
+    let opts = IsdaOptions::default();
+    let mut g = c.benchmark_group("table6_eigensolver");
+    g.sample_size(10);
+    let gb = GemmBackend(p.gemm);
+    g.bench_function("isda_dgemm", |bch| bch.iter(|| isda_eigen(&a, &gb, &opts)));
+    let sb = StrassenBackend::new(p.dgefmm_config());
+    g.bench_function("isda_dgefmm", |bch| bch.iter(|| isda_eigen(&a, &sb, &opts)));
+    g.finish();
+}
+
+criterion_group!{ name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

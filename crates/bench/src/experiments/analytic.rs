@@ -1,0 +1,81 @@
+//! Section 2's analytic claims, recomputed from the op-count model.
+
+use opcount::{analysis, cutoff, recurrence};
+use std::fmt::Write;
+
+/// Print every numeric claim of Section 2 next to its recomputed value.
+pub fn run() -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "== Section 2 analytic claims (op-count model) ==").unwrap();
+    writeln!(w).unwrap();
+
+    writeln!(w, "asymptotic exponent lg(7)           : {:.4}  (paper: 2.807)", analysis::strassen_exponent()).unwrap();
+    writeln!(
+        w,
+        "one-level ratio limit (eq. 1)       : {:.4}  (paper: 7/8, a 12.5% improvement)",
+        analysis::one_level_ratio(1e12)
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "theoretical square cutoff (eq. 7-8) : {}      (paper: 12)",
+        cutoff::theoretical_square_cutoff()
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "6x14x86 example violates (7)        : {}   (recursion pays below square cutoff)",
+        !cutoff::standard_preferred(6, 14, 86)
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "Winograd gain at full recursion     : {:.2}%  (paper: 14.3%)",
+        analysis::winograd_improvement_percent(1.0)
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "Winograd gain, m0 = 7 .. 12         : {:.2}% .. {:.2}%  (paper: 5.26% .. 3.45%)",
+        analysis::winograd_improvement_percent(7.0),
+        analysis::winograd_improvement_percent(12.0)
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "cutoff benefit at order 256         : {:.1}%  (paper: 38.2%)",
+        analysis::cutoff_improvement_percent(256, 8)
+    )
+    .unwrap();
+    writeln!(w).unwrap();
+
+    writeln!(w, "doubling factors W(2^(d+1)·8)/W(2^d·8) (paper Table 5: 'within 10% of 7'):").unwrap();
+    for d in 0..6u32 {
+        writeln!(w, "  d = {d}: {:.4}", analysis::doubling_factor(d, 8)).unwrap();
+    }
+    writeln!(w).unwrap();
+
+    writeln!(w, "closed forms at d = 5 (orders 2^5·8 = 256, cutoff 8):").unwrap();
+    writeln!(w, "  Winograd W (eq. 4) : {}", recurrence::winograd_square(5, 8)).unwrap();
+    writeln!(w, "  original S (eq. 5) : {}", recurrence::original_square(5, 8)).unwrap();
+    writeln!(
+        w,
+        "  standard 2m^3-m^2  : {}",
+        opcount::model::standard_ops(256, 256, 256)
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_contains_headline_numbers() {
+        let r = super::run();
+        assert!(r.contains("2.807"));
+        assert!(r.contains("12"));
+        assert!(r.contains("14.3"));
+        assert!(r.contains("38.2"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 2: ratio DGEMM / DGEFMM(one level) as a function of square
+//! matrix order — the crossover sweep that sets the square cutoff τ.
+
+use crate::profiles::MachineProfile;
+use crate::runner::{sweep, Scale};
+use std::fmt::Write;
+use strassen::tuning::measure_square_cutoff;
+
+/// Sizes swept at each scale for a given profile.
+pub fn sweep_sizes(scale: Scale, profile: &MachineProfile) -> Vec<usize> {
+    // Center the sweep around the profile's known crossover so the plot
+    // shows both sides, like the paper's 120..260 window around 199.
+    let center = profile.tuned.tau.max(32);
+    match scale {
+        Scale::Smoke => sweep(center.saturating_sub(16).max(16), center + 16, 16),
+        Scale::Small => sweep((center / 2).max(16), center * 2, (center / 8).max(8)),
+        Scale::Full => sweep((center / 2).max(16), center * 2, (center / 16).max(4)),
+    }
+}
+
+/// Run the Figure 2 sweep for one machine profile.
+pub fn run(scale: Scale, profile: &MachineProfile) -> String {
+    let sizes = sweep_sizes(scale, profile);
+    let result = measure_square_cutoff(&profile.gemm, &sizes, scale.reps());
+
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(
+        w,
+        "== Figure 2: DGEMM/DGEFMM(one level) vs square order — {} ({}) ==",
+        profile.name, profile.paper_analog
+    )
+    .unwrap();
+    writeln!(w, "{:>6}  {:>8}  note", "m", "ratio").unwrap();
+    for s in &result.samples {
+        let note = if s.ratio > 1.0 { "strassen wins" } else { "" };
+        writeln!(w, "{:>6}  {:>8.4}  {note}", s.size, s.ratio).unwrap();
+    }
+    writeln!(w).unwrap();
+    match result.first_win {
+        Some(fw) => writeln!(w, "first Strassen win at m = {fw}").unwrap(),
+        None => writeln!(w, "Strassen never won in this sweep").unwrap(),
+    }
+    writeln!(
+        w,
+        "chosen square cutoff tau = {}  (paper, RS/6000: crossover range 176..214, tau = 199)",
+        result.tau
+    )
+    .unwrap();
+    out
+}

@@ -1,0 +1,123 @@
+//! Figures 3, 4, 5: DGEFMM versus the comparator Strassen codes on
+//! square matrices.
+//!
+//! * Figure 3 — vs the IBM `DGEMMS` analog (multiply-only interface; the
+//!   general-α,β case charges DGEMMS the caller-side update loop, as the
+//!   paper's timings did);
+//! * Figure 4 — vs the CRAY `SGEMMS` analog (Strassen's original
+//!   variant);
+//! * Figure 5 — vs the `DGEMMW` analog (dynamic padding + simple
+//!   criterion), general α, β.
+
+use crate::profiles::MachineProfile;
+use crate::runner::{sweep, time_dgefmm, time_multiply, Scale};
+use blas::level2::Op;
+use std::fmt::Write;
+use strassen::comparators::{dgemms, dgemmw, sgemms};
+
+/// Which comparator a sweep runs against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Comparator {
+    /// IBM ESSL DGEMMS analog (Figure 3).
+    Dgemms,
+    /// CRAY SGEMMS analog (Figure 4).
+    Sgemms,
+    /// Douglas et al. DGEMMW analog (Figure 5).
+    Dgemmw,
+}
+
+/// Sweep sizes per scale (anchored at the profile's cutoff so every
+/// point actually recurses).
+fn sizes(scale: Scale, tau: usize) -> Vec<usize> {
+    let lo = tau + tau / 4;
+    match scale {
+        Scale::Smoke => vec![lo, 2 * tau],
+        Scale::Small => sweep(lo, 4 * tau, (tau / 2).max(16)),
+        Scale::Full => sweep(lo, 8 * tau, (tau / 2).max(8)),
+    }
+}
+
+/// Time one comparator call on an `m × m` problem.
+fn time_comparator(
+    cmp: Comparator,
+    profile: &MachineProfile,
+    m: usize,
+    alpha: f64,
+    beta: f64,
+    reps: usize,
+) -> f64 {
+    let tau = profile.tuned.tau;
+    let g = profile.gemm;
+    time_multiply(m, m, m, reps, |a, b, c| match cmp {
+        Comparator::Dgemms => {
+            if alpha == 1.0 && beta == 0.0 {
+                dgemms::dgemms(tau, g, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), c.as_mut());
+            } else {
+                dgemms::dgemms_with_update(
+                    tau,
+                    g,
+                    alpha,
+                    Op::NoTrans,
+                    a.as_ref(),
+                    Op::NoTrans,
+                    b.as_ref(),
+                    beta,
+                    c.as_mut(),
+                );
+            }
+        }
+        Comparator::Sgemms => sgemms::sgemms(
+            tau,
+            g,
+            alpha,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            beta,
+            c.as_mut(),
+        ),
+        Comparator::Dgemmw => dgemmw::dgemmw(
+            tau,
+            g,
+            alpha,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            beta,
+            c.as_mut(),
+        ),
+    })
+}
+
+/// Run one comparator sweep; returns the report text.
+pub fn run(scale: Scale, profile: &MachineProfile, cmp: Comparator) -> String {
+    let (figure, name, paper_note) = match cmp {
+        Comparator::Dgemms => ("Figure 3", "IBM DGEMMS analog", "paper avg 1.052 (beta=0), 1.028 (general)"),
+        Comparator::Sgemms => ("Figure 4", "CRAY SGEMMS analog", "paper avg 1.066 (beta=0), 1.052 (general)"),
+        Comparator::Dgemmw => ("Figure 5", "DGEMMW analog", "paper avg 0.991 (general), 1.0089 (beta=0)"),
+    };
+    let cases: &[(f64, f64, &str)] = &[(1.0, 0.0, "alpha=1, beta=0"), (0.7, 0.3, "general alpha,beta")];
+    let cfg = profile.dgefmm_config();
+
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "== {figure}: time DGEFMM / time {name} — {} ==", profile.name).unwrap();
+    for &(alpha, beta, label) in cases {
+        writeln!(w, "\n-- {label} --").unwrap();
+        writeln!(w, "{:>7} {:>9}", "m", "ratio").unwrap();
+        let mut ratios = Vec::new();
+        for m in sizes(scale, profile.tuned.tau) {
+            let t_us = time_dgefmm(&cfg, m, m, m, alpha, beta, scale.reps());
+            let t_them = time_comparator(cmp, profile, m, alpha, beta, scale.reps());
+            let r = t_us / t_them;
+            ratios.push(r);
+            writeln!(w, "{m:>7} {r:>9.4}").unwrap();
+        }
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        writeln!(w, "average ratio: {avg:.4}").unwrap();
+    }
+    writeln!(w, "\n({paper_note})").unwrap();
+    out
+}

@@ -1,0 +1,13 @@
+//! One module per table/figure of the paper's evaluation section.
+
+pub mod analytic;
+pub mod model;
+pub mod stability;
+pub mod fig2;
+pub mod fig6;
+pub mod figs345;
+pub mod table1;
+pub mod table23;
+pub mod table4;
+pub mod table5;
+pub mod table6;

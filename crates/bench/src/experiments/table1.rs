@@ -1,0 +1,142 @@
+//! Table 1: temporary memory requirements of the Strassen codes.
+//!
+//! For the vendor codes (CRAY SGEMMS, IBM DGEMMS) we report the paper's
+//! formulas; for the codes built in this workspace (STRASSEN1, STRASSEN2,
+//! DGEFMM, the DGEMMW analog) we report the *measured* arena size the
+//! implementation actually allocates, next to the formula bound —
+//! demonstrating the paper's 40–70% memory-reduction claim as a
+//! measurable property of the code, not an estimate.
+
+use crate::runner::Scale;
+use opcount::memory::{self, Implementation};
+use std::fmt::Write;
+use strassen::comparators::dgemmw::dgemmw_temp_elements;
+use strassen::{total_temp_elements, CutoffCriterion, Scheme, StrassenConfig};
+
+/// Render Table 1 for a set of orders.
+pub fn run(scale: Scale) -> String {
+    let orders: &[usize] = match scale {
+        Scale::Smoke => &[128],
+        Scale::Small => &[512],
+        Scale::Full => &[512, 1024],
+    };
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "== Table 1: temporary memory (elements) for order-m square multiply ==").unwrap();
+
+    let tau = 64usize;
+    let base = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau });
+    for &m in orders {
+        let m2 = (m * m) as f64;
+        writeln!(w, "\n-- m = {m} (cutoff {tau}); entries also shown as multiples of m² --").unwrap();
+        writeln!(w, "{:<22} {:>14} {:>9}   {:>14} {:>9}", "implementation", "beta=0", "/m^2", "beta!=0", "/m^2").unwrap();
+
+        let fmt_pair = |w: &mut String, name: &str, b0: Option<f64>, b1: Option<f64>| {
+            let cell = |x: Option<f64>| match x {
+                Some(v) => (format!("{:.0}", v), format!("{:.3}", v / m2)),
+                None => ("n/a".into(), "-".into()),
+            };
+            let (a, ar) = cell(b0);
+            let (b, br) = cell(b1);
+            writeln!(w, "{name:<22} {a:>14} {ar:>9}   {b:>14} {br:>9}").unwrap();
+        };
+
+        // Paper formulas for the codes we do not measure.
+        fmt_pair(
+            w,
+            "CRAY SGEMMS (formula)",
+            memory::square_temp_elements(Implementation::CraySgemms, m as u128, true),
+            memory::square_temp_elements(Implementation::CraySgemms, m as u128, false),
+        );
+        fmt_pair(
+            w,
+            "IBM DGEMMS (formula)",
+            memory::square_temp_elements(Implementation::IbmDgemms, m as u128, true),
+            memory::square_temp_elements(Implementation::IbmDgemms, m as u128, false),
+        );
+        fmt_pair(
+            w,
+            "DGEMMW (formula)",
+            memory::square_temp_elements(Implementation::Dgemmw, m as u128, true),
+            memory::square_temp_elements(Implementation::Dgemmw, m as u128, false),
+        );
+        fmt_pair(
+            w,
+            "DGEMMW analog (meas)",
+            Some(dgemmw_temp_elements(tau, m, m, m, true) as f64),
+            Some(dgemmw_temp_elements(tau, m, m, m, false) as f64),
+        );
+
+        // Our codes: measured arena next to the paper bound.
+        let s1 = base.scheme(Scheme::Strassen1);
+        fmt_pair(
+            w,
+            "STRASSEN1 (measured)",
+            Some(total_temp_elements(&s1, m, m, m, true) as f64),
+            Some(total_temp_elements(&s1, m, m, m, false) as f64),
+        );
+        let s2 = base.scheme(Scheme::Strassen2);
+        fmt_pair(
+            w,
+            "STRASSEN2 (measured)",
+            Some(total_temp_elements(&s2, m, m, m, true) as f64),
+            Some(total_temp_elements(&s2, m, m, m, false) as f64),
+        );
+        fmt_pair(
+            w,
+            "DGEFMM (measured)",
+            Some(total_temp_elements(&base, m, m, m, true) as f64),
+            Some(total_temp_elements(&base, m, m, m, false) as f64),
+        );
+
+        let ours = total_temp_elements(&base, m, m, m, false) as f64;
+        let theirs_w = memory::square_temp_elements(Implementation::Dgemmw, m as u128, false).unwrap();
+        let theirs_c = memory::square_temp_elements(Implementation::CraySgemms, m as u128, false).unwrap();
+        writeln!(
+            w,
+            "\nDGEFMM beta!=0 reduction: {:.0}% vs DGEMMW, {:.0}% vs CRAY SGEMMS (paper: 40%, 57%)",
+            memory::reduction_percent(ours, theirs_w),
+            memory::reduction_percent(ours, theirs_c)
+        )
+        .unwrap();
+        let ours0 = total_temp_elements(&base, m, m, m, true) as f64;
+        writeln!(
+            w,
+            "DGEFMM beta=0  reduction: {:.0}% vs CRAY SGEMMS, {:.0}% vs IBM DGEMMS (paper: 48-71%)",
+            memory::reduction_percent(
+                ours0,
+                memory::square_temp_elements(Implementation::CraySgemms, m as u128, true).unwrap()
+            ),
+            memory::reduction_percent(
+                ours0,
+                memory::square_temp_elements(Implementation::IbmDgemms, m as u128, true).unwrap()
+            ),
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shows_reductions() {
+        let r = run(Scale::Smoke);
+        assert!(r.contains("DGEFMM"));
+        assert!(r.contains("reduction"));
+        assert!(r.contains("STRASSEN2"));
+    }
+
+    #[test]
+    fn measured_dgefmm_below_bounds() {
+        let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 64 });
+        let m = 512usize;
+        let meas0 = total_temp_elements(&cfg, m, m, m, true) as f64;
+        let meas1 = total_temp_elements(&cfg, m, m, m, false) as f64;
+        let m2 = (m * m) as f64;
+        assert!(meas0 <= 2.0 * m2 / 3.0 + 1.0, "β=0: {meas0}");
+        assert!(meas1 <= m2 + 1.0, "β≠0: {meas1}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Tables 2 and 3: empirically measured cutoff parameters per machine.
+//!
+//! Table 2 is the square cutoff τ per machine; Table 3 the rectangular
+//! parameters τm, τk, τn from the three two-dims-fixed-large sweeps.
+
+use crate::experiments::fig2::sweep_sizes;
+use crate::profiles::all_profiles;
+use crate::runner::{sweep, Scale};
+use std::fmt::Write;
+use strassen::tuning::{measure_rect_param, measure_square_cutoff, SweepDim};
+
+/// Table 2: square cutoffs for all three machine profiles.
+pub fn run_table2(scale: Scale) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "== Table 2: empirically determined square cutoffs ==").unwrap();
+    writeln!(w, "{:<14} {:<14} {:>10}   paper analog value", "machine", "analog", "tau").unwrap();
+    let paper = [("IBM RS/6000", 199), ("CRAY YMP C90", 129), ("CRAY T3D", 325)];
+    for (profile, (pname, ptau)) in all_profiles().iter().zip(paper) {
+        let sizes = sweep_sizes(scale, profile);
+        let r = measure_square_cutoff(&profile.gemm, &sizes, scale.reps());
+        writeln!(w, "{:<14} {:<14} {:>10}   ({pname}: {ptau})", profile.name, profile.paper_analog, r.tau)
+            .unwrap();
+    }
+    writeln!(w, "\n(the paper's point: tau is machine-dependent and must be measured)").unwrap();
+    out
+}
+
+/// Sizes for the rectangular sweeps at each scale.
+fn rect_sweep(scale: Scale, tau: usize) -> (Vec<usize>, usize) {
+    // Sweep the free dimension around the expected rectangular parameter
+    // (≈ tau/3 .. tau), with the fixed dimensions "large".
+    let lo = (tau / 6).max(8);
+    let hi = (tau * 3 / 2).max(lo + 8);
+    match scale {
+        Scale::Smoke => (sweep(lo, hi, ((hi - lo) / 3).max(4)), 256),
+        Scale::Small => (sweep(lo, hi, ((hi - lo) / 8).max(4)), 768),
+        Scale::Full => (sweep(lo, hi, ((hi - lo) / 16).max(2)), 1536),
+    }
+}
+
+/// Table 3: rectangular cutoff parameters for all three machine profiles.
+pub fn run_table3(scale: Scale) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "== Table 3: rectangular cutoff parameters (two dims fixed large) ==").unwrap();
+    writeln!(
+        w,
+        "{:<14} {:>8} {:>8} {:>8} {:>12}   (paper rows: 75/125/95, 80/45/20, 125/75/109)",
+        "machine", "tau_m", "tau_k", "tau_n", "sum vs tau"
+    )
+    .unwrap();
+    for profile in all_profiles() {
+        let (sizes, fixed) = rect_sweep(scale, profile.tuned.tau);
+        let tm = measure_rect_param(&profile.gemm, SweepDim::M, fixed, &sizes, scale.reps()).tau;
+        let tk = measure_rect_param(&profile.gemm, SweepDim::K, fixed, &sizes, scale.reps()).tau;
+        let tn = measure_rect_param(&profile.gemm, SweepDim::N, fixed, &sizes, scale.reps()).tau;
+        writeln!(
+            w,
+            "{:<14} {:>8} {:>8} {:>8} {:>7}/{:<4}",
+            profile.name,
+            tm,
+            tk,
+            tn,
+            tm + tk + tn,
+            profile.tuned.tau
+        )
+        .unwrap();
+    }
+    writeln!(
+        w,
+        "\n(asymmetry tau_m != tau_k != tau_n and sum != tau reproduce the paper's\n observation that GEMM performance is not symmetric in the dimensions)"
+    )
+    .unwrap();
+    out
+}

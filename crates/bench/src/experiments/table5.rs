@@ -1,0 +1,59 @@
+//! Table 5: DGEMM vs DGEFMM at the smallest orders performing 1, 2, 3, …
+//! recursions (τ+1, 2τ+2, 4τ+4, …), with α = 1/3 and β = 1/4.
+
+use crate::profiles::MachineProfile;
+use crate::runner::{time_dgefmm, time_gemm, Scale};
+use std::fmt::Write;
+
+/// Run the Table 5 scaling experiment for one machine profile.
+pub fn run(scale: Scale, profile: &MachineProfile) -> String {
+    let tau = profile.tuned.tau;
+    let levels: usize = match scale {
+        Scale::Smoke => 2,
+        Scale::Small => 3,
+        Scale::Full => 4,
+    };
+    let (alpha, beta) = (1.0 / 3.0, 1.0 / 4.0);
+    let cfg = profile.dgefmm_config();
+
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "== Table 5: times for 1..{levels} recursions — {} (alpha=1/3, beta=1/4) ==", profile.name)
+        .unwrap();
+    writeln!(
+        w,
+        "{:>10} {:>5} {:>12} {:>12} {:>8} {:>10}",
+        "order", "recs", "t_gemm (s)", "t_dgefmm (s)", "ratio", "scaling"
+    )
+    .unwrap();
+
+    let mut prev: Option<f64> = None;
+    for r in 1..=levels {
+        let m = (tau + 1) << (r - 1); // 2^(r-1) (τ+1) = τ+1, 2τ+2, 4τ+4, …
+        let t_gemm = time_gemm(&profile.gemm, m, m, m, alpha, beta, scale.reps());
+        let t_str = time_dgefmm(&cfg, m, m, m, alpha, beta, scale.reps());
+        let depth = strassen::planned_depth(&cfg, m, m, m);
+        let scaling = match prev {
+            Some(p) => format!("{:.2}x", t_str / p),
+            None => "-".to_string(),
+        };
+        writeln!(
+            w,
+            "{:>10} {:>5} {:>12.4} {:>12.4} {:>8.3} {:>10}",
+            m,
+            depth,
+            t_gemm,
+            t_str,
+            t_str / t_gemm,
+            scaling
+        )
+        .unwrap();
+        prev = Some(t_str);
+    }
+    writeln!(
+        w,
+        "\n(paper: DGEFMM/DGEMM falls to 0.66-0.78 at the largest sizes; DGEFMM time\n scales ~7x per doubling, within 10%)"
+    )
+    .unwrap();
+    out
+}

@@ -1,0 +1,92 @@
+//! Table 6: the ISDA eigensolver with DGEMM vs DGEFMM as its kernel.
+//!
+//! Reproduces the paper's application experiment: find all eigenvalues
+//! and eigenvectors of a random symmetric matrix twice — once with
+//! conventional multiplication, once with Strassen — and report total
+//! time and time spent inside matrix multiplication.
+
+use crate::profiles::MachineProfile;
+use crate::runner::Scale;
+use eigen::backend::{GemmBackend, MatMul, StrassenBackend, TimingBackend};
+use eigen::isda::{isda_eigen_with_stats, IsdaOptions, IsdaStats};
+use matrix::{random, Matrix};
+use std::fmt::Write;
+use std::time::Instant;
+
+/// Problem order per scale (the paper used 1000 on the RS/6000).
+fn order(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 96,
+        Scale::Small => 512,
+        Scale::Full => 896,
+    }
+}
+
+struct Arm {
+    total: f64,
+    mm: f64,
+    calls: usize,
+    stats: IsdaStats,
+    values: Vec<f64>,
+}
+
+fn run_arm(a: &Matrix<f64>, backend: &dyn MatMul, opts: &IsdaOptions) -> (f64, IsdaStats, Vec<f64>) {
+    let mut stats = IsdaStats::default();
+    let t0 = Instant::now();
+    let e = isda_eigen_with_stats(a, backend, opts, &mut stats);
+    (t0.elapsed().as_secs_f64(), stats, e.values)
+}
+
+/// Run the eigensolver timing for one machine profile.
+pub fn run(scale: Scale, profile: &MachineProfile) -> String {
+    let n = order(scale);
+    let evals: Vec<f64> = (0..n).map(|i| (i as f64) * 0.37 - (n as f64) * 0.1).collect();
+    let a = random::symmetric_with_spectrum::<f64>(&evals, 0x00e1_6e50);
+    let opts = IsdaOptions { base_size: 32, ..IsdaOptions::default() };
+
+    let gemm_arm = {
+        let b = TimingBackend::new(GemmBackend(profile.gemm));
+        let (total, stats, values) = run_arm(&a, &b, &opts);
+        Arm { total, mm: b.elapsed_seconds(), calls: b.calls(), stats, values }
+    };
+    let strassen_arm = {
+        let b = TimingBackend::new(StrassenBackend::new(profile.dgefmm_config()));
+        let (total, stats, values) = run_arm(&a, &b, &opts);
+        Arm { total, mm: b.elapsed_seconds(), calls: b.calls(), stats, values }
+    };
+
+    // Both arms must agree on the spectrum.
+    let max_dev = gemm_arm
+        .values
+        .iter()
+        .zip(&strassen_arm.values)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "== Table 6: ISDA eigensolver, order {n} — {} ==", profile.name).unwrap();
+    writeln!(w, "{:<22} {:>14} {:>14}", "", "using DGEMM", "using DGEFMM").unwrap();
+    writeln!(w, "{:<22} {:>14.3} {:>14.3}", "total time (s)", gemm_arm.total, strassen_arm.total).unwrap();
+    writeln!(w, "{:<22} {:>14.3} {:>14.3}", "MM time (s)", gemm_arm.mm, strassen_arm.mm).unwrap();
+    writeln!(w, "{:<22} {:>14} {:>14}", "MM calls", gemm_arm.calls, strassen_arm.calls).unwrap();
+    writeln!(
+        w,
+        "{:<22} {:>14} {:>14}",
+        "splits / poly iters",
+        format!("{}/{}", gemm_arm.stats.splits, gemm_arm.stats.poly_iterations),
+        format!("{}/{}", strassen_arm.stats.splits, strassen_arm.stats.poly_iterations)
+    )
+    .unwrap();
+    writeln!(w).unwrap();
+    writeln!(w, "MM-time ratio DGEFMM/DGEMM   : {:.3}  (paper: 812/1030 = 0.788)", strassen_arm.mm / gemm_arm.mm)
+        .unwrap();
+    writeln!(
+        w,
+        "total-time ratio DGEFMM/DGEMM: {:.3}  (paper: 974/1168 = 0.834)",
+        strassen_arm.total / gemm_arm.total
+    )
+    .unwrap();
+    writeln!(w, "max eigenvalue deviation between arms: {max_dev:.2e}").unwrap();
+    out
+}

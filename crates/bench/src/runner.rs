@@ -1,0 +1,157 @@
+//! Shared harness plumbing: scales, timing wrappers, workload generation.
+
+use blas::level2::Op;
+use blas::level3::{gemm, GemmConfig};
+use matrix::{random, Matrix};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use strassen::tuning::time_median;
+use strassen::{dgefmm_with_workspace, StrassenConfig, Workspace};
+
+/// How big the experiments run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke run (CI-sized, tiny matrices).
+    Smoke,
+    /// Minutes-long run with meaningful crossovers (default).
+    Small,
+    /// The full reproduction (largest matrices, most samples).
+    Full,
+}
+
+impl Scale {
+    /// Parse `smoke` / `small` / `full`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Timing repetitions appropriate for the scale.
+    pub fn reps(self) -> usize {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Small => 3,
+            Scale::Full => 5,
+        }
+    }
+}
+
+/// Median seconds for `C ← α A B + β C` via plain GEMM.
+pub fn time_gemm(gcfg: &GemmConfig, m: usize, k: usize, n: usize, alpha: f64, beta: f64, reps: usize) -> f64 {
+    let a = random::uniform::<f64>(m, k, 101);
+    let b = random::uniform::<f64>(k, n, 102);
+    let mut c = random::uniform::<f64>(m, n, 103);
+    time_median(reps, || {
+        gemm(gcfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+    })
+}
+
+/// Median seconds for the same product via DGEFMM under `cfg`
+/// (workspace pre-allocated outside the timed region, as a long-running
+/// caller would hold it).
+pub fn time_dgefmm(cfg: &StrassenConfig, m: usize, k: usize, n: usize, alpha: f64, beta: f64, reps: usize) -> f64 {
+    let a = random::uniform::<f64>(m, k, 101);
+    let b = random::uniform::<f64>(k, n, 102);
+    let mut c = random::uniform::<f64>(m, n, 103);
+    let mut ws = Workspace::<f64>::for_problem(cfg, m, k, n, beta == 0.0);
+    time_median(reps, || {
+        dgefmm_with_workspace(
+            cfg,
+            alpha,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            beta,
+            c.as_mut(),
+            &mut ws,
+        );
+    })
+}
+
+/// Median seconds for an arbitrary multiply closure over fresh inputs.
+pub fn time_multiply(
+    m: usize,
+    k: usize,
+    n: usize,
+    reps: usize,
+    mut f: impl FnMut(&Matrix<f64>, &Matrix<f64>, &mut Matrix<f64>),
+) -> f64 {
+    let a = random::uniform::<f64>(m, k, 101);
+    let b = random::uniform::<f64>(k, n, 102);
+    let mut c = random::uniform::<f64>(m, n, 103);
+    time_median(reps, || f(&a, &b, &mut c))
+}
+
+/// Deterministic stream of random problem shapes in `[lo, hi]³`.
+pub struct ShapeSampler {
+    rng: ChaCha8Rng,
+    lo: [usize; 3],
+    hi: usize,
+}
+
+impl ShapeSampler {
+    /// Sampler with per-dimension lower bounds and a common upper bound.
+    pub fn new(lo: [usize; 3], hi: usize, seed: u64) -> Self {
+        Self { rng: ChaCha8Rng::seed_from_u64(seed), lo, hi }
+    }
+
+    /// Next `(m, k, n)`.
+    pub fn next_shape(&mut self) -> (usize, usize, usize) {
+        (
+            self.rng.gen_range(self.lo[0]..=self.hi),
+            self.rng.gen_range(self.lo[1]..=self.hi),
+            self.rng.gen_range(self.lo[2]..=self.hi),
+        )
+    }
+}
+
+/// Inclusive integer range as a step-`step` sweep vector.
+pub fn sweep(lo: usize, hi: usize, step: usize) -> Vec<usize> {
+    (lo..=hi).step_by(step).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("huge"), None);
+        assert!(Scale::Full.reps() > Scale::Smoke.reps());
+    }
+
+    #[test]
+    fn sweeps_are_inclusive() {
+        assert_eq!(sweep(10, 30, 10), vec![10, 20, 30]);
+        assert_eq!(sweep(5, 5, 1), vec![5]);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_bounded() {
+        let mut s1 = ShapeSampler::new([8, 16, 24], 64, 9);
+        let mut s2 = ShapeSampler::new([8, 16, 24], 64, 9);
+        for _ in 0..20 {
+            let a = s1.next_shape();
+            assert_eq!(a, s2.next_shape());
+            assert!(a.0 >= 8 && a.0 <= 64);
+            assert!(a.1 >= 16 && a.1 <= 64);
+            assert!(a.2 >= 24 && a.2 <= 64);
+        }
+    }
+
+    #[test]
+    fn timers_run() {
+        let g = GemmConfig::blocked();
+        assert!(time_gemm(&g, 16, 16, 16, 1.0, 0.0, 1) > 0.0);
+        let cfg = StrassenConfig::with_square_cutoff(8);
+        assert!(time_dgefmm(&cfg, 16, 16, 16, 1.0, 0.5, 1) > 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Matrix addition/subtraction kernels — the paper's `G(m, n)` operations.
+//!
+//! Strassen's algorithm spends all of its non-multiplicative work in
+//! these elementwise passes (stages (1), (2), and (4) of the Winograd
+//! variant), so they get dedicated, slice-based kernels rather than going
+//! through scalar indexing. Each routine works on arbitrary-`ld` views so
+//! the schedules can write directly into quadrants of `C` or into
+//! workspace temporaries.
+
+use matrix::{MatMut, MatRef, Scalar};
+
+#[inline(always)]
+fn zip_cols<T: Scalar>(
+    mut c: MatMut<'_, T>,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    f: impl Fn(T, T) -> T,
+) {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    assert_eq!(c.nrows(), a.nrows());
+    assert_eq!(c.ncols(), a.ncols());
+    for j in 0..c.ncols() {
+        let (ac, bc, cc) = (a.col(j), b.col(j), c.col_mut(j));
+        for i in 0..cc.len() {
+            cc[i] = f(ac[i], bc[i]);
+        }
+    }
+}
+
+/// `C ← A + B`.
+pub fn add_into<T: Scalar>(c: MatMut<'_, T>, a: MatRef<'_, T>, b: MatRef<'_, T>) {
+    zip_cols(c, a, b, |x, y| x + y);
+}
+
+/// `C ← A − B`.
+pub fn sub_into<T: Scalar>(c: MatMut<'_, T>, a: MatRef<'_, T>, b: MatRef<'_, T>) {
+    zip_cols(c, a, b, |x, y| x - y);
+}
+
+/// `C ← α (A + B)` — the scaled sums STRASSEN2 uses to fold `α` into the
+/// operand additions instead of the products.
+pub fn add_into_scaled<T: Scalar>(c: MatMut<'_, T>, alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>) {
+    zip_cols(c, a, b, move |x, y| alpha * (x + y));
+}
+
+/// `C ← α (A − B)`.
+pub fn sub_into_scaled<T: Scalar>(c: MatMut<'_, T>, alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>) {
+    zip_cols(c, a, b, move |x, y| alpha * (x - y));
+}
+
+/// `C ← C + A`.
+pub fn accum<T: Scalar>(mut c: MatMut<'_, T>, a: MatRef<'_, T>) {
+    assert_eq!(c.nrows(), a.nrows());
+    assert_eq!(c.ncols(), a.ncols());
+    for j in 0..c.ncols() {
+        let (ac, cc) = (a.col(j), c.col_mut(j));
+        for i in 0..cc.len() {
+            cc[i] += ac[i];
+        }
+    }
+}
+
+/// `C ← C − A`.
+pub fn accum_sub<T: Scalar>(mut c: MatMut<'_, T>, a: MatRef<'_, T>) {
+    assert_eq!(c.nrows(), a.nrows());
+    assert_eq!(c.ncols(), a.ncols());
+    for j in 0..c.ncols() {
+        let (ac, cc) = (a.col(j), c.col_mut(j));
+        for i in 0..cc.len() {
+            cc[i] -= ac[i];
+        }
+    }
+}
+
+/// `C ← A − C` (reverse subtraction in place — used by the Winograd
+/// stage-2 sums like `T2 = B22 − T1` where `T1` already sits in the
+/// temporary being overwritten).
+pub fn rsub_into<T: Scalar>(mut c: MatMut<'_, T>, a: MatRef<'_, T>) {
+    assert_eq!(c.nrows(), a.nrows());
+    assert_eq!(c.ncols(), a.ncols());
+    for j in 0..c.ncols() {
+        let (ac, cc) = (a.col(j), c.col_mut(j));
+        for i in 0..cc.len() {
+            cc[i] = ac[i] - cc[i];
+        }
+    }
+}
+
+/// `C ← α A + β C` (matrix-level `axpby`; with `β = 0` this is a scaled
+/// copy that never reads `C`, matching BLAS β-semantics).
+pub fn axpby<T: Scalar>(alpha: T, a: MatRef<'_, T>, beta: T, mut c: MatMut<'_, T>) {
+    assert_eq!(c.nrows(), a.nrows());
+    assert_eq!(c.ncols(), a.ncols());
+    if beta == T::ZERO {
+        for j in 0..c.ncols() {
+            let (ac, cc) = (a.col(j), c.col_mut(j));
+            for i in 0..cc.len() {
+                cc[i] = alpha * ac[i];
+            }
+        }
+    } else {
+        for j in 0..c.ncols() {
+            let (ac, cc) = (a.col(j), c.col_mut(j));
+            for i in 0..cc.len() {
+                cc[i] = alpha * ac[i] + beta * cc[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::Matrix;
+
+    fn m(v: &[f64]) -> Matrix<f64> {
+        Matrix::from_row_major(2, 2, v)
+    }
+
+    #[test]
+    fn add_and_sub() {
+        let a = m(&[1.0, 2.0, 3.0, 4.0]);
+        let b = m(&[10.0, 20.0, 30.0, 40.0]);
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        add_into(c.as_mut(), a.as_ref(), b.as_ref());
+        assert_eq!(c, m(&[11.0, 22.0, 33.0, 44.0]));
+        sub_into(c.as_mut(), b.as_ref(), a.as_ref());
+        assert_eq!(c, m(&[9.0, 18.0, 27.0, 36.0]));
+    }
+
+    #[test]
+    fn scaled_variants() {
+        let a = m(&[1.0, 2.0, 3.0, 4.0]);
+        let b = m(&[1.0, 1.0, 1.0, 1.0]);
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        add_into_scaled(c.as_mut(), 2.0, a.as_ref(), b.as_ref());
+        assert_eq!(c, m(&[4.0, 6.0, 8.0, 10.0]));
+        sub_into_scaled(c.as_mut(), 3.0, a.as_ref(), b.as_ref());
+        assert_eq!(c, m(&[0.0, 3.0, 6.0, 9.0]));
+    }
+
+    #[test]
+    fn accumulators() {
+        let a = m(&[1.0, 1.0, 1.0, 1.0]);
+        let mut c = m(&[5.0, 5.0, 5.0, 5.0]);
+        accum(c.as_mut(), a.as_ref());
+        assert_eq!(c, m(&[6.0, 6.0, 6.0, 6.0]));
+        accum_sub(c.as_mut(), a.as_ref());
+        accum_sub(c.as_mut(), a.as_ref());
+        assert_eq!(c, m(&[4.0, 4.0, 4.0, 4.0]));
+    }
+
+    #[test]
+    fn rsub_reverses_operands() {
+        let a = m(&[10.0, 10.0, 10.0, 10.0]);
+        let mut c = m(&[1.0, 2.0, 3.0, 4.0]);
+        rsub_into(c.as_mut(), a.as_ref());
+        assert_eq!(c, m(&[9.0, 8.0, 7.0, 6.0]));
+    }
+
+    #[test]
+    fn axpby_beta_zero_ignores_garbage() {
+        let a = m(&[1.0, 2.0, 3.0, 4.0]);
+        let mut c = m(&[f64::NAN; 4]);
+        axpby(2.0, a.as_ref(), 0.0, c.as_mut());
+        assert_eq!(c, m(&[2.0, 4.0, 6.0, 8.0]));
+    }
+
+    #[test]
+    fn axpby_general() {
+        let a = m(&[1.0, 2.0, 3.0, 4.0]);
+        let mut c = m(&[1.0, 1.0, 1.0, 1.0]);
+        axpby(2.0, a.as_ref(), 10.0, c.as_mut());
+        assert_eq!(c, m(&[12.0, 14.0, 16.0, 18.0]));
+    }
+
+    #[test]
+    fn works_on_views_with_ld() {
+        let big = Matrix::from_fn(6, 6, |i, j| (i + 10 * j) as f64);
+        let a = big.as_ref().submatrix(0, 0, 3, 3);
+        let b = big.as_ref().submatrix(3, 3, 3, 3);
+        let mut out = Matrix::<f64>::zeros(3, 3);
+        add_into(out.as_mut(), a, b);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(out.at(i, j), big.at(i, j) + big.at(i + 3, j + 3));
+            }
+        }
+    }
+}

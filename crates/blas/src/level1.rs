@@ -1,0 +1,178 @@
+//! Level 1 BLAS subset: vector-vector operations.
+//!
+//! Naming follows the BLAS (`axpy`, `dot`, `nrm2`, …) minus the type
+//! prefix — everything is generic over [`Scalar`].
+
+use crate::vector::{VecMut, VecRef};
+use matrix::Scalar;
+
+/// `y ← α x + y`.
+pub fn axpy<T: Scalar>(alpha: T, x: VecRef<'_, T>, mut y: VecMut<'_, T>) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    if alpha == T::ZERO {
+        return;
+    }
+    let n = x.len();
+    for i in 0..n {
+        // SAFETY: i < n == len of both.
+        unsafe {
+            *y.get_unchecked_mut(i) += alpha * x.get_unchecked(i);
+        }
+    }
+}
+
+/// `x ← α x`.
+pub fn scal<T: Scalar>(alpha: T, mut x: VecMut<'_, T>) {
+    if alpha == T::ONE {
+        return;
+    }
+    for i in 0..x.len() {
+        // SAFETY: i < len.
+        unsafe {
+            *x.get_unchecked_mut(i) *= alpha;
+        }
+    }
+}
+
+/// `y ← x`.
+pub fn copy<T: Scalar>(x: VecRef<'_, T>, mut y: VecMut<'_, T>) {
+    assert_eq!(x.len(), y.len(), "copy: length mismatch");
+    for i in 0..x.len() {
+        // SAFETY: i < len of both.
+        unsafe {
+            *y.get_unchecked_mut(i) = x.get_unchecked(i);
+        }
+    }
+}
+
+/// Dot product `xᵀ y`.
+pub fn dot<T: Scalar>(x: VecRef<'_, T>, y: VecRef<'_, T>) -> T {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Four partial accumulators so the reduction has instruction-level
+    // parallelism; tail handled separately.
+    let n = x.len();
+    let chunks = n / 4;
+    let mut s0 = T::ZERO;
+    let mut s1 = T::ZERO;
+    let mut s2 = T::ZERO;
+    let mut s3 = T::ZERO;
+    for c in 0..chunks {
+        let i = 4 * c;
+        // SAFETY: i+3 < 4*chunks <= n.
+        unsafe {
+            s0 += x.get_unchecked(i) * y.get_unchecked(i);
+            s1 += x.get_unchecked(i + 1) * y.get_unchecked(i + 1);
+            s2 += x.get_unchecked(i + 2) * y.get_unchecked(i + 2);
+            s3 += x.get_unchecked(i + 3) * y.get_unchecked(i + 3);
+        }
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for i in 4 * chunks..n {
+        // SAFETY: i < n.
+        unsafe {
+            s += x.get_unchecked(i) * y.get_unchecked(i);
+        }
+    }
+    s
+}
+
+/// Euclidean norm `‖x‖₂` (unscaled textbook version — fine for the value
+/// ranges the experiments use).
+pub fn nrm2<T: Scalar>(x: VecRef<'_, T>) -> T {
+    dot(x, x).sqrt()
+}
+
+/// Sum of absolute values `‖x‖₁`.
+pub fn asum<T: Scalar>(x: VecRef<'_, T>) -> T {
+    let mut s = T::ZERO;
+    for i in 0..x.len() {
+        // SAFETY: i < len.
+        unsafe {
+            s += x.get_unchecked(i).abs();
+        }
+    }
+    s
+}
+
+/// Index of the element with the largest absolute value (first on ties);
+/// `None` for an empty vector.
+pub fn iamax<T: Scalar>(x: VecRef<'_, T>) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut bestv = x.at(0).abs();
+    for i in 1..x.len() {
+        // SAFETY: i < len.
+        let v = unsafe { x.get_unchecked(i) }.abs();
+        if v > bestv {
+            best = i;
+            bestv = v;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::Matrix;
+
+    #[test]
+    fn axpy_contiguous() {
+        let x = [1.0f64, 2.0, 3.0];
+        let mut y = [10.0f64, 20.0, 30.0];
+        axpy(2.0, VecRef::from_slice(&x), VecMut::from_slice(&mut y));
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpy_zero_alpha_is_noop() {
+        let x = [f64::NAN; 3]; // would poison y if touched
+        let mut y = [1.0f64, 2.0, 3.0];
+        axpy(0.0, VecRef::from_slice(&x), VecMut::from_slice(&mut y));
+        assert_eq!(y, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_strided_row() {
+        let m = Matrix::from_fn(3, 4, |_, j| j as f64);
+        let mut y = [0.0f64; 4];
+        axpy(1.0, VecRef::from_row(m.as_ref(), 1), VecMut::from_slice(&mut y));
+        assert_eq!(y, [0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dot_handles_tails() {
+        for n in 0..10 {
+            let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let expect: f64 = (0..n).map(|i| (i * i) as f64).sum();
+            assert_eq!(dot(VecRef::from_slice(&x), VecRef::from_slice(&x)), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn nrm2_and_asum() {
+        let x = [3.0f64, -4.0];
+        assert_eq!(nrm2(VecRef::from_slice(&x)), 5.0);
+        assert_eq!(asum(VecRef::from_slice(&x)), 7.0);
+    }
+
+    #[test]
+    fn iamax_first_max_wins() {
+        let x = [1.0f64, -5.0, 5.0, 2.0];
+        assert_eq!(iamax(VecRef::from_slice(&x)), Some(1));
+        let e: [f64; 0] = [];
+        assert_eq!(iamax(VecRef::from_slice(&e)), None);
+    }
+
+    #[test]
+    fn scal_and_copy() {
+        let mut x = [1.0f64, 2.0];
+        scal(3.0, VecMut::from_slice(&mut x));
+        assert_eq!(x, [3.0, 6.0]);
+        let mut y = [0.0f64; 2];
+        copy(VecRef::from_slice(&x), VecMut::from_slice(&mut y));
+        assert_eq!(y, x);
+    }
+}

@@ -1,0 +1,194 @@
+//! Level 2 BLAS subset: matrix-vector operations (`GEMV`, `GER`).
+//!
+//! These are exactly the routines the paper's dynamic-peeling fixup uses
+//! (Section 3.3): one rank-one update and two matrix-vector products per
+//! peeled multiply.
+
+use crate::vector::{VecMut, VecRef};
+use matrix::{MatMut, MatRef, Scalar};
+
+/// Transposition selector for `op(A)` arguments, as in the BLAS `TRANSA`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `op(A) = A`
+    NoTrans,
+    /// `op(A) = Aᵀ`
+    Trans,
+}
+
+impl Op {
+    /// Dimensions of `op(A)` given the stored matrix `a`.
+    #[inline]
+    pub fn dims<T>(self, a: &MatRef<'_, T>) -> (usize, usize) {
+        match self {
+            Op::NoTrans => (a.nrows(), a.ncols()),
+            Op::Trans => (a.ncols(), a.nrows()),
+        }
+    }
+}
+
+/// General matrix-vector product `y ← α op(A) x + β y`.
+///
+/// `op(A)` is `m x n`; `x` has length `n` and `y` length `m`.
+pub fn gemv<T: Scalar>(
+    alpha: T,
+    op: Op,
+    a: MatRef<'_, T>,
+    x: VecRef<'_, T>,
+    beta: T,
+    mut y: VecMut<'_, T>,
+) {
+    let (m, n) = op.dims(&a);
+    assert_eq!(x.len(), n, "gemv: x length {} != {}", x.len(), n);
+    assert_eq!(y.len(), m, "gemv: y length {} != {}", y.len(), m);
+
+    if beta == T::ZERO {
+        for i in 0..m {
+            // SAFETY: i < m == y.len().
+            unsafe {
+                *y.get_unchecked_mut(i) = T::ZERO;
+            }
+        }
+    } else if beta != T::ONE {
+        crate::level1::scal(beta, y.rb_mut());
+    }
+    if alpha == T::ZERO || m == 0 || n == 0 {
+        return;
+    }
+
+    match op {
+        // y += alpha * A x: accumulate column-by-column (axpy-style), the
+        // cache-friendly order for column-major A.
+        Op::NoTrans => {
+            for j in 0..a.ncols() {
+                // SAFETY: j < ncols == x.len().
+                let xj = alpha * unsafe { x.get_unchecked(j) };
+                if xj == T::ZERO {
+                    continue;
+                }
+                let col = a.col(j);
+                for (i, &aij) in col.iter().enumerate() {
+                    // SAFETY: i < nrows == y.len().
+                    unsafe {
+                        *y.get_unchecked_mut(i) += xj * aij;
+                    }
+                }
+            }
+        }
+        // y += alpha * Aᵀ x: each output element is a dot with a column.
+        Op::Trans => {
+            for j in 0..a.ncols() {
+                let col = a.col(j);
+                let mut s = T::ZERO;
+                for (i, &aij) in col.iter().enumerate() {
+                    // SAFETY: i < nrows == x.len().
+                    s += aij * unsafe { x.get_unchecked(i) };
+                }
+                // SAFETY: j < ncols == y.len().
+                unsafe {
+                    *y.get_unchecked_mut(j) += alpha * s;
+                }
+            }
+        }
+    }
+}
+
+/// Rank-one update `A ← α x yᵀ + A` where `A` is `m x n`, `x` length `m`,
+/// `y` length `n` (BLAS `GER`).
+pub fn ger<T: Scalar>(alpha: T, x: VecRef<'_, T>, y: VecRef<'_, T>, mut a: MatMut<'_, T>) {
+    assert_eq!(x.len(), a.nrows(), "ger: x length mismatch");
+    assert_eq!(y.len(), a.ncols(), "ger: y length mismatch");
+    if alpha == T::ZERO {
+        return;
+    }
+    for j in 0..a.ncols() {
+        // SAFETY: j < ncols == y.len().
+        let yj = alpha * unsafe { y.get_unchecked(j) };
+        if yj == T::ZERO {
+            continue;
+        }
+        let col = a.col_mut(j);
+        for (i, aij) in col.iter_mut().enumerate() {
+            // SAFETY: i < nrows == x.len().
+            *aij += unsafe { x.get_unchecked(i) } * yj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::Matrix;
+
+    fn a23() -> Matrix<f64> {
+        // [1 2 3]
+        // [4 5 6]
+        Matrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn gemv_notrans() {
+        let a = a23();
+        let x = [1.0f64, 0.0, -1.0];
+        let mut y = [10.0f64, 10.0];
+        gemv(1.0, Op::NoTrans, a.as_ref(), VecRef::from_slice(&x), 0.0, VecMut::from_slice(&mut y));
+        assert_eq!(y, [-2.0, -2.0]);
+    }
+
+    #[test]
+    fn gemv_trans() {
+        let a = a23();
+        let x = [1.0f64, 1.0];
+        let mut y = [0.0f64; 3];
+        gemv(1.0, Op::Trans, a.as_ref(), VecRef::from_slice(&x), 0.0, VecMut::from_slice(&mut y));
+        assert_eq!(y, [5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gemv_alpha_beta() {
+        let a = a23();
+        let x = [1.0f64, 1.0, 1.0];
+        let mut y = [1.0f64, 2.0];
+        // y = 2*A*1 + 3*y
+        gemv(2.0, Op::NoTrans, a.as_ref(), VecRef::from_slice(&x), 3.0, VecMut::from_slice(&mut y));
+        assert_eq!(y, [2.0 * 6.0 + 3.0, 2.0 * 15.0 + 6.0]);
+    }
+
+    #[test]
+    fn gemv_beta_zero_ignores_nan_y() {
+        let a = a23();
+        let x = [1.0f64, 1.0, 1.0];
+        let mut y = [f64::NAN, f64::NAN];
+        gemv(1.0, Op::NoTrans, a.as_ref(), VecRef::from_slice(&x), 0.0, VecMut::from_slice(&mut y));
+        assert_eq!(y, [6.0, 15.0]);
+    }
+
+    #[test]
+    fn ger_rank_one() {
+        let mut a = Matrix::<f64>::zeros(2, 3);
+        let x = [1.0f64, 2.0];
+        let y = [3.0f64, 4.0, 5.0];
+        ger(2.0, VecRef::from_slice(&x), VecRef::from_slice(&y), a.as_mut());
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(a.at(i, j), 2.0 * x[i] * y[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn ger_accumulates() {
+        let mut a = Matrix::from_row_major(1, 1, &[7.0]);
+        let x = [2.0f64];
+        let y = [3.0f64];
+        ger(1.0, VecRef::from_slice(&x), VecRef::from_slice(&y), a.as_mut());
+        assert_eq!(a.at(0, 0), 13.0);
+    }
+
+    #[test]
+    fn op_dims() {
+        let a = a23();
+        assert_eq!(Op::NoTrans.dims(&a.as_ref()), (2, 3));
+        assert_eq!(Op::Trans.dims(&a.as_ref()), (3, 2));
+    }
+}

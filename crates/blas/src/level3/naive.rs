@@ -1,0 +1,121 @@
+//! Unblocked reference GEMM kernel.
+//!
+//! Deliberately simple: a `j-p-i` loop nest (column-major friendly) with
+//! no packing or tiling. It doubles as (a) the correctness oracle and
+//! (b) the "slow machine" profile in the experiments, where its early
+//! memory-bandwidth collapse pushes the Strassen crossover *down*.
+
+use super::scale_c;
+use crate::level2::Op;
+use matrix::{MatMut, MatRef, Scalar};
+
+/// `C ← α op(A) op(B) + β C` via the textbook triple loop.
+pub fn gemm_naive<T: Scalar>(
+    alpha: T,
+    op_a: Op,
+    a: MatRef<'_, T>,
+    op_b: Op,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let (m, k, n) = super::check_gemm_dims(op_a, &a, op_b, &b, &c);
+    scale_c(beta, &mut c);
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    match (op_a, op_b) {
+        (Op::NoTrans, Op::NoTrans) => {
+            // c[:,j] += alpha * b[p,j] * a[:,p] — pure axpy sweeps.
+            for j in 0..n {
+                for p in 0..k {
+                    // SAFETY: p < k, j < n are in bounds for B.
+                    let bpj = alpha * unsafe { *b.get_unchecked(p, j) };
+                    if bpj == T::ZERO {
+                        continue;
+                    }
+                    let acol = a.col(p);
+                    let ccol = c.col_mut(j);
+                    for i in 0..m {
+                        ccol[i] += bpj * acol[i];
+                    }
+                }
+            }
+        }
+        (Op::Trans, Op::NoTrans) => {
+            // c[i,j] += alpha * dot(a[:,i], b[:,j]).
+            for j in 0..n {
+                let bcol = b.col(j);
+                for i in 0..m {
+                    let acol = a.col(i);
+                    let mut s = T::ZERO;
+                    for p in 0..k {
+                        s += acol[p] * bcol[p];
+                    }
+                    let ccol = c.col_mut(j);
+                    ccol[i] += alpha * s;
+                }
+            }
+        }
+        (Op::NoTrans, Op::Trans) => {
+            for j in 0..n {
+                for p in 0..k {
+                    // SAFETY: j < n <= b.nrows(), p < k <= b.ncols().
+                    let bpj = alpha * unsafe { *b.get_unchecked(j, p) };
+                    if bpj == T::ZERO {
+                        continue;
+                    }
+                    let acol = a.col(p);
+                    let ccol = c.col_mut(j);
+                    for i in 0..m {
+                        ccol[i] += bpj * acol[i];
+                    }
+                }
+            }
+        }
+        (Op::Trans, Op::Trans) => {
+            for j in 0..n {
+                for i in 0..m {
+                    let acol = a.col(i);
+                    let mut s = T::ZERO;
+                    for p in 0..k {
+                        // SAFETY: j < n <= b.nrows(), p < k <= b.ncols().
+                        s += acol[p] * unsafe { *b.get_unchecked(j, p) };
+                    }
+                    let ccol = c.col_mut(j);
+                    ccol[i] += alpha * s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::Matrix;
+
+    #[test]
+    fn small_known_product() {
+        // [1 2] [5 6]   [19 22]
+        // [3 4] [7 8] = [43 50]
+        let a = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_row_major(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        gemm_naive(1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        assert_eq!(c, Matrix::from_row_major(2, 2, &[19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    fn transpose_pairs_agree() {
+        // (AᵀBᵀ) computed directly equals (BA)ᵀ.
+        let a = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64 + 1.0);
+        let b = Matrix::from_fn(4, 3, |i, j| (i as f64) - (j as f64));
+        let mut c1 = Matrix::<f64>::zeros(2, 4);
+        gemm_naive(1.0, Op::Trans, a.as_ref(), Op::Trans, b.as_ref(), 0.0, c1.as_mut());
+        let mut ba = Matrix::<f64>::zeros(4, 2);
+        gemm_naive(1.0, Op::NoTrans, b.as_ref(), Op::NoTrans, a.as_ref(), 0.0, ba.as_mut());
+        assert_eq!(c1, ba.transposed());
+    }
+}

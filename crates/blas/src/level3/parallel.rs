@@ -1,0 +1,98 @@
+//! Rayon-parallel blocked GEMM.
+//!
+//! Parallelizes the outermost (`jc`) loop of the blocked kernel: each
+//! worker owns a disjoint column panel of `C`, packs its own buffers, and
+//! never synchronizes with the others — the classic embarrassingly
+//! parallel decomposition for `C ← A B` (each output column depends on
+//! all of `A` but only its own columns of `B`).
+
+use super::blocked::{macrokernel, pack_a, pack_b, MR, NR};
+use super::{check_gemm_dims, scale_c, GemmConfig};
+use crate::level2::Op;
+use matrix::{MatMut, MatRef, Scalar};
+use rayon::prelude::*;
+
+/// `C ← α op(A) op(B) + β C`, column panels processed in parallel.
+pub fn gemm_parallel<T: Scalar>(
+    cfg: &GemmConfig,
+    alpha: T,
+    op_a: Op,
+    a: MatRef<'_, T>,
+    op_b: Op,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let (m, k, n) = check_gemm_dims(op_a, &a, op_b, &b, &c);
+    scale_c(beta, &mut c);
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mc = cfg.mc.max(MR);
+    let kc = cfg.kc.max(1);
+    // Panel width: split n so every rayon worker gets some columns, but
+    // never below the micro-tile width.
+    let threads = rayon::current_num_threads().max(1);
+    let nc = cfg.nc.max(NR).min(n.div_ceil(threads).next_multiple_of(NR));
+
+    // Carve C into disjoint column-panel views up front.
+    let mut panels: Vec<(usize, MatMut<'_, T>)> = Vec::with_capacity(n.div_ceil(nc));
+    let mut rest = c;
+    let mut jc = 0;
+    while jc < n {
+        let nb = nc.min(n - jc);
+        let (head, tail) = rest.split_cols(nb);
+        panels.push((jc, head));
+        rest = tail;
+        jc += nb;
+    }
+
+    panels.into_par_iter().for_each(|(jc, mut cpanel)| {
+        let nb = cpanel.ncols();
+        let mut packed_a = vec![T::ZERO; mc.div_ceil(MR) * MR * kc];
+        let mut packed_b = vec![T::ZERO; nb.div_ceil(NR) * NR * kc];
+        for pc in (0..k).step_by(kc) {
+            let kb = kc.min(k - pc);
+            pack_b(op_b, &b, pc, jc, kb, nb, &mut packed_b);
+            for ic in (0..m).step_by(mc) {
+                let mb = mc.min(m - ic);
+                pack_a(op_a, &a, ic, pc, mb, kb, &mut packed_a);
+                // cpanel's column 0 is global column jc, so pass jc=0 here.
+                macrokernel(alpha, mb, kb, nb, &packed_a, &packed_b, &mut cpanel, ic, 0);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::random;
+
+    #[test]
+    fn parallel_matches_blocked() {
+        let pcfg = GemmConfig::parallel();
+        let scfg = GemmConfig::blocked();
+        for &(m, k, n) in &[(64usize, 64usize, 64usize), (100, 37, 211), (5, 200, 3)] {
+            let a = random::uniform::<f64>(m, k, 11);
+            let b = random::uniform::<f64>(k, n, 12);
+            let mut c1 = random::uniform::<f64>(m, n, 13);
+            let mut c2 = c1.clone();
+            super::super::gemm_blocked(&scfg, 0.9, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.1, c1.as_mut());
+            gemm_parallel(&pcfg, 0.9, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.1, c2.as_mut());
+            matrix::norms::assert_allclose(c1.as_ref(), c2.as_ref(), 1e-13, &format!("{m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn parallel_handles_narrow_matrices() {
+        // n smaller than one micro-tile: single panel, no parallelism.
+        let a = random::uniform::<f64>(50, 50, 1);
+        let b = random::uniform::<f64>(50, 2, 2);
+        let mut c1 = random::uniform::<f64>(50, 2, 3);
+        let mut c2 = c1.clone();
+        super::super::gemm_naive(1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c1.as_mut());
+        gemm_parallel(&GemmConfig::parallel(), 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c2.as_mut());
+        matrix::norms::assert_allclose(c1.as_ref(), c2.as_ref(), 1e-13, "narrow");
+    }
+}

@@ -1,0 +1,149 @@
+//! Symmetric matrix-matrix multiply (`SYMM`).
+//!
+//! `C ← α A B + β C` (or `α B A + β C`) where `A` is symmetric and only
+//! its `uplo` triangle is stored/read — the Level 3 routine eigensolvers
+//! use to multiply by matrices kept in packed-symmetric form.
+
+use super::scale_c;
+use crate::level3::syrk::Uplo;
+use crate::level3::trsm::Side;
+use matrix::{MatMut, MatRef, Scalar};
+
+/// Element `(i, j)` of the symmetric matrix whose `uplo` triangle is
+/// stored in `a`.
+#[inline(always)]
+fn sym_at<T: Scalar>(uplo: Uplo, a: &MatRef<'_, T>, i: usize, j: usize) -> T {
+    let read_stored = match uplo {
+        Uplo::Lower => i >= j,
+        Uplo::Upper => i <= j,
+    };
+    if read_stored {
+        a.at(i, j)
+    } else {
+        a.at(j, i)
+    }
+}
+
+/// Symmetric multiply: `C ← α A B + β C` (`side = Left`, `A` is `m × m`)
+/// or `C ← α B A + β C` (`side = Right`, `A` is `n × n`), with `B` and
+/// `C` both `m × n`. Only the `uplo` triangle of `A` is read.
+#[allow(clippy::too_many_arguments)]
+pub fn symm<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let (m, n) = (c.nrows(), c.ncols());
+    let dim = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    assert_eq!(a.nrows(), dim, "symm: A must be {dim}x{dim}");
+    assert_eq!(a.ncols(), dim, "symm: A must be {dim}x{dim}");
+    assert_eq!(b.nrows(), m, "symm: B must be {m}x{n}");
+    assert_eq!(b.ncols(), n, "symm: B must be {m}x{n}");
+
+    scale_c(beta, &mut c);
+    if alpha == T::ZERO || m == 0 || n == 0 {
+        return;
+    }
+
+    match side {
+        Side::Left => {
+            // c[:,j] += alpha * sym(A) * b[:,j], axpy-style over p.
+            for j in 0..n {
+                let bcol = b.col(j);
+                for p in 0..m {
+                    let f = alpha * bcol[p];
+                    if f == T::ZERO {
+                        continue;
+                    }
+                    let ccol = c.col_mut(j);
+                    for (i, ci) in ccol.iter_mut().enumerate() {
+                        *ci += f * sym_at(uplo, &a, i, p);
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            // c[:,j] += alpha * Σ_p b[:,p] · sym(A)[p, j].
+            for j in 0..n {
+                for p in 0..n {
+                    let f = alpha * sym_at(uplo, &a, p, j);
+                    if f == T::ZERO {
+                        continue;
+                    }
+                    let bcol = b.col(p);
+                    let ccol = c.col_mut(j);
+                    for (i, ci) in ccol.iter_mut().enumerate() {
+                        *ci += f * bcol[i];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::{norms, random, Matrix};
+
+    /// Store only one triangle of a symmetric matrix, poisoning the other.
+    fn half_stored(full: &Matrix<f64>, uplo: Uplo) -> Matrix<f64> {
+        let n = full.nrows();
+        Matrix::from_fn(n, n, |i, j| {
+            let stored = match uplo {
+                Uplo::Lower => i >= j,
+                Uplo::Upper => i <= j,
+            };
+            if stored {
+                full.at(i, j)
+            } else {
+                f64::NAN // must never be read
+            }
+        })
+    }
+
+    fn dense(side: Side, alpha: f64, a: &Matrix<f64>, b: &Matrix<f64>, beta: f64, c: &Matrix<f64>) -> Matrix<f64> {
+        let (m, n) = (c.nrows(), c.ncols());
+        Matrix::from_fn(m, n, |i, j| {
+            let s: f64 = match side {
+                Side::Left => (0..m).map(|p| a.at(i, p) * b.at(p, j)).sum(),
+                Side::Right => (0..n).map(|p| b.at(i, p) * a.at(p, j)).sum(),
+            };
+            alpha * s + beta * c.at(i, j)
+        })
+    }
+
+    #[test]
+    fn matches_dense_and_never_reads_other_triangle() {
+        for side in [Side::Left, Side::Right] {
+            for uplo in [Uplo::Lower, Uplo::Upper] {
+                let (m, n) = (7, 5);
+                let dim = if side == Side::Left { m } else { n };
+                let full = random::symmetric::<f64>(dim, 3);
+                let a = half_stored(&full, uplo);
+                let b = random::uniform::<f64>(m, n, 4);
+                let c0 = random::uniform::<f64>(m, n, 5);
+                let expect = dense(side, 1.5, &full, &b, -0.5, &c0);
+                let mut c = c0.clone();
+                symm(side, uplo, 1.5, a.as_ref(), b.as_ref(), -0.5, c.as_mut());
+                norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-12, &format!("{side:?} {uplo:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites() {
+        let a = random::symmetric::<f64>(4, 1);
+        let b = random::uniform::<f64>(4, 3, 2);
+        let mut c = Matrix::from_fn(4, 3, |_, _| f64::NAN);
+        symm(Side::Left, Uplo::Lower, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        assert!(c.as_slice().iter().all(|x| x.is_finite()));
+    }
+}

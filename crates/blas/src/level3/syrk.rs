@@ -1,0 +1,190 @@
+//! Symmetric rank-k update (`SYRK`).
+//!
+//! `C ← α A Aᵀ + β C` (or `α Aᵀ A + β C`), touching only one triangle of
+//! `C` — the kernel eigensolvers and normal-equation solvers use when the
+//! result is known to be symmetric, at roughly half the flops of a
+//! general GEMM.
+
+use crate::level2::Op;
+use matrix::{MatMut, MatRef, Scalar};
+
+/// Which triangle of the symmetric result is stored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Uplo {
+    /// Update/reference the upper triangle (including the diagonal).
+    Upper,
+    /// Update/reference the lower triangle (including the diagonal).
+    Lower,
+}
+
+/// Symmetric rank-k update.
+///
+/// With `trans = NoTrans`: `C ← α A Aᵀ + β C` where `A` is `n × k`.
+/// With `trans = Trans`:   `C ← α Aᵀ A + β C` where `A` is `k × n`.
+/// Only the `uplo` triangle of the `n × n` matrix `C` is read or written.
+pub fn syrk<T: Scalar>(
+    uplo: Uplo,
+    trans: Op,
+    alpha: T,
+    a: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let (n, k) = trans.dims(&a);
+    assert_eq!(c.nrows(), n, "syrk: C must be {n}x{n}");
+    assert_eq!(c.ncols(), n, "syrk: C must be {n}x{n}");
+
+    // Scale the referenced triangle.
+    if beta != T::ONE {
+        for j in 0..n {
+            let (lo, hi) = match uplo {
+                Uplo::Upper => (0, j + 1),
+                Uplo::Lower => (j, n),
+            };
+            let col = c.col_mut(j);
+            for x in &mut col[lo..hi] {
+                *x = if beta == T::ZERO { T::ZERO } else { *x * beta };
+            }
+        }
+    }
+    if alpha == T::ZERO || n == 0 || k == 0 {
+        return;
+    }
+
+    match trans {
+        // C += alpha * A Aᵀ: rank-one sweeps over columns of A.
+        Op::NoTrans => {
+            for p in 0..k {
+                let ap = a.col(p);
+                for j in 0..n {
+                    let f = alpha * ap[j];
+                    if f == T::ZERO {
+                        continue;
+                    }
+                    let (lo, hi) = match uplo {
+                        Uplo::Upper => (0, j + 1),
+                        Uplo::Lower => (j, n),
+                    };
+                    let col = c.col_mut(j);
+                    for i in lo..hi {
+                        col[i] += f * ap[i];
+                    }
+                }
+            }
+        }
+        // C += alpha * Aᵀ A: each entry is a dot of two columns of A.
+        Op::Trans => {
+            for j in 0..n {
+                let aj = a.col(j);
+                let (lo, hi) = match uplo {
+                    Uplo::Upper => (0, j + 1),
+                    Uplo::Lower => (j, n),
+                };
+                for i in lo..hi {
+                    let ai = a.col(i);
+                    let mut s = T::ZERO;
+                    for p in 0..k {
+                        s += ai[p] * aj[p];
+                    }
+                    // SAFETY: lo..hi in bounds for column j.
+                    unsafe {
+                        *c.get_unchecked_mut(i, j) += alpha * s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Copy the `uplo` triangle of `c` onto the other one, making it fully
+/// symmetric (convenience after a sequence of `syrk` updates).
+pub fn symmetrize_from<T: Scalar>(uplo: Uplo, mut c: MatMut<'_, T>) {
+    let n = c.nrows();
+    assert_eq!(c.ncols(), n, "symmetrize: square expected");
+    for j in 0..n {
+        for i in 0..j {
+            match uplo {
+                Uplo::Upper => {
+                    let v = c.at(i, j);
+                    c.set(j, i, v);
+                }
+                Uplo::Lower => {
+                    let v = c.at(j, i);
+                    c.set(i, j, v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::{random, Matrix};
+
+    fn dense_syrk(trans: Op, alpha: f64, a: &Matrix<f64>, beta: f64, c: &Matrix<f64>) -> Matrix<f64> {
+        let (n, k) = trans.dims(&a.as_ref());
+        Matrix::from_fn(n, n, |i, j| {
+            let mut s = 0.0;
+            for p in 0..k {
+                let (x, y) = match trans {
+                    Op::NoTrans => (a.at(i, p), a.at(j, p)),
+                    Op::Trans => (a.at(p, i), a.at(p, j)),
+                };
+                s += x * y;
+            }
+            alpha * s + beta * c.at(i, j)
+        })
+    }
+
+    fn check(uplo: Uplo, trans: Op, n: usize, k: usize) {
+        let (ar, ac) = if trans == Op::NoTrans { (n, k) } else { (k, n) };
+        let a = random::uniform::<f64>(ar, ac, 3);
+        let c0 = random::symmetric::<f64>(n, 4);
+        let expect = dense_syrk(trans, 1.5, &a, -0.5, &c0);
+        let mut c = c0.clone();
+        syrk(uplo, trans, 1.5, a.as_ref(), -0.5, c.as_mut());
+        symmetrize_from(uplo, c.as_mut());
+        matrix::norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-12, &format!("{uplo:?} {trans:?}"));
+    }
+
+    #[test]
+    fn matches_dense_all_variants() {
+        for uplo in [Uplo::Upper, Uplo::Lower] {
+            for trans in [Op::NoTrans, Op::Trans] {
+                check(uplo, trans, 7, 5);
+                check(uplo, trans, 12, 12);
+                check(uplo, trans, 1, 9);
+            }
+        }
+    }
+
+    #[test]
+    fn untouched_triangle_preserved() {
+        let a = random::uniform::<f64>(5, 3, 1);
+        let mut c = Matrix::<f64>::zeros(5, 5);
+        c.set(4, 0, 99.0); // lower triangle entry
+        syrk(Uplo::Upper, Op::NoTrans, 1.0, a.as_ref(), 0.0, c.as_mut());
+        assert_eq!(c.at(4, 0), 99.0, "upper-only update must not touch lower");
+    }
+
+    #[test]
+    fn beta_zero_clears_nan_in_triangle() {
+        let a = random::uniform::<f64>(4, 2, 1);
+        let mut c = Matrix::from_fn(4, 4, |_, _| f64::NAN);
+        syrk(Uplo::Lower, Op::NoTrans, 1.0, a.as_ref(), 0.0, c.as_mut());
+        for j in 0..4 {
+            for i in j..4 {
+                assert!(c.at(i, j).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_round_trip() {
+        let mut c = Matrix::from_fn(4, 4, |i, j| (10 * i + j) as f64);
+        symmetrize_from(Uplo::Lower, c.as_mut());
+        assert!(c.is_symmetric());
+        assert_eq!(c.at(0, 3), c.at(3, 0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Triangular solve with multiple right-hand sides (`TRSM`).
+//!
+//! Solves `op(A) X = α B` (left side) or `X op(A) = α B` (right side)
+//! in place in `B`, where `A` is triangular. This is the other Level 3
+//! workhorse of blocked LU/QR factorizations — the use case of the
+//! paper's reference [3] (Bailey, Lee & Simon: accelerating linear
+//! system solution with Strassen).
+
+use crate::level2::Op;
+use crate::level3::syrk::Uplo;
+use matrix::{MatMut, MatRef, Scalar};
+
+/// Which side the triangular matrix appears on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Solve `op(A) X = α B`.
+    Left,
+    /// Solve `X op(A) = α B`.
+    Right,
+}
+
+/// Whether the triangular matrix has an implicit unit diagonal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Diag {
+    /// Diagonal entries are taken as stored.
+    NonUnit,
+    /// Diagonal entries are assumed to be 1 and never read.
+    Unit,
+}
+
+/// Triangular solve, overwriting `b` with the solution `X`.
+///
+/// `A` is `m × m` (left) or `n × n` (right) where `B` is `m × n`; only
+/// the `uplo` triangle of `A` is referenced.
+#[allow(clippy::too_many_arguments)]
+pub fn trsm<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    trans: Op,
+    diag: Diag,
+    alpha: T,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+) {
+    let (m, n) = (b.nrows(), b.ncols());
+    let dim = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    assert_eq!(a.nrows(), dim, "trsm: A must be {dim}x{dim}");
+    assert_eq!(a.ncols(), dim, "trsm: A must be {dim}x{dim}");
+
+    if alpha != T::ONE {
+        for j in 0..n {
+            for x in b.col_mut(j) {
+                *x = if alpha == T::ZERO { T::ZERO } else { *x * alpha };
+            }
+        }
+    }
+    if m == 0 || n == 0 || alpha == T::ZERO {
+        return;
+    }
+
+    // Effective orientation: a stored-Upper matrix accessed transposed
+    // behaves like Lower, and vice versa.
+    let effective_lower = matches!(
+        (uplo, trans),
+        (Uplo::Lower, Op::NoTrans) | (Uplo::Upper, Op::Trans)
+    );
+    // Element of op(A).
+    let at = |i: usize, j: usize| match trans {
+        Op::NoTrans => a.at(i, j),
+        Op::Trans => a.at(j, i),
+    };
+
+    match side {
+        Side::Left => {
+            // Solve op(A) X = B column by column (forward or backward
+            // substitution depending on the effective triangle).
+            for j in 0..n {
+                if effective_lower {
+                    for i in 0..m {
+                        let mut s = b.at(i, j);
+                        for p in 0..i {
+                            s -= at(i, p) * b.at(p, j);
+                        }
+                        if diag == Diag::NonUnit {
+                            s /= at(i, i);
+                        }
+                        b.set(i, j, s);
+                    }
+                } else {
+                    for i in (0..m).rev() {
+                        let mut s = b.at(i, j);
+                        for p in (i + 1)..m {
+                            s -= at(i, p) * b.at(p, j);
+                        }
+                        if diag == Diag::NonUnit {
+                            s /= at(i, i);
+                        }
+                        b.set(i, j, s);
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            // Solve X op(A) = B column by column of X: column j of X
+            // depends on previously solved columns through op(A)'s
+            // column j.
+            if effective_lower {
+                // x_j = (b_j − Σ_{p>j} x_p · op(A)[p, j]) / op(A)[j, j]
+                for j in (0..n).rev() {
+                    for p in (j + 1)..n {
+                        let f = at(p, j);
+                        if f == T::ZERO {
+                            continue;
+                        }
+                        for i in 0..m {
+                            let v = b.at(i, j) - f * b.at(i, p);
+                            b.set(i, j, v);
+                        }
+                    }
+                    if diag == Diag::NonUnit {
+                        let d = at(j, j);
+                        for x in b.col_mut(j) {
+                            *x /= d;
+                        }
+                    }
+                }
+            } else {
+                // x_j = (b_j − Σ_{p<j} x_p · op(A)[p, j]) / op(A)[j, j]
+                for j in 0..n {
+                    for p in 0..j {
+                        let f = at(p, j);
+                        if f == T::ZERO {
+                            continue;
+                        }
+                        for i in 0..m {
+                            let v = b.at(i, j) - f * b.at(i, p);
+                            b.set(i, j, v);
+                        }
+                    }
+                    if diag == Diag::NonUnit {
+                        let d = at(j, j);
+                        for x in b.col_mut(j) {
+                            *x /= d;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::{norms, random, Matrix};
+
+    /// Build a well-conditioned triangular matrix in the given triangle.
+    fn triangular(n: usize, uplo: Uplo, diag: Diag, seed: u64) -> Matrix<f64> {
+        let r = random::uniform::<f64>(n, n, seed);
+        Matrix::from_fn(n, n, |i, j| {
+            let keep = match uplo {
+                Uplo::Lower => i >= j,
+                Uplo::Upper => i <= j,
+            };
+            if i == j {
+                match diag {
+                    Diag::Unit => 123.0, // stored garbage: must never be read
+                    Diag::NonUnit => 2.0 + r.at(i, j).abs(),
+                }
+            } else if keep {
+                r.at(i, j) * 0.3
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Dense op(A) with the unit diagonal made explicit.
+    fn explicit(a: &Matrix<f64>, trans: Op, diag: Diag) -> Matrix<f64> {
+        let n = a.nrows();
+        Matrix::from_fn(n, n, |i, j| {
+            let v = if trans == Op::NoTrans { a.at(i, j) } else { a.at(j, i) };
+            if i == j && diag == Diag::Unit {
+                1.0
+            } else {
+                v
+            }
+        })
+    }
+
+    fn mul(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
+        Matrix::from_fn(a.nrows(), b.ncols(), |i, j| {
+            (0..a.ncols()).map(|p| a.at(i, p) * b.at(p, j)).sum()
+        })
+    }
+
+    #[test]
+    fn all_sixteen_variants_round_trip() {
+        let (m, n) = (9, 6);
+        for side in [Side::Left, Side::Right] {
+            for uplo in [Uplo::Lower, Uplo::Upper] {
+                for trans in [Op::NoTrans, Op::Trans] {
+                    for diag in [Diag::NonUnit, Diag::Unit] {
+                        let dim = if side == Side::Left { m } else { n };
+                        let a = triangular(dim, uplo, diag, 5);
+                        let x = random::uniform::<f64>(m, n, 6);
+                        let opa = explicit(&a, trans, diag);
+                        // B = op(A)·X (left) or X·op(A) (right); then solve.
+                        let b0 = match side {
+                            Side::Left => mul(&opa, &x),
+                            Side::Right => mul(&x, &opa),
+                        };
+                        let mut b = b0.clone();
+                        trsm(side, uplo, trans, diag, 1.0, a.as_ref(), b.as_mut());
+                        norms::assert_allclose(
+                            b.as_ref(),
+                            x.as_ref(),
+                            1e-10,
+                            &format!("{side:?} {uplo:?} {trans:?} {diag:?}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_scales_rhs() {
+        let a = triangular(4, Uplo::Lower, Diag::NonUnit, 1);
+        let x = random::uniform::<f64>(4, 3, 2);
+        let b0 = mul(&explicit(&a, Op::NoTrans, Diag::NonUnit), &x);
+        let mut b = b0.clone();
+        trsm(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, 2.0, a.as_ref(), b.as_mut());
+        // Solves op(A) X = 2 B, so X doubles.
+        let doubled = Matrix::from_fn(4, 3, |i, j| 2.0 * x.at(i, j));
+        norms::assert_allclose(b.as_ref(), doubled.as_ref(), 1e-10, "alpha");
+    }
+
+    #[test]
+    fn unit_diagonal_never_reads_stored_diag() {
+        // The stored diagonal is 123.0 garbage; Unit must ignore it.
+        let a = triangular(5, Uplo::Upper, Diag::Unit, 3);
+        let x = random::uniform::<f64>(5, 2, 4);
+        let b0 = mul(&explicit(&a, Op::NoTrans, Diag::Unit), &x);
+        let mut b = b0.clone();
+        trsm(Side::Left, Uplo::Upper, Op::NoTrans, Diag::Unit, 1.0, a.as_ref(), b.as_mut());
+        norms::assert_allclose(b.as_ref(), x.as_ref(), 1e-11, "unit diag");
+    }
+
+    #[test]
+    fn empty_rhs_is_noop() {
+        let a = triangular(3, Uplo::Lower, Diag::NonUnit, 1);
+        let mut b = Matrix::<f64>::zeros(3, 0);
+        trsm(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, 1.0, a.as_ref(), b.as_mut());
+    }
+}

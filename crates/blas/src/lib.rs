@@ -1,0 +1,44 @@
+//! From-scratch BLAS subset: the conventional-multiplication substrate
+//! beneath the SC '96 Strassen reproduction.
+//!
+//! The paper's DGEFMM is written "in C utilizing the BLAS" — it calls
+//! `DGEMM` below the cutoff, `DGER`/`DGEMV` in the dynamic-peeling fixup,
+//! and elementwise add/subtract kernels for the Winograd stages. No
+//! vendor BLAS is available here, so this crate provides those routines:
+//!
+//! * [`level1`] — `axpy`, `scal`, `copy`, `dot`, `nrm2`, `asum`, `iamax`;
+//! * [`level2`] — `gemv`, `ger`, and the [`Op`](level2::Op) transpose selector;
+//! * [`level3`] — `gemm` with three kernels (naive, cache-blocked+packed,
+//!   rayon-parallel) selected via [`GemmConfig`](level3::GemmConfig);
+//! * [`add`] — the matrix add/subtract "G" kernels;
+//! * [`vector`] — strided vector views over rows/columns.
+//!
+//! # Example
+//!
+//! ```
+//! use blas::level3::{gemm, GemmConfig};
+//! use blas::level2::Op;
+//! use matrix::Matrix;
+//!
+//! let a = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+//! let b = Matrix::identity(2);
+//! let mut c = Matrix::zeros(2, 2);
+//! gemm(&GemmConfig::blocked(), 1.0, Op::NoTrans, a.as_ref(),
+//!      Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+//! assert_eq!(c, a);
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::too_many_arguments, clippy::manual_is_multiple_of, clippy::needless_range_loop)]
+
+pub mod add;
+pub mod level1;
+pub mod level2;
+pub mod level3;
+pub mod named;
+pub mod vector;
+
+pub use level2::Op;
+pub use level3::{gemm, GemmAlgo, GemmConfig};
+pub use named::{dgemm, dgemv, dger, sgemm};
+pub use vector::{VecMut, VecRef};

@@ -1,0 +1,97 @@
+//! BLAS-named concrete entry points (`dgemm`, `sgemm`, `dger`, `dgemv`).
+//!
+//! The generic routines are the real implementation; these aliases give
+//! callers porting FORTRAN-interface code the exact names the paper uses
+//! (`DGEMM`, `DGER`, `DGEMV`), fixed to `f64`/`f32`.
+
+use crate::level2::Op;
+use crate::level3::{gemm, GemmConfig};
+use crate::vector::{VecMut, VecRef};
+use matrix::{MatMut, MatRef};
+
+/// `DGEMM`: `C ← α op(A) op(B) + β C` in `f64` with the default blocked
+/// kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm(
+    alpha: f64,
+    op_a: Op,
+    a: MatRef<'_, f64>,
+    op_b: Op,
+    b: MatRef<'_, f64>,
+    beta: f64,
+    c: MatMut<'_, f64>,
+) {
+    gemm(&GemmConfig::blocked(), alpha, op_a, a, op_b, b, beta, c);
+}
+
+/// `SGEMM`: the `f32` counterpart of [`dgemm`].
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm(
+    alpha: f32,
+    op_a: Op,
+    a: MatRef<'_, f32>,
+    op_b: Op,
+    b: MatRef<'_, f32>,
+    beta: f32,
+    c: MatMut<'_, f32>,
+) {
+    gemm(&GemmConfig::blocked(), alpha, op_a, a, op_b, b, beta, c);
+}
+
+/// `DGEMV`: `y ← α op(A) x + β y` in `f64`.
+pub fn dgemv(
+    alpha: f64,
+    op: Op,
+    a: MatRef<'_, f64>,
+    x: VecRef<'_, f64>,
+    beta: f64,
+    y: VecMut<'_, f64>,
+) {
+    crate::level2::gemv(alpha, op, a, x, beta, y);
+}
+
+/// `DGER`: `A ← α x yᵀ + A` in `f64`.
+pub fn dger(alpha: f64, x: VecRef<'_, f64>, y: VecRef<'_, f64>, a: MatMut<'_, f64>) {
+    crate::level2::ger(alpha, x, y, a);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::{random, Matrix};
+
+    #[test]
+    fn dgemm_alias_works() {
+        let a = random::uniform::<f64>(6, 4, 1);
+        let b = random::uniform::<f64>(4, 5, 2);
+        let mut c1 = Matrix::<f64>::zeros(6, 5);
+        let mut c2 = Matrix::<f64>::zeros(6, 5);
+        dgemm(1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c1.as_mut());
+        gemm(&GemmConfig::blocked(), 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c2.as_mut());
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn sgemm_alias_works() {
+        let a = random::uniform::<f32>(3, 3, 1);
+        let mut c = Matrix::<f32>::zeros(3, 3);
+        sgemm(1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, Matrix::<f32>::identity(3).as_ref(), 0.0, c.as_mut());
+        matrix::norms::assert_allclose(c.as_ref(), a.as_ref(), 1e-6, "sgemm");
+    }
+
+    #[test]
+    fn level2_aliases_work() {
+        let a = random::uniform::<f64>(3, 3, 5);
+        let x = [1.0f64, 2.0, 3.0];
+        let mut y = [0.0f64; 3];
+        dgemv(1.0, Op::NoTrans, a.as_ref(), VecRef::from_slice(&x), 0.0, VecMut::from_slice(&mut y));
+        for i in 0..3 {
+            let expect: f64 = (0..3).map(|j| a.at(i, j) * x[j]).sum();
+            assert!((y[i] - expect).abs() < 1e-14);
+        }
+
+        let mut m = Matrix::<f64>::zeros(3, 3);
+        dger(2.0, VecRef::from_slice(&x), VecRef::from_slice(&x), m.as_mut());
+        assert_eq!(m.at(1, 2), 2.0 * 2.0 * 3.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Strided vector views over matrix rows, columns, and plain slices.
+//!
+//! BLAS Level-1/2 routines take vectors with an *increment* (`incx`); the
+//! dynamic-peeling fixup in the Strassen code needs exactly that, because
+//! the peeled row of `A` is a stride-`ld` walk through column-major
+//! storage while the peeled column of `B` is contiguous.
+
+use core::marker::PhantomData;
+use matrix::{MatMut, MatRef, Scalar};
+
+/// Immutable strided vector view.
+#[derive(Clone, Copy)]
+pub struct VecRef<'a, T> {
+    ptr: *const T,
+    len: usize,
+    stride: usize,
+    _marker: PhantomData<&'a T>,
+}
+
+/// Mutable strided vector view.
+pub struct VecMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    stride: usize,
+    _marker: PhantomData<&'a mut T>,
+}
+
+// SAFETY: same reasoning as MatRef/MatMut — these are borrows.
+unsafe impl<T: Sync> Send for VecRef<'_, T> {}
+unsafe impl<T: Sync> Sync for VecRef<'_, T> {}
+unsafe impl<T: Send> Send for VecMut<'_, T> {}
+
+impl<'a, T: Scalar> VecRef<'a, T> {
+    /// View an entire contiguous slice (stride 1).
+    #[inline]
+    pub fn from_slice(s: &'a [T]) -> Self {
+        Self { ptr: s.as_ptr(), len: s.len(), stride: 1, _marker: PhantomData }
+    }
+
+    /// Column `j` of `a` (contiguous).
+    #[inline]
+    pub fn from_col(a: MatRef<'a, T>, j: usize) -> Self {
+        Self::from_slice(a.col(j))
+    }
+
+    /// Row `i` of `a` (stride = leading dimension).
+    #[inline]
+    pub fn from_row(a: MatRef<'a, T>, i: usize) -> Self {
+        assert!(i < a.nrows(), "row {i} out of bounds ({})", a.nrows());
+        // SAFETY: elements i + j*ld for j < ncols are in bounds.
+        unsafe {
+            Self {
+                ptr: a.as_ptr().add(i),
+                len: a.ncols(),
+                stride: a.ld(),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector has no elements.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stride between consecutive elements.
+    #[inline(always)]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Element `i`.
+    #[inline(always)]
+    pub fn at(&self, i: usize) -> T {
+        assert!(i < self.len);
+        // SAFETY: just checked.
+        unsafe { *self.ptr.add(i * self.stride) }
+    }
+
+    /// Element `i` without bounds checking.
+    ///
+    /// # Safety
+    /// `i < len`.
+    #[inline(always)]
+    pub unsafe fn get_unchecked(&self, i: usize) -> T {
+        *self.ptr.add(i * self.stride)
+    }
+
+    /// Contiguous slice access when stride == 1.
+    #[inline]
+    pub fn as_slice(&self) -> Option<&'a [T]> {
+        if self.stride == 1 {
+            // SAFETY: contiguous region of len elements.
+            Some(unsafe { core::slice::from_raw_parts(self.ptr, self.len) })
+        } else {
+            None
+        }
+    }
+}
+
+impl<'a, T: Scalar> VecMut<'a, T> {
+    /// View an entire contiguous mutable slice (stride 1).
+    #[inline]
+    pub fn from_slice(s: &'a mut [T]) -> Self {
+        Self { ptr: s.as_mut_ptr(), len: s.len(), stride: 1, _marker: PhantomData }
+    }
+
+    /// Column `j` of `a` (contiguous).
+    #[inline]
+    pub fn from_col(mut a: MatMut<'a, T>, j: usize) -> Self {
+        assert!(j < a.ncols());
+        let nrows = a.nrows();
+        let ld = a.ld();
+        // SAFETY: column j occupies offsets j*ld .. j*ld+nrows.
+        unsafe {
+            Self { ptr: a.as_mut_ptr().add(j * ld), len: nrows, stride: 1, _marker: PhantomData }
+        }
+    }
+
+    /// Row `i` of `a` (stride = leading dimension).
+    #[inline]
+    pub fn from_row(mut a: MatMut<'a, T>, i: usize) -> Self {
+        assert!(i < a.nrows());
+        let ncols = a.ncols();
+        let ld = a.ld();
+        // SAFETY: elements i + j*ld for j < ncols are in bounds.
+        unsafe { Self { ptr: a.as_mut_ptr().add(i), len: ncols, stride: ld, _marker: PhantomData } }
+    }
+
+    /// Number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector has no elements.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stride between consecutive elements.
+    #[inline(always)]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Immutable view of the same elements.
+    #[inline]
+    pub fn as_ref(&self) -> VecRef<'_, T> {
+        VecRef { ptr: self.ptr, len: self.len, stride: self.stride, _marker: PhantomData }
+    }
+
+    /// Mutable reborrow with a shorter lifetime.
+    #[inline]
+    pub fn rb_mut(&mut self) -> VecMut<'_, T> {
+        VecMut { ptr: self.ptr, len: self.len, stride: self.stride, _marker: PhantomData }
+    }
+
+    /// Element `i`.
+    #[inline(always)]
+    pub fn at(&self, i: usize) -> T {
+        self.as_ref().at(i)
+    }
+
+    /// Write element `i`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, v: T) {
+        assert!(i < self.len);
+        // SAFETY: just checked.
+        unsafe { *self.ptr.add(i * self.stride) = v }
+    }
+
+    /// Mutable element reference without bounds checking.
+    ///
+    /// # Safety
+    /// `i < len`.
+    #[inline(always)]
+    pub unsafe fn get_unchecked_mut(&mut self, i: usize) -> &mut T {
+        &mut *self.ptr.add(i * self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::Matrix;
+
+    #[test]
+    fn slice_views() {
+        let s = [1.0f64, 2.0, 3.0];
+        let v = VecRef::from_slice(&s);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.stride(), 1);
+        assert_eq!(v.at(2), 3.0);
+        assert_eq!(v.as_slice(), Some(&s[..]));
+    }
+
+    #[test]
+    fn row_view_strides_through_columns() {
+        let m = Matrix::from_fn(3, 4, |i, j| (10 * i + j) as f64);
+        let r = VecRef::from_row(m.as_ref(), 1);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.stride(), 3);
+        for j in 0..4 {
+            assert_eq!(r.at(j), (10 + j) as f64);
+        }
+        assert!(r.as_slice().is_none());
+    }
+
+    #[test]
+    fn col_view_is_contiguous() {
+        let m = Matrix::from_fn(3, 4, |i, j| (10 * i + j) as f64);
+        let c = VecRef::from_col(m.as_ref(), 2);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.as_slice().unwrap(), &[2.0, 12.0, 22.0]);
+    }
+
+    #[test]
+    fn mutable_row_write() {
+        let mut m = Matrix::<f64>::zeros(3, 4);
+        {
+            let mut r = VecMut::from_row(m.as_mut(), 2);
+            for j in 0..4 {
+                r.set(j, j as f64);
+            }
+        }
+        for j in 0..4 {
+            assert_eq!(m.at(2, j), j as f64);
+        }
+    }
+
+    #[test]
+    fn mutable_col_write() {
+        let mut m = Matrix::<f64>::zeros(3, 4);
+        {
+            let mut c = VecMut::from_col(m.as_mut(), 1);
+            c.set(0, 5.0);
+            c.set(2, 7.0);
+        }
+        assert_eq!(m.at(0, 1), 5.0);
+        assert_eq!(m.at(2, 1), 7.0);
+    }
+}

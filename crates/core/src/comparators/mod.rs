@@ -1,0 +1,5 @@
+//! Re-implementations of the Strassen codes the paper compares against.
+
+pub mod dgemms;
+pub mod dgemmw;
+pub mod sgemms;

@@ -1,0 +1,212 @@
+//! Configuration of the DGEFMM routine: variant, schedule, odd-dimension
+//! handling, cutoff criterion, and base GEMM kernel.
+
+use crate::cutoff::CutoffCriterion;
+use blas::GemmConfig;
+
+/// Which 2×2 fast-multiplication construction to recurse with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Winograd's variant: 7 multiplies, 15 adds (the paper's default).
+    Winograd,
+    /// Strassen's original 1969 construction: 7 multiplies, 18 adds
+    /// (used by the CRAY SGEMMS comparator and the eq. (5) validations).
+    Original,
+}
+
+/// Which computation schedule carries out the recursion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// The paper's DGEFMM policy: STRASSEN1 when `β = 0`, else STRASSEN2.
+    Auto,
+    /// Force STRASSEN1 (low-memory when `β = 0`; for `β ≠ 0` it computes
+    /// into four extra `m/2 × n/2` temporaries — paper Section 3.2).
+    Strassen1,
+    /// Force STRASSEN2 (Figure 1): three temporaries, multiply-accumulate
+    /// recursion, minimum possible memory in the general case.
+    Strassen2,
+    /// Seven-temporary schedule whose products are independent, executed
+    /// with rayon (`parallel future work` of Section 5). Trades memory
+    /// for task parallelism.
+    SevenTemp,
+}
+
+/// How odd dimensions are made even at each recursion level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OddHandling {
+    /// The paper's method: strip the *last* odd row/column, recurse on
+    /// the even core, fix up with `GER`/`GEMV` (Section 3.3, eq. (9)).
+    DynamicPeeling,
+    /// Alternate peeling (the paper's "investigate alternate peeling
+    /// techniques" future-work item): strip the *first* row/column
+    /// instead. Same cost profile; different memory alignment of the
+    /// even core.
+    DynamicPeelingFirst,
+    /// Douglas et al.'s method: zero-pad odd dimensions at each level.
+    DynamicPadding,
+    /// Strassen's suggestion: pad once, up front, so every level is even.
+    StaticPadding,
+}
+
+/// Full configuration for [`crate::dgefmm`].
+#[derive(Clone, Copy, Debug)]
+pub struct StrassenConfig {
+    /// 2×2 construction.
+    pub variant: Variant,
+    /// Computation schedule.
+    pub scheme: Scheme,
+    /// Odd-dimension strategy.
+    pub odd: OddHandling,
+    /// When to stop recursing (used for `β = 0`, and for `β ≠ 0` unless
+    /// [`StrassenConfig::cutoff_general`] overrides it).
+    pub cutoff: CutoffCriterion,
+    /// Optional separate criterion for the `β ≠ 0` case. The paper's code
+    /// "allows user testing and specification of two sets of parameters to
+    /// handle both cases" (Section 4.2) because the measured crossover
+    /// differs between `β = 0` and the general update.
+    pub cutoff_general: Option<CutoffCriterion>,
+    /// Conventional kernel used below the cutoff and in fixups.
+    pub gemm: GemmConfig,
+    /// Recursion levels whose seven products may run as parallel tasks
+    /// (only effective with [`Scheme::SevenTemp`]); 0 disables.
+    pub parallel_depth: usize,
+    /// Hard limit on recursion depth, regardless of the cutoff criterion
+    /// (`usize::MAX` = unlimited). The empirical tuning procedure uses
+    /// `max_depth = 1` to time "exactly one level of recursion" against
+    /// plain GEMM, as in the paper's Section 3.4 crossover experiments.
+    pub max_depth: usize,
+}
+
+impl StrassenConfig {
+    /// The paper's tuned default shape: Winograd variant, Auto schedule,
+    /// dynamic peeling, hybrid cutoff with placeholder parameters
+    /// (retune per machine with [`crate::tuning`]).
+    pub fn dgefmm() -> Self {
+        Self {
+            variant: Variant::Winograd,
+            scheme: Scheme::Auto,
+            odd: OddHandling::DynamicPeeling,
+            cutoff: CutoffCriterion::Hybrid { tau: 64, tau_m: 32, tau_k: 32, tau_n: 32 },
+            cutoff_general: None,
+            gemm: GemmConfig::blocked(),
+            parallel_depth: 0,
+            max_depth: usize::MAX,
+        }
+    }
+
+    /// Same as [`StrassenConfig::dgefmm`] with an explicit square cutoff
+    /// and symmetric rectangular parameters `τ/2`.
+    pub fn with_square_cutoff(tau: usize) -> Self {
+        Self {
+            cutoff: CutoffCriterion::Hybrid {
+                tau,
+                tau_m: (tau / 2).max(CutoffCriterion::HARD_FLOOR),
+                tau_k: (tau / 2).max(CutoffCriterion::HARD_FLOOR),
+                tau_n: (tau / 2).max(CutoffCriterion::HARD_FLOOR),
+            },
+            ..Self::dgefmm()
+        }
+    }
+
+    /// Replace the cutoff criterion.
+    pub fn cutoff(mut self, cutoff: CutoffCriterion) -> Self {
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// Give the `β ≠ 0` case its own cutoff criterion (paper Section 4.2:
+    /// the tuned parameters "may change for the general case").
+    pub fn cutoff_general(mut self, cutoff: CutoffCriterion) -> Self {
+        self.cutoff_general = Some(cutoff);
+        self
+    }
+
+    /// The criterion in force for a call with the given `β` class.
+    pub fn criterion_for(&self, beta_zero: bool) -> &CutoffCriterion {
+        if beta_zero {
+            &self.cutoff
+        } else {
+            self.cutoff_general.as_ref().unwrap_or(&self.cutoff)
+        }
+    }
+
+    /// Replace the schedule.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Replace the odd-dimension strategy.
+    pub fn odd(mut self, odd: OddHandling) -> Self {
+        self.odd = odd;
+        self
+    }
+
+    /// Replace the variant.
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Replace the base GEMM kernel configuration.
+    pub fn gemm(mut self, gemm: GemmConfig) -> Self {
+        self.gemm = gemm;
+        self
+    }
+
+    /// Limit recursion depth (1 = a single level of Strassen, then GEMM).
+    pub fn max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+}
+
+impl Default for StrassenConfig {
+    fn default() -> Self {
+        Self::dgefmm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_configuration() {
+        let c = StrassenConfig::default();
+        assert_eq!(c.variant, Variant::Winograd);
+        assert_eq!(c.scheme, Scheme::Auto);
+        assert_eq!(c.odd, OddHandling::DynamicPeeling);
+    }
+
+    #[test]
+    fn builder_methods_override() {
+        let c = StrassenConfig::dgefmm()
+            .variant(Variant::Original)
+            .scheme(Scheme::Strassen2)
+            .odd(OddHandling::DynamicPadding)
+            .cutoff(CutoffCriterion::Simple { tau: 32 });
+        assert_eq!(c.variant, Variant::Original);
+        assert_eq!(c.scheme, Scheme::Strassen2);
+        assert_eq!(c.odd, OddHandling::DynamicPadding);
+        assert_eq!(c.cutoff, CutoffCriterion::Simple { tau: 32 });
+    }
+
+    #[test]
+    fn general_criterion_defaults_to_primary() {
+        let c = StrassenConfig::with_square_cutoff(100);
+        assert_eq!(c.criterion_for(true), c.criterion_for(false));
+        let c = c.cutoff_general(CutoffCriterion::Simple { tau: 200 });
+        assert!(c.criterion_for(true) != c.criterion_for(false));
+        assert!(!c.criterion_for(false).should_stop(201, 201, 201));
+        assert!(c.criterion_for(false).should_stop(150, 150, 150));
+        assert!(!c.criterion_for(true).should_stop(150, 150, 150));
+    }
+
+    #[test]
+    fn square_cutoff_constructor_stops_at_tau() {
+        let c = StrassenConfig::with_square_cutoff(100);
+        assert!(c.cutoff.should_stop(100, 100, 100));
+        assert!(!c.cutoff.should_stop(101, 101, 101));
+    }
+}

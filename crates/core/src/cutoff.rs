@@ -1,0 +1,183 @@
+//! Cutoff criteria: when to stop recursing and call plain GEMM.
+//!
+//! The paper studies four runtime criteria (its eqs. (10)–(15)):
+//!
+//! * eq. (10)/(11) — the *simple* criterion: stop when any dimension is at
+//!   or below the square cutoff `τ` (used by Douglas et al.'s DGEMMW);
+//! * eq. (12) — Higham's scaled criterion
+//!   `mkn ≤ τ (nk + mn + mk)/3`, which reduces to (10) when `m = k = n`;
+//! * eq. (7)  — the theoretical op-count criterion
+//!   `mkn ≤ 4(mk + kn + mn)` (square cutoff 12);
+//! * eq. (15) — the paper's new *hybrid* criterion with empirically
+//!   measured, machine- and shape-asymmetric parameters `τ, τm, τk, τn`.
+//!
+//! `Never`/`Threshold` variants exist for experiments (full recursion and
+//! depth studies).
+
+/// A cutoff criterion: decides, at each recursion level, whether the
+/// remaining `(m, k, n)` product should run as a conventional GEMM.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CutoffCriterion {
+    /// eq. (11): `m ≤ τ or k ≤ τ or n ≤ τ`.
+    Simple {
+        /// Empirical square cutoff `τ`.
+        tau: usize,
+    },
+    /// eq. (12): `mkn ≤ τ (nk + mn + mk)/3`.
+    HighamScaled {
+        /// Empirical square cutoff `τ`.
+        tau: usize,
+    },
+    /// eq. (7): the theoretical op-count condition `mkn ≤ 4(mk + kn + mn)`.
+    TheoreticalOpCount,
+    /// eq. (15): the paper's hybrid criterion. Recursion is allowed when
+    /// `(mkn > τm·nk + τk·mn + τn·mk and max-dim guard)` or all three
+    /// dimensions exceed `τ`; see [`CutoffCriterion::should_stop`].
+    Hybrid {
+        /// Empirical square cutoff `τ` (eq. 10).
+        tau: usize,
+        /// Row-dimension parameter `τm` from the `k, n`-large experiment.
+        tau_m: usize,
+        /// Inner-dimension parameter `τk` from the `m, n`-large experiment.
+        tau_k: usize,
+        /// Column-dimension parameter `τn` from the `m, k`-large experiment.
+        tau_n: usize,
+    },
+    /// Never stop for size reasons (full recursion to the hard floor);
+    /// used by the op-count validation experiments.
+    Never,
+}
+
+impl CutoffCriterion {
+    /// No recursion below this, whatever the criterion says: quadrants
+    /// must be non-empty and peeling must leave at least a 2×2 core.
+    pub const HARD_FLOOR: usize = 4;
+
+    /// `true` when the `(m, k, n)` product should be performed by the
+    /// conventional algorithm instead of another level of recursion.
+    pub fn should_stop(&self, m: usize, k: usize, n: usize) -> bool {
+        if m.min(k).min(n) < Self::HARD_FLOOR {
+            return true;
+        }
+        let (mf, kf, nf) = (m as f64, k as f64, n as f64);
+        match *self {
+            CutoffCriterion::Simple { tau } => m <= tau || k <= tau || n <= tau,
+            CutoffCriterion::HighamScaled { tau } => {
+                mf * kf * nf <= tau as f64 * (nf * kf + mf * nf + mf * kf) / 3.0
+            }
+            CutoffCriterion::TheoreticalOpCount => {
+                mf * kf * nf <= 4.0 * (mf * kf + kf * nf + mf * nf)
+            }
+            CutoffCriterion::Hybrid { tau, tau_m, tau_k, tau_n } => {
+                let t = tau as f64;
+                // eq. (13) with asymmetric parameters.
+                let rect_recurse =
+                    mf * kf * nf > tau_m as f64 * nf * kf + tau_k as f64 * mf * nf + tau_n as f64 * mf * kf;
+                // eq. (11) guard: at least one dimension above τ.
+                let any_large = mf > t || kf > t || nf > t;
+                let all_large = mf > t && kf > t && nf > t;
+                // eq. (15): recurse iff (rect condition AND a dimension is
+                // large) OR all dimensions are large.
+                let recurse = (rect_recurse && any_large) || all_large;
+                !recurse
+            }
+            CutoffCriterion::Never => false,
+        }
+    }
+
+    /// Recursion depth this criterion yields on a square order-`m`
+    /// product (halving, ignoring odd-size effects — matches the model
+    /// analysis, not necessarily the runtime peel path).
+    pub fn square_depth(&self, mut m: usize) -> u32 {
+        let mut d = 0;
+        while !self.should_stop(m, m, m) {
+            m /= 2;
+            d += 1;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_stops_on_any_small_dim() {
+        let c = CutoffCriterion::Simple { tau: 64 };
+        assert!(c.should_stop(64, 1000, 1000));
+        assert!(c.should_stop(1000, 64, 1000));
+        assert!(c.should_stop(1000, 1000, 64));
+        assert!(!c.should_stop(65, 65, 65));
+    }
+
+    #[test]
+    fn higham_reduces_to_square_condition() {
+        let c = CutoffCriterion::HighamScaled { tau: 64 };
+        // Square: mkn <= tau * 3m²/3 = tau·m² ⇔ m <= tau.
+        assert!(c.should_stop(64, 64, 64));
+        assert!(!c.should_stop(65, 65, 65));
+    }
+
+    #[test]
+    fn theoretical_matches_opcount_crate() {
+        let c = CutoffCriterion::TheoreticalOpCount;
+        for m in 4..40usize {
+            for k in (4..80usize).step_by(7) {
+                for n in (4..160usize).step_by(13) {
+                    assert_eq!(
+                        c.should_stop(m, k, n),
+                        opcount::cutoff::standard_preferred(m as u128, k as u128, n as u128),
+                        "({m},{k},{n})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theoretical_square_cutoff_is_12() {
+        let c = CutoffCriterion::TheoreticalOpCount;
+        assert!(c.should_stop(12, 12, 12));
+        assert!(!c.should_stop(13, 13, 13));
+    }
+
+    #[test]
+    fn hybrid_reduces_sensibly() {
+        // Parameters like the paper's RS/6000 row of Table 3.
+        let c = CutoffCriterion::Hybrid { tau: 199, tau_m: 75, tau_k: 125, tau_n: 95 };
+        // All dims > tau: recurse regardless of rect condition.
+        assert!(!c.should_stop(200, 200, 200));
+        // All dims <= tau: stop.
+        assert!(c.should_stop(199, 199, 199));
+        // Paper's motivating example: m=160 (< τ), n=957, k=1957 — the
+        // simple criterion refuses but the hybrid recurses.
+        let simple = CutoffCriterion::Simple { tau: 199 };
+        assert!(simple.should_stop(160, 1957, 957));
+        assert!(!c.should_stop(160, 1957, 957));
+    }
+
+    #[test]
+    fn hybrid_blocks_thin_matrices() {
+        let c = CutoffCriterion::Hybrid { tau: 199, tau_m: 75, tau_k: 125, tau_n: 95 };
+        // One tiny dimension: rect condition fails, not all large → stop.
+        assert!(c.should_stop(8, 2000, 2000));
+    }
+
+    #[test]
+    fn hard_floor_beats_never() {
+        let c = CutoffCriterion::Never;
+        assert!(c.should_stop(2, 1000, 1000));
+        assert!(c.should_stop(3, 3, 3));
+        assert!(!c.should_stop(4, 4, 4));
+    }
+
+    #[test]
+    fn square_depth_counts_levels() {
+        let c = CutoffCriterion::Simple { tau: 64 };
+        assert_eq!(c.square_depth(64), 0);
+        assert_eq!(c.square_depth(65), 1);
+        assert_eq!(c.square_depth(256), 2);
+        assert_eq!(c.square_depth(512), 3);
+    }
+}

@@ -1,0 +1,198 @@
+//! Recursion driver and the public DGEFMM entry points.
+
+use crate::config::{OddHandling, StrassenConfig};
+use crate::cutoff::CutoffCriterion;
+use crate::schedules::{original, seven_temp, winograd1, winograd2};
+use crate::workspace::{required_workspace, resolve_scheme, ResolvedScheme, Workspace};
+use crate::{pad, peel};
+use blas::add::axpby;
+use blas::level2::Op;
+use blas::level3::gemm;
+use matrix::{MatMut, MatRef, Matrix, Scalar};
+
+/// The internal fast-matrix-multiply recursion:
+/// `C ← α A B + β C` with `op = NoTrans` on both operands.
+///
+/// `ws` must provide at least
+/// [`required_workspace`]`(cfg, m, k, n, beta == 0)` elements.
+pub(crate) fn fmm<T: Scalar>(
+    cfg: &StrassenConfig,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+    ws: &mut [T],
+    depth: usize,
+) {
+    let (m, k) = (a.nrows(), a.ncols());
+    let n = b.ncols();
+    debug_assert_eq!(b.nrows(), k);
+    debug_assert_eq!(c.nrows(), m);
+    debug_assert_eq!(c.ncols(), n);
+
+    if depth >= cfg.max_depth || cfg.criterion_for(beta == T::ZERO).should_stop(m, k, n) {
+        gemm(&cfg.gemm, alpha, Op::NoTrans, a, Op::NoTrans, b, beta, c);
+        return;
+    }
+
+    let scheme = resolve_scheme(cfg, beta == T::ZERO);
+    if scheme == ResolvedScheme::OriginalGeneral {
+        // Stage D ← α A B with the β=0 original schedule, then fold.
+        let (d_buf, rest) = ws.split_at_mut(m * n);
+        let mut d = MatMut::from_slice(d_buf, m, n, m.max(1));
+        fmm(cfg, alpha, a, b, T::ZERO, d.rb_mut(), rest, depth);
+        axpby(T::ONE, d.as_ref(), beta, c);
+        return;
+    }
+
+    if cfg.odd == OddHandling::StaticPadding && depth == 0 {
+        pad::multiply_static_padded(cfg, alpha, a, b, beta, c, ws, depth);
+        return;
+    }
+
+    if m % 2 != 0 || k % 2 != 0 || n % 2 != 0 {
+        match cfg.odd {
+            OddHandling::DynamicPeeling => peel::multiply_peeled(cfg, alpha, a, b, beta, c, ws, depth),
+            OddHandling::DynamicPeelingFirst => {
+                peel::multiply_peeled_first(cfg, alpha, a, b, beta, c, ws, depth)
+            }
+            OddHandling::DynamicPadding | OddHandling::StaticPadding => {
+                pad::multiply_padded(cfg, alpha, a, b, beta, c, ws, depth)
+            }
+        }
+        return;
+    }
+
+    match scheme {
+        ResolvedScheme::Strassen1BetaZero => {
+            winograd1::strassen1_beta_zero(cfg, alpha, a, b, c, ws, depth)
+        }
+        ResolvedScheme::Strassen1General => {
+            winograd1::strassen1_general(cfg, alpha, a, b, beta, c, ws, depth)
+        }
+        ResolvedScheme::Strassen2 => winograd2::strassen2(cfg, alpha, a, b, beta, c, ws, depth),
+        ResolvedScheme::OriginalBetaZero => {
+            original::original_beta_zero(cfg, alpha, a, b, c, ws, depth)
+        }
+        ResolvedScheme::OriginalGeneral => unreachable!("staged above"),
+        ResolvedScheme::SevenTemp => seven_temp::seven_temp(cfg, alpha, a, b, beta, c, ws, depth),
+    }
+}
+
+/// Return `op(x)` as a plain view: the input itself for `NoTrans`, or a
+/// transposed copy written into `store` for `Trans`.
+fn materialize<'a: 't, 't, T: Scalar>(
+    op: Op,
+    x: MatRef<'a, T>,
+    store: &'t mut Option<Matrix<T>>,
+) -> MatRef<'t, T> {
+    match op {
+        Op::NoTrans => x,
+        Op::Trans => {
+            let mut t = Matrix::zeros(x.ncols(), x.nrows());
+            t.as_mut().copy_transposed_from(x);
+            store.insert(t).as_ref()
+        }
+    }
+}
+
+/// DGEFMM: `C ← α op(A) op(B) + β C` via Strassen's algorithm — the
+/// drop-in replacement for the Level 3 BLAS `GEMM` (paper Section 3.1).
+///
+/// Transposed operands are materialized once at entry (the recursion
+/// itself always runs on plain views); workspace is allocated internally.
+/// Use [`dgefmm_with_workspace`] to amortize the allocation across calls.
+///
+/// # Panics
+/// On dimension mismatches, like the BLAS `XERBLA` path.
+pub fn dgefmm<T: Scalar>(
+    cfg: &StrassenConfig,
+    alpha: T,
+    op_a: Op,
+    a: MatRef<'_, T>,
+    op_b: Op,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+) {
+    let (m, ka) = op_a.dims(&a);
+    let (kb, n) = op_b.dims(&b);
+    assert_eq!(ka, kb, "dgefmm: inner dimensions disagree ({ka} vs {kb})");
+    let mut ws = Workspace::for_problem(cfg, m, ka, n, beta == T::ZERO);
+    dgefmm_with_workspace(cfg, alpha, op_a, a, op_b, b, beta, c, &mut ws);
+}
+
+/// [`dgefmm`] with a caller-managed workspace (grown if too small).
+#[allow(clippy::too_many_arguments)]
+pub fn dgefmm_with_workspace<T: Scalar>(
+    cfg: &StrassenConfig,
+    alpha: T,
+    op_a: Op,
+    a: MatRef<'_, T>,
+    op_b: Op,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+    ws: &mut Workspace<T>,
+) {
+    let (m, ka) = op_a.dims(&a);
+    let (kb, n) = op_b.dims(&b);
+    assert_eq!(ka, kb, "dgefmm: inner dimensions disagree ({ka} vs {kb})");
+    assert_eq!(c.nrows(), m, "dgefmm: C has {} rows, expected {m}", c.nrows());
+    assert_eq!(c.ncols(), n, "dgefmm: C has {} cols, expected {n}", c.ncols());
+
+    let mut a_store = None;
+    let mut b_store = None;
+    let a_eff = materialize(op_a, a, &mut a_store);
+    let b_eff = materialize(op_b, b, &mut b_store);
+
+    ws.reserve_for(cfg, m, ka, n, beta == T::ZERO);
+    fmm(cfg, alpha, a_eff, b_eff, beta, c, ws.as_mut_slice(), 0);
+}
+
+/// Workspace elements [`dgefmm`] will draw for an `(m, k, n)` product —
+/// re-exported convenience over [`crate::workspace::required_workspace`].
+pub fn workspace_elements(cfg: &StrassenConfig, m: usize, k: usize, n: usize, beta_zero: bool) -> usize {
+    required_workspace(cfg, m, k, n, beta_zero)
+}
+
+/// Convenience wrapper computing `C = A · B` (α = 1, β = 0, no transposes)
+/// with the default DGEFMM configuration, allocating the result.
+pub fn multiply<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let cfg = StrassenConfig::dgefmm();
+    let mut c = Matrix::zeros(a.nrows(), b.ncols());
+    dgefmm(&cfg, T::ONE, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), T::ZERO, c.as_mut());
+    c
+}
+
+/// Number of recursion levels the dispatcher will take for an `(m, k, n)`
+/// problem (following the peel/pad evenization it would actually do).
+pub fn planned_depth(cfg: &StrassenConfig, m: usize, k: usize, n: usize) -> u32 {
+    // Uses the primary (β = 0) criterion; with a `cutoff_general` override
+    // the β ≠ 0 depth can differ.
+    fn go(cfg: &StrassenConfig, m: usize, k: usize, n: usize, depth: usize) -> u32 {
+        if depth >= cfg.max_depth || cfg.cutoff.should_stop(m, k, n) {
+            return 0;
+        }
+        let (me, ke, ne) = match cfg.odd {
+            OddHandling::DynamicPeeling | OddHandling::DynamicPeelingFirst => {
+                (m & !1, k & !1, n & !1)
+            }
+            _ => (m + (m & 1), k + (k & 1), n + (n & 1)),
+        };
+        1 + go(cfg, me / 2, ke / 2, ne / 2, depth + 1)
+    }
+    go(cfg, m, k, n, 0)
+}
+
+/// The square cutoff `τ` embedded in a criterion, when it has one.
+pub fn criterion_tau(c: &CutoffCriterion) -> Option<usize> {
+    match *c {
+        CutoffCriterion::Simple { tau }
+        | CutoffCriterion::HighamScaled { tau }
+        | CutoffCriterion::Hybrid { tau, .. } => Some(tau),
+        CutoffCriterion::TheoreticalOpCount => Some(12),
+        CutoffCriterion::Never => None,
+    }
+}

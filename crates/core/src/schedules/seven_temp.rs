@@ -1,0 +1,159 @@
+//! Seven-temporary Winograd schedule with independent products.
+//!
+//! The low-memory schedules (STRASSEN1/2) serialize the seven recursive
+//! products through shared temporaries; that is precisely what makes
+//! them small. This schedule materializes all operand sums (`S1..S4`,
+//! `T1..T4`) and all seven products up front — the "straightforward
+//! implementation" of Section 3.2, costing `mk + kn + (7/4)mn` per level
+//! — which makes the products *data-independent* and therefore runnable
+//! as parallel tasks. This is the "extend our implementation to use …
+//! parallelism" future-work item of Section 5, and the memory-versus-
+//! parallelism ablation in the benches.
+
+use crate::config::StrassenConfig;
+use crate::dispatch::fmm;
+use blas::add::{accum, accum_sub, add_into, sub_into};
+use blas::level3::scale_in_place;
+use matrix::{MatMut, MatRef, Scalar};
+
+/// `C ← α A B + β C` with per-product temporaries; the seven products run
+/// as parallel rayon tasks while `depth < cfg.parallel_depth`.
+pub(crate) fn seven_temp<T: Scalar>(
+    cfg: &StrassenConfig,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+    ws: &mut [T],
+    depth: usize,
+) {
+    let (m, n) = (a.nrows(), b.ncols());
+    let k = a.ncols();
+    debug_assert!(m % 2 == 0 && k % 2 == 0 && n % 2 == 0);
+    let (m2, k2, n2) = (m / 2, k / 2, n / 2);
+
+    scale_in_place(beta, c.rb_mut());
+
+    let (a11, a12, a21, a22) = a.quadrants(m2, k2);
+    let (b11, b12, b21, b22) = b.quadrants(k2, n2);
+
+    let (s_buf, rest) = ws.split_at_mut(4 * m2 * k2);
+    let (t_buf, rest) = rest.split_at_mut(4 * k2 * n2);
+    let (p_buf, rest) = rest.split_at_mut(7 * m2 * n2);
+
+    // Stages (1) and (2): operand sums into S1..S4 / T1..T4.
+    {
+        let mut s_iter = s_buf.chunks_exact_mut(m2 * k2);
+        let mut next_s = || MatMut::from_slice(s_iter.next().unwrap(), m2, k2, m2.max(1));
+        let (mut s1, mut s2, mut s3, mut s4) = (next_s(), next_s(), next_s(), next_s());
+        add_into(s1.rb_mut(), a21, a22); // S1 = A21+A22
+        sub_into(s2.rb_mut(), s1.as_ref(), a11); // S2 = S1−A11
+        sub_into(s3.rb_mut(), a11, a21); // S3 = A11−A21
+        sub_into(s4.rb_mut(), a12, s2.as_ref()); // S4 = A12−S2
+
+        let mut t_iter = t_buf.chunks_exact_mut(k2 * n2);
+        let mut next_t = || MatMut::from_slice(t_iter.next().unwrap(), k2, n2, k2.max(1));
+        let (mut t1, mut t2, mut t3, mut t4) = (next_t(), next_t(), next_t(), next_t());
+        sub_into(t1.rb_mut(), b12, b11); // T1 = B12−B11
+        sub_into(t2.rb_mut(), b22, t1.as_ref()); // T2 = B22−T1
+        sub_into(t3.rb_mut(), b22, b12); // T3 = B22−B12
+        sub_into(t4.rb_mut(), t2.as_ref(), b21); // T4 = T2−B21
+    }
+    let s = |i: usize| MatRef::from_slice(&s_buf[i * m2 * k2..(i + 1) * m2 * k2], m2, k2, m2.max(1));
+    let t = |i: usize| MatRef::from_slice(&t_buf[i * k2 * n2..(i + 1) * k2 * n2], k2, n2, k2.max(1));
+
+    // Stage (3): seven independent products (α folded in).
+    let jobs: [(MatRef<'_, T>, MatRef<'_, T>); 7] = [
+        (a11, b11),   // P1
+        (a12, b21),   // P2
+        (s(3), b22),  // P3 = S4·B22
+        (a22, t(3)),  // P4 = A22·T4
+        (s(0), t(0)), // P5 = S1·T1
+        (s(1), t(1)), // P6 = S2·T2
+        (s(2), t(2)), // P7 = S3·T3
+    ];
+
+    if depth < cfg.parallel_depth {
+        // Each product gets its own slice of the remaining arena.
+        let share = rest.len() / 7;
+        rayon::scope(|scope| {
+            let mut p_iter = p_buf.chunks_exact_mut(m2 * n2);
+            let mut ws_iter = rest.chunks_mut(share.max(1));
+            for (lhs, rhs) in jobs {
+                let mut p = MatMut::from_slice(p_iter.next().unwrap(), m2, n2, m2.max(1));
+                let sub_ws = ws_iter.next().unwrap_or(&mut []);
+                scope.spawn(move |_| {
+                    fmm(cfg, alpha, lhs, rhs, T::ZERO, p.rb_mut(), sub_ws, depth + 1);
+                });
+            }
+        });
+    } else {
+        let mut p_iter = p_buf.chunks_exact_mut(m2 * n2);
+        for (lhs, rhs) in jobs {
+            let mut p = MatMut::from_slice(p_iter.next().unwrap(), m2, n2, m2.max(1));
+            fmm(cfg, alpha, lhs, rhs, T::ZERO, p.rb_mut(), rest, depth + 1);
+        }
+    }
+
+    // Stage (4): combinations, accumulated into the pre-scaled C.
+    let (mut c11, mut c12, mut c21, mut c22) = c.split_quadrants(m2, n2);
+    let mut p_iter = p_buf.chunks_exact_mut(m2 * n2);
+    let mut next_p = || MatMut::from_slice(p_iter.next().unwrap(), m2, n2, m2.max(1));
+    let (p1, p2, p3, p4, p5, mut p6, mut p7) =
+        (next_p(), next_p(), next_p(), next_p(), next_p(), next_p(), next_p());
+
+    accum(c11.rb_mut(), p1.as_ref());
+    accum(c11.rb_mut(), p2.as_ref()); // C11 += P1+P2
+
+    accum(p6.rb_mut(), p1.as_ref()); // P6 := U2 = P1+P6
+    accum(p7.rb_mut(), p6.as_ref()); // P7 := U3 = U2+P7
+
+    accum(c12.rb_mut(), p6.as_ref());
+    accum(c12.rb_mut(), p5.as_ref());
+    accum(c12.rb_mut(), p3.as_ref()); // C12 += U2+P5+P3
+
+    accum(c21.rb_mut(), p7.as_ref());
+    accum_sub(c21.rb_mut(), p4.as_ref()); // C21 += U3−P4
+
+    accum(c22.rb_mut(), p7.as_ref());
+    accum(c22.rb_mut(), p5.as_ref()); // C22 += U3+P5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::CutoffCriterion;
+    use crate::{Scheme, StrassenConfig};
+    use blas::level3::{gemm, GemmConfig};
+    use blas::Op;
+    use matrix::random;
+
+    #[test]
+    fn seven_temp_one_level_serial_and_parallel() {
+        let base = StrassenConfig::dgefmm()
+            .scheme(Scheme::SevenTemp)
+            .cutoff(CutoffCriterion::Never)
+            .max_depth(1);
+        let (m, k, n) = (12, 8, 16);
+        let a = random::uniform::<f64>(m, k, 1);
+        let b = random::uniform::<f64>(k, n, 2);
+        let c0 = random::uniform::<f64>(m, n, 3);
+        let mut expect = c0.clone();
+        gemm(&GemmConfig::naive(), 0.7, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.3, expect.as_mut());
+
+        for parallel_depth in [0usize, 1] {
+            let mut cfg = base;
+            cfg.parallel_depth = parallel_depth;
+            let mut c = c0.clone();
+            let mut ws = vec![0.0; crate::required_workspace(&cfg, m, k, n, false)];
+            seven_temp(&cfg, 0.7, a.as_ref(), b.as_ref(), 0.3, c.as_mut(), &mut ws, 0);
+            matrix::norms::assert_allclose(
+                c.as_ref(),
+                expect.as_ref(),
+                1e-13,
+                &format!("seven_temp parallel_depth={parallel_depth}"),
+            );
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Crate-level correctness tests: every schedule × odd-handling × variant
+//! combination must agree with the conventional algorithm to rounding.
+
+use crate::config::{OddHandling, Scheme, StrassenConfig, Variant};
+use crate::cutoff::CutoffCriterion;
+use crate::dispatch::{dgefmm, multiply, planned_depth};
+use crate::workspace::required_workspace;
+use blas::level2::Op;
+use blas::level3::{gemm, GemmConfig};
+use matrix::{norms, random, Matrix};
+
+/// Oracle: plain blocked GEMM.
+fn reference(
+    alpha: f64,
+    op_a: Op,
+    a: &Matrix<f64>,
+    op_b: Op,
+    b: &Matrix<f64>,
+    beta: f64,
+    c0: &Matrix<f64>,
+) -> Matrix<f64> {
+    let mut c = c0.clone();
+    gemm(&GemmConfig::blocked(), alpha, op_a, a.as_ref(), op_b, b.as_ref(), beta, c.as_mut());
+    c
+}
+
+fn check(cfg: &StrassenConfig, alpha: f64, m: usize, k: usize, n: usize, beta: f64, ctx: &str) {
+    let a = random::uniform::<f64>(m, k, 11);
+    let b = random::uniform::<f64>(k, n, 22);
+    let c0 = random::uniform::<f64>(m, n, 33);
+    let expect = reference(alpha, Op::NoTrans, &a, Op::NoTrans, &b, beta, &c0);
+    let mut c = c0.clone();
+    dgefmm(cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+    // Strassen loses a few digits per level; 1e-10 is ~5 orders looser
+    // than f64 rounding at these sizes and still catches any sign error.
+    norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-10, ctx);
+}
+
+fn small_cutoff() -> CutoffCriterion {
+    CutoffCriterion::Simple { tau: 8 }
+}
+
+#[test]
+fn all_schemes_even_square_beta_zero_and_general() {
+    for scheme in [Scheme::Auto, Scheme::Strassen1, Scheme::Strassen2, Scheme::SevenTemp] {
+        let cfg = StrassenConfig::dgefmm().scheme(scheme).cutoff(small_cutoff());
+        for beta in [0.0, 1.0, -0.5] {
+            check(&cfg, 1.0, 64, 64, 64, beta, &format!("{scheme:?} β={beta}"));
+        }
+    }
+}
+
+#[test]
+fn original_variant_matches() {
+    let cfg = StrassenConfig::dgefmm().variant(Variant::Original).cutoff(small_cutoff());
+    for beta in [0.0, 2.0] {
+        check(&cfg, 1.0, 64, 64, 64, beta, &format!("original β={beta}"));
+        check(&cfg, -0.75, 48, 80, 32, beta, &format!("original rect β={beta}"));
+    }
+}
+
+#[test]
+fn alpha_beta_combinations() {
+    let cfg = StrassenConfig::dgefmm().cutoff(small_cutoff());
+    for &alpha in &[0.0, 1.0, -1.0, 1.0 / 3.0] {
+        for &beta in &[0.0, 1.0, -1.0, 0.25] {
+            check(&cfg, alpha, 40, 40, 40, beta, &format!("α={alpha} β={beta}"));
+        }
+    }
+}
+
+#[test]
+fn odd_dimensions_dynamic_peeling() {
+    let cfg = StrassenConfig::dgefmm().cutoff(small_cutoff());
+    for &(m, k, n) in &[
+        (65usize, 64usize, 64usize), // m odd
+        (64, 65, 64),                // k odd
+        (64, 64, 65),                // n odd
+        (65, 65, 64),
+        (65, 64, 65),
+        (64, 65, 65),
+        (65, 65, 65), // all odd
+        (63, 31, 47), // odd at every level
+        (33, 65, 129),
+    ] {
+        for beta in [0.0, 1.5] {
+            check(&cfg, 1.0, m, k, n, beta, &format!("peel {m}x{k}x{n} β={beta}"));
+        }
+    }
+}
+
+#[test]
+fn odd_dimensions_peel_first() {
+    let cfg = StrassenConfig::dgefmm().odd(OddHandling::DynamicPeelingFirst).cutoff(small_cutoff());
+    for &(m, k, n) in &[
+        (65usize, 64usize, 64usize),
+        (64, 65, 64),
+        (64, 64, 65),
+        (65, 65, 65),
+        (63, 31, 47),
+        (33, 65, 129),
+    ] {
+        for beta in [0.0, 1.5] {
+            check(&cfg, 1.0, m, k, n, beta, &format!("peel-first {m}x{k}x{n} β={beta}"));
+        }
+    }
+}
+
+#[test]
+fn peel_first_and_last_agree() {
+    // Same mathematics in different order: results match to rounding.
+    let last = StrassenConfig::dgefmm().cutoff(small_cutoff());
+    let first = last.odd(OddHandling::DynamicPeelingFirst);
+    let (m, k, n) = (77, 53, 91);
+    let a = random::uniform::<f64>(m, k, 1);
+    let b = random::uniform::<f64>(k, n, 2);
+    let mut c1 = Matrix::zeros(m, n);
+    let mut c2 = Matrix::zeros(m, n);
+    dgefmm(&last, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c1.as_mut());
+    dgefmm(&first, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c2.as_mut());
+    norms::assert_allclose(c1.as_ref(), c2.as_ref(), 1e-11, "peel first vs last");
+}
+
+#[test]
+fn odd_dimensions_dynamic_padding() {
+    let cfg = StrassenConfig::dgefmm().odd(OddHandling::DynamicPadding).cutoff(small_cutoff());
+    for &(m, k, n) in &[(65usize, 65usize, 65usize), (63, 31, 47), (33, 64, 129)] {
+        for beta in [0.0, -2.0] {
+            check(&cfg, 0.5, m, k, n, beta, &format!("dyn-pad {m}x{k}x{n} β={beta}"));
+        }
+    }
+}
+
+#[test]
+fn odd_dimensions_static_padding() {
+    let cfg = StrassenConfig::dgefmm().odd(OddHandling::StaticPadding).cutoff(small_cutoff());
+    for &(m, k, n) in &[(65usize, 65usize, 65usize), (63, 31, 47), (100, 100, 100)] {
+        for beta in [0.0, 1.0] {
+            check(&cfg, 1.0, m, k, n, beta, &format!("static-pad {m}x{k}x{n} β={beta}"));
+        }
+    }
+}
+
+#[test]
+fn rectangular_shapes_all_schemes() {
+    for scheme in [Scheme::Auto, Scheme::Strassen1, Scheme::Strassen2, Scheme::SevenTemp] {
+        let cfg = StrassenConfig::dgefmm().scheme(scheme).cutoff(small_cutoff());
+        for &(m, k, n) in &[(32usize, 64usize, 16usize), (96, 24, 48), (16, 128, 64)] {
+            check(&cfg, 1.0, m, k, n, 0.7, &format!("{scheme:?} {m}x{k}x{n}"));
+        }
+    }
+}
+
+#[test]
+fn transposed_operands() {
+    let cfg = StrassenConfig::dgefmm().cutoff(small_cutoff());
+    let (m, k, n) = (40, 56, 48);
+    for (op_a, op_b) in
+        [(Op::Trans, Op::NoTrans), (Op::NoTrans, Op::Trans), (Op::Trans, Op::Trans)]
+    {
+        let (ar, ac) = if op_a == Op::NoTrans { (m, k) } else { (k, m) };
+        let (br, bc) = if op_b == Op::NoTrans { (k, n) } else { (n, k) };
+        let a = random::uniform::<f64>(ar, ac, 1);
+        let b = random::uniform::<f64>(br, bc, 2);
+        let c0 = random::uniform::<f64>(m, n, 3);
+        let expect = reference(1.25, op_a, &a, op_b, &b, 0.5, &c0);
+        let mut c = c0.clone();
+        dgefmm(&cfg, 1.25, op_a, a.as_ref(), op_b, b.as_ref(), 0.5, c.as_mut());
+        norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-11, &format!("{op_a:?}/{op_b:?}"));
+    }
+}
+
+#[test]
+fn parallel_seven_temp_matches_serial() {
+    let serial = StrassenConfig::dgefmm().scheme(Scheme::SevenTemp).cutoff(small_cutoff());
+    let mut par = serial;
+    par.parallel_depth = 2;
+    let a = random::uniform::<f64>(96, 96, 5);
+    let b = random::uniform::<f64>(96, 96, 6);
+    let mut c1 = Matrix::zeros(96, 96);
+    let mut c2 = Matrix::zeros(96, 96);
+    dgefmm(&serial, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c1.as_mut());
+    dgefmm(&par, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c2.as_mut());
+    // Identical schedule, identical arithmetic order per element:
+    // bitwise equality is expected, not just closeness.
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn below_cutoff_is_plain_gemm() {
+    let cfg = StrassenConfig::with_square_cutoff(100);
+    assert_eq!(planned_depth(&cfg, 100, 100, 100), 0);
+    assert_eq!(required_workspace(&cfg, 100, 100, 100, true), 0);
+    check(&cfg, 1.0, 100, 100, 100, 0.0, "below cutoff");
+}
+
+#[test]
+fn deep_recursion_full_depth() {
+    // Never-stop criterion recurses to the hard floor; correctness holds.
+    let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Never);
+    check(&cfg, 1.0, 64, 64, 64, 0.0, "full recursion 64");
+    check(&cfg, 1.0, 50, 50, 50, 1.0, "full recursion 50 (odd levels)");
+}
+
+#[test]
+fn max_depth_limits_recursion() {
+    for d in 0..4usize {
+        let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Never).max_depth(d);
+        assert_eq!(planned_depth(&cfg, 128, 128, 128) as usize, d);
+        check(&cfg, 1.0, 128, 128, 128, 0.5, &format!("depth {d}"));
+    }
+}
+
+#[test]
+fn separate_general_case_criterion() {
+    // Paper §4.2: "Our code allows user testing and specification of two
+    // sets of parameters to handle both cases."
+    let cfg = StrassenConfig::with_square_cutoff(16)
+        .cutoff_general(CutoffCriterion::Simple { tau: 64 });
+    // β = 0 recurses at order 64, β ≠ 0 does not (its τ is 64).
+    assert!(required_workspace(&cfg, 64, 64, 64, true) > 0);
+    assert_eq!(required_workspace(&cfg, 64, 64, 64, false), 0);
+    // Both β classes stay correct under the split criteria.
+    check(&cfg, 1.0, 100, 100, 100, 0.0, "two-criteria β=0");
+    check(&cfg, 1.0, 100, 100, 100, 2.0, "two-criteria β≠0");
+    check(&cfg, -0.5, 97, 55, 131, 1.0, "two-criteria odd rect");
+    // Call-count prediction respects the split too.
+    let c0 = crate::counts::predict(&cfg, 64, 64, 64, true);
+    let c1 = crate::counts::predict(&cfg, 64, 64, 64, false);
+    assert!(c0.gemm_calls > 1);
+    assert_eq!(c1.gemm_calls, 1);
+}
+
+#[test]
+fn multiply_convenience_wrapper() {
+    let a = random::uniform::<f64>(30, 20, 1);
+    let b = random::uniform::<f64>(20, 25, 2);
+    let c = multiply(&a, &b);
+    let expect = reference(1.0, Op::NoTrans, &a, Op::NoTrans, &b, 0.0, &Matrix::zeros(30, 25));
+    norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-12, "multiply");
+}
+
+#[test]
+fn comparators_compute_correct_products() {
+    use crate::comparators::{dgemms, dgemmw, sgemms};
+    let (m, k, n) = (70, 66, 74);
+    let a = random::uniform::<f64>(m, k, 7);
+    let b = random::uniform::<f64>(k, n, 8);
+    let c0 = random::uniform::<f64>(m, n, 9);
+    let g = GemmConfig::blocked();
+
+    let expect = reference(1.5, Op::NoTrans, &a, Op::NoTrans, &b, 0.5, &c0);
+    let mut c = c0.clone();
+    dgemmw::dgemmw(16, g, 1.5, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.5, c.as_mut());
+    norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-11, "dgemmw");
+
+    let mut c = c0.clone();
+    sgemms::sgemms(16, g, 1.5, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.5, c.as_mut());
+    norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-11, "sgemms");
+
+    // Multiply-only interface + caller-side update.
+    let mut c = Matrix::zeros(m, n);
+    dgemms::dgemms(16, g, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), c.as_mut());
+    let pure = reference(1.0, Op::NoTrans, &a, Op::NoTrans, &b, 0.0, &Matrix::zeros(m, n));
+    norms::assert_allclose(c.as_ref(), pure.as_ref(), 1e-11, "dgemms pure");
+    let mut c = c0.clone();
+    dgemms::dgemms_with_update(16, g, 1.5, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.5, c.as_mut());
+    norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-11, "dgemms update");
+}
+
+#[test]
+fn f32_path_works() {
+    let cfg = StrassenConfig::dgefmm().cutoff(small_cutoff());
+    let a = random::uniform::<f32>(48, 48, 1);
+    let b = random::uniform::<f32>(48, 48, 2);
+    let mut c = Matrix::<f32>::zeros(48, 48);
+    dgefmm(&cfg, 1.0f32, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+    let mut expect = Matrix::<f32>::zeros(48, 48);
+    gemm(&GemmConfig::blocked(), 1.0f32, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, expect.as_mut());
+    norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-4, "f32");
+}
+
+#[test]
+fn tiny_dimensions_degenerate_gracefully() {
+    let cfg = StrassenConfig::dgefmm().cutoff(small_cutoff());
+    for &(m, k, n) in &[(1usize, 1usize, 1usize), (1, 64, 64), (64, 1, 64), (64, 64, 1), (2, 3, 2)] {
+        check(&cfg, 1.0, m, k, n, 0.5, &format!("tiny {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn strassen1_general_forced_beta_nonzero() {
+    let cfg = StrassenConfig::dgefmm().scheme(Scheme::Strassen1).cutoff(small_cutoff());
+    check(&cfg, 2.0, 64, 64, 64, 3.0, "strassen1 general square");
+    check(&cfg, -1.0, 48, 96, 32, 1.0, "strassen1 general rect");
+    check(&cfg, 1.0, 65, 63, 67, 0.5, "strassen1 general odd");
+}

@@ -1,0 +1,243 @@
+//! Empirical cutoff tuning — the Section 3.4 measurement procedure.
+//!
+//! The theoretical cutoff of 12 is useless in practice because the
+//! O(n²) add passes are bandwidth-bound while good GEMMs are not; the
+//! real crossover must be *measured*. This module implements the paper's
+//! procedure:
+//!
+//! * **square cutoff `τ`** — time plain GEMM against one level of
+//!   Strassen recursion (`max_depth = 1`) over a sweep of square orders;
+//!   `τ` is the largest order where GEMM still wins (Figure 2 / Table 2);
+//! * **rectangular parameters `τm, τk, τn`** — three sweeps, each fixing
+//!   two dimensions at a large value and varying the third; each
+//!   parameter is that sweep's crossover (Table 3). The fixed dimensions'
+//!   contribution to eq. (14) is negligible, which is what lets one
+//!   sweep isolate one parameter.
+
+use crate::config::StrassenConfig;
+use crate::cutoff::CutoffCriterion;
+use crate::dispatch::dgefmm_with_workspace;
+use crate::workspace::Workspace;
+use blas::level2::Op;
+use blas::level3::{gemm, GemmConfig};
+use matrix::{random, Matrix};
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+pub fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    assert!(reps > 0);
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[reps / 2]
+}
+
+/// One sweep point: problem size and the ratio
+/// `time(GEMM) / time(one-level Strassen)` — above 1 means recursion wins.
+#[derive(Clone, Copy, Debug)]
+pub struct CrossoverSample {
+    /// The swept dimension's value.
+    pub size: usize,
+    /// `t_gemm / t_strassen` at this size.
+    pub ratio: f64,
+}
+
+/// Result of a crossover sweep.
+#[derive(Clone, Debug)]
+pub struct CrossoverResult {
+    /// Per-size measurements, in sweep order.
+    pub samples: Vec<CrossoverSample>,
+    /// First size at which recursion won (`ratio > 1`), if any.
+    pub first_win: Option<usize>,
+    /// Chosen cutoff: the largest size at which plain GEMM still won
+    /// (falling back to the sweep's first size if recursion always won).
+    pub tau: usize,
+}
+
+fn pick_tau(samples: &[CrossoverSample]) -> (Option<usize>, usize) {
+    let first_win = samples.iter().find(|s| s.ratio > 1.0).map(|s| s.size);
+    let tau = samples
+        .iter()
+        .filter(|s| s.ratio <= 1.0)
+        .map(|s| s.size)
+        .max()
+        .unwrap_or_else(|| samples.first().map(|s| s.size).unwrap_or(CutoffCriterion::HARD_FLOOR));
+    (first_win, tau)
+}
+
+/// Configuration that performs exactly one level of recursion and then
+/// calls GEMM — the measurement arm of every crossover experiment.
+pub fn one_level_config(gemm: GemmConfig) -> StrassenConfig {
+    StrassenConfig::dgefmm().gemm(gemm).cutoff(CutoffCriterion::Never).max_depth(1)
+}
+
+/// Time `t_gemm / t_one-level-strassen` for a single `(m, k, n)` shape
+/// with `α = 1, β = 0` (the paper's tuning setting).
+pub fn crossover_ratio(gemm_cfg: &GemmConfig, m: usize, k: usize, n: usize, reps: usize) -> f64 {
+    let a = random::uniform::<f64>(m, k, 0x5eed_0001);
+    let b = random::uniform::<f64>(k, n, 0x5eed_0002);
+    let mut c = Matrix::<f64>::zeros(m, n);
+
+    let t_gemm = time_median(reps, || {
+        gemm(gemm_cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+    });
+
+    let one = one_level_config(*gemm_cfg);
+    let mut ws = Workspace::<f64>::for_problem(&one, m, k, n, true);
+    let t_str = time_median(reps, || {
+        dgefmm_with_workspace(
+            &one,
+            1.0,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+            &mut ws,
+        );
+    });
+    t_gemm / t_str
+}
+
+/// Figure 2 / Table 2: sweep square orders and find the crossover `τ`.
+pub fn measure_square_cutoff(gemm_cfg: &GemmConfig, sizes: &[usize], reps: usize) -> CrossoverResult {
+    let samples: Vec<CrossoverSample> = sizes
+        .iter()
+        .map(|&m| CrossoverSample { size: m, ratio: crossover_ratio(gemm_cfg, m, m, m, reps) })
+        .collect();
+    let (first_win, tau) = pick_tau(&samples);
+    CrossoverResult { samples, first_win, tau }
+}
+
+/// Which dimension a rectangular sweep varies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepDim {
+    /// Vary `m`, fix `k = n = large` → measures `τm`.
+    M,
+    /// Vary `k`, fix `m = n = large` → measures `τk`.
+    K,
+    /// Vary `n`, fix `m = k = large` → measures `τn`.
+    N,
+}
+
+/// One of the three Table-3 experiments: sweep a single dimension with
+/// the other two fixed at `fixed`.
+pub fn measure_rect_param(
+    gemm_cfg: &GemmConfig,
+    dim: SweepDim,
+    fixed: usize,
+    sizes: &[usize],
+    reps: usize,
+) -> CrossoverResult {
+    let samples: Vec<CrossoverSample> = sizes
+        .iter()
+        .map(|&s| {
+            let (m, k, n) = match dim {
+                SweepDim::M => (s, fixed, fixed),
+                SweepDim::K => (fixed, s, fixed),
+                SweepDim::N => (fixed, fixed, s),
+            };
+            CrossoverSample { size: s, ratio: crossover_ratio(gemm_cfg, m, k, n, reps) }
+        })
+        .collect();
+    let (first_win, tau) = pick_tau(&samples);
+    CrossoverResult { samples, first_win, tau }
+}
+
+/// The full set of empirically tuned cutoff parameters for one machine
+/// profile (paper Tables 2 and 3).
+#[derive(Clone, Copy, Debug)]
+pub struct TunedParameters {
+    /// Square cutoff `τ`.
+    pub tau: usize,
+    /// Rectangular parameter `τm`.
+    pub tau_m: usize,
+    /// Rectangular parameter `τk`.
+    pub tau_k: usize,
+    /// Rectangular parameter `τn`.
+    pub tau_n: usize,
+}
+
+impl TunedParameters {
+    /// The hybrid criterion (eq. 15) these parameters define.
+    pub fn criterion(&self) -> CutoffCriterion {
+        CutoffCriterion::Hybrid {
+            tau: self.tau,
+            tau_m: self.tau_m,
+            tau_k: self.tau_k,
+            tau_n: self.tau_n,
+        }
+    }
+
+    /// A full DGEFMM configuration using these parameters and `gemm`.
+    pub fn config(&self, gemm: GemmConfig) -> StrassenConfig {
+        StrassenConfig::dgefmm().gemm(gemm).cutoff(self.criterion())
+    }
+}
+
+/// Run all four tuning experiments for one base-GEMM configuration.
+///
+/// `square_sizes` sweeps the square cutoff; `rect_sizes` sweeps each
+/// rectangular parameter with the other two dimensions at `rect_fixed`.
+pub fn tune(
+    gemm_cfg: &GemmConfig,
+    square_sizes: &[usize],
+    rect_sizes: &[usize],
+    rect_fixed: usize,
+    reps: usize,
+) -> TunedParameters {
+    let tau = measure_square_cutoff(gemm_cfg, square_sizes, reps).tau;
+    let tau_m = measure_rect_param(gemm_cfg, SweepDim::M, rect_fixed, rect_sizes, reps).tau;
+    let tau_k = measure_rect_param(gemm_cfg, SweepDim::K, rect_fixed, rect_sizes, reps).tau;
+    let tau_n = measure_rect_param(gemm_cfg, SweepDim::N, rect_fixed, rect_sizes, reps).tau;
+    TunedParameters { tau, tau_m, tau_k, tau_n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_median_is_positive_and_ordered() {
+        let t = time_median(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn pick_tau_basic_shapes() {
+        let s = |size, ratio| CrossoverSample { size, ratio };
+        // Clean crossover at 64.
+        let (fw, tau) = pick_tau(&[s(32, 0.8), s(64, 0.95), s(96, 1.1), s(128, 1.2)]);
+        assert_eq!(fw, Some(96));
+        assert_eq!(tau, 64);
+        // Saw-toothed region: τ is the *last* size GEMM won.
+        let (fw, tau) = pick_tau(&[s(32, 0.9), s(64, 1.05), s(96, 0.98), s(128, 1.2)]);
+        assert_eq!(fw, Some(64));
+        assert_eq!(tau, 96);
+        // Recursion always wins: fall back to the smallest size.
+        let (fw, tau) = pick_tau(&[s(32, 1.1), s(64, 1.2)]);
+        assert_eq!(fw, Some(32));
+        assert_eq!(tau, 32);
+    }
+
+    #[test]
+    fn one_level_config_recurses_exactly_once() {
+        let cfg = one_level_config(GemmConfig::blocked());
+        assert_eq!(crate::dispatch::planned_depth(&cfg, 128, 128, 128), 1);
+        assert_eq!(crate::dispatch::planned_depth(&cfg, 1024, 64, 4096), 1);
+    }
+
+    #[test]
+    fn crossover_ratio_runs_on_small_problem() {
+        // Smoke test only — no assertion on which side wins at this size.
+        let r = crossover_ratio(&GemmConfig::blocked(), 24, 24, 24, 1);
+        assert!(r.is_finite() && r > 0.0);
+    }
+}

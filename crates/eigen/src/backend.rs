@@ -1,0 +1,5 @@
+//! Pluggable matrix-multiplication backends — re-exported from the
+//! `strassen` crate, where the [`MatMul`] seam lives so that every
+//! application substrate (this eigensolver, the LU solver) shares it.
+
+pub use strassen::backend::{GemmBackend, MatMul, StrassenBackend, TimingBackend};

@@ -1,0 +1,361 @@
+//! Invariant Subspace Decomposition Algorithm (ISDA) eigensolver.
+//!
+//! The application of the paper's Section 4.4: a divide-and-conquer
+//! symmetric eigensolver (after Huss-Lederman, Tsao & Turnbull's PRISM
+//! work) whose kernel operation is matrix multiplication:
+//!
+//! 1. map the spectrum into `[0, 1]` with the split point at `1/2`
+//!    (Gershgorin bounds give the spectrum interval);
+//! 2. iterate the incomplete-beta polynomial `B ← B²(3I − 2B)`, driving
+//!    eigenvalues to `{0, 1}` — **two matrix multiplications per
+//!    iteration**, all through the pluggable [`MatMul`] backend;
+//! 3. the converged `B` is an orthogonal projector; a column-pivoted QR
+//!    splits the space into its range and null space;
+//! 4. conjugate `A` into that basis (two more multiplications) and
+//!    recurse on the two diagonal blocks; Jacobi handles small blocks.
+//!
+//! Swapping `DGEMM` for `DGEFMM` in step 2/4 is the Table 6 experiment.
+
+use crate::backend::MatMul;
+use crate::jacobi::{jacobi_eigen, EigenDecomposition};
+use crate::qr::qr_column_pivot;
+use blas::level2::Op;
+use matrix::{norms, Matrix};
+
+/// Tuning knobs for the ISDA solver.
+#[derive(Clone, Copy, Debug)]
+pub struct IsdaOptions {
+    /// Blocks at or below this order are handled by Jacobi directly.
+    pub base_size: usize,
+    /// Convergence threshold on `‖B² − B‖_F / n` for the projector
+    /// iteration.
+    pub poly_tol: f64,
+    /// Iteration cap for one polynomial run (quadratic convergence makes
+    /// ~40 generous unless an eigenvalue sits at the split).
+    pub max_poly_iters: usize,
+    /// Relative off-diagonal coupling tolerated after conjugation.
+    pub coupling_tol: f64,
+    /// Jacobi convergence threshold (base case).
+    pub jacobi_tol: f64,
+    /// Jacobi sweep cap (base case).
+    pub jacobi_sweeps: usize,
+}
+
+impl Default for IsdaOptions {
+    fn default() -> Self {
+        Self {
+            base_size: 32,
+            poly_tol: 1e-14,
+            max_poly_iters: 60,
+            coupling_tol: 1e-7,
+            jacobi_tol: 1e-13,
+            jacobi_sweeps: 40,
+        }
+    }
+}
+
+/// Counters describing one ISDA run (useful when reporting Table 6).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IsdaStats {
+    /// Spectral divide steps performed.
+    pub splits: usize,
+    /// Total polynomial iterations across all splits.
+    pub poly_iterations: usize,
+    /// Subproblems that fell back to Jacobi because no split separated.
+    pub jacobi_fallbacks: usize,
+    /// Base-case Jacobi solves.
+    pub base_cases: usize,
+}
+
+/// Gershgorin bounds `[lo, hi]` containing the spectrum of symmetric `a`.
+pub fn gershgorin_bounds(a: &Matrix<f64>) -> (f64, f64) {
+    let n = a.nrows();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..n {
+        let radius: f64 = (0..n).filter(|&j| j != i).map(|j| a.at(i, j).abs()).sum();
+        lo = lo.min(a.at(i, i) - radius);
+        hi = hi.max(a.at(i, i) + radius);
+    }
+    (lo, hi)
+}
+
+/// One polynomial run: map the spectrum so `mu → 1/2` and iterate
+/// `B ← B²(3I − 2B)`. Returns `(projector, iterations)` on convergence.
+fn projector_for_split(
+    a: &Matrix<f64>,
+    lo: f64,
+    hi: f64,
+    mu: f64,
+    backend: &dyn MatMul,
+    opts: &IsdaOptions,
+) -> Option<(Matrix<f64>, usize)> {
+    let n = a.nrows();
+    let span = (mu - lo).max(hi - mu).max(f64::MIN_POSITIVE);
+    let scale = 0.5 / span;
+    // B0 = 1/2 I + scale (A − μI): spectrum in [0,1], split at 1/2.
+    let mut b = Matrix::from_fn(n, n, |i, j| {
+        let base = scale * a.at(i, j);
+        if i == j {
+            0.5 + base - scale * mu
+        } else {
+            base
+        }
+    });
+
+    let mut b2 = Matrix::<f64>::zeros(n, n);
+    let mut bn = Matrix::<f64>::zeros(n, n);
+    for iter in 1..=opts.max_poly_iters {
+        // B2 = B·B.
+        backend.gemm(1.0, Op::NoTrans, b.as_ref(), Op::NoTrans, b.as_ref(), 0.0, b2.as_mut());
+        // Convergence: ‖B² − B‖_F (B is a projector iff B² = B).
+        let mut dev = 0.0f64;
+        for (x, y) in b2.as_slice().iter().zip(b.as_slice()) {
+            let d = x - y;
+            dev += d * d;
+        }
+        if dev.sqrt() <= opts.poly_tol * n as f64 {
+            return Some((b, iter));
+        }
+        // T = 3I − 2B; Bnext = B²·T.
+        let t = Matrix::from_fn(n, n, |i, j| {
+            let v = -2.0 * b.at(i, j);
+            if i == j {
+                3.0 + v
+            } else {
+                v
+            }
+        });
+        backend.gemm(1.0, Op::NoTrans, b2.as_ref(), Op::NoTrans, t.as_ref(), 0.0, bn.as_mut());
+        std::mem::swap(&mut b, &mut bn);
+    }
+    None
+}
+
+fn merge_sorted(
+    e1: EigenDecomposition,
+    e2: EigenDecomposition,
+    v_cols: Matrix<f64>,
+) -> EigenDecomposition {
+    // v_cols pairs column j with the concatenated value list.
+    let values_raw: Vec<f64> = e1.values.into_iter().chain(e2.values).collect();
+    let n = values_raw.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| values_raw[i].partial_cmp(&values_raw[j]).unwrap());
+    let values = order.iter().map(|&i| values_raw[i]).collect();
+    let vectors = Matrix::from_fn(v_cols.nrows(), n, |i, j| v_cols.at(i, order[j]));
+    EigenDecomposition { values, vectors }
+}
+
+fn solve_recursive(
+    a: &Matrix<f64>,
+    backend: &dyn MatMul,
+    opts: &IsdaOptions,
+    stats: &mut IsdaStats,
+) -> EigenDecomposition {
+    let n = a.nrows();
+    if n <= opts.base_size {
+        stats.base_cases += 1;
+        return jacobi_eigen(a, opts.jacobi_tol, opts.jacobi_sweeps);
+    }
+
+    let (lo, hi) = gershgorin_bounds(a);
+    let width = hi - lo;
+    let scale = matrix::norms::frobenius(a.as_ref()).max(1.0);
+    if width <= 1e-13 * scale {
+        // Numerically a multiple of the identity.
+        return EigenDecomposition {
+            values: (0..n).map(|i| a.at(i, i)).collect(),
+            vectors: Matrix::identity(n),
+        };
+    }
+
+    // Try a handful of split points; the midpoint almost always works for
+    // non-clustered spectra.
+    for frac in [0.5, 0.375, 0.625, 0.25, 0.75] {
+        let mu = lo + frac * width;
+        let Some((p, iters)) = projector_for_split(a, lo, hi, mu, backend, opts) else {
+            continue;
+        };
+        stats.poly_iterations += iters;
+        let trace: f64 = (0..n).map(|i| p.at(i, i)).sum();
+        let r = trace.round() as usize;
+        if r == 0 || r >= n {
+            continue; // everything on one side: not a useful split
+        }
+
+        // Basis from the projector; first r columns span range(P).
+        let f = qr_column_pivot(&p);
+        let q = f.q;
+
+        // A' = Qᵀ A Q via two backend multiplications.
+        let mut aq = Matrix::<f64>::zeros(n, n);
+        backend.gemm(1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, q.as_ref(), 0.0, aq.as_mut());
+        let mut ap = Matrix::<f64>::zeros(n, n);
+        backend.gemm(1.0, Op::Trans, q.as_ref(), Op::NoTrans, aq.as_ref(), 0.0, ap.as_mut());
+
+        // The conjugated matrix must decouple: ‖A'₍₂₁₎‖ small.
+        let coupling = {
+            let block = ap.as_ref().submatrix(r, 0, n - r, r);
+            norms::frobenius(block)
+        };
+        if coupling > opts.coupling_tol * scale {
+            continue;
+        }
+        stats.splits += 1;
+
+        // Symmetrized diagonal blocks.
+        let a1 = Matrix::from_fn(r, r, |i, j| 0.5 * (ap.at(i, j) + ap.at(j, i)));
+        let a2 = Matrix::from_fn(n - r, n - r, |i, j| {
+            0.5 * (ap.at(r + i, r + j) + ap.at(r + j, r + i))
+        });
+
+        let e1 = solve_recursive(&a1, backend, opts, stats);
+        let e2 = solve_recursive(&a2, backend, opts, stats);
+
+        // Back-transform the eigenvectors: V = Q · blockdiag(W1, W2).
+        let mut v = Matrix::<f64>::zeros(n, n);
+        backend.gemm(
+            1.0,
+            Op::NoTrans,
+            q.as_ref().submatrix(0, 0, n, r),
+            Op::NoTrans,
+            e1.vectors.as_ref(),
+            0.0,
+            v.as_mut().submatrix_mut(0, 0, n, r),
+        );
+        backend.gemm(
+            1.0,
+            Op::NoTrans,
+            q.as_ref().submatrix(0, r, n, n - r),
+            Op::NoTrans,
+            e2.vectors.as_ref(),
+            0.0,
+            v.as_mut().submatrix_mut(0, r, n, n - r),
+        );
+        return merge_sorted(e1, e2, v);
+    }
+
+    // No split separated (tightly clustered spectrum): fall back.
+    stats.jacobi_fallbacks += 1;
+    jacobi_eigen(a, opts.jacobi_tol, opts.jacobi_sweeps)
+}
+
+/// Full symmetric eigendecomposition of `a` by ISDA over `backend`.
+///
+/// # Panics
+/// If `a` is not square.
+pub fn isda_eigen(a: &Matrix<f64>, backend: &dyn MatMul, opts: &IsdaOptions) -> EigenDecomposition {
+    let mut stats = IsdaStats::default();
+    isda_eigen_with_stats(a, backend, opts, &mut stats)
+}
+
+/// [`isda_eigen`] that also reports run counters.
+pub fn isda_eigen_with_stats(
+    a: &Matrix<f64>,
+    backend: &dyn MatMul,
+    opts: &IsdaOptions,
+    stats: &mut IsdaStats,
+) -> EigenDecomposition {
+    assert_eq!(a.nrows(), a.ncols(), "isda: matrix must be square");
+    solve_recursive(a, backend, opts, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{GemmBackend, StrassenBackend};
+    use blas::level3::GemmConfig;
+    use matrix::random;
+    use strassen::StrassenConfig;
+
+    fn gemm_backend() -> GemmBackend {
+        GemmBackend(GemmConfig::blocked())
+    }
+
+    #[test]
+    fn gershgorin_contains_known_spectrum() {
+        let evals = [-3.0, -1.0, 0.5, 2.0, 7.0];
+        let a = random::symmetric_with_spectrum::<f64>(&evals, 4);
+        let (lo, hi) = gershgorin_bounds(&a);
+        assert!(lo <= -3.0 && hi >= 7.0, "({lo}, {hi})");
+    }
+
+    #[test]
+    fn recovers_known_spectrum_mid_size() {
+        let evals: Vec<f64> = (0..96).map(|i| (i as f64) - 40.0 + 0.25 * (i % 7) as f64).collect();
+        let mut sorted = evals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let a = random::symmetric_with_spectrum::<f64>(&evals, 11);
+        let e = isda_eigen(&a, &gemm_backend(), &IsdaOptions::default());
+        assert_eq!(e.values.len(), 96);
+        for (got, want) in e.values.iter().zip(&sorted) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+        assert!(e.residual(&a) < 1e-6, "residual {}", e.residual(&a));
+    }
+
+    #[test]
+    fn matches_jacobi_on_random_symmetric() {
+        let a = random::symmetric::<f64>(80, 21);
+        let isda = isda_eigen(&a, &gemm_backend(), &IsdaOptions::default());
+        let jac = jacobi_eigen(&a, 1e-13, 40);
+        for (x, y) in isda.values.iter().zip(&jac.values) {
+            assert!((x - y).abs() < 1e-7, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = random::symmetric::<f64>(70, 3);
+        let e = isda_eigen(&a, &gemm_backend(), &IsdaOptions::default());
+        let n = 70;
+        for i in 0..n {
+            for j in 0..n {
+                let dot: f64 = (0..n).map(|p| e.vectors.at(p, i) * e.vectors.at(p, j)).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-7, "({i},{j}): {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn strassen_backend_gives_same_answer() {
+        let a = random::symmetric::<f64>(72, 33);
+        let e1 = isda_eigen(&a, &gemm_backend(), &IsdaOptions::default());
+        let strassen = StrassenBackend::new(StrassenConfig::with_square_cutoff(24));
+        let e2 = isda_eigen(&a, &strassen, &IsdaOptions::default());
+        for (x, y) in e1.values.iter().zip(&e2.values) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn identity_multiple_shortcut() {
+        let a = Matrix::from_fn(40, 40, |i, j| if i == j { 5.0 } else { 0.0 });
+        let e = isda_eigen(&a, &gemm_backend(), &IsdaOptions::default());
+        assert!(e.values.iter().all(|&v| (v - 5.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn stats_track_work() {
+        let evals: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let a = random::symmetric_with_spectrum::<f64>(&evals, 8);
+        let mut stats = IsdaStats::default();
+        let _ = isda_eigen_with_stats(&a, &gemm_backend(), &IsdaOptions::default(), &mut stats);
+        assert!(stats.splits >= 1, "no splits happened");
+        assert!(stats.poly_iterations >= 1);
+        assert!(stats.base_cases >= 2);
+    }
+
+    #[test]
+    fn clustered_spectrum_falls_back_gracefully() {
+        // All eigenvalues nearly equal but not exactly: splits cannot
+        // separate, the solver must still return a correct answer.
+        let evals: Vec<f64> = (0..48).map(|i| 3.0 + 1e-9 * i as f64).collect();
+        let a = random::symmetric_with_spectrum::<f64>(&evals, 5);
+        let e = isda_eigen(&a, &gemm_backend(), &IsdaOptions::default());
+        assert!(e.values.iter().all(|&v| (v - 3.0).abs() < 1e-6));
+        assert!(e.residual(&a) < 1e-7);
+    }
+}

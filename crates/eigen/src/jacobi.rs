@@ -1,0 +1,179 @@
+//! Cyclic Jacobi eigensolver for symmetric matrices.
+//!
+//! Serves two roles: the base case of the ISDA divide-and-conquer (small
+//! subproblems are rotated to convergence directly) and the reference
+//! oracle the ISDA tests compare against. O(n³) per sweep, quadratically
+//! convergent once the off-diagonal mass is small.
+
+use matrix::Matrix;
+
+/// Eigenvalues and eigenvectors of a symmetric matrix.
+#[derive(Clone, Debug)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `j` pairs with `values[j]`.
+    pub vectors: Matrix<f64>,
+}
+
+impl EigenDecomposition {
+    /// Reconstruct `V diag(λ) Vᵀ` (used by tests and examples).
+    pub fn reconstruct(&self) -> Matrix<f64> {
+        let n = self.values.len();
+        let v = &self.vectors;
+        Matrix::from_fn(n, n, |i, j| {
+            (0..n).map(|p| v.at(i, p) * self.values[p] * v.at(j, p)).sum()
+        })
+    }
+
+    /// Largest residual column norm of `A V − V Λ`, a standard accuracy
+    /// measure for an eigendecomposition of `a`.
+    pub fn residual(&self, a: &Matrix<f64>) -> f64 {
+        let n = self.values.len();
+        let mut worst = 0.0f64;
+        for j in 0..n {
+            let mut col = 0.0;
+            for i in 0..n {
+                let av: f64 = (0..n).map(|p| a.at(i, p) * self.vectors.at(p, j)).sum();
+                let d = av - self.values[j] * self.vectors.at(i, j);
+                col += d * d;
+            }
+            worst = worst.max(col.sqrt());
+        }
+        worst
+    }
+}
+
+/// Sum of squares of off-diagonal entries.
+fn off_diagonal_sq(a: &Matrix<f64>) -> f64 {
+    let n = a.nrows();
+    let mut s = 0.0;
+    for j in 0..n {
+        for i in 0..n {
+            if i != j {
+                s += a.at(i, j) * a.at(i, j);
+            }
+        }
+    }
+    s
+}
+
+/// Diagonalize symmetric `a` by cyclic Jacobi rotations.
+///
+/// # Panics
+/// If `a` is not square.
+pub fn jacobi_eigen(a: &Matrix<f64>, tol: f64, max_sweeps: usize) -> EigenDecomposition {
+    assert_eq!(a.nrows(), a.ncols(), "jacobi: matrix must be square");
+    let n = a.nrows();
+    let mut w = a.clone();
+    let mut v = Matrix::<f64>::identity(n);
+
+    let scale = matrix::norms::frobenius(a.as_ref()).max(1.0);
+    for _ in 0..max_sweeps {
+        if off_diagonal_sq(&w).sqrt() <= tol * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = w.at(p, q);
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = w.at(p, p);
+                let aqq = w.at(q, q);
+                // Classic stable rotation computation (Golub & Van Loan).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // W ← Jᵀ W J on rows/cols p, q.
+                for i in 0..n {
+                    let wip = w.at(i, p);
+                    let wiq = w.at(i, q);
+                    w.set(i, p, c * wip - s * wiq);
+                    w.set(i, q, s * wip + c * wiq);
+                }
+                for j in 0..n {
+                    let wpj = w.at(p, j);
+                    let wqj = w.at(q, j);
+                    w.set(p, j, c * wpj - s * wqj);
+                    w.set(q, j, s * wpj + c * wqj);
+                }
+                // Accumulate V ← V J.
+                for i in 0..n {
+                    let vip = v.at(i, p);
+                    let viq = v.at(i, q);
+                    v.set(i, p, c * vip - s * viq);
+                    v.set(i, q, s * vip + c * viq);
+                }
+            }
+        }
+    }
+
+    // Sort ascending by eigenvalue, permuting eigenvector columns along.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| w.at(i, i).partial_cmp(&w.at(j, j)).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| w.at(i, i)).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| v.at(i, order[j]));
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::random;
+
+    #[test]
+    fn diagonal_matrix_is_immediate() {
+        let a = Matrix::from_fn(4, 4, |i, j| if i == j { (i + 1) as f64 } else { 0.0 });
+        let e = jacobi_eigen(&a, 1e-12, 30);
+        assert_eq!(e.values, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_row_major(2, 2, &[2.0, 1.0, 1.0, 2.0]);
+        let e = jacobi_eigen(&a, 1e-14, 30);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_known_spectrum() {
+        let evals: Vec<f64> = (1..=20).map(|i| i as f64 * 0.5).collect();
+        let a = random::symmetric_with_spectrum::<f64>(&evals, 42);
+        let e = jacobi_eigen(&a, 1e-13, 40);
+        for (got, want) in e.values.iter().zip(&evals) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal_and_accurate() {
+        let a = random::symmetric::<f64>(30, 7);
+        let e = jacobi_eigen(&a, 1e-13, 40);
+        // VᵀV = I
+        let v = &e.vectors;
+        for i in 0..30 {
+            for j in 0..30 {
+                let dot: f64 = (0..30).map(|p| v.at(p, i) * v.at(p, j)).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-10, "({i},{j}): {dot}");
+            }
+        }
+        assert!(e.residual(&a) < 1e-9);
+        // Reconstruction matches the input.
+        matrix::norms::assert_allclose(e.reconstruct().as_ref(), a.as_ref(), 1e-9, "reconstruct");
+    }
+
+    #[test]
+    fn values_sorted_ascending() {
+        let a = random::symmetric::<f64>(15, 3);
+        let e = jacobi_eigen(&a, 1e-12, 40);
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! ISDA symmetric eigensolver with a pluggable matrix-multiply backend —
+//! the application substrate of the SC '96 Strassen paper's Section 4.4.
+//!
+//! The PRISM project's Invariant Subspace Decomposition Algorithm uses
+//! matrix multiplication as its kernel operation: a polynomial iteration
+//! drives the (scaled) matrix to an orthogonal projector, whose range and
+//! null space split the problem in two. The paper demonstrated DGEFMM's
+//! usefulness by swapping it in for DGEMM here and measuring ~20% off the
+//! multiplication time (Table 6); [`backend::MatMul`] is that swap point.
+//!
+//! # Example
+//!
+//! ```
+//! use eigen::backend::GemmBackend;
+//! use eigen::isda::{isda_eigen, IsdaOptions};
+//! use matrix::random;
+//!
+//! let a = random::symmetric_with_spectrum::<f64>(&[1.0, 2.0, 3.0, 4.0], 7);
+//! let e = isda_eigen(&a, &GemmBackend::default(), &IsdaOptions::default());
+//! assert!((e.values[3] - 4.0).abs() < 1e-8);
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::too_many_arguments, clippy::manual_is_multiple_of, clippy::needless_range_loop)]
+
+pub mod backend;
+pub mod isda;
+pub mod jacobi;
+pub mod qr;
+
+pub use backend::{GemmBackend, MatMul, StrassenBackend, TimingBackend};
+pub use isda::{isda_eigen, isda_eigen_with_stats, IsdaOptions, IsdaStats};
+pub use jacobi::{jacobi_eigen, EigenDecomposition};

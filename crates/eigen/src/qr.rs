@@ -1,0 +1,177 @@
+//! Householder QR with column pivoting.
+//!
+//! The ISDA eigensolver needs an orthonormal basis splitting the space
+//! into range and null space of a (numerically) rank-`r` orthogonal
+//! projector. QR with column pivoting of the projector delivers exactly
+//! that: the first `r` columns of `Q` span the range, the rest its
+//! orthogonal complement.
+
+use matrix::Matrix;
+
+/// Result of a column-pivoted Householder QR factorization
+/// `A P = Q R` with `|R[0,0]| ≥ |R[1,1]| ≥ …`.
+#[derive(Clone, Debug)]
+pub struct QrPivot {
+    /// Orthogonal factor (n × n, explicit).
+    pub q: Matrix<f64>,
+    /// Upper-triangular factor (n × n).
+    pub r: Matrix<f64>,
+    /// Column permutation: factored column `j` was input column `perm[j]`.
+    pub perm: Vec<usize>,
+}
+
+impl QrPivot {
+    /// Numerical rank: number of diagonal entries of `R` above
+    /// `tol · |R[0,0]|`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let n = self.r.nrows().min(self.r.ncols());
+        let r00 = self.r.at(0, 0).abs();
+        if r00 == 0.0 {
+            return 0;
+        }
+        (0..n).take_while(|&j| self.r.at(j, j).abs() > tol * r00).count()
+    }
+}
+
+/// Column-pivoted Householder QR of a square matrix.
+///
+/// # Panics
+/// If `a` is not square (all ISDA uses are square projectors).
+pub fn qr_column_pivot(a: &Matrix<f64>) -> QrPivot {
+    assert_eq!(a.nrows(), a.ncols(), "qr_column_pivot: square input expected");
+    let n = a.nrows();
+    let mut r = a.clone();
+    let mut q = Matrix::<f64>::identity(n);
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    // Running squared column norms (updated, re-computed on cancellation).
+    let mut col_norms: Vec<f64> = (0..n)
+        .map(|j| (0..n).map(|i| r.at(i, j) * r.at(i, j)).sum())
+        .collect();
+
+    let mut v = vec![0.0f64; n];
+    for kcol in 0..n {
+        // Pivot: bring the largest remaining column to position kcol.
+        let (pivot, _) = col_norms
+            .iter()
+            .enumerate()
+            .skip(kcol)
+            .fold((kcol, -1.0), |best, (j, &nsq)| if nsq > best.1 { (j, nsq) } else { best });
+        if pivot != kcol {
+            for i in 0..n {
+                let t = r.at(i, kcol);
+                r.set(i, kcol, r.at(i, pivot));
+                r.set(i, pivot, t);
+            }
+            col_norms.swap(kcol, pivot);
+            perm.swap(kcol, pivot);
+        }
+
+        // Householder vector for column kcol below the diagonal.
+        let mut norm_x: f64 = (kcol..n).map(|i| r.at(i, kcol) * r.at(i, kcol)).sum::<f64>().sqrt();
+        if norm_x == 0.0 {
+            continue;
+        }
+        if r.at(kcol, kcol) > 0.0 {
+            norm_x = -norm_x;
+        }
+        for i in kcol..n {
+            v[i] = r.at(i, kcol);
+        }
+        v[kcol] -= norm_x;
+        let vnorm_sq: f64 = (kcol..n).map(|i| v[i] * v[i]).sum();
+        if vnorm_sq == 0.0 {
+            continue;
+        }
+        let two_over = 2.0 / vnorm_sq;
+
+        // R ← H R on columns kcol..n.
+        for j in kcol..n {
+            let dot: f64 = (kcol..n).map(|i| v[i] * r.at(i, j)).sum();
+            let f = two_over * dot;
+            for i in kcol..n {
+                r.set(i, j, r.at(i, j) - f * v[i]);
+            }
+        }
+        // Q ← Q H (accumulate the reflector on the right).
+        for i in 0..n {
+            let dot: f64 = (kcol..n).map(|p| q.at(i, p) * v[p]).sum();
+            let f = two_over * dot;
+            for p in kcol..n {
+                q.set(i, p, q.at(i, p) - f * v[p]);
+            }
+        }
+
+        // Exact zero below the diagonal, and norm downdates.
+        r.set(kcol, kcol, norm_x);
+        for i in (kcol + 1)..n {
+            r.set(i, kcol, 0.0);
+        }
+        for (j, norm) in col_norms.iter_mut().enumerate().skip(kcol + 1) {
+            *norm -= r.at(kcol, j) * r.at(kcol, j);
+            if *norm < 1e-12 {
+                // Cancellation guard: recompute exactly.
+                *norm = ((kcol + 1)..n).map(|i| r.at(i, j) * r.at(i, j)).sum();
+            }
+        }
+    }
+
+    QrPivot { q, r, perm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::{norms, random};
+
+    fn check_factorization(a: &Matrix<f64>) {
+        let n = a.nrows();
+        let f = qr_column_pivot(a);
+        // Q orthogonal.
+        let qtq =
+            Matrix::from_fn(n, n, |i, j| (0..n).map(|p| f.q.at(p, i) * f.q.at(p, j)).sum::<f64>());
+        norms::assert_allclose(qtq.as_ref(), Matrix::identity(n).as_ref(), 1e-12, "QᵀQ");
+        // QR = A·P.
+        let qr = Matrix::from_fn(n, n, |i, j| (0..n).map(|p| f.q.at(i, p) * f.r.at(p, j)).sum());
+        let ap = Matrix::from_fn(n, n, |i, j| a.at(i, f.perm[j]));
+        norms::assert_allclose(qr.as_ref(), ap.as_ref(), 1e-12, "QR = AP");
+        // R upper triangular with non-increasing |diagonal|.
+        for j in 0..n {
+            for i in (j + 1)..n {
+                assert_eq!(f.r.at(i, j), 0.0);
+            }
+        }
+        for j in 1..n {
+            assert!(f.r.at(j, j).abs() <= f.r.at(j - 1, j - 1).abs() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn factorizes_random_square() {
+        check_factorization(&random::uniform::<f64>(12, 12, 5));
+        check_factorization(&random::symmetric::<f64>(20, 9));
+    }
+
+    #[test]
+    fn identity_rank_is_full() {
+        let f = qr_column_pivot(&Matrix::<f64>::identity(6));
+        assert_eq!(f.rank(1e-10), 6);
+    }
+
+    #[test]
+    fn projector_rank_detected() {
+        // Rank-3 orthogonal projector built from a known spectrum of
+        // three 1s and five 0s.
+        let evals = [1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let p = random::symmetric_with_spectrum::<f64>(&evals, 13);
+        let f = qr_column_pivot(&p);
+        assert_eq!(f.rank(1e-8), 3);
+        check_factorization(&p);
+    }
+
+    #[test]
+    fn zero_matrix_rank_zero() {
+        let f = qr_column_pivot(&Matrix::<f64>::zeros(5, 5));
+        assert_eq!(f.rank(1e-10), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Dense linear-system solver substrate: blocked LU (partial pivoting)
+//! and blocked Cholesky, whose trailing updates run through the
+//! pluggable [`strassen::MatMul`] seam.
+//!
+//! This reproduces the use case of the SC '96 Strassen paper's reference
+//! [3] — Bailey, Lee & Simon, *Using Strassen's Algorithm to Accelerate
+//! the Solution of Linear Systems* — on top of this workspace's DGEFMM:
+//! the O(n³) work of a dense solve concentrates in the GEMM-shaped
+//! trailing updates, so swapping DGEMM for DGEFMM accelerates the whole
+//! factorization.
+//!
+//! ```
+//! use linsys::lu::lu_factor;
+//! use matrix::{random, Matrix};
+//! use strassen::GemmBackend;
+//!
+//! let a = random::uniform::<f64>(32, 32, 1);
+//! let f = lu_factor(&a, 8, &GemmBackend::default()).unwrap();
+//! let b = Matrix::identity(32);
+//! let a_inv = f.solve(&b); // A · A⁻¹ = I
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::too_many_arguments, clippy::manual_is_multiple_of, clippy::needless_range_loop)]
+
+pub mod cholesky;
+pub mod lu;
+
+pub use cholesky::{cholesky_factor, CholeskyError, CholeskyFactor};
+pub use lu::{lu_factor, LuError, LuFactors};

@@ -1,0 +1,191 @@
+//! Owned column-major matrix storage.
+
+use crate::scalar::Scalar;
+use crate::view::{MatMut, MatRef};
+
+/// Owned dense matrix, column-major, with `ld == nrows` (packed columns).
+///
+/// All computational kernels take [`MatRef`]/[`MatMut`] views; `Matrix` is
+/// the convenient owner you allocate at the edges of the program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix<T> {
+    data: Vec<T>,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// `nrows x ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self { data: vec![T::ZERO; nrows * ncols], nrows, ncols }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i + i * n] = T::ONE;
+        }
+        m
+    }
+
+    /// Build from a closure `f(i, j)`.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                data.push(f(i, j));
+            }
+        }
+        Self { data, nrows, ncols }
+    }
+
+    /// Build from a column-major element vector.
+    ///
+    /// # Panics
+    /// If `data.len() != nrows * ncols`.
+    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "element count mismatch");
+        Self { data, nrows, ncols }
+    }
+
+    /// Build from row-major data (convenience for literals in tests).
+    pub fn from_row_major(nrows: usize, ncols: usize, data: &[T]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "element count mismatch");
+        Self::from_fn(nrows, ncols, |i, j| data[i * ncols + j])
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Immutable view of the whole matrix.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        MatRef::from_slice(&self.data, self.nrows, self.ncols, self.nrows.max(1))
+    }
+
+    /// Mutable view of the whole matrix.
+    #[inline]
+    pub fn as_mut(&mut self) -> MatMut<'_, T> {
+        let ld = self.nrows.max(1);
+        MatMut::from_slice(&mut self.data, self.nrows, self.ncols, ld)
+    }
+
+    /// Element `(i, j)`.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> T {
+        self.as_ref().at(i, j)
+    }
+
+    /// Write element `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.nrows && j < self.ncols);
+        let ld = self.nrows;
+        self.data[i + j * ld] = v;
+    }
+
+    /// Underlying column-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Underlying column-major storage, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Freshly allocated transpose.
+    pub fn transposed(&self) -> Matrix<T> {
+        let mut t = Matrix::zeros(self.ncols, self.nrows);
+        t.as_mut().copy_transposed_from(self.as_ref());
+        t
+    }
+
+    /// True if `self` equals its transpose exactly.
+    pub fn is_symmetric(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for j in 0..self.ncols {
+            for i in 0..j {
+                if self.at(i, j) != self.at(j, i) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::<f64>::zeros(2, 3);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let i = Matrix::<f64>::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i.at(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Matrix::from_fn(2, 3, |i, j| (10 * i + j) as f64);
+        assert_eq!(m.at(1, 2), 12.0);
+        // column-major storage: column 0 first
+        assert_eq!(m.as_slice()[0], 0.0);
+        assert_eq!(m.as_slice()[1], 10.0);
+    }
+
+    #[test]
+    fn row_major_constructor_matches_math_notation() {
+        // [1 2]
+        // [3 4]
+        let m = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.at(0, 1), 2.0);
+        assert_eq!(m.at(1, 0), 3.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        let tt = m.transposed().transposed();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_fn(4, 4, |i, j| (i + j) as f64);
+        assert!(s.is_symmetric());
+        let mut ns = s.clone();
+        ns.set(0, 1, 99.0);
+        assert!(!ns.is_symmetric());
+        assert!(!Matrix::<f64>::zeros(2, 3).is_symmetric());
+    }
+
+    #[test]
+    fn zero_sized_matrix() {
+        let m = Matrix::<f64>::zeros(0, 0);
+        assert!(m.as_ref().is_empty());
+        let m = Matrix::<f64>::zeros(0, 4);
+        assert_eq!(m.ncols(), 4);
+        assert!(m.as_ref().is_empty());
+    }
+}

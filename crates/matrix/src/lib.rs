@@ -1,0 +1,35 @@
+//! Column-major dense matrix storage and BLAS-style borrowed views.
+//!
+//! This crate is the data-layout substrate for the SC '96 Strassen
+//! reproduction. It provides:
+//!
+//! * [`Matrix`] — owned, packed column-major storage;
+//! * [`MatRef`] / [`MatMut`] — borrowed views carrying an explicit
+//!   *leading dimension*, so every Strassen recursion step works on
+//!   quadrants in place, exactly as the paper's C-over-BLAS code did;
+//! * norms, approximate-equality assertions, and seeded random
+//!   generation used by tests and the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use matrix::Matrix;
+//!
+//! let a = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+//! let (a11, _, _, a22) = a.as_ref().quadrants(1, 1);
+//! assert_eq!(a11.at(0, 0), 1.0);
+//! assert_eq!(a22.at(0, 0), 4.0);
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::too_many_arguments, clippy::manual_is_multiple_of, clippy::needless_range_loop)]
+
+pub mod dense;
+pub mod norms;
+pub mod random;
+pub mod scalar;
+pub mod view;
+
+pub use dense::Matrix;
+pub use scalar::Scalar;
+pub use view::{MatMut, MatRef};

@@ -1,0 +1,135 @@
+//! Matrix norms and difference measures used by tests and experiments.
+
+use crate::scalar::Scalar;
+use crate::view::MatRef;
+
+/// Frobenius norm `sqrt(sum x_ij^2)`, accumulated in `f64`.
+pub fn frobenius<T: Scalar>(a: MatRef<'_, T>) -> f64 {
+    let mut acc = 0.0f64;
+    for j in 0..a.ncols() {
+        for &x in a.col(j) {
+            let v = x.to_f64();
+            acc += v * v;
+        }
+    }
+    acc.sqrt()
+}
+
+/// Max-absolute-entry norm.
+pub fn max_abs<T: Scalar>(a: MatRef<'_, T>) -> f64 {
+    let mut m = 0.0f64;
+    for j in 0..a.ncols() {
+        for &x in a.col(j) {
+            m = m.max(x.to_f64().abs());
+        }
+    }
+    m
+}
+
+/// 1-norm (max column sum of absolute values).
+pub fn one_norm<T: Scalar>(a: MatRef<'_, T>) -> f64 {
+    let mut best = 0.0f64;
+    for j in 0..a.ncols() {
+        let s: f64 = a.col(j).iter().map(|x| x.to_f64().abs()).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+/// Infinity-norm (max row sum of absolute values).
+pub fn inf_norm<T: Scalar>(a: MatRef<'_, T>) -> f64 {
+    let mut sums = vec![0.0f64; a.nrows()];
+    for j in 0..a.ncols() {
+        for (i, &x) in a.col(j).iter().enumerate() {
+            sums[i] += x.to_f64().abs();
+        }
+    }
+    sums.into_iter().fold(0.0, f64::max)
+}
+
+/// Max absolute elementwise difference between two same-shaped matrices.
+pub fn max_abs_diff<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>) -> f64 {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    let mut m = 0.0f64;
+    for j in 0..a.ncols() {
+        for (x, y) in a.col(j).iter().zip(b.col(j)) {
+            m = m.max((x.to_f64() - y.to_f64()).abs());
+        }
+    }
+    m
+}
+
+/// Relative difference `max|a-b| / max(1, max|a|, max|b|)`.
+pub fn rel_diff<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>) -> f64 {
+    let scale = 1.0f64.max(max_abs(a)).max(max_abs(b));
+    max_abs_diff(a, b) / scale
+}
+
+/// Assert two matrices agree to within an absolute-or-relative tolerance;
+/// panics with the offending index on failure. Intended for tests.
+pub fn assert_allclose<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>, tol: f64, ctx: &str) {
+    assert_eq!(a.nrows(), b.nrows(), "{ctx}: row mismatch");
+    assert_eq!(a.ncols(), b.ncols(), "{ctx}: col mismatch");
+    let scale = 1.0f64.max(max_abs(a)).max(max_abs(b));
+    for j in 0..a.ncols() {
+        for (i, (x, y)) in a.col(j).iter().zip(b.col(j)).enumerate() {
+            let d = (x.to_f64() - y.to_f64()).abs();
+            assert!(
+                d <= tol * scale,
+                "{ctx}: mismatch at ({i},{j}): {} vs {} (|diff| {:.3e} > tol {:.3e} * scale {:.3e})",
+                x,
+                y,
+                d,
+                tol,
+                scale
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Matrix;
+
+    #[test]
+    fn frobenius_of_unit_vectors() {
+        let m = Matrix::<f64>::identity(4);
+        assert!((frobenius(m.as_ref()) - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn one_and_inf_norms() {
+        // [1 -2]
+        // [3  4]
+        let m = Matrix::from_row_major(2, 2, &[1.0, -2.0, 3.0, 4.0]);
+        assert_eq!(one_norm(m.as_ref()), 6.0); // col 1: |-2|+|4|
+        assert_eq!(inf_norm(m.as_ref()), 7.0); // row 1: |3|+|4|
+        assert_eq!(max_abs(m.as_ref()), 4.0);
+    }
+
+    #[test]
+    fn diff_measures() {
+        let a = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut b = a.clone();
+        b.set(1, 1, 4.5);
+        assert_eq!(max_abs_diff(a.as_ref(), b.as_ref()), 0.5);
+        assert!((rel_diff(a.as_ref(), b.as_ref()) - 0.5 / 4.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn allclose_accepts_equal() {
+        let a = Matrix::<f64>::identity(3);
+        assert_allclose(a.as_ref(), a.as_ref(), 0.0, "identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch at (1,1)")]
+    fn allclose_rejects_differing() {
+        let a = Matrix::<f64>::identity(2);
+        let mut b = a.clone();
+        b.set(1, 1, 2.0);
+        assert_allclose(a.as_ref(), b.as_ref(), 1e-12, "test");
+    }
+}

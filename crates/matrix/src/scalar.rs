@@ -1,0 +1,144 @@
+//! Scalar element trait abstracting over `f32` and `f64`.
+//!
+//! The paper's code is `double` (DGEMM / DGEFMM); the CRAY results are
+//! single precision (SGEMMS) at 64 bits. Making the whole stack generic
+//! over [`Scalar`] lets the same algorithms serve both the `d`- and
+//! `s`-prefixed entry points.
+
+use core::fmt::{Debug, Display};
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point element type usable by every kernel in this workspace.
+///
+/// Deliberately small: just the operations the BLAS subset, Strassen
+/// schedules, and the eigensolver actually need.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion from `f64` (used for scalars like `α = 1/3`).
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64` (used for norms and reporting).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Machine epsilon of the representation.
+    fn epsilon() -> Self;
+    /// Fused (or contracted) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// IEEE maximum (propagating the larger value, used by `iamax`/norms).
+    fn max(self, other: Self) -> Self;
+    /// `true` when the value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                // Plain expression rather than `f64::mul_add`: the
+                // libm-backed fma is slow without hardware support and the
+                // compiler is free to contract this anyway.
+                self * a + b
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_identities<T: Scalar>() {
+        assert_eq!(T::ZERO + T::ONE, T::ONE);
+        assert_eq!(T::ONE * T::ONE, T::ONE);
+        assert_eq!((-T::ONE).abs(), T::ONE);
+        assert_eq!(T::from_f64(4.0).sqrt(), T::from_f64(2.0));
+        assert!(T::ONE.is_finite());
+        assert!(!(T::ONE / T::ZERO).is_finite());
+        assert_eq!(T::from_f64(2.0).mul_add(T::from_f64(3.0), T::ONE), T::from_f64(7.0));
+        assert_eq!(T::ONE.max(T::ZERO), T::ONE);
+    }
+
+    #[test]
+    fn f64_satisfies_identities() {
+        generic_identities::<f64>();
+    }
+
+    #[test]
+    fn f32_satisfies_identities() {
+        generic_identities::<f32>();
+    }
+
+    #[test]
+    fn round_trip_f64() {
+        assert_eq!(f64::from_f64(0.25).to_f64(), 0.25);
+        assert_eq!(f32::from_f64(0.25).to_f64(), 0.25);
+    }
+
+    #[test]
+    fn epsilon_is_small() {
+        assert!(f64::epsilon() < 1e-15);
+        assert!(f32::epsilon() < 1e-6);
+    }
+}

@@ -1,0 +1,533 @@
+//! Borrowed matrix views with an explicit leading dimension.
+//!
+//! [`MatRef`] and [`MatMut`] are the workhorse types of the whole
+//! workspace: every BLAS kernel and every Strassen schedule operates on
+//! views, so a recursion step never copies data just to "take a
+//! quadrant". The layout is FORTRAN/BLAS column-major — element `(i, j)`
+//! lives at linear offset `i + j * ld` — which is exactly what the paper's
+//! C-calling-BLAS implementation used.
+//!
+//! Mutable views over *disjoint* regions of one allocation (the four
+//! quadrants of `C`, say) must coexist; plain `&mut [T]` cannot express
+//! that because quadrants interleave in memory whenever `ld > nrows`.
+//! The views therefore carry raw pointers internally and expose a safe
+//! API whose splitting methods hand out provably disjoint regions.
+
+use crate::scalar::Scalar;
+use core::marker::PhantomData;
+
+/// Immutable column-major matrix view with leading dimension.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a, T> {
+    ptr: *const T,
+    nrows: usize,
+    ncols: usize,
+    ld: usize,
+    _marker: PhantomData<&'a T>,
+}
+
+/// Mutable column-major matrix view with leading dimension.
+pub struct MatMut<'a, T> {
+    ptr: *mut T,
+    nrows: usize,
+    ncols: usize,
+    ld: usize,
+    _marker: PhantomData<&'a mut T>,
+}
+
+// SAFETY: a MatRef is a shared borrow of T data; sharing it across threads
+// is as safe as sharing `&[T]`.
+unsafe impl<T: Sync> Send for MatRef<'_, T> {}
+unsafe impl<T: Sync> Sync for MatRef<'_, T> {}
+// SAFETY: a MatMut is an exclusive borrow of its (possibly strided) region;
+// sending it to another thread is as safe as sending `&mut [T]`.
+unsafe impl<T: Send> Send for MatMut<'_, T> {}
+unsafe impl<T: Sync> Sync for MatMut<'_, T> {}
+
+#[inline(always)]
+fn check_dims(nrows: usize, ncols: usize, ld: usize, len: usize) {
+    assert!(ld >= nrows.max(1), "leading dimension {ld} < row count {nrows}");
+    if nrows > 0 && ncols > 0 {
+        // Last touched index is (nrows-1) + (ncols-1)*ld.
+        let last = (nrows - 1) + (ncols - 1) * ld;
+        assert!(last < len, "view of {nrows}x{ncols} (ld {ld}) overruns buffer of len {len}");
+    }
+}
+
+impl<'a, T> MatRef<'a, T> {
+    /// Create a view over `data` interpreted as `nrows x ncols` column-major
+    /// with leading dimension `ld`.
+    ///
+    /// # Panics
+    /// If the view would overrun `data` or `ld < nrows`.
+    #[inline]
+    pub fn from_slice(data: &'a [T], nrows: usize, ncols: usize, ld: usize) -> Self {
+        check_dims(nrows, ncols, ld, data.len());
+        Self { ptr: data.as_ptr(), nrows, ncols, ld, _marker: PhantomData }
+    }
+
+    /// Construct from raw parts.
+    ///
+    /// # Safety
+    /// `ptr` must be valid for reads of the strided region
+    /// `{ (i, j) : i < nrows, j < ncols }` at offsets `i + j*ld` for the
+    /// lifetime `'a`, and no exclusive reference may overlap that region.
+    #[inline]
+    pub unsafe fn from_raw_parts(ptr: *const T, nrows: usize, ncols: usize, ld: usize) -> Self {
+        Self { ptr, nrows, ncols, ld, _marker: PhantomData }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Leading dimension (column stride).
+    #[inline(always)]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// True when the view holds no elements.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0 || self.ncols == 0
+    }
+
+    /// Raw const pointer to element (0, 0).
+    #[inline(always)]
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr
+    }
+
+    /// Element `(i, j)` without bounds checking.
+    ///
+    /// # Safety
+    /// `i < nrows && j < ncols`.
+    #[inline(always)]
+    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> &'a T {
+        &*self.ptr.add(i + j * self.ld)
+    }
+
+    /// Column `j` as a contiguous slice (columns are always contiguous).
+    #[inline]
+    pub fn col(&self, j: usize) -> &'a [T] {
+        assert!(j < self.ncols, "column {j} out of bounds ({})", self.ncols);
+        // SAFETY: in-bounds per check_dims invariant.
+        unsafe { core::slice::from_raw_parts(self.ptr.add(j * self.ld), self.nrows) }
+    }
+
+    /// Sub-view of `nr x nc` elements starting at `(ri, ci)`.
+    #[inline]
+    pub fn submatrix(&self, ri: usize, ci: usize, nr: usize, nc: usize) -> MatRef<'a, T> {
+        assert!(ri + nr <= self.nrows, "row range {ri}+{nr} > {}", self.nrows);
+        assert!(ci + nc <= self.ncols, "col range {ci}+{nc} > {}", self.ncols);
+        // SAFETY: sub-region of an already-valid region.
+        unsafe { MatRef::from_raw_parts(self.ptr.add(ri + ci * self.ld), nr, nc, self.ld) }
+    }
+
+    /// Split into the four quadrants `(X11, X12, X21, X22)` where `X11` is
+    /// `rsplit x csplit`.
+    #[inline]
+    pub fn quadrants(
+        &self,
+        rsplit: usize,
+        csplit: usize,
+    ) -> (MatRef<'a, T>, MatRef<'a, T>, MatRef<'a, T>, MatRef<'a, T>) {
+        let (m, n) = (self.nrows, self.ncols);
+        (
+            self.submatrix(0, 0, rsplit, csplit),
+            self.submatrix(0, csplit, rsplit, n - csplit),
+            self.submatrix(rsplit, 0, m - rsplit, csplit),
+            self.submatrix(rsplit, csplit, m - rsplit, n - csplit),
+        )
+    }
+}
+
+impl<'a, T: Scalar> MatRef<'a, T> {
+    /// Element `(i, j)` with bounds checking.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> T {
+        assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds ({}x{})", self.nrows, self.ncols);
+        // SAFETY: just checked.
+        unsafe { *self.get_unchecked(i, j) }
+    }
+
+    /// Copy into a freshly allocated owned matrix (ld == nrows).
+    pub fn to_owned_matrix(&self) -> crate::dense::Matrix<T> {
+        let mut out = crate::dense::Matrix::zeros(self.nrows, self.ncols);
+        out.as_mut().copy_from(*self);
+        out
+    }
+}
+
+impl<'a, T> MatMut<'a, T> {
+    /// Create a mutable view over `data` (`nrows x ncols`, column-major,
+    /// leading dimension `ld`).
+    ///
+    /// # Panics
+    /// If the view would overrun `data` or `ld < nrows`.
+    #[inline]
+    pub fn from_slice(data: &'a mut [T], nrows: usize, ncols: usize, ld: usize) -> Self {
+        check_dims(nrows, ncols, ld, data.len());
+        Self { ptr: data.as_mut_ptr(), nrows, ncols, ld, _marker: PhantomData }
+    }
+
+    /// Construct from raw parts.
+    ///
+    /// # Safety
+    /// `ptr` must be valid for reads and writes of the strided region for
+    /// `'a`, and the region must not overlap any other live reference.
+    #[inline]
+    pub unsafe fn from_raw_parts(ptr: *mut T, nrows: usize, ncols: usize, ld: usize) -> Self {
+        Self { ptr, nrows, ncols, ld, _marker: PhantomData }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Leading dimension (column stride).
+    #[inline(always)]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// True when the view holds no elements.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0 || self.ncols == 0
+    }
+
+    /// Raw mutable pointer to element (0, 0).
+    #[inline(always)]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.ptr
+    }
+
+    /// Immutable view of the same region.
+    #[inline(always)]
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        // SAFETY: shared reborrow of our exclusive region.
+        unsafe { MatRef::from_raw_parts(self.ptr, self.nrows, self.ncols, self.ld) }
+    }
+
+    /// Mutable reborrow with a shorter lifetime (lets one `MatMut` be used
+    /// by several consecutive kernel calls).
+    #[inline(always)]
+    pub fn rb_mut(&mut self) -> MatMut<'_, T> {
+        // SAFETY: exclusive reborrow tied to `&mut self`.
+        unsafe { MatMut::from_raw_parts(self.ptr, self.nrows, self.ncols, self.ld) }
+    }
+
+    /// Element pointer without bounds checking.
+    ///
+    /// # Safety
+    /// `i < nrows && j < ncols`.
+    #[inline(always)]
+    pub unsafe fn get_unchecked_mut(&mut self, i: usize, j: usize) -> &mut T {
+        &mut *self.ptr.add(i + j * self.ld)
+    }
+
+    /// Column `j` as a contiguous mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        assert!(j < self.ncols, "column {j} out of bounds ({})", self.ncols);
+        // SAFETY: in-bounds, exclusive.
+        unsafe { core::slice::from_raw_parts_mut(self.ptr.add(j * self.ld), self.nrows) }
+    }
+
+    /// Mutable sub-view of `nr x nc` elements starting at `(ri, ci)`,
+    /// consuming `self` (use [`MatMut::rb_mut`] first to keep the parent).
+    #[inline]
+    pub fn into_submatrix(self, ri: usize, ci: usize, nr: usize, nc: usize) -> MatMut<'a, T> {
+        assert!(ri + nr <= self.nrows, "row range {ri}+{nr} > {}", self.nrows);
+        assert!(ci + nc <= self.ncols, "col range {ci}+{nc} > {}", self.ncols);
+        // SAFETY: sub-region of our exclusive region.
+        unsafe { MatMut::from_raw_parts(self.ptr.add(ri + ci * self.ld), nr, nc, self.ld) }
+    }
+
+    /// Short-lived mutable sub-view (parent stays usable afterwards).
+    #[inline]
+    pub fn submatrix_mut(&mut self, ri: usize, ci: usize, nr: usize, nc: usize) -> MatMut<'_, T> {
+        self.rb_mut().into_submatrix(ri, ci, nr, nc)
+    }
+
+    /// Split into four *disjoint* mutable quadrants
+    /// `(X11, X12, X21, X22)` where `X11` is `rsplit x csplit`.
+    #[inline]
+    pub fn split_quadrants(
+        self,
+        rsplit: usize,
+        csplit: usize,
+    ) -> (MatMut<'a, T>, MatMut<'a, T>, MatMut<'a, T>, MatMut<'a, T>) {
+        let (m, n) = (self.nrows, self.ncols);
+        assert!(rsplit <= m && csplit <= n, "split ({rsplit},{csplit}) out of bounds ({m}x{n})");
+        let ld = self.ld;
+        let p = self.ptr;
+        // SAFETY: the four index sets {rows<rsplit / >=rsplit} x
+        // {cols<csplit / >=csplit} are pairwise disjoint, so the four views
+        // never alias even though they share the allocation.
+        unsafe {
+            (
+                MatMut::from_raw_parts(p, rsplit, csplit, ld),
+                MatMut::from_raw_parts(p.add(csplit * ld), rsplit, n - csplit, ld),
+                MatMut::from_raw_parts(p.add(rsplit), m - rsplit, csplit, ld),
+                MatMut::from_raw_parts(p.add(rsplit + csplit * ld), m - rsplit, n - csplit, ld),
+            )
+        }
+    }
+
+    /// Split into (top, bottom) disjoint mutable halves at row `r`.
+    #[inline]
+    pub fn split_rows(self, r: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
+        assert!(r <= self.nrows);
+        let (m, n, ld, p) = (self.nrows, self.ncols, self.ld, self.ptr);
+        // SAFETY: disjoint row ranges.
+        unsafe {
+            (
+                MatMut::from_raw_parts(p, r, n, ld),
+                MatMut::from_raw_parts(p.add(r), m - r, n, ld),
+            )
+        }
+    }
+
+    /// Split into (left, right) disjoint mutable halves at column `c`.
+    #[inline]
+    pub fn split_cols(self, c: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
+        assert!(c <= self.ncols);
+        let (m, n, ld, p) = (self.nrows, self.ncols, self.ld, self.ptr);
+        // SAFETY: disjoint column ranges.
+        unsafe {
+            (
+                MatMut::from_raw_parts(p, m, c, ld),
+                MatMut::from_raw_parts(p.add(c * ld), m, n - c, ld),
+            )
+        }
+    }
+}
+
+impl<'a, T: Scalar> MatMut<'a, T> {
+    /// Element `(i, j)` with bounds checking.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> T {
+        self.as_ref().at(i, j)
+    }
+
+    /// Write element `(i, j)` with bounds checking.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds ({}x{})", self.nrows, self.ncols);
+        // SAFETY: just checked.
+        unsafe {
+            *self.get_unchecked_mut(i, j) = v;
+        }
+    }
+
+    /// Fill every element with `v`.
+    pub fn fill(&mut self, v: T) {
+        for j in 0..self.ncols {
+            self.col_mut(j).fill(v);
+        }
+    }
+
+    /// Copy all elements from `src` (same shape required).
+    pub fn copy_from(&mut self, src: MatRef<'_, T>) {
+        assert_eq!(self.nrows, src.nrows(), "copy_from: row mismatch");
+        assert_eq!(self.ncols, src.ncols(), "copy_from: col mismatch");
+        for j in 0..self.ncols {
+            self.col_mut(j).copy_from_slice(src.col(j));
+        }
+    }
+
+    /// Copy the *transpose* of `src` into `self` (`self[i,j] = src[j,i]`).
+    pub fn copy_transposed_from(&mut self, src: MatRef<'_, T>) {
+        assert_eq!(self.nrows, src.ncols(), "transpose copy: row mismatch");
+        assert_eq!(self.ncols, src.nrows(), "transpose copy: col mismatch");
+        // Block the copy so both access patterns stay cache-friendly.
+        const B: usize = 32;
+        let (m, n) = (self.nrows, self.ncols);
+        for jb in (0..n).step_by(B) {
+            let je = (jb + B).min(n);
+            for ib in (0..m).step_by(B) {
+                let ie = (ib + B).min(m);
+                for j in jb..je {
+                    for i in ib..ie {
+                        // SAFETY: loop bounds guarantee in-range indices.
+                        unsafe {
+                            *self.get_unchecked_mut(i, j) = *src.get_unchecked(j, i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scale every element by `alpha`.
+    pub fn scale(&mut self, alpha: T) {
+        if alpha == T::ONE {
+            return;
+        }
+        for j in 0..self.ncols {
+            for x in self.col_mut(j) {
+                *x *= alpha;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(m: usize, n: usize) -> Vec<f64> {
+        (0..m * n).map(|x| x as f64).collect()
+    }
+
+    #[test]
+    fn indexing_is_column_major() {
+        let d = buf(3, 2); // [0,1,2, 3,4,5]
+        let v = MatRef::from_slice(&d, 3, 2, 3);
+        assert_eq!(v.at(0, 0), 0.0);
+        assert_eq!(v.at(2, 0), 2.0);
+        assert_eq!(v.at(0, 1), 3.0);
+        assert_eq!(v.at(2, 1), 5.0);
+    }
+
+    #[test]
+    fn leading_dimension_skips_rows() {
+        // 4x2 buffer viewed as 2x2 with ld=4: picks rows 0..2 of each column.
+        let d = buf(4, 2);
+        let v = MatRef::from_slice(&d, 2, 2, 4);
+        assert_eq!(v.at(1, 1), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn overrun_panics() {
+        let d = buf(3, 2);
+        let _ = MatRef::from_slice(&d, 3, 3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "leading dimension")]
+    fn bad_ld_panics() {
+        let d = buf(4, 2);
+        let _ = MatRef::from_slice(&d, 4, 2, 3);
+    }
+
+    #[test]
+    fn submatrix_offsets() {
+        let d = buf(4, 4);
+        let v = MatRef::from_slice(&d, 4, 4, 4);
+        let s = v.submatrix(1, 2, 2, 2);
+        assert_eq!(s.at(0, 0), v.at(1, 2));
+        assert_eq!(s.at(1, 1), v.at(2, 3));
+        assert_eq!(s.ld(), 4);
+    }
+
+    #[test]
+    fn quadrants_cover_matrix() {
+        let d = buf(4, 6);
+        let v = MatRef::from_slice(&d, 4, 6, 4);
+        let (a11, a12, a21, a22) = v.quadrants(2, 3);
+        assert_eq!((a11.nrows(), a11.ncols()), (2, 3));
+        assert_eq!((a12.nrows(), a12.ncols()), (2, 3));
+        assert_eq!((a21.nrows(), a21.ncols()), (2, 3));
+        assert_eq!((a22.nrows(), a22.ncols()), (2, 3));
+        assert_eq!(a22.at(1, 2), v.at(3, 5));
+    }
+
+    #[test]
+    fn mutable_quadrants_are_disjoint_writes() {
+        let mut d = vec![0.0f64; 16];
+        let v = MatMut::from_slice(&mut d, 4, 4, 4);
+        let (mut q11, mut q12, mut q21, mut q22) = v.split_quadrants(2, 2);
+        q11.fill(1.0);
+        q12.fill(2.0);
+        q21.fill(3.0);
+        q22.fill(4.0);
+        let v = MatRef::from_slice(&d, 4, 4, 4);
+        assert_eq!(v.at(0, 0), 1.0);
+        assert_eq!(v.at(0, 3), 2.0);
+        assert_eq!(v.at(3, 0), 3.0);
+        assert_eq!(v.at(3, 3), 4.0);
+    }
+
+    #[test]
+    fn split_rows_and_cols() {
+        let mut d = vec![0.0f64; 12];
+        let v = MatMut::from_slice(&mut d, 3, 4, 3);
+        let (mut top, mut bot) = v.split_rows(1);
+        assert_eq!((top.nrows(), top.ncols()), (1, 4));
+        assert_eq!((bot.nrows(), bot.ncols()), (2, 4));
+        top.fill(7.0);
+        bot.fill(9.0);
+        let v2 = MatRef::from_slice(&d, 3, 4, 3);
+        assert_eq!(v2.at(0, 2), 7.0);
+        assert_eq!(v2.at(2, 2), 9.0);
+
+        let mut d2 = vec![0.0f64; 12];
+        let v = MatMut::from_slice(&mut d2, 3, 4, 3);
+        let (l, r) = v.split_cols(3);
+        assert_eq!((l.nrows(), l.ncols()), (3, 3));
+        assert_eq!((r.nrows(), r.ncols()), (3, 1));
+    }
+
+    #[test]
+    fn copy_and_transpose_copy() {
+        let d = buf(3, 2);
+        let src = MatRef::from_slice(&d, 3, 2, 3);
+        let mut dst_buf = vec![0.0f64; 6];
+        MatMut::from_slice(&mut dst_buf, 3, 2, 3).copy_from(src);
+        assert_eq!(dst_buf, d);
+
+        let mut t_buf = vec![0.0f64; 6];
+        MatMut::from_slice(&mut t_buf, 2, 3, 2).copy_transposed_from(src);
+        let t = MatRef::from_slice(&t_buf, 2, 3, 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(src.at(i, j), t.at(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn scale_and_fill() {
+        let mut d = vec![1.0f64; 6];
+        let mut v = MatMut::from_slice(&mut d, 3, 2, 3);
+        v.scale(2.5);
+        assert!(d.iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn empty_views_are_fine() {
+        let d: Vec<f64> = vec![];
+        let v = MatRef::from_slice(&d, 0, 0, 1);
+        assert!(v.is_empty());
+        let v = MatRef::from_slice(&d, 0, 5, 1);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn col_slices_are_contiguous() {
+        let d = buf(4, 3);
+        let v = MatRef::from_slice(&d, 4, 3, 4);
+        assert_eq!(v.col(1), &[4.0, 5.0, 6.0, 7.0]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Derived analytic results quoted in Section 2 of the paper.
+//!
+//! Each function corresponds to a specific numeric claim in the text;
+//! the unit tests pin those claims (12.5% one-level gain, 14.3%
+//! full-recursion Winograd-vs-original gain, 38.2% cutoff benefit at
+//! order 256, …) and the `analytic` experiment prints them.
+
+use crate::recurrence::winograd_square;
+
+/// Paper eq. (1): ratio of one-level op count (Strassen's *original*
+/// 18-add construction, as in the paper's Section 2 text) to the standard
+/// op count on order-`m` square matrices, `(7m³ + 11m²)/(8m³ − 4m²)`.
+pub fn one_level_ratio(m: f64) -> f64 {
+    (7.0 * m.powi(3) + 11.0 * m.powi(2)) / (8.0 * m.powi(3) - 4.0 * m.powi(2))
+}
+
+/// One-level ratio for the *Winograd* variant (15 adds):
+/// `((7/4)m³ + 2m²)/(2m³ − m²)`. This is the quantity whose unit
+/// crossing at `m = 12` yields the theoretical square cutoff of eq. (7).
+pub fn one_level_ratio_winograd(m: f64) -> f64 {
+    (1.75 * m.powi(3) + 2.0 * m.powi(2)) / (2.0 * m.powi(3) - m.powi(2))
+}
+
+/// Limit of [`one_level_ratio`] as `m → ∞` (the famous 7/8).
+pub fn one_level_limit() -> f64 {
+    7.0 / 8.0
+}
+
+/// Limit, as recursion depth `d → ∞`, of `S(2^d m0) / W(2^d m0)` —
+/// original over Winograd — which the paper gives as `(5 + 2 m0)/(4 + 2 m0)`.
+pub fn original_over_winograd_limit(m0: f64) -> f64 {
+    (5.0 + 2.0 * m0) / (4.0 + 2.0 * m0)
+}
+
+/// Percentage improvement of Winograd over original at full depth:
+/// `100 (1 − W/S)` in the `d → ∞` limit.
+pub fn winograd_improvement_percent(m0: f64) -> f64 {
+    100.0 * (1.0 - 1.0 / original_over_winograd_limit(m0))
+}
+
+/// Percentage improvement from stopping recursion at cutoff size `m0_cut`
+/// instead of recursing to scalars, on square matrices of order
+/// `2^d_full` (requires `2^d_full = 2^d_cut * m0_cut`).
+///
+/// The paper computes 38.2% for order 256 with cutoff 12 → `m0 = 8`
+/// (the order-256 recursion with cutoff 12 bottoms out at 8).
+pub fn cutoff_improvement_percent(order: u128, m0_cut: u128) -> f64 {
+    assert!(order.is_power_of_two(), "claim is stated for powers of two");
+    assert!(m0_cut.is_power_of_two());
+    let d_full = order.trailing_zeros();
+    let d_cut = (order / m0_cut).trailing_zeros();
+    let full = winograd_square(d_full, 1) as f64;
+    let cut = winograd_square(d_cut, m0_cut) as f64;
+    100.0 * (1.0 - cut / full)
+}
+
+/// Asymptotic exponent of Strassen's algorithm, `log2 7 ≈ 2.807`.
+pub fn strassen_exponent() -> f64 {
+    (7.0f64).ln() / (2.0f64).ln()
+}
+
+/// Ratio of consecutive Winograd costs when the order doubles,
+/// `W(2^{d+1} m0) / W(2^d m0)` — approaches 7 (paper Table 5 commentary:
+/// "scaling … is very close to the theoretical factor of 7").
+pub fn doubling_factor(d: u32, m0: u128) -> f64 {
+    winograd_square(d + 1, m0) as f64 / winograd_square(d, m0) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_level_approaches_seven_eighths() {
+        assert!((one_level_limit() - 0.875).abs() < 1e-15);
+        assert!((one_level_ratio(1e9) - 0.875).abs() < 1e-8);
+        // 12.5% improvement for large m (paper: "a 12.5% improvement").
+        assert!((100.0 * (1.0 - one_level_ratio(1e9)) - 12.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn one_level_crossovers() {
+        // Original variant (eq. 1): 7m + 11 = 8m − 4 ⇒ crossover at m = 15.
+        assert!(one_level_ratio(14.0) > 1.0);
+        assert!((one_level_ratio(15.0) - 1.0).abs() < 1e-15);
+        assert!(one_level_ratio(16.0) < 1.0);
+        // Winograd variant: crossover at m = 12, matching eq. (7)'s cutoff.
+        assert!(one_level_ratio_winograd(11.0) > 1.0);
+        assert!((one_level_ratio_winograd(12.0) - 1.0).abs() < 1e-15);
+        assert!(one_level_ratio_winograd(13.0) < 1.0);
+    }
+
+    #[test]
+    fn winograd_gain_is_14_3_percent_at_full_recursion() {
+        // m0 = 1: S/W → 7/6, improvement 1 − 6/7 = 14.285…%
+        assert!((original_over_winograd_limit(1.0) - 7.0 / 6.0).abs() < 1e-15);
+        assert!((winograd_improvement_percent(1.0) - 100.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn winograd_gain_range_for_cutoff_12() {
+        // Paper: between 5.26% and 3.45% as m0 ranges 7..12.
+        assert!((winograd_improvement_percent(7.0) - 100.0 * (1.0 - 18.0 / 19.0)).abs() < 1e-12);
+        assert!((winograd_improvement_percent(7.0) - 5.26).abs() < 0.01);
+        assert!((winograd_improvement_percent(12.0) - 3.45).abs() < 0.01);
+    }
+
+    #[test]
+    fn cutoff_benefit_at_256_is_38_2_percent() {
+        let got = cutoff_improvement_percent(256, 8);
+        assert!((got - 38.2).abs() < 0.05, "got {got}");
+    }
+
+    #[test]
+    fn exponent_matches_paper() {
+        assert!((strassen_exponent() - 2.807).abs() < 5e-4);
+    }
+
+    #[test]
+    fn doubling_factor_tends_to_seven() {
+        assert!((doubling_factor(12, 8) - 7.0).abs() < 0.01);
+        // Depths ≥ 1 are within 10% of 7 (paper Table 5 comment); the very
+        // first doubling overshoots (ratio 8) because the add terms are
+        // still a large fraction of the work.
+        assert!((doubling_factor(0, 8) - 8.0).abs() < 0.01);
+        for d in 1..5 {
+            let f = doubling_factor(d, 8);
+            assert!((f - 7.0).abs() / 7.0 < 0.10, "d={d} factor={f}");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Theoretical cutoff characterization — paper eqs. (6)–(8).
+//!
+//! Under the operation-count model, one level of Winograd recursion on an
+//! `(m, k, n)` product beats the standard algorithm iff
+//! `mkn > 4(mk + kn + mn)` — equivalently `1 > 4(1/n + 1/m + 1/k)`.
+//! The square case collapses to `m > 12`.
+
+/// Paper eq. (7): `true` when the *standard* algorithm is at most as
+/// costly as one level of Strassen recursion, i.e. recursion does not pay.
+#[inline]
+pub fn standard_preferred(m: u128, k: u128, n: u128) -> bool {
+    m * k * n <= 4 * (m * k + k * n + m * n)
+}
+
+/// Paper eq. (8): the same condition in reciprocal form, usable for
+/// non-integer reasoning.
+#[inline]
+pub fn standard_preferred_reciprocal(m: f64, k: f64, n: f64) -> bool {
+    1.0 <= 4.0 * (1.0 / n + 1.0 / m + 1.0 / k)
+}
+
+/// The theoretical square cutoff: the largest `m` for which the standard
+/// algorithm is preferred on an `m x m x m` product. The paper derives 12.
+pub fn theoretical_square_cutoff() -> u128 {
+    let mut m = 1;
+    while standard_preferred(m + 1, m + 1, m + 1) {
+        m += 1;
+    }
+    m
+}
+
+/// Exhaustively enumerate the integer shapes with all dims in
+/// `1..=bound` where recursion pays even though `min(m,k,n) <= 12` —
+/// the class of counterexamples (like the paper's 6×14×86) that motivates
+/// rectangular cutoff criteria beyond eq. (11).
+pub fn small_dim_recursion_wins(bound: u128) -> Vec<(u128, u128, u128)> {
+    let mut out = Vec::new();
+    for m in 1..=bound {
+        for k in 1..=bound {
+            for n in 1..=bound {
+                if m.min(k).min(n) <= 12 && !standard_preferred(m, k, n) {
+                    out.push((m, k, n));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One level of Winograd recursion cost under the op-count model (the RHS
+/// of eq. (6)): `7 M(m/2,k/2,n/2) + 4G(m/2,k/2) + 4G(k/2,n/2) + 7G(m/2,n/2)`.
+pub fn one_level_cost(m: u128, k: u128, n: u128) -> f64 {
+    assert!(m % 2 == 0 && k % 2 == 0 && n % 2 == 0, "one_level_cost needs even dims");
+    let (m2, k2, n2) = (m / 2, k / 2, n / 2);
+    7.0 * (2 * m2 * k2 * n2 - m2 * n2) as f64 + (4 * m2 * k2 + 4 * k2 * n2 + 7 * m2 * n2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::standard_ops;
+
+    #[test]
+    fn square_cutoff_is_twelve() {
+        assert_eq!(theoretical_square_cutoff(), 12);
+        assert!(standard_preferred(12, 12, 12));
+        assert!(!standard_preferred(13, 13, 13));
+    }
+
+    #[test]
+    fn papers_rectangular_example() {
+        // m=6, k=14, n=86: (7) is NOT satisfied, recursion should be used
+        // even though m < 12 (paper §2).
+        assert!(!standard_preferred(6, 14, 86));
+        // …and indeed one level is cheaper than standard by the op count.
+        assert!(one_level_cost(6, 14, 86) < standard_ops(6, 14, 86) as f64);
+    }
+
+    #[test]
+    fn integer_and_reciprocal_forms_agree() {
+        for m in 1..30u128 {
+            for k in (1..60u128).step_by(7) {
+                for n in (1..120u128).step_by(11) {
+                    assert_eq!(
+                        standard_preferred(m, k, n),
+                        standard_preferred_reciprocal(m as f64, k as f64, n as f64),
+                        "({m},{k},{n})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_boundary_cases() {
+        // The (7) inequality at equality counts as "standard preferred".
+        // m=k=n=12: 12³ = 1728, 4*3*144 = 1728.
+        assert_eq!(12u128 * 12 * 12, 4 * 3 * 12 * 12);
+        assert!(standard_preferred(12, 12, 12));
+    }
+
+    #[test]
+    fn small_dim_wins_exist_and_include_papers_family() {
+        let wins = small_dim_recursion_wins(90);
+        assert!(wins.contains(&(6, 14, 86)));
+        // Every reported triple must genuinely violate (7).
+        for &(m, k, n) in wins.iter().take(50) {
+            assert!(!standard_preferred(m, k, n));
+            assert!(m.min(k).min(n) <= 12);
+        }
+    }
+
+    #[test]
+    fn one_level_cost_crosses_standard_at_cutoff() {
+        // For even square orders: recursion wins strictly above 12.
+        for m in (2..=12u128).step_by(2) {
+            assert!(one_level_cost(m, m, m) >= standard_ops(m, m, m) as f64, "m={m}");
+        }
+        for m in (14..=64u128).step_by(2) {
+            assert!(one_level_cost(m, m, m) < standard_ops(m, m, m) as f64, "m={m}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Cost models for matrix multiplication and addition.
+//!
+//! The paper's Section 2 works in a pure *operation count* model:
+//! `M(m,k,n) = 2mkn − mn` for a standard multiply (mkn multiplications
+//! plus `mkn − mn` additions) and `G(m,n) = mn` for a matrix add or
+//! subtract. Its companion report [14] generalizes to models where
+//! additions and multiplications have different unit costs; we provide
+//! both behind one trait.
+
+/// A cost model assigning abstract costs to the two primitive matrix
+/// operations Strassen's recursion is built from.
+pub trait CostModel {
+    /// Cost of multiplying an `m x k` by a `k x n` matrix with the
+    /// standard algorithm.
+    fn mult(&self, m: u128, k: u128, n: u128) -> f64;
+    /// Cost of adding or subtracting two `m x n` matrices.
+    fn add(&self, m: u128, n: u128) -> f64;
+}
+
+/// The paper's operation-count model: every arithmetic operation costs 1.
+///
+/// `M(m,k,n) = 2mkn − mn`, `G(m,n) = mn`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpCount;
+
+impl CostModel for OpCount {
+    #[inline]
+    fn mult(&self, m: u128, k: u128, n: u128) -> f64 {
+        (2 * m * k * n - m * n) as f64
+    }
+    #[inline]
+    fn add(&self, m: u128, n: u128) -> f64 {
+        (m * n) as f64
+    }
+}
+
+/// Weighted model: multiplications cost `w_mul`, additions cost `w_add`.
+///
+/// Setting `w_add > w_mul` models machines where the O(n²) add passes are
+/// bandwidth-bound and relatively expensive (the effect that pushes real
+/// cutoffs far above the theoretical 12).
+#[derive(Clone, Copy, Debug)]
+pub struct WeightedOps {
+    /// Cost of one scalar multiplication.
+    pub w_mul: f64,
+    /// Cost of one scalar addition/subtraction.
+    pub w_add: f64,
+}
+
+impl CostModel for WeightedOps {
+    #[inline]
+    fn mult(&self, m: u128, k: u128, n: u128) -> f64 {
+        let mults = (m * k * n) as f64;
+        let adds = (m * k * n - m * n) as f64;
+        self.w_mul * mults + self.w_add * adds
+    }
+    #[inline]
+    fn add(&self, m: u128, n: u128) -> f64 {
+        self.w_add * (m * n) as f64
+    }
+}
+
+/// Exact integer operation count of the standard algorithm,
+/// `2mkn − mn` (kept in `u128` so deep recursions never overflow).
+#[inline]
+pub fn standard_ops(m: u128, k: u128, n: u128) -> u128 {
+    2 * m * k * n - m * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcount_matches_formula() {
+        let m = OpCount;
+        // 2x2x2: 8 mults + 4 adds = 12 = 2*8 - 4
+        assert_eq!(m.mult(2, 2, 2), 12.0);
+        assert_eq!(m.add(3, 4), 12.0);
+        assert_eq!(standard_ops(2, 2, 2), 12);
+    }
+
+    #[test]
+    fn square_standard_count_is_2m3_minus_m2() {
+        for m in [1u128, 5, 12, 100] {
+            assert_eq!(standard_ops(m, m, m), 2 * m * m * m - m * m);
+        }
+    }
+
+    #[test]
+    fn weighted_reduces_to_opcount_at_unit_weights() {
+        let w = WeightedOps { w_mul: 1.0, w_add: 1.0 };
+        let o = OpCount;
+        for &(m, k, n) in &[(3u128, 4u128, 5u128), (10, 10, 10)] {
+            assert_eq!(w.mult(m, k, n), o.mult(m, k, n));
+            assert_eq!(w.add(m, n), o.add(m, n));
+        }
+    }
+
+    #[test]
+    fn expensive_adds_raise_add_cost_only_linearly() {
+        let w = WeightedOps { w_mul: 1.0, w_add: 3.0 };
+        assert_eq!(w.add(2, 2), 12.0);
+        // mult: 8 mults + 4 adds*3 = 20
+        assert_eq!(w.mult(2, 2, 2), 20.0);
+    }
+}

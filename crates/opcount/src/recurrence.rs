@@ -1,0 +1,178 @@
+//! The cost recurrence (paper eq. (2)) and its closed forms (3)–(5).
+
+use crate::model::CostModel;
+
+/// Evaluate the Strassen–Winograd cost recurrence, paper eq. (2):
+///
+/// ```text
+/// W(m,k,n) = M(m,k,n)                                   if cutoff(m,k,n)
+///          = 7 W(m/2,k/2,n/2) + 4G(m/2,k/2) + 4G(k/2,n/2) + 7G(m/2,n/2)
+/// ```
+///
+/// Recursion also stops when any dimension is odd or would reach zero
+/// (the model, like the paper's Section 2, assumes even splits).
+pub fn winograd_cost<M: CostModel>(
+    model: &M,
+    m: u128,
+    k: u128,
+    n: u128,
+    cutoff: &dyn Fn(u128, u128, u128) -> bool,
+) -> f64 {
+    if cutoff(m, k, n) || m < 2 || k < 2 || n < 2 || m % 2 != 0 || k % 2 != 0 || n % 2 != 0 {
+        return model.mult(m, k, n);
+    }
+    let (m2, k2, n2) = (m / 2, k / 2, n / 2);
+    7.0 * winograd_cost(model, m2, k2, n2, cutoff)
+        + 4.0 * model.add(m2, k2)
+        + 4.0 * model.add(k2, n2)
+        + 7.0 * model.add(m2, n2)
+}
+
+/// Same recurrence for Strassen's *original* construction
+/// (7 multiplies, 18 additions: 5 on A-operands, 5 on B-operands, 8 on C).
+pub fn original_cost<M: CostModel>(
+    model: &M,
+    m: u128,
+    k: u128,
+    n: u128,
+    cutoff: &dyn Fn(u128, u128, u128) -> bool,
+) -> f64 {
+    if cutoff(m, k, n) || m < 2 || k < 2 || n < 2 || m % 2 != 0 || k % 2 != 0 || n % 2 != 0 {
+        return model.mult(m, k, n);
+    }
+    let (m2, k2, n2) = (m / 2, k / 2, n / 2);
+    7.0 * original_cost(model, m2, k2, n2, cutoff)
+        + 5.0 * model.add(m2, k2)
+        + 5.0 * model.add(k2, n2)
+        + 8.0 * model.add(m2, n2)
+}
+
+/// Closed form (3): operation count of `d` levels of Winograd recursion on
+/// a `2^d m0 x 2^d k0` by `2^d k0 x 2^d n0` product, standard algorithm at
+/// the bottom.
+pub fn winograd_closed_form(d: u32, m0: u128, k0: u128, n0: u128) -> u128 {
+    let p7 = 7u128.pow(d);
+    let p4 = 4u128.pow(d);
+    p7 * (2 * m0 * k0 * n0 - m0 * n0) + (p7 - p4) * (4 * m0 * k0 + 4 * k0 * n0 + 7 * m0 * n0) / 3
+}
+
+/// Closed form (4): square specialization of (3),
+/// `W(2^d m0) = 7^d (2 m0³ − m0²) + 5 m0² (7^d − 4^d)`.
+pub fn winograd_square(d: u32, m0: u128) -> u128 {
+    let p7 = 7u128.pow(d);
+    let p4 = 4u128.pow(d);
+    p7 * (2 * m0 * m0 * m0 - m0 * m0) + 5 * m0 * m0 * (p7 - p4)
+}
+
+/// Closed form (5): Strassen's original variant on square matrices,
+/// `S(2^d m0) = 7^d (2 m0³ − m0²) + 6 m0² (7^d − 4^d)`.
+pub fn original_square(d: u32, m0: u128) -> u128 {
+    let p7 = 7u128.pow(d);
+    let p4 = 4u128.pow(d);
+    p7 * (2 * m0 * m0 * m0 - m0 * m0) + 6 * m0 * m0 * (p7 - p4)
+}
+
+/// Number of recursion levels a square order-`m` multiply performs under
+/// square cutoff `tau` (recursion while the current order is even and
+/// exceeds `tau`). This is what makes "τ+1, 2τ+2, 4τ+4, …" the smallest
+/// orders that do 1, 2, 3, … recursions (paper Table 5).
+pub fn recursion_depth(mut m: u128, tau: u128) -> u32 {
+    let mut d = 0;
+    while m > tau && m % 2 == 0 {
+        m /= 2;
+        d += 1;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{standard_ops, OpCount};
+
+    #[test]
+    fn recurrence_matches_closed_form_square() {
+        // Stop exactly at m0 by cutting off at size <= m0.
+        for d in 0..5u32 {
+            for m0 in [1u128, 3, 8, 12] {
+                let m = (1u128 << d) * m0;
+                let cut = move |a: u128, _: u128, _: u128| a <= m0;
+                let rec = winograd_cost(&OpCount, m, m, m, &cut);
+                assert_eq!(rec as u128, winograd_square(d, m0), "d={d} m0={m0}");
+            }
+        }
+    }
+
+    #[test]
+    fn recurrence_matches_closed_form_rect() {
+        for d in 0..4u32 {
+            let (m0, k0, n0) = (3u128, 5u128, 7u128);
+            let s = 1u128 << d;
+            let cut = move |a: u128, b: u128, c: u128| a <= m0 && b <= k0 && c <= n0;
+            let rec = winograd_cost(&OpCount, s * m0, s * k0, s * n0, &cut);
+            assert_eq!(rec as u128, winograd_closed_form(d, m0, k0, n0), "d={d}");
+        }
+    }
+
+    #[test]
+    fn original_matches_its_closed_form() {
+        for d in 0..5u32 {
+            let m0 = 4u128;
+            let m = (1u128 << d) * m0;
+            let cut = move |a: u128, _: u128, _: u128| a <= m0;
+            let rec = original_cost(&OpCount, m, m, m, &cut);
+            assert_eq!(rec as u128, original_square(d, m0), "d={d}");
+        }
+    }
+
+    #[test]
+    fn zero_levels_is_standard_count() {
+        assert_eq!(winograd_closed_form(0, 5, 6, 7), standard_ops(5, 6, 7));
+        assert_eq!(winograd_square(0, 9), standard_ops(9, 9, 9));
+        assert_eq!(original_square(0, 9), standard_ops(9, 9, 9));
+    }
+
+    #[test]
+    fn winograd_beats_original_for_all_depths() {
+        // Their difference is m0²(7^d − 4^d) > 0 for d ≥ 1 (paper §2).
+        for d in 1..8u32 {
+            for m0 in [1u128, 2, 7, 12] {
+                let diff = original_square(d, m0) - winograd_square(d, m0);
+                assert_eq!(diff, m0 * m0 * (7u128.pow(d) - 4u128.pow(d)));
+            }
+        }
+    }
+
+    #[test]
+    fn one_level_count_matches_section2_text() {
+        // Paper §2 computes one level of *Strassen's original* 18-add
+        // construction: 7(2(m/2)³ − (m/2)²) + 18(m/2)² = (7/4)m³ + (11/4)m².
+        let m = 8u128;
+        let cut = move |a: u128, _: u128, _: u128| a <= m / 2;
+        let got = original_cost(&OpCount, m, m, m, &cut);
+        let expect = 7.0 / 4.0 * (m as f64).powi(3) + 11.0 / 4.0 * (m as f64).powi(2);
+        assert_eq!(got, expect);
+        // The Winograd variant's 15 adds give (7/4)m³ + 2m² instead.
+        let gotw = winograd_cost(&OpCount, m, m, m, &cut);
+        assert_eq!(gotw, 7.0 / 4.0 * (m as f64).powi(3) + 2.0 * (m as f64).powi(2));
+    }
+
+    #[test]
+    fn recursion_depth_table5_sizes() {
+        let tau = 199u128; // RS/6000 square cutoff from the paper
+        assert_eq!(recursion_depth(tau + 1, tau), 1);
+        assert_eq!(recursion_depth(2 * tau + 2, tau), 2);
+        assert_eq!(recursion_depth(4 * tau + 4, tau), 3);
+        assert_eq!(recursion_depth(8 * tau + 8, tau), 4);
+        assert_eq!(recursion_depth(tau, tau), 0);
+    }
+
+    #[test]
+    fn odd_dimensions_stop_recursion_in_model() {
+        // 14 = 2*7: one even split then odd stops it.
+        let cut = |_: u128, _: u128, _: u128| false;
+        let got = winograd_cost(&OpCount, 14, 14, 14, &cut);
+        let expect = 7.0 * standard_ops(7, 7, 7) as f64 + (15 * 7 * 7) as f64;
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,45 @@
+//! Memory-budget tour: what each Strassen schedule costs in temporary
+//! storage, measured from the workspace accounting (paper Table 1).
+//!
+//! ```sh
+//! cargo run --release --example memory_budget [order]
+//! ```
+
+use strassen::workspace::{resolve_scheme, ResolvedScheme};
+use strassen::{required_workspace, CutoffCriterion, Scheme, StrassenConfig};
+
+fn main() {
+    let m: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let tau = 64usize;
+    let m2 = (m * m) as f64;
+    println!("temporary storage to multiply two {m}x{m} matrices (cutoff {tau}):\n");
+    println!("{:<34} {:>14} {:>10} {:>12}", "schedule", "elements", "x m^2", "MiB (f64)");
+
+    let base = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau });
+    let rows: [(&str, StrassenConfig, bool); 6] = [
+        ("STRASSEN1, beta = 0", base.scheme(Scheme::Strassen1), true),
+        ("STRASSEN1, beta != 0", base.scheme(Scheme::Strassen1), false),
+        ("STRASSEN2 (any beta)", base.scheme(Scheme::Strassen2), false),
+        ("seven-temp (parallelizable)", base.scheme(Scheme::SevenTemp), true),
+        ("DGEFMM auto, beta = 0", base, true),
+        ("DGEFMM auto, beta != 0", base, false),
+    ];
+    for (name, cfg, beta_zero) in rows {
+        let elems = required_workspace(&cfg, m, m, m, beta_zero);
+        println!(
+            "{name:<34} {elems:>14} {:>10.3} {:>12.1}",
+            elems as f64 / m2,
+            (elems * 8) as f64 / (1024.0 * 1024.0)
+        );
+    }
+
+    println!("\npaper Table 1 square-case bounds: 2m^2/3 (beta=0), m^2 (general),");
+    println!("vs 7m^2/3 for CRAY SGEMMS and 5m^2/3 for DGEMMW's general case.");
+    println!(
+        "\nresolved schedule for beta = 0: {:?}; for beta != 0: {:?}",
+        resolve_scheme(&base, true),
+        resolve_scheme(&base, false)
+    );
+    assert_eq!(resolve_scheme(&base, true), ResolvedScheme::Strassen1BetaZero);
+    assert_eq!(resolve_scheme(&base, false), ResolvedScheme::Strassen2);
+}

@@ -1,0 +1,50 @@
+//! Tune the cutoff criterion for this machine (the paper's Section 3.4
+//! procedure), then use the tuned parameters on a rectangular problem
+//! where the simple criterion would refuse to recurse.
+//!
+//! ```sh
+//! cargo run --release --example tuning
+//! ```
+
+use blas::level3::GemmConfig;
+use strassen::tuning::{self, SweepDim};
+use strassen::CutoffCriterion;
+
+fn main() {
+    let gemm = GemmConfig::blocked();
+    let reps = 3;
+
+    // Square crossover sweep (coarse, for demonstration; the experiment
+    // harness sweeps finer).
+    let square_sizes: Vec<usize> = (64..=448).step_by(64).collect();
+    let square = tuning::measure_square_cutoff(&gemm, &square_sizes, reps);
+    println!("square sweep (ratio > 1 ⇒ one Strassen level beats DGEMM):");
+    for s in &square.samples {
+        println!("  m = {:>4}: {:.3}", s.size, s.ratio);
+    }
+    println!("chosen square cutoff tau = {}", square.tau);
+
+    // Rectangular sweeps: two dimensions fixed large, one varies.
+    let rect_sizes: Vec<usize> = (32..=224).step_by(48).collect();
+    let fixed = 512;
+    let tau_m = tuning::measure_rect_param(&gemm, SweepDim::M, fixed, &rect_sizes, reps).tau;
+    let tau_k = tuning::measure_rect_param(&gemm, SweepDim::K, fixed, &rect_sizes, reps).tau;
+    let tau_n = tuning::measure_rect_param(&gemm, SweepDim::N, fixed, &rect_sizes, reps).tau;
+    println!("rectangular parameters: tau_m = {tau_m}, tau_k = {tau_k}, tau_n = {tau_n}");
+
+    let tuned = tuning::TunedParameters { tau: square.tau, tau_m, tau_k, tau_n };
+    let hybrid = tuned.criterion();
+    let simple = CutoffCriterion::Simple { tau: square.tau };
+
+    // The paper's motivating shape: one dimension below tau, others large.
+    let (m, k, n) = (tau_m + tau_m / 2, 2 * square.tau, 2 * square.tau);
+    println!("\nproblem {m}x{k}x{n} (m below the square cutoff {}):", square.tau);
+    println!("  simple criterion (eq. 11) recurses : {}", !simple.should_stop(m, k, n));
+    println!("  hybrid criterion (eq. 15) recurses : {}", !hybrid.should_stop(m, k, n));
+
+    let t_simple = tuning::crossover_ratio(&gemm, m, k, n, reps);
+    println!(
+        "  measured one-level speedup on it    : {:.3}x (ratio DGEMM / one-level Strassen)",
+        t_simple
+    );
+}

@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: the full stack working together.
+
+use blas::level3::{gemm, GemmConfig};
+use blas::Op;
+use eigen::backend::{GemmBackend, StrassenBackend, TimingBackend};
+use eigen::isda::{isda_eigen, IsdaOptions};
+use matrix::{norms, random, Matrix};
+use strassen::{
+    dgefmm, required_workspace, total_temp_elements, CutoffCriterion, OddHandling, Scheme,
+    StrassenConfig,
+};
+
+/// DGEFMM inside the eigensolver gives the same spectrum as DGEMM inside
+/// the eigensolver — the end-to-end version of the Table 6 setup.
+#[test]
+fn eigensolver_backends_agree_end_to_end() {
+    let truth: Vec<f64> = (0..100).map(|i| i as f64 * 0.3 - 12.0).collect();
+    let a = random::symmetric_with_spectrum::<f64>(&truth, 77);
+    let opts = IsdaOptions::default();
+
+    let g = TimingBackend::new(GemmBackend(GemmConfig::blocked()));
+    let e_gemm = isda_eigen(&a, &g, &opts);
+    let s = TimingBackend::new(StrassenBackend::new(StrassenConfig::with_square_cutoff(24)));
+    let e_str = isda_eigen(&a, &s, &opts);
+
+    assert!(g.calls() > 0 && s.calls() > 0);
+    let mut sorted = truth.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for ((x, y), want) in e_gemm.values.iter().zip(&e_str.values).zip(&sorted) {
+        assert!((x - y).abs() < 1e-6, "backends disagree: {x} vs {y}");
+        assert!((x - want).abs() < 1e-6, "wrong eigenvalue: {x} vs {want}");
+    }
+}
+
+/// The workspace accounting matches the opcount memory model across a
+/// grid of shapes — the Table 1 invariant.
+#[test]
+fn workspace_within_model_bounds_grid() {
+    let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 12 });
+    for m in [24usize, 60, 96, 130] {
+        for k in [24usize, 72, 100] {
+            for n in [24usize, 48, 140] {
+                let (mu, ku, nu) = (m as u128, k as u128, n as u128);
+                let s1 = required_workspace(&cfg, m, k, n, true) as f64;
+                assert!(
+                    s1 <= opcount::memory::strassen1_bound(mu, ku, nu, true) + 1.0,
+                    "S1 bound violated at {m}x{k}x{n}"
+                );
+                let s2 = required_workspace(&cfg, m, k, n, false) as f64;
+                assert!(
+                    s2 <= opcount::memory::strassen2_bound(mu, ku, nu) + 1.0,
+                    "S2 bound violated at {m}x{k}x{n}"
+                );
+                // Peeling never copies; total == arena.
+                assert_eq!(
+                    total_temp_elements(&cfg, m, k, n, false),
+                    required_workspace(&cfg, m, k, n, false)
+                );
+            }
+        }
+    }
+}
+
+/// All four odd-handling/schedule combinations agree with plain GEMM on
+/// one awkward problem (odd dims at several recursion levels).
+#[test]
+fn all_configurations_one_awkward_problem() {
+    let (m, k, n) = (109, 87, 133);
+    let (alpha, beta) = (-0.8, 0.3);
+    let a = random::uniform::<f64>(m, k, 5);
+    let b = random::uniform::<f64>(k, n, 6);
+    let c0 = random::uniform::<f64>(m, n, 7);
+
+    let mut expect = c0.clone();
+    gemm(&GemmConfig::blocked(), alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, expect.as_mut());
+
+    for odd in [OddHandling::DynamicPeeling, OddHandling::DynamicPadding, OddHandling::StaticPadding] {
+        for scheme in [Scheme::Auto, Scheme::Strassen1, Scheme::Strassen2, Scheme::SevenTemp] {
+            let cfg = StrassenConfig::dgefmm()
+                .cutoff(CutoffCriterion::Simple { tau: 16 })
+                .odd(odd)
+                .scheme(scheme);
+            let mut c = c0.clone();
+            dgefmm(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+            norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-10, &format!("{odd:?}/{scheme:?}"));
+        }
+    }
+}
+
+/// Comparators and DGEFMM all produce the same numeric answer on the
+/// same inputs (what the paper verified before timing anything).
+#[test]
+fn comparators_numerically_consistent() {
+    use strassen::comparators::{dgemms, dgemmw, sgemms};
+    let (m, k, n) = (95, 95, 95);
+    let a = random::uniform::<f64>(m, k, 1);
+    let b = random::uniform::<f64>(k, n, 2);
+    let c0 = random::uniform::<f64>(m, n, 3);
+    let g = GemmConfig::blocked();
+    let (alpha, beta) = (1.0, 2.0);
+
+    let mut expect = c0.clone();
+    gemm(&g, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, expect.as_mut());
+
+    let mut cw = c0.clone();
+    dgemmw::dgemmw(16, g, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, cw.as_mut());
+    norms::assert_allclose(cw.as_ref(), expect.as_ref(), 1e-11, "dgemmw");
+
+    let mut cs = c0.clone();
+    sgemms::sgemms(16, g, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, cs.as_mut());
+    norms::assert_allclose(cs.as_ref(), expect.as_ref(), 1e-11, "sgemms");
+
+    let mut ci = c0.clone();
+    dgemms::dgemms_with_update(16, g, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, ci.as_mut());
+    norms::assert_allclose(ci.as_ref(), expect.as_ref(), 1e-11, "dgemms");
+}
+
+/// Runtime recursion depth matches the op-count model's depth for
+/// power-of-two sizes under the simple criterion.
+#[test]
+fn planned_depth_matches_model() {
+    let tau = 50usize;
+    let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau });
+    for m in [64usize, 128, 256, 512] {
+        let model = opcount::recurrence::recursion_depth(m as u128, tau as u128);
+        assert_eq!(strassen::planned_depth(&cfg, m, m, m), model, "m={m}");
+    }
+}
+
+/// The Level 2 fix-up path (GER/GEMV) used by peeling is consistent with
+/// building the product from scratch — the eq. (9) identity.
+#[test]
+fn peeling_fixup_identity() {
+    // (m, k, n) all odd with a cutoff that forces exactly one peel+recurse.
+    let (m, k, n) = (33, 33, 33);
+    let a = random::uniform::<f64>(m, k, 9);
+    let b = random::uniform::<f64>(k, n, 10);
+    let mut c = Matrix::<f64>::zeros(m, n);
+    let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Never).max_depth(1);
+    dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+
+    let mut expect = Matrix::<f64>::zeros(m, n);
+    gemm(&GemmConfig::blocked(), 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, expect.as_mut());
+    norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-12, "peel identity");
+}
+
+/// `f32` flows through the full stack too (the "SGEMM" side).
+#[test]
+fn f32_full_stack() {
+    let cfg = StrassenConfig::with_square_cutoff(16);
+    let a = random::uniform::<f32>(50, 40, 1);
+    let b = random::uniform::<f32>(40, 60, 2);
+    let mut c = Matrix::<f32>::zeros(50, 60);
+    dgefmm(&cfg, 2.0f32, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+    let mut expect = Matrix::<f32>::zeros(50, 60);
+    gemm(&GemmConfig::blocked(), 2.0f32, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, expect.as_mut());
+    norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-4, "f32 stack");
+}

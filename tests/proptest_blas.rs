@@ -1,0 +1,170 @@
+//! Property tests for the BLAS substrate: every kernel agrees with a
+//! scalar-indexing reference implementation on random shapes, strides,
+//! transposes, and scalars.
+
+use blas::level1;
+use blas::level2::{gemv, ger, Op};
+use blas::level3::{gemm, GemmAlgo, GemmConfig};
+use blas::{VecMut, VecRef};
+use matrix::{norms, random, Matrix};
+use proptest::prelude::*;
+
+fn reference_gemm(
+    alpha: f64,
+    op_a: Op,
+    a: &Matrix<f64>,
+    op_b: Op,
+    b: &Matrix<f64>,
+    beta: f64,
+    c: &Matrix<f64>,
+) -> Matrix<f64> {
+    let (m, k) = op_a.dims(&a.as_ref());
+    let (_, n) = op_b.dims(&b.as_ref());
+    let ga = |i: usize, p: usize| if op_a == Op::NoTrans { a.at(i, p) } else { a.at(p, i) };
+    let gb = |p: usize, j: usize| if op_b == Op::NoTrans { b.at(p, j) } else { b.at(j, p) };
+    Matrix::from_fn(m, n, |i, j| {
+        let s: f64 = (0..k).map(|p| ga(i, p) * gb(p, j)).sum();
+        alpha * s + beta * c.at(i, j)
+    })
+}
+
+fn algo_strategy() -> impl Strategy<Value = GemmConfig> {
+    prop_oneof![
+        Just(GemmConfig::naive()),
+        Just(GemmConfig::blocked()),
+        Just(GemmConfig { algo: GemmAlgo::Blocked, mc: 16, kc: 8, nc: 12 }),
+        Just(GemmConfig::parallel()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_matches_reference(
+        m in 1usize..50,
+        k in 1usize..50,
+        n in 1usize..50,
+        alpha in -3.0f64..3.0,
+        beta in -3.0f64..3.0,
+        ta in proptest::bool::ANY,
+        tb in proptest::bool::ANY,
+        cfg in algo_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let op_a = if ta { Op::Trans } else { Op::NoTrans };
+        let op_b = if tb { Op::Trans } else { Op::NoTrans };
+        let (ar, ac) = if ta { (k, m) } else { (m, k) };
+        let (br, bc) = if tb { (n, k) } else { (k, n) };
+        let a = random::uniform::<f64>(ar, ac, seed);
+        let b = random::uniform::<f64>(br, bc, seed ^ 1);
+        let c0 = random::uniform::<f64>(m, n, seed ^ 2);
+
+        let expect = reference_gemm(alpha, op_a, &a, op_b, &b, beta, &c0);
+        let mut c = c0.clone();
+        gemm(&cfg, alpha, op_a, a.as_ref(), op_b, b.as_ref(), beta, c.as_mut());
+        let diff = norms::rel_diff(c.as_ref(), expect.as_ref());
+        prop_assert!(diff < 1e-12, "rel diff {diff:.3e} ({m}x{k}x{n} {cfg:?})");
+    }
+
+    #[test]
+    fn gemm_on_submatrix_views(
+        off_r in 0usize..4,
+        off_c in 0usize..4,
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        cfg in algo_strategy(),
+        seed in 0u64..100_000,
+    ) {
+        // Views into larger buffers: exercises ld > nrows everywhere.
+        let big_a = random::uniform::<f64>(m + 8, k + 8, seed);
+        let big_b = random::uniform::<f64>(k + 8, n + 8, seed ^ 3);
+        let a = big_a.as_ref().submatrix(off_r, off_c, m, k);
+        let b = big_b.as_ref().submatrix(off_c, off_r, k, n);
+        let a_own = a.to_owned_matrix();
+        let b_own = b.to_owned_matrix();
+        let expect = reference_gemm(1.0, Op::NoTrans, &a_own, Op::NoTrans, &b_own, 0.0, &Matrix::zeros(m, n));
+        let mut c = Matrix::<f64>::zeros(m, n);
+        gemm(&cfg, 1.0, Op::NoTrans, a, Op::NoTrans, b, 0.0, c.as_mut());
+        prop_assert!(norms::rel_diff(c.as_ref(), expect.as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn gemv_matches_gemm_column(
+        m in 1usize..40,
+        n in 1usize..40,
+        trans in proptest::bool::ANY,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        seed in 0u64..100_000,
+    ) {
+        // gemv is gemm with a 1-column B.
+        let a = random::uniform::<f64>(m, n, seed);
+        let op = if trans { Op::Trans } else { Op::NoTrans };
+        let (xl, yl) = if trans { (m, n) } else { (n, m) };
+        let x = random::uniform::<f64>(xl, 1, seed ^ 4);
+        let y0 = random::uniform::<f64>(yl, 1, seed ^ 5);
+
+        let expect = reference_gemm(alpha, op, &a, Op::NoTrans, &x, beta, &y0);
+        let mut y = y0.clone();
+        gemv(alpha, op, a.as_ref(),
+             VecRef::from_col(x.as_ref(), 0), beta, VecMut::from_col(y.as_mut(), 0));
+        prop_assert!(norms::rel_diff(y.as_ref(), expect.as_ref()) < 1e-13);
+    }
+
+    #[test]
+    fn ger_matches_outer_product(
+        m in 1usize..30,
+        n in 1usize..30,
+        alpha in -2.0f64..2.0,
+        seed in 0u64..100_000,
+    ) {
+        let x = random::uniform::<f64>(m, 1, seed);
+        let y = random::uniform::<f64>(n, 1, seed ^ 6);
+        let a0 = random::uniform::<f64>(m, n, seed ^ 7);
+        let expect = Matrix::from_fn(m, n, |i, j| a0.at(i, j) + alpha * x.at(i, 0) * y.at(j, 0));
+        let mut a = a0.clone();
+        ger(alpha, VecRef::from_col(x.as_ref(), 0), VecRef::from_col(y.as_ref(), 0), a.as_mut());
+        prop_assert!(norms::rel_diff(a.as_ref(), expect.as_ref()) < 1e-14);
+    }
+
+    #[test]
+    fn dot_axpy_agree_with_naive(
+        n in 0usize..200,
+        alpha in -2.0f64..2.0,
+        seed in 0u64..100_000,
+    ) {
+        let x = random::uniform::<f64>(n.max(1), 1, seed);
+        let y = random::uniform::<f64>(n.max(1), 1, seed ^ 8);
+        let xs = &x.as_slice()[..n];
+        let ys = &y.as_slice()[..n];
+        let expect_dot: f64 = xs.iter().zip(ys).map(|(a, b)| a * b).sum();
+        let got = level1::dot(VecRef::from_slice(xs), VecRef::from_slice(ys));
+        prop_assert!((got - expect_dot).abs() < 1e-12 * (n as f64 + 1.0));
+
+        let mut z = ys.to_vec();
+        level1::axpy(alpha, VecRef::from_slice(xs), VecMut::from_slice(&mut z));
+        for i in 0..n {
+            prop_assert!((z[i] - (ys[i] + alpha * xs[i])).abs() < 1e-14);
+        }
+    }
+
+    /// Row views (stride = ld) feed kernels identically to contiguous
+    /// copies — the access pattern the peeling fixups rely on.
+    #[test]
+    fn strided_rows_equal_contiguous(
+        m in 2usize..30,
+        n in 2usize..30,
+        i in 0usize..2,
+        seed in 0u64..100_000,
+    ) {
+        let a = random::uniform::<f64>(m, n, seed);
+        let row = VecRef::from_row(a.as_ref(), i % m);
+        let copied: Vec<f64> = (0..n).map(|j| a.at(i % m, j)).collect();
+        let d1 = level1::dot(row, row);
+        let d2 = level1::dot(VecRef::from_slice(&copied), VecRef::from_slice(&copied));
+        prop_assert!((d1 - d2).abs() < 1e-13);
+        prop_assert_eq!(level1::iamax(row), level1::iamax(VecRef::from_slice(&copied)));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the view algebra the Strassen recursion stands on:
+//! splits partition, compositions commute, transposes round-trip.
+
+use matrix::{norms, random, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The four quadrants partition the matrix: every element is in
+    /// exactly one quadrant, at the expected offset.
+    #[test]
+    fn quadrants_partition(
+        m in 1usize..30,
+        n in 1usize..30,
+        rs_frac in 0.0f64..1.0,
+        cs_frac in 0.0f64..1.0,
+        seed in 0u64..100_000,
+    ) {
+        let a = random::uniform::<f64>(m, n, seed);
+        let rs = ((m as f64 * rs_frac) as usize).min(m);
+        let cs = ((n as f64 * cs_frac) as usize).min(n);
+        let (q11, q12, q21, q22) = a.as_ref().quadrants(rs, cs);
+        prop_assert_eq!(q11.nrows() + q21.nrows(), m);
+        prop_assert_eq!(q11.ncols() + q12.ncols(), n);
+        for i in 0..m {
+            for j in 0..n {
+                let v = a.at(i, j);
+                let got = match (i < rs, j < cs) {
+                    (true, true) => q11.at(i, j),
+                    (true, false) => q12.at(i, j - cs),
+                    (false, true) => q21.at(i - rs, j),
+                    (false, false) => q22.at(i - rs, j - cs),
+                };
+                prop_assert_eq!(v, got, "({}, {})", i, j);
+            }
+        }
+    }
+
+    /// Nested submatrix views compose additively in their offsets.
+    #[test]
+    fn submatrix_composition(
+        m in 4usize..30,
+        n in 4usize..30,
+        seed in 0u64..100_000,
+    ) {
+        let a = random::uniform::<f64>(m, n, seed);
+        let outer = a.as_ref().submatrix(1, 1, m - 2, n - 2);
+        let inner = outer.submatrix(1, 1, m - 3, n - 3);
+        for i in 0..(m - 3) {
+            for j in 0..(n - 3) {
+                prop_assert_eq!(inner.at(i, j), a.at(i + 2, j + 2));
+            }
+        }
+    }
+
+    /// Transpose is an involution, and `copy_transposed_from` agrees
+    /// with elementwise transposition on strided views.
+    #[test]
+    fn transpose_round_trip(
+        m in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..100_000,
+    ) {
+        let a = random::uniform::<f64>(m, n, seed);
+        let tt = a.transposed().transposed();
+        prop_assert_eq!(&a, &tt);
+        // On an interior view too (ld > nrows).
+        if m > 2 && n > 2 {
+            let v = a.as_ref().submatrix(1, 1, m - 2, n - 2);
+            let mut t = Matrix::<f64>::zeros(n - 2, m - 2);
+            t.as_mut().copy_transposed_from(v);
+            for i in 0..(m - 2) {
+                for j in 0..(n - 2) {
+                    prop_assert_eq!(t.at(j, i), v.at(i, j));
+                }
+            }
+        }
+    }
+
+    /// Norm identities: ‖A‖₁ of Aᵀ equals ‖A‖_∞ of A; Frobenius is
+    /// transpose-invariant; max_abs bounds all entries.
+    #[test]
+    fn norm_identities(m in 1usize..25, n in 1usize..25, seed in 0u64..100_000) {
+        let a = random::uniform::<f64>(m, n, seed);
+        let at = a.transposed();
+        prop_assert!((norms::one_norm(at.as_ref()) - norms::inf_norm(a.as_ref())).abs() < 1e-12);
+        prop_assert!(
+            (norms::frobenius(a.as_ref()) - norms::frobenius(at.as_ref())).abs() < 1e-12
+        );
+        let mx = norms::max_abs(a.as_ref());
+        for j in 0..n {
+            for &x in a.as_ref().col(j) {
+                prop_assert!(x.abs() <= mx + 1e-15);
+            }
+        }
+        // Frobenius dominates max_abs, and is dominated by sqrt(mn)·max_abs.
+        let fro = norms::frobenius(a.as_ref());
+        prop_assert!(fro + 1e-12 >= mx);
+        prop_assert!(fro <= ((m * n) as f64).sqrt() * mx + 1e-12);
+    }
+
+    /// Mutable split halves write disjointly and cover everything.
+    #[test]
+    fn split_rows_cols_disjoint_cover(
+        m in 2usize..24,
+        n in 2usize..24,
+        r_frac in 0.0f64..1.0,
+        seed in 0u64..100_000,
+    ) {
+        let r = ((m as f64 * r_frac) as usize).min(m);
+        let mut a = random::uniform::<f64>(m, n, seed);
+        {
+            let (mut top, mut bot) = a.as_mut().split_rows(r);
+            top.fill(1.0);
+            bot.fill(2.0);
+        }
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(a.at(i, j), if i < r { 1.0 } else { 2.0 });
+            }
+        }
+    }
+
+    /// Row-major and column-major constructors agree with from_fn.
+    #[test]
+    fn constructors_agree(m in 1usize..12, n in 1usize..12) {
+        let f = Matrix::from_fn(m, n, |i, j| (i * n + j) as f64);
+        let rm: Vec<f64> = (0..m * n).map(|x| x as f64).collect();
+        let from_rows = Matrix::from_row_major(m, n, &rm);
+        prop_assert_eq!(&f, &from_rows);
+        let cm: Vec<f64> = {
+            let mut v = vec![0.0; m * n];
+            for j in 0..n {
+                for i in 0..m {
+                    v[i + j * m] = (i * n + j) as f64;
+                }
+            }
+            v
+        };
+        let from_cols = Matrix::from_col_major(m, n, cm);
+        prop_assert_eq!(&f, &from_cols);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests: DGEFMM ≡ conventional GEMM over random shapes,
+//! scalars, schedules, and odd-handling strategies, with the error
+//! bounded by a Strassen-style stability envelope.
+
+use blas::level3::{gemm, GemmConfig};
+use blas::Op;
+use matrix::{norms, random, Matrix};
+use proptest::prelude::*;
+use strassen::{dgefmm, CutoffCriterion, OddHandling, Scheme, StrassenConfig, Variant};
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Auto),
+        Just(Scheme::Strassen1),
+        Just(Scheme::Strassen2),
+        Just(Scheme::SevenTemp),
+    ]
+}
+
+fn odd_strategy() -> impl Strategy<Value = OddHandling> {
+    prop_oneof![
+        Just(OddHandling::DynamicPeeling),
+        Just(OddHandling::DynamicPeelingFirst),
+        Just(OddHandling::DynamicPadding),
+        Just(OddHandling::StaticPadding),
+    ]
+}
+
+fn variant_strategy() -> impl Strategy<Value = Variant> {
+    prop_oneof![Just(Variant::Winograd), Just(Variant::Original)]
+}
+
+/// Stability envelope: Higham-style bound scaled loosely. Winograd's
+/// variant satisfies `‖Ĉ − C‖ ≤ c·f(n)·ε·‖A‖‖B‖` with `f` polynomial in
+/// the recursion depth; a generous constant keeps the test robust while
+/// still catching any algebraic error (which would be O(1), not O(ε)).
+fn tolerance(m: usize, k: usize, n: usize) -> f64 {
+    let dim = m.max(k).max(n) as f64;
+    1e3 * dim * dim * f64::EPSILON
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dgefmm_matches_gemm(
+        m in 1usize..90,
+        k in 1usize..90,
+        n in 1usize..90,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        tau in 4usize..24,
+        scheme in scheme_strategy(),
+        odd in odd_strategy(),
+        variant in variant_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let a = random::uniform::<f64>(m, k, seed);
+        let b = random::uniform::<f64>(k, n, seed ^ 0xabcd);
+        let c0 = random::uniform::<f64>(m, n, seed ^ 0x1234);
+
+        let mut expect = c0.clone();
+        gemm(&GemmConfig::blocked(), alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, expect.as_mut());
+
+        let cfg = StrassenConfig::dgefmm()
+            .cutoff(CutoffCriterion::Simple { tau })
+            .scheme(scheme)
+            .odd(odd)
+            .variant(variant);
+        let mut c = c0.clone();
+        dgefmm(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+
+        let diff = norms::rel_diff(c.as_ref(), expect.as_ref());
+        prop_assert!(diff <= tolerance(m, k, n),
+            "rel diff {diff:.3e} > tol ({m}x{k}x{n}, {scheme:?}, {odd:?}, {variant:?}, α={alpha}, β={beta})");
+    }
+
+    #[test]
+    fn transposes_match(
+        m in 1usize..60,
+        k in 1usize..60,
+        n in 1usize..60,
+        ta in proptest::bool::ANY,
+        tb in proptest::bool::ANY,
+        seed in 0u64..1_000_000,
+    ) {
+        let op_a = if ta { Op::Trans } else { Op::NoTrans };
+        let op_b = if tb { Op::Trans } else { Op::NoTrans };
+        let (ar, ac) = if ta { (k, m) } else { (m, k) };
+        let (br, bc) = if tb { (n, k) } else { (k, n) };
+        let a = random::uniform::<f64>(ar, ac, seed);
+        let b = random::uniform::<f64>(br, bc, seed ^ 0xff);
+        let c0 = random::uniform::<f64>(m, n, seed ^ 0xee);
+
+        let mut expect = c0.clone();
+        gemm(&GemmConfig::blocked(), 1.3, op_a, a.as_ref(), op_b, b.as_ref(), -0.4, expect.as_mut());
+        let cfg = StrassenConfig::with_square_cutoff(8);
+        let mut c = c0.clone();
+        dgefmm(&cfg, 1.3, op_a, a.as_ref(), op_b, b.as_ref(), -0.4, c.as_mut());
+
+        prop_assert!(norms::rel_diff(c.as_ref(), expect.as_ref()) <= tolerance(m, k, n));
+    }
+
+    /// The workspace the dispatcher claims to need is genuinely enough:
+    /// `dgefmm` never panics on a `split_at_mut` overrun (an overrun
+    /// would panic, failing this test).
+    #[test]
+    fn workspace_claim_is_sufficient(
+        m in 4usize..120,
+        k in 4usize..120,
+        n in 4usize..120,
+        tau in 4usize..16,
+        beta_zero in proptest::bool::ANY,
+        scheme in scheme_strategy(),
+    ) {
+        let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau }).scheme(scheme);
+        let a = random::uniform::<f64>(m, k, 1);
+        let b = random::uniform::<f64>(k, n, 2);
+        let mut c = Matrix::<f64>::zeros(m, n);
+        let beta = if beta_zero { 0.0 } else { 1.0 };
+        // Internally allocates exactly required_workspace(..) elements.
+        dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+        prop_assert!(c.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    /// β = 0 semantics: NaN/Inf garbage in C never leaks into the result,
+    /// whatever the configuration.
+    #[test]
+    fn beta_zero_never_reads_c(
+        m in 1usize..60,
+        k in 1usize..60,
+        n in 1usize..60,
+        scheme in scheme_strategy(),
+        odd in odd_strategy(),
+    ) {
+        let a = random::uniform::<f64>(m, k, 3);
+        let b = random::uniform::<f64>(k, n, 4);
+        let mut c = Matrix::from_fn(m, n, |_, _| f64::NAN);
+        let cfg = StrassenConfig::dgefmm()
+            .cutoff(CutoffCriterion::Simple { tau: 6 })
+            .scheme(scheme)
+            .odd(odd);
+        dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        prop_assert!(c.as_slice().iter().all(|x| x.is_finite()), "NaN leaked ({scheme:?}, {odd:?})");
+    }
+
+    /// Strassen on the identity recovers B almost exactly: the operand
+    /// sums reduce to expressions like B11 + (B12 − B11), so only a few
+    /// ulps of error per level can appear — far below any algebraic bug.
+    #[test]
+    fn identity_times_b_close(
+        n in 2usize..64,
+        scheme in scheme_strategy(),
+        seed in 0u64..100_000,
+    ) {
+        let i = Matrix::<f64>::identity(n);
+        let b = random::uniform::<f64>(n, n, seed);
+        let mut c = Matrix::<f64>::zeros(n, n);
+        let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 4 }).scheme(scheme);
+        dgefmm(&cfg, 1.0, Op::NoTrans, i.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        prop_assert!(norms::max_abs_diff(c.as_ref(), b.as_ref()) <= 1e-12);
+    }
+}
