@@ -1,23 +1,14 @@
 //! Ablation: benefit per recursion level (max_depth sweep) — the runtime
 //! analog of the paper's 38.2%-from-cutoffs observation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-
-fn cfg() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(1200))
-}
-
+use bench::micro::Harness;
 
 use bench::profiles::rs6000_like;
 use blas::level2::Op;
 use matrix::{random, Matrix};
 use strassen::{dgefmm_with_workspace, CutoffCriterion, StrassenConfig, Workspace};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let p = rs6000_like();
     let m = 832usize;
     let a = random::uniform::<f64>(m, m, 1);
@@ -38,5 +29,6 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{ name = benches; config = cfg(); targets = bench }
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::from_env());
+}

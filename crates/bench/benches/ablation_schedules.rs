@@ -1,22 +1,13 @@
 //! Ablation: the design choices DESIGN.md calls out — schedule,
 //! odd-handling, and variant — each isolated at one problem size.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-
-fn cfg() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(1200))
-}
-
+use bench::micro::Harness;
 
 use blas::level2::Op;
 use matrix::{random, Matrix};
 use strassen::{dgefmm_with_workspace, CutoffCriterion, OddHandling, Scheme, StrassenConfig, Variant, Workspace};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let base = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 96 });
 
     // Schedules at an even size (beta = 1 so STRASSEN2's strength shows).
@@ -80,5 +71,6 @@ fn bench(c: &mut Criterion) {
     }
 }
 
-criterion_group!{ name = benches; config = cfg(); targets = bench }
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::from_env());
+}

@@ -1,22 +1,13 @@
 //! Extension bench: Strassen-accelerated blocked LU (the dense-solve use
 //! case of the paper's reference [3]).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-
-fn cfg() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(1200))
-}
-
+use bench::micro::Harness;
 use bench::profiles::rs6000_like;
 use linsys::lu::lu_factor;
 use matrix::random;
 use strassen::{GemmBackend, StrassenBackend};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let p = rs6000_like();
     let n = 512usize;
     let nb = 64usize;
@@ -29,5 +20,6 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! { name = benches; config = cfg(); targets = bench }
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::from_env());
+}

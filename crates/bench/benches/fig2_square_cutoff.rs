@@ -1,16 +1,7 @@
 //! Figure 2 bench: plain GEMM vs one level of Strassen around the
 //! crossover, blocked-kernel profile.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-
-fn cfg() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(1200))
-}
-
+use bench::micro::Harness;
 
 use bench::profiles::rs6000_like;
 use blas::level2::Op;
@@ -19,7 +10,7 @@ use matrix::{random, Matrix};
 use strassen::tuning::one_level_config;
 use strassen::{dgefmm_with_workspace, Workspace};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let p = rs6000_like();
     let mut g = c.benchmark_group("fig2_square_cutoff");
     for m in [256usize, 416, 512] {
@@ -42,5 +33,6 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{ name = benches; config = cfg(); targets = bench }
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::from_env());
+}

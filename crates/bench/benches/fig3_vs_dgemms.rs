@@ -1,15 +1,6 @@
 //! Figure 3 bench: DGEFMM vs the DGEMMS analog.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-
-fn cfg() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(1200))
-}
-
+use bench::micro::Harness;
 
 use bench::profiles::rs6000_like;
 use blas::level2::Op;
@@ -17,7 +8,7 @@ use matrix::random;
 use strassen::comparators::dgemms;
 use strassen::{dgefmm_with_workspace, Workspace};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let p = rs6000_like();
     let tau = p.tuned.tau;
     let m = tau + tau / 2;
@@ -37,5 +28,6 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{ name = benches; config = cfg(); targets = bench }
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::from_env());
+}

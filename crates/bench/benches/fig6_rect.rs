@@ -1,16 +1,7 @@
 //! Figure 6 bench: DGEFMM vs DGEMMW on rectangular problems where the
 //! hybrid criterion gains an extra recursion level.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-
-fn cfg() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(1200))
-}
-
+use bench::micro::Harness;
 
 use bench::profiles::rs6000_like;
 use blas::level2::Op;
@@ -18,7 +9,7 @@ use matrix::random;
 use strassen::comparators::dgemmw;
 use strassen::{dgefmm_with_workspace, Workspace};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let p = rs6000_like();
     let t = p.tuned;
     let shapes = [(t.tau * 3 / 4, t.tau * 2, t.tau * 2), (t.tau * 2, t.tau / 2, t.tau * 2)];
@@ -40,5 +31,6 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{ name = benches; config = cfg(); targets = bench }
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::from_env());
+}

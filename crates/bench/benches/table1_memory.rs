@@ -2,22 +2,13 @@
 //! low-memory schedules cost no time (the memory numbers themselves are
 //! printed by `experiments table1`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-
-fn cfg() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(1200))
-}
-
+use bench::micro::Harness;
 
 use blas::level2::Op;
 use matrix::{random, Matrix};
 use strassen::{dgefmm_with_workspace, CutoffCriterion, Scheme, StrassenConfig, Workspace};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let m = 384usize;
     let a = random::uniform::<f64>(m, m, 1);
     let b = random::uniform::<f64>(m, m, 2);
@@ -42,5 +33,6 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{ name = benches; config = cfg(); targets = bench }
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::from_env());
+}

@@ -2,23 +2,14 @@
 //! criteria. The shape has one dimension below the square cutoff, so the
 //! simple criterion refuses to recurse while the hybrid one gains a level.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-
-fn cfg() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(1200))
-}
-
+use bench::micro::Harness;
 
 use bench::profiles::rs6000_like;
 use blas::level2::Op;
 use matrix::{random, Matrix};
 use strassen::{dgefmm_with_workspace, CutoffCriterion, Workspace};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let p = rs6000_like();
     let t = p.tuned;
     // m below tau, k and n large: the paper's motivating shape.
@@ -43,5 +34,6 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{ name = benches; config = cfg(); targets = bench }
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::from_env());
+}

@@ -1,16 +1,7 @@
 //! Table 5 bench: DGEMM vs DGEFMM at the smallest orders doing 1 and 2
 //! recursions (alpha = 1/3, beta = 1/4).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-
-fn cfg() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(1200))
-}
-
+use bench::micro::Harness;
 
 use bench::profiles::rs6000_like;
 use blas::level2::Op;
@@ -18,7 +9,7 @@ use blas::level3::gemm;
 use matrix::random;
 use strassen::{dgefmm_with_workspace, Workspace};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let p = rs6000_like();
     let cfg = p.dgefmm_config();
     let (alpha, beta) = (1.0 / 3.0, 0.25);
@@ -40,5 +31,6 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{ name = benches; config = cfg(); targets = bench }
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::from_env());
+}

@@ -1,22 +1,13 @@
 //! Table 6 bench: the ISDA eigensolver with DGEMM vs DGEFMM kernels.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-
-fn cfg() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(1200))
-}
-
+use bench::micro::Harness;
 
 use bench::profiles::rs6000_like;
 use eigen::backend::{GemmBackend, StrassenBackend};
 use eigen::isda::{isda_eigen, IsdaOptions};
 use matrix::random;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let p = rs6000_like();
     let n = 160usize;
     let evals: Vec<f64> = (0..n).map(|i| i as f64 * 0.4 - 20.0).collect();
@@ -31,5 +22,6 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{ name = benches; config = cfg(); targets = bench }
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::from_env());
+}

@@ -1,0 +1,212 @@
+//! Minimal in-tree micro-benchmark harness replacing criterion.
+//!
+//! Keeps the small criterion surface the bench targets actually used —
+//! [`Harness::benchmark_group`], [`Group::bench_function`],
+//! [`Bencher::iter`] — so a bench body ports by swapping the imports and
+//! adding a two-line `main`.  Timing model: a calibration run sizes the
+//! per-sample iteration count so each sample lasts roughly
+//! `measure / samples`, then `samples` timed samples are collected and
+//! summarized with [`crate::stats::summarize`] (median is the headline
+//! number, as in the paper's tables).
+//!
+//! Scale at runtime without recompiling:
+//! `BENCH_SAMPLES` (default 10), `BENCH_MEASURE_MS` (total measurement
+//! time per function, default 1200), `BENCH_WARMUP_MS` (default 300).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use crate::stats::summarize;
+
+/// Harness-wide knobs; construct via [`Harness::from_env`].
+#[derive(Clone, Copy, Debug)]
+pub struct Harness {
+    /// Timed samples collected per bench function.
+    pub samples: usize,
+    /// Warm-up time burned before calibration counts.
+    pub warmup: Duration,
+    /// Total measurement time budget per bench function.
+    pub measure: Duration,
+}
+
+fn env_ms(key: &str, default: u64) -> Duration {
+    let ms = std::env::var(key).ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(default);
+    Duration::from_millis(ms)
+}
+
+impl Harness {
+    /// Defaults matching the old criterion config (10 samples, 300 ms
+    /// warm-up, 1200 ms measurement), overridable via `BENCH_SAMPLES`,
+    /// `BENCH_WARMUP_MS`, `BENCH_MEASURE_MS`.
+    pub fn from_env() -> Self {
+        let samples = std::env::var("BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or(10);
+        Harness {
+            samples,
+            warmup: env_ms("BENCH_WARMUP_MS", 300),
+            measure: env_ms("BENCH_MEASURE_MS", 1200),
+        }
+    }
+
+    /// Start a named group of related bench functions.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        let name = name.into();
+        println!("── {name} ──");
+        Group { harness: self, name }
+    }
+}
+
+/// A named set of bench functions sharing the harness config.
+pub struct Group<'h> {
+    harness: &'h mut Harness,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Override the sample count for this group (criterion-compat no-op
+    /// when equal to the harness default).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        if samples > 0 {
+            self.harness.samples = samples;
+        }
+        self
+    }
+
+    /// Time one closure and print its summary line.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = id.into();
+        let h = *self.harness;
+
+        // Warm-up: run untimed until the warm-up budget is spent, keeping
+        // the last per-call duration for calibration.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let warm_start = Instant::now();
+        loop {
+            f(&mut b);
+            if warm_start.elapsed() >= h.warmup {
+                break;
+            }
+        }
+
+        // Calibrate: size the iteration count so one sample lasts about
+        // measure / samples.
+        let per_iter = b.elapsed.checked_div(b.iters as u32).unwrap_or(Duration::ZERO);
+        let target = h.measure.checked_div(h.samples as u32).unwrap_or(Duration::ZERO);
+        let iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000_000) as u64
+        };
+
+        let mut per_iter_ns = Vec::with_capacity(h.samples);
+        for _ in 0..h.samples {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let s = summarize(&per_iter_ns);
+        println!(
+            "{:<40} median {:>12}  min {:>12}  mean {:>12}  ({} samples x {} iters)",
+            format!("{}/{}", self.name, id),
+            fmt_ns(s.median),
+            fmt_ns(s.min),
+            fmt_ns(s.mean),
+            s.n,
+            iters
+        );
+        self
+    }
+
+    /// End the group (criterion-compat; prints a blank separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Passed to the bench closure; [`Bencher::iter`] times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the harness-chosen number of iterations and record the
+    /// wall time. Results are passed through [`black_box`] so the
+    /// optimizer cannot delete the work.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Human-readable nanosecond count (`ns`, `µs`, `ms`, `s`).
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Harness {
+        Harness { samples: 3, warmup: Duration::from_millis(1), measure: Duration::from_millis(3) }
+    }
+
+    #[test]
+    fn runs_and_counts_iterations() {
+        let mut h = tiny();
+        let mut calls = 0u64;
+        let mut g = h.benchmark_group("micro_test");
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        assert!(calls > 0, "bench closure never executed");
+    }
+
+    #[test]
+    fn sample_size_override() {
+        let mut h = tiny();
+        let mut g = h.benchmark_group("micro_test");
+        g.sample_size(5);
+        g.finish();
+        assert_eq!(h.samples, 5);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with(" s"));
+    }
+
+    #[test]
+    fn from_env_defaults() {
+        // Only checks the defaults path: absent env vars give criterion's
+        // old numbers.
+        if std::env::var("BENCH_SAMPLES").is_err() {
+            let h = Harness::from_env();
+            assert_eq!(h.samples, 10);
+            assert_eq!(h.warmup, Duration::from_millis(300));
+            assert_eq!(h.measure, Duration::from_millis(1200));
+        }
+    }
+}

@@ -11,7 +11,7 @@
 //! |--------------|------------------------|--------------|-----------|
 //! | `rs6000-like`| blocked + packing      | RS/6000      | medium    |
 //! | `c90-like`   | naive triple loop      | C90          | low       |
-//! | `t3d-like`   | blocked + rayon        | T3D          | high      |
+//! | `t3d-like`   | blocked + thread pool  | T3D          | high      |
 //!
 //! (The faster the base GEMM relative to memory bandwidth, the larger
 //! the matrices must be before trading multiplies for adds pays — which

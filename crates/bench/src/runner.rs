@@ -3,8 +3,7 @@
 use blas::level2::Op;
 use blas::level3::{gemm, GemmConfig};
 use matrix::{random, Matrix};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use rng::Rng;
 use strassen::tuning::time_median;
 use strassen::{dgefmm_with_workspace, StrassenConfig, Workspace};
 
@@ -89,7 +88,7 @@ pub fn time_multiply(
 
 /// Deterministic stream of random problem shapes in `[lo, hi]³`.
 pub struct ShapeSampler {
-    rng: ChaCha8Rng,
+    rng: Rng,
     lo: [usize; 3],
     hi: usize,
 }
@@ -97,7 +96,7 @@ pub struct ShapeSampler {
 impl ShapeSampler {
     /// Sampler with per-dimension lower bounds and a common upper bound.
     pub fn new(lo: [usize; 3], hi: usize, seed: u64) -> Self {
-        Self { rng: ChaCha8Rng::seed_from_u64(seed), lo, hi }
+        Self { rng: Rng::seed_from_u64(seed), lo, hi }
     }
 
     /// Next `(m, k, n)`.

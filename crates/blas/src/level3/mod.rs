@@ -30,7 +30,8 @@ pub enum GemmAlgo {
     Naive,
     /// Cache-blocked, packing, register-tiled kernel (default).
     Blocked,
-    /// [`GemmAlgo::Blocked`] with rayon parallelism over column panels.
+    /// [`GemmAlgo::Blocked`] parallelized over column panels on the
+    /// in-tree thread pool.
     BlockedParallel,
 }
 

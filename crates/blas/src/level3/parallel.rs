@@ -1,16 +1,16 @@
-//! Rayon-parallel blocked GEMM.
+//! Pool-parallel blocked GEMM.
 //!
 //! Parallelizes the outermost (`jc`) loop of the blocked kernel: each
 //! worker owns a disjoint column panel of `C`, packs its own buffers, and
 //! never synchronizes with the others — the classic embarrassingly
 //! parallel decomposition for `C ← A B` (each output column depends on
-//! all of `A` but only its own columns of `B`).
+//! all of `A` but only its own columns of `B`). Panels are spawned on
+//! the in-tree [`pool`], one scoped task per panel.
 
 use super::blocked::{macrokernel, pack_a, pack_b, MR, NR};
 use super::{check_gemm_dims, scale_c, GemmConfig};
 use crate::level2::Op;
 use matrix::{MatMut, MatRef, Scalar};
-use rayon::prelude::*;
 
 /// `C ← α op(A) op(B) + β C`, column panels processed in parallel.
 pub fn gemm_parallel<T: Scalar>(
@@ -30,9 +30,9 @@ pub fn gemm_parallel<T: Scalar>(
     }
     let mc = cfg.mc.max(MR);
     let kc = cfg.kc.max(1);
-    // Panel width: split n so every rayon worker gets some columns, but
+    // Panel width: split n so every pool worker gets some columns, but
     // never below the micro-tile width.
-    let threads = rayon::current_num_threads().max(1);
+    let threads = pool::current_num_threads().max(1);
     let nc = cfg.nc.max(NR).min(n.div_ceil(threads).next_multiple_of(NR));
 
     // Carve C into disjoint column-panel views up front.
@@ -47,19 +47,23 @@ pub fn gemm_parallel<T: Scalar>(
         jc += nb;
     }
 
-    panels.into_par_iter().for_each(|(jc, mut cpanel)| {
-        let nb = cpanel.ncols();
-        let mut packed_a = vec![T::ZERO; mc.div_ceil(MR) * MR * kc];
-        let mut packed_b = vec![T::ZERO; nb.div_ceil(NR) * NR * kc];
-        for pc in (0..k).step_by(kc) {
-            let kb = kc.min(k - pc);
-            pack_b(op_b, &b, pc, jc, kb, nb, &mut packed_b);
-            for ic in (0..m).step_by(mc) {
-                let mb = mc.min(m - ic);
-                pack_a(op_a, &a, ic, pc, mb, kb, &mut packed_a);
-                // cpanel's column 0 is global column jc, so pass jc=0 here.
-                macrokernel(alpha, mb, kb, nb, &packed_a, &packed_b, &mut cpanel, ic, 0);
-            }
+    pool::scope(|scope| {
+        for (jc, mut cpanel) in panels {
+            scope.spawn(move || {
+                let nb = cpanel.ncols();
+                let mut packed_a = vec![T::ZERO; mc.div_ceil(MR) * MR * kc];
+                let mut packed_b = vec![T::ZERO; nb.div_ceil(NR) * NR * kc];
+                for pc in (0..k).step_by(kc) {
+                    let kb = kc.min(k - pc);
+                    pack_b(op_b, &b, pc, jc, kb, nb, &mut packed_b);
+                    for ic in (0..m).step_by(mc) {
+                        let mb = mc.min(m - ic);
+                        pack_a(op_a, &a, ic, pc, mb, kb, &mut packed_a);
+                        // cpanel's column 0 is global column jc, so pass jc=0.
+                        macrokernel(alpha, mb, kb, nb, &packed_a, &packed_b, &mut cpanel, ic, 0);
+                    }
+                }
+            });
         }
     });
 }

@@ -9,7 +9,7 @@
 //! * [`level1`] — `axpy`, `scal`, `copy`, `dot`, `nrm2`, `asum`, `iamax`;
 //! * [`level2`] — `gemv`, `ger`, and the [`Op`](level2::Op) transpose selector;
 //! * [`level3`] — `gemm` with three kernels (naive, cache-blocked+packed,
-//!   rayon-parallel) selected via [`GemmConfig`](level3::GemmConfig);
+//!   pool-parallel) selected via [`GemmConfig`](level3::GemmConfig);
 //! * [`add`] — the matrix add/subtract "G" kernels;
 //! * [`vector`] — strided vector views over rows/columns.
 //!

@@ -26,8 +26,8 @@ pub enum Scheme {
     /// recursion, minimum possible memory in the general case.
     Strassen2,
     /// Seven-temporary schedule whose products are independent, executed
-    /// with rayon (`parallel future work` of Section 5). Trades memory
-    /// for task parallelism.
+    /// as tasks on the in-tree thread pool (`parallel future work` of
+    /// Section 5). Trades memory for task parallelism.
     SevenTemp,
 }
 

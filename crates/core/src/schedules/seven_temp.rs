@@ -17,7 +17,7 @@ use blas::level3::scale_in_place;
 use matrix::{MatMut, MatRef, Scalar};
 
 /// `C ← α A B + β C` with per-product temporaries; the seven products run
-/// as parallel rayon tasks while `depth < cfg.parallel_depth`.
+/// as parallel pool tasks while `depth < cfg.parallel_depth`.
 pub(crate) fn seven_temp<T: Scalar>(
     cfg: &StrassenConfig,
     alpha: T,
@@ -77,13 +77,13 @@ pub(crate) fn seven_temp<T: Scalar>(
     if depth < cfg.parallel_depth {
         // Each product gets its own slice of the remaining arena.
         let share = rest.len() / 7;
-        rayon::scope(|scope| {
+        pool::scope(|scope| {
             let mut p_iter = p_buf.chunks_exact_mut(m2 * n2);
             let mut ws_iter = rest.chunks_mut(share.max(1));
             for (lhs, rhs) in jobs {
                 let mut p = MatMut::from_slice(p_iter.next().unwrap(), m2, n2, m2.max(1));
                 let sub_ws = ws_iter.next().unwrap_or(&mut []);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     fmm(cfg, alpha, lhs, rhs, T::ZERO, p.rb_mut(), sub_ws, depth + 1);
                 });
             }

@@ -6,13 +6,11 @@
 
 use crate::dense::Matrix;
 use crate::scalar::Scalar;
-use rand::distributions::{Distribution, Uniform};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use rng::{Rng, Uniform};
 
 /// Uniform random matrix with entries in `[-1, 1)`.
 pub fn uniform<T: Scalar>(nrows: usize, ncols: usize, seed: u64) -> Matrix<T> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let dist = Uniform::new(-1.0f64, 1.0);
     Matrix::from_fn(nrows, ncols, |_, _| T::from_f64(dist.sample(&mut rng)))
 }
@@ -25,7 +23,7 @@ pub fn uniform_range<T: Scalar>(
     hi: f64,
     seed: u64,
 ) -> Matrix<T> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let dist = Uniform::new(lo, hi);
     Matrix::from_fn(nrows, ncols, |_, _| T::from_f64(dist.sample(&mut rng)))
 }
@@ -46,7 +44,7 @@ pub fn symmetric<T: Scalar>(n: usize, seed: u64) -> Matrix<T> {
 /// ground truth.
 pub fn symmetric_with_spectrum<T: Scalar>(evals: &[f64], seed: u64) -> Matrix<T> {
     let n = evals.len();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let dist = Uniform::new(-1.0f64, 1.0);
 
     // Start from diag(evals) in f64 for accuracy, then cast at the end.

@@ -1,0 +1,442 @@
+//! Scoped work-stealing thread pool.
+//!
+//! The in-tree replacement for the `rayon` subset this workspace uses:
+//! a global pool of workers, a [`scope`] primitive whose spawned closures
+//! may borrow from the enclosing stack frame, and a two-way [`join`].
+//! That is exactly what the seven-multiply Strassen fan-out
+//! (`strassen::schedules::seven_temp`) and the column-panel parallel GEMM
+//! (`blas::level3::gemm_parallel`) need — coarse, long-running tasks
+//! handed to a small fixed set of workers.
+//!
+//! Design:
+//!
+//! - One deque per worker; spawns are distributed round-robin and idle
+//!   workers steal from the back of their own deque (LIFO, cache-warm)
+//!   or the front of a victim's (FIFO, oldest first).
+//! - The thread that opens a [`scope`] *helps*: while waiting for its
+//!   spawned tasks it executes queued tasks itself. This keeps a
+//!   single-threaded pool deadlock-free under nested scopes (recursion
+//!   with `parallel_depth > 1`) and means the caller is never idle while
+//!   work is queued.
+//! - Thread count is config-driven: [`set_num_threads`] before first
+//!   use, else the `STRASSEN_NUM_THREADS` environment variable, else
+//!   the machine's available parallelism.
+//! - Panics inside a spawned task are caught, the scope finishes its
+//!   remaining tasks, and the first panic is re-thrown from [`scope`]
+//!   on the spawning thread — the same contract as `rayon::scope`.
+//!
+//! Per-worker executed-task counters ([`worker_job_counts`]) make the
+//! "did the parallel path really fan out?" question testable.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A queued, type-erased task. The `'static` here is a lie told by
+/// [`Scope::spawn`]'s transmute; it is sound because [`scope`] never
+/// returns until every task it spawned has completed.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// One deque per worker; `Scope::spawn` pushes round-robin.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Tasks executed per worker, for observability and tests.
+    executed: Vec<AtomicU64>,
+    /// Tasks queued but not yet popped, across all deques.
+    queued: AtomicUsize,
+    /// Round-robin push cursor.
+    next: AtomicUsize,
+    /// Sleep/wake plumbing for idle workers.
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Shared {
+    fn push(&self, job: Job) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.deques.len();
+        self.queued.fetch_add(1, Ordering::Release);
+        self.deques[i].lock().unwrap().push_back(job);
+        let _guard = self.sleep.lock().unwrap();
+        self.wake.notify_all();
+    }
+
+    /// Pop for worker `me`: own deque from the back, then steal from the
+    /// front of the others. `me == usize::MAX` marks a helping
+    /// non-worker thread (steals only, round-robin from 0).
+    fn pop(&self, me: usize) -> Option<Job> {
+        if self.queued.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let n = self.deques.len();
+        if me < n {
+            if let Some(job) = self.deques[me].lock().unwrap().pop_back() {
+                self.queued.fetch_sub(1, Ordering::Release);
+                return Some(job);
+            }
+        }
+        for k in 0..n {
+            let victim = if me < n { (me + 1 + k) % n } else { k };
+            if victim == me {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                self.queued.fetch_sub(1, Ordering::Release);
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    nthreads: usize,
+}
+
+impl Pool {
+    fn start(nthreads: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            deques: (0..nthreads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            executed: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
+            queued: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        for me in 0..nthreads {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("strassen-pool-{me}"))
+                .spawn(move || worker_loop(shared, me))
+                .expect("spawning pool worker");
+        }
+        Pool { shared, nthreads }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    loop {
+        match shared.pop(me) {
+            Some(job) => {
+                shared.executed[me].fetch_add(1, Ordering::Relaxed);
+                // The job wrapper (built in `Scope::spawn`) already
+                // catches user panics; a panic reaching here would be a
+                // pool bug, and even then the worker must survive.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            None => {
+                let guard = shared.sleep.lock().unwrap();
+                if shared.queued.load(Ordering::Acquire) == 0 {
+                    // Timeout bounds the cost of any lost wakeup race.
+                    let _ = shared.wake.wait_timeout(guard, Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+/// Requested thread count, staged before the pool starts (0 = unset).
+static REQUESTED: AtomicUsize = AtomicUsize::new(0);
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("STRASSEN_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn global() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let requested = REQUESTED.load(Ordering::Relaxed);
+        let n = if requested > 0 { requested } else { default_threads() };
+        Pool::start(n)
+    })
+}
+
+/// Request `n` workers for the global pool. Only effective before the
+/// pool's first use; returns `false` (and changes nothing) once the pool
+/// is running. `n` is clamped to at least 1.
+pub fn set_num_threads(n: usize) -> bool {
+    if POOL.get().is_some() {
+        return false;
+    }
+    REQUESTED.store(n.max(1), Ordering::Relaxed);
+    POOL.get().is_none()
+}
+
+/// Number of worker threads in the pool (starts the pool on first call).
+pub fn current_num_threads() -> usize {
+    global().nthreads
+}
+
+/// Tasks executed so far by each worker, indexed by worker id.
+///
+/// Tasks run inline by a *helping* scope owner are not counted here —
+/// these counters answer "which pool workers participated?", which is
+/// what the parallel-dispatch smoke tests assert.
+pub fn worker_job_counts() -> Vec<u64> {
+    global().shared.executed.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+}
+
+struct ScopeState {
+    /// Spawned-but-unfinished task count for this scope.
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    done: Condvar,
+    /// First panic payload from any task in this scope.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn complete_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task: take the lock so the notification cannot race
+            // past a waiter that has checked `pending` but not yet slept.
+            let _guard = self.lock.lock().unwrap();
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Handle for spawning tasks that may borrow data outliving the
+/// [`scope`] call. Created only by [`scope`].
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    /// Invariant over `'scope`, as for `std::thread::Scope`.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queue `f` on the pool. It may borrow anything that outlives the
+    /// enclosing [`scope`] call; [`scope`] does not return until every
+    /// spawned task has finished.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            state.complete_one();
+        });
+        // SAFETY: the job is a fat Box<dyn FnOnce> either way; only the
+        // lifetime is erased. `scope` blocks (see `wait_all`) until
+        // `pending` reaches zero, i.e. until this closure has run and
+        // dropped, so no `'scope` borrow is used after the stack frame
+        // it points into is gone — the same argument as
+        // `std::thread::scope`, enforced dynamically by the counter.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        global().shared.push(job);
+    }
+
+    /// Wait for every task in this scope, helping with queued work
+    /// (from any scope) instead of blocking while tasks are available.
+    fn wait_all(&self) {
+        let shared = &global().shared;
+        while self.state.pending.load(Ordering::Acquire) > 0 {
+            if let Some(job) = shared.pop(usize::MAX) {
+                job();
+                continue;
+            }
+            let guard = self.state.lock.lock().unwrap();
+            if self.state.pending.load(Ordering::Acquire) > 0 {
+                // All of this scope's tasks are held by workers (they
+                // were queued before wait_all began, and the queue is
+                // empty), so the last completion's notify — taken under
+                // this same lock — is guaranteed to reach us.
+                drop(self.state.done.wait(guard).unwrap());
+            }
+        }
+    }
+}
+
+/// Run `f` with a [`Scope`] whose spawned closures may borrow locals of
+/// the caller. Returns `f`'s result after all spawned tasks complete.
+///
+/// If `f` itself or any spawned task panics, the panic is re-thrown
+/// here — but only after every task of the scope has finished, so
+/// borrowed data is never observed by a still-running task after an
+/// unwind.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        state: Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&s)));
+    s.wait_all();
+    match result {
+        Err(payload) => resume_unwind(payload),
+        Ok(r) => {
+            let panicked = s.state.panic.lock().unwrap().take();
+            if let Some(payload) = panicked {
+                resume_unwind(payload);
+            }
+            r
+        }
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+/// `b` is queued on the pool while `a` runs on the calling thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|| rb = Some(b()));
+        a()
+    });
+    (ra, rb.expect("join: second closure did not run"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Every test pins the pool to 4 workers before first use so the
+    /// multi-worker assertions hold on single-CPU machines too. Only the
+    /// first call wins; calling it from each test makes the suite
+    /// order-independent.
+    fn init() {
+        let _ = set_num_threads(4);
+    }
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        init();
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scoped_borrows_of_disjoint_chunks() {
+        init();
+        let mut v = vec![0u32; 64];
+        scope(|s| {
+            for (i, chunk) in v.chunks_mut(8).enumerate() {
+                s.spawn(move || {
+                    for x in chunk {
+                        *x = i as u32 + 1;
+                    }
+                });
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 8) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        init();
+        let total = AtomicUsize::new(0);
+        scope(|outer| {
+            for _ in 0..4 {
+                outer.spawn(|| {
+                    scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        init();
+        let ran_other = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|| panic!("boom in task"));
+                s.spawn(|| {
+                    ran_other.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(result.is_err(), "scope should re-throw the task panic");
+        // Sibling tasks of the panicking one still completed.
+        assert_eq!(ran_other.load(Ordering::Relaxed), 1);
+        // And the pool is still alive.
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        init();
+        let (a, b) = join(|| 2 + 2, || "forty".len());
+        assert_eq!((a, b), (4, 5));
+    }
+
+    #[test]
+    fn workers_participate() {
+        init();
+        // Many slow-ish tasks: with 4 workers plus the helping caller,
+        // at least two distinct workers must pick something up.
+        let before = worker_job_counts();
+        for _ in 0..8 {
+            scope(|s| {
+                for _ in 0..16 {
+                    s.spawn(|| {
+                        std::hint::black_box((0..20_000).sum::<u64>());
+                    });
+                }
+            });
+        }
+        let after = worker_job_counts();
+        let active = before.iter().zip(&after).filter(|(b, a)| a > b).count();
+        assert!(active >= 2, "only {active} of {} workers ran tasks", after.len());
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        init();
+        assert!(current_num_threads() >= 1);
+        // Once running, reconfiguration is refused.
+        assert!(!set_num_threads(16));
+    }
+}

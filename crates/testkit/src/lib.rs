@@ -1,0 +1,384 @@
+//! Deterministic property-test harness.
+//!
+//! The in-tree replacement for the `proptest` subset this workspace
+//! uses. A property is a closure over a [`Gen`] that draws its inputs
+//! and asserts with the ordinary `assert!` family; [`check`] runs it for
+//! a fixed number of cases with seeds derived deterministically from a
+//! master seed, so *two consecutive runs produce identical
+//! failures/successes* — the reproducibility contract the experiment
+//! harness already makes for its matrices, extended to the test suite.
+//!
+//! ```
+//! testkit::check("add_commutes", 64, |g| {
+//!     let a = g.usize_in(0, 1000) as u64;
+//!     let b = g.u64_in(0, 1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+//!
+//! - **Seeding.** The master seed is `TESTKIT_SEED` (env) or a fixed
+//!   default. Per-case seeds come from a SplitMix64 stream over the
+//!   master seed and the property name, so adding cases to one property
+//!   never perturbs another.
+//! - **Shrinking-lite.** Generators are *size-scaled*: every drawn range
+//!   is shrunk toward its lower bound by a factor in `(0, 1]`. On
+//!   failure the harness replays the failing case at increasing sizes
+//!   (0.0, 0.05, …) and reports the smallest size that still fails —
+//!   typically turning a 90×90 counterexample into the minimal few-cell
+//!   one. Not per-value shrinking, but it needs no value DAG and keeps
+//!   generation imperative.
+//! - **Comparators.** [`assert_close`] (ulp-based scalar comparison) and
+//!   [`assert_frob_close`] (relative Frobenius distance for matrices)
+//!   are panic-carrying so they compose with [`check`].
+
+#![warn(missing_docs)]
+
+use matrix::{norms, MatRef, Scalar};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default master seed when `TESTKIT_SEED` is unset. Spells "d1ce 5eed".
+pub const DEFAULT_SEED: u64 = 0xD1CE_5EED;
+
+/// The master seed in force: `TESTKIT_SEED` (decimal or `0x…` hex) or
+/// [`DEFAULT_SEED`].
+pub fn master_seed() -> u64 {
+    match std::env::var("TESTKIT_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("TESTKIT_SEED is not an integer: {v:?}"))
+        }
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// Deterministic per-property stream offset: a tiny FNV-1a over the
+/// property name, so properties draw independent case-seed streams.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Case-input generator: seeded draws, every range scaled by the shrink
+/// `size` toward its lower bound.
+pub struct Gen {
+    rng: rng::Rng,
+    size: f64,
+}
+
+impl Gen {
+    /// Generator for one case. `size` in `(0, 1]` scales range widths
+    /// (1.0 = full ranges; smaller = shrunken replay).
+    pub fn new(case_seed: u64, size: f64) -> Self {
+        Self { rng: rng::Rng::seed_from_u64(case_seed), size: size.clamp(0.0, 1.0) }
+    }
+
+    /// Scale a range width by the current size, keeping at least 1.
+    fn scaled(&self, width: u64) -> u64 {
+        if width <= 1 {
+            return width;
+        }
+        ((width as f64 * self.size).ceil() as u64).clamp(1, width)
+    }
+
+    /// Uniform `usize` in `[lo, hi)` (width size-scaled toward `lo`).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "usize_in: empty range [{lo}, {hi})");
+        lo + self.rng.bounded_u64(self.scaled((hi - lo) as u64)) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (width size-scaled toward `lo`).
+    pub fn usize_in_incl(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "usize_in_incl: empty range [{lo}, {hi}]");
+        self.usize_in(lo, hi + 1)
+    }
+
+    /// Uniform `u64` in `[lo, hi)` (width size-scaled toward `lo`).
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "u64_in: empty range [{lo}, {hi})");
+        lo + self.rng.bounded_u64(self.scaled(hi - lo))
+    }
+
+    /// Uniform `f64` in `[lo, hi)` (width size-scaled toward `lo`).
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "f64_in: empty range [{lo}, {hi})");
+        let hi_eff = lo + (hi - lo) * self.size.max(1e-3);
+        rng::Uniform::new(lo, hi_eff).sample(&mut self.rng)
+    }
+
+    /// Fair coin (not size-scaled; both branches stay reachable while
+    /// shrinking).
+    pub fn bool(&mut self) -> bool {
+        self.rng.gen_bool()
+    }
+
+    /// Uniformly chosen element of a non-empty slice (not size-scaled:
+    /// enum-like choices must stay exhaustive under shrinking).
+    pub fn pick<T: Copy>(&mut self, items: &[T]) -> T {
+        *self.rng.choose(items)
+    }
+
+    /// A fresh 64-bit seed, for feeding `matrix::random` generators.
+    pub fn seed(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Direct access to the underlying generator for anything else.
+    pub fn rng(&mut self) -> &mut rng::Rng {
+        &mut self.rng
+    }
+
+    /// The shrink size this case is running at.
+    pub fn size(&self) -> f64 {
+        self.size
+    }
+}
+
+/// Shrink sizes tried after a failure, smallest first.
+const SHRINK_SIZES: [f64; 7] = [0.0, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75];
+
+/// Run `prop` for `cases` deterministic cases. Panics (with replay
+/// instructions) on the first failing case, after a shrink pass.
+///
+/// Failures inside `prop` are ordinary panics — `assert!`, indexing,
+/// arithmetic overflow — caught per case.
+pub fn check<F>(name: &str, cases: usize, prop: F)
+where
+    F: Fn(&mut Gen),
+{
+    let master = master_seed();
+    let mut stream = rng::SplitMix64::new(master ^ name_hash(name));
+    for case in 0..cases {
+        let case_seed = stream.next_u64();
+        if let Err(payload) = run_case(&prop, case_seed, 1.0) {
+            // Shrink: replay this seed at growing sizes; the first
+            // (smallest) size that still fails is the minimal report.
+            let mut smallest: (f64, Box<dyn std::any::Any + Send>) = (1.0, payload);
+            for &size in SHRINK_SIZES.iter() {
+                if let Err(p) = run_case(&prop, case_seed, size) {
+                    smallest = (size, p);
+                    break;
+                }
+            }
+            let (size, payload) = smallest;
+            panic!(
+                "[testkit] property '{name}' failed at case {case}/{cases} \
+                 (master seed {master:#x}, case seed {case_seed:#x}, shrunk to size {size})\n\
+                 cause: {}\n\
+                 replay: TESTKIT_SEED={master:#x} cargo test",
+                payload_message(&payload),
+            );
+        }
+    }
+}
+
+/// Replay one exact case (for debugging a `check` failure report).
+pub fn replay<F>(case_seed: u64, size: f64, prop: F)
+where
+    F: Fn(&mut Gen),
+{
+    if let Err(p) = run_case(&prop, case_seed, size) {
+        resume_unwind(p);
+    }
+}
+
+fn run_case<F>(prop: &F, case_seed: u64, size: f64) -> Result<(), Box<dyn std::any::Any + Send>>
+where
+    F: Fn(&mut Gen),
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut g = Gen::new(case_seed, size);
+        prop(&mut g);
+    }))
+}
+
+fn payload_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Distance in representable values ("units in the last place") between
+/// two finite floats of the same sign convention. NaNs and opposite-sign
+/// non-zero pairs return `u64::MAX`.
+pub fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Map the double line monotonically onto u64 (sign-magnitude to
+    // offset binary), making ulp distance a plain integer difference.
+    fn key(x: f64) -> i128 {
+        let bits = x.to_bits() as i64;
+        let k = if bits < 0 { i64::MIN.wrapping_sub(bits) } else { bits };
+        k as i128
+    }
+    let d = (key(a) - key(b)).unsigned_abs();
+    u64::try_from(d).unwrap_or(u64::MAX)
+}
+
+/// Assert two scalars are within `max_ulps` representable values of each
+/// other (exact equality for zero tolerance).
+#[track_caller]
+pub fn assert_close(a: f64, b: f64, max_ulps: u64) {
+    let d = ulp_diff(a, b);
+    assert!(d <= max_ulps, "assert_close: {a:e} vs {b:e} differ by {d} ulps (allowed {max_ulps})");
+}
+
+/// Assert `|a − b| ≤ abs_tol + rel_tol · max(|a|, |b|)` — the mixed
+/// absolute/relative form for quantities that may be near zero.
+#[track_caller]
+pub fn assert_close_tol(a: f64, b: f64, abs_tol: f64, rel_tol: f64) {
+    let diff = (a - b).abs();
+    let bound = abs_tol + rel_tol * a.abs().max(b.abs());
+    assert!(diff <= bound, "assert_close_tol: {a:e} vs {b:e}, |Δ| = {diff:e} > {bound:e}");
+}
+
+/// Assert the relative Frobenius distance `‖got − want‖_F / ‖want‖_F`
+/// (absolute when `want` is zero) is at most `tol`, with a context
+/// string for the failure report.
+#[track_caller]
+pub fn assert_frob_close<T: Scalar>(got: MatRef<'_, T>, want: MatRef<'_, T>, tol: f64, ctx: &str) {
+    assert_eq!(got.nrows(), want.nrows(), "assert_frob_close[{ctx}]: row mismatch");
+    assert_eq!(got.ncols(), want.ncols(), "assert_frob_close[{ctx}]: col mismatch");
+    let diff = norms::rel_diff(got, want);
+    assert!(
+        diff <= tol,
+        "assert_frob_close[{ctx}]: relative Frobenius diff {diff:.3e} > tol {tol:.3e}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let ran = AtomicUsize::new(0);
+        check("always_true", 37, |g| {
+            let _ = g.usize_in(0, 10);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn failing_property_reports_and_shrinks() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("big_is_small", 50, |g| {
+                let n = g.usize_in(1, 100);
+                assert!(n < 2, "n = {n}");
+            });
+        }));
+        let msg = payload_message(&result.unwrap_err());
+        assert!(msg.contains("[testkit] property 'big_is_small'"), "{msg}");
+        assert!(msg.contains("case seed"), "{msg}");
+        // The shrink pass replays at size 0.0, where usize_in(1, 100)
+        // collapses to 1 — still failing (1 < 2 is true… n=1 passes!).
+        // So the smallest failing size is one where n ≥ 2 is reachable.
+        assert!(msg.contains("shrunk to size"), "{msg}");
+    }
+
+    #[test]
+    fn case_seeds_are_deterministic_across_runs() {
+        let first: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        check("seed_stream", 10, |g| {
+            first.lock().unwrap().push(g.seed());
+        });
+        let second: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        check("seed_stream", 10, |g| {
+            second.lock().unwrap().push(g.seed());
+        });
+        assert_eq!(*first.lock().unwrap(), *second.lock().unwrap());
+    }
+
+    #[test]
+    fn different_properties_draw_different_streams() {
+        let a = AtomicU64::new(0);
+        check("stream_a", 1, |g| {
+            a.store(g.seed(), Ordering::Relaxed);
+        });
+        let b = AtomicU64::new(0);
+        check("stream_b", 1, |g| {
+            b.store(g.seed(), Ordering::Relaxed);
+        });
+        assert_ne!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn gen_ranges_honor_bounds_at_all_sizes() {
+        for &size in &[0.0, 0.3, 1.0] {
+            let mut g = Gen::new(99, size);
+            for _ in 0..500 {
+                let x = g.usize_in(3, 30);
+                assert!((3..30).contains(&x));
+                let y = g.f64_in(-2.0, 2.0);
+                assert!((-2.0..2.0).contains(&y));
+                let z = g.usize_in_incl(5, 5);
+                assert_eq!(z, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_size_shrinks_ranges_toward_lo() {
+        let mut g = Gen::new(7, 0.0);
+        for _ in 0..100 {
+            // At size 0 every integer range collapses to its minimum.
+            assert_eq!(g.usize_in(4, 90), 4);
+        }
+    }
+
+    #[test]
+    fn pick_and_bool_reach_everything_even_when_shrunk() {
+        let mut g = Gen::new(12, 0.0);
+        let mut seen = [false; 3];
+        let mut seen_bool = [false; 2];
+        for _ in 0..200 {
+            seen[g.pick(&[0usize, 1, 2])] = true;
+            seen_bool[g.bool() as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        assert_eq!(seen_bool, [true; 2]);
+    }
+
+    #[test]
+    fn ulp_metric() {
+        assert_eq!(ulp_diff(1.0, 1.0), 0);
+        assert_eq!(ulp_diff(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_diff(0.0, -0.0), 0);
+        assert_eq!(ulp_diff(f64::NAN, 1.0), u64::MAX);
+        assert!(ulp_diff(1.0, -1.0) > 1u64 << 50);
+        assert_close(1.0, 1.0 + f64::EPSILON, 5);
+        assert_close_tol(1e-30, 0.0, 1e-12, 0.0);
+    }
+
+    #[test]
+    fn frobenius_comparator() {
+        use matrix::Matrix;
+        let a = Matrix::<f64>::identity(4);
+        let mut b = a.clone();
+        assert_frob_close(a.as_ref(), b.as_ref(), 0.0, "identical");
+        b.set(0, 0, 1.0 + 1e-14);
+        assert_frob_close(a.as_ref(), b.as_ref(), 1e-12, "close");
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let mut c = a.clone();
+            c.set(0, 0, 2.0);
+            assert_frob_close(a.as_ref(), c.as_ref(), 1e-12, "far");
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Hermetic verification: offline release build, offline test suite, and a
+# dependency audit asserting the workspace depends on nothing outside
+# this repository. Run from anywhere; operates on the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== 1/4 offline release build =="
+cargo build --release --offline
+
+echo "== 2/4 offline test suite =="
+cargo test -q --offline
+
+echo "== 3/4 bench targets compile (offline) =="
+cargo build --release --offline -p strassen-bench --benches --bins
+
+echo "== 4/4 dependency audit: workspace-only graph =="
+# Every package in the resolved graph must live under this repository;
+# a single registry/git dependency would appear without the (path) suffix.
+tree_out="$(cargo tree --workspace --edges normal,build,dev --prefix none --offline)"
+external="$(printf '%s\n' "$tree_out" | sed '/^$/d' | grep -v '(\*)$' | grep -v "($(pwd)" || true)"
+if [ -n "$external" ]; then
+    echo "ERROR: non-workspace dependencies found:" >&2
+    printf '%s\n' "$external" >&2
+    exit 1
+fi
+echo "dependency graph is workspace-only ($(printf '%s\n' "$tree_out" | grep -c "($(pwd)") path entries)"
+
+echo "verify.sh: all checks passed"

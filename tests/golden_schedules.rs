@@ -1,0 +1,125 @@
+//! Golden-value regression tests: every schedule × variant combination
+//! reproduces naive GEMM at fixed seeds, across the three β classes the
+//! dispatcher specializes (β = 0, β = 1, general β) and non-square
+//! m × k × n shapes.
+//!
+//! These are fixed-input checks, not property tests: the seeds and
+//! shapes never change, so a failure here is a regression in the
+//! recursion algebra, not test noise.
+
+use blas::level3::{gemm, GemmConfig};
+use blas::Op;
+use matrix::{norms, random, Matrix};
+use strassen::{dgefmm, CutoffCriterion, Scheme, StrassenConfig, Variant};
+
+/// The four named schedules of the paper's code: Strassen's original
+/// construction, the two Winograd-variant memory schedules (STRASSEN1 /
+/// STRASSEN2), and the parallel seven-temporary schedule.
+const SCHEDULES: [(&str, Variant, Scheme); 4] = [
+    ("original", Variant::Original, Scheme::Strassen1),
+    ("winograd1", Variant::Winograd, Scheme::Strassen1),
+    ("winograd2", Variant::Winograd, Scheme::Strassen2),
+    ("seven_temp", Variant::Winograd, Scheme::SevenTemp),
+];
+
+/// Fixed shapes: square even, square odd, and rectangular with every
+/// parity combination of (m, k, n).
+const SHAPES: [(usize, usize, usize); 6] = [
+    (64, 64, 64),
+    (63, 63, 63),
+    (48, 96, 32),
+    (37, 64, 51),
+    (96, 33, 48),
+    (51, 48, 33),
+];
+
+const BETAS: [f64; 3] = [0.0, 1.0, -0.7];
+
+fn tol(m: usize, k: usize, n: usize) -> f64 {
+    let dim = m.max(k).max(n) as f64;
+    1e3 * dim * dim * f64::EPSILON
+}
+
+/// One (schedule, shape, β) cell: compare against the naive
+/// triple-loop kernel, the most independent reference available.
+fn check_cell(name: &str, variant: Variant, scheme: Scheme, m: usize, k: usize, n: usize, beta: f64) {
+    let alpha = 1.1;
+    let seed = 0xC0FFEE ^ ((m * 1_000_000 + k * 1_000 + n) as u64);
+    let a = random::uniform::<f64>(m, k, seed);
+    let b = random::uniform::<f64>(k, n, seed ^ 0xA5A5);
+    let c0 = random::uniform::<f64>(m, n, seed ^ 0x5A5A);
+
+    let mut expect = c0.clone();
+    gemm(&GemmConfig::naive(), alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, expect.as_mut());
+
+    let cfg = StrassenConfig::dgefmm()
+        .cutoff(CutoffCriterion::Simple { tau: 8 })
+        .variant(variant)
+        .scheme(scheme);
+    let mut c = c0.clone();
+    dgefmm(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+
+    let diff = norms::rel_diff(c.as_ref(), expect.as_ref());
+    assert!(
+        diff <= tol(m, k, n),
+        "{name} {m}x{k}x{n} β={beta}: rel diff {diff:.3e}"
+    );
+}
+
+#[test]
+fn all_schedules_beta_zero() {
+    for (name, variant, scheme) in SCHEDULES {
+        for (m, k, n) in SHAPES {
+            check_cell(name, variant, scheme, m, k, n, 0.0);
+        }
+    }
+}
+
+#[test]
+fn all_schedules_beta_one() {
+    for (name, variant, scheme) in SCHEDULES {
+        for (m, k, n) in SHAPES {
+            check_cell(name, variant, scheme, m, k, n, 1.0);
+        }
+    }
+}
+
+#[test]
+fn all_schedules_beta_general() {
+    for (name, variant, scheme) in SCHEDULES {
+        for (m, k, n) in SHAPES {
+            check_cell(name, variant, scheme, m, k, n, -0.7);
+        }
+    }
+}
+
+/// α = 0 short-circuit: C ← βC regardless of A, B contents.
+#[test]
+fn alpha_zero_scales_only() {
+    for (name, variant, scheme) in SCHEDULES {
+        let (m, k, n) = (40, 24, 56);
+        let a = random::uniform::<f64>(m, k, 9);
+        let b = random::uniform::<f64>(k, n, 10);
+        let c0 = random::uniform::<f64>(m, n, 11);
+        for beta in BETAS {
+            let cfg = StrassenConfig::dgefmm()
+                .cutoff(CutoffCriterion::Simple { tau: 8 })
+                .variant(variant)
+                .scheme(scheme);
+            let mut c = c0.clone();
+            dgefmm(&cfg, 0.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+            let expect = Matrix::from_fn(m, n, |i, j| beta * c0.at(i, j));
+            let diff = norms::max_abs_diff(c.as_ref(), expect.as_ref());
+            assert!(diff < 1e-13, "{name} β={beta}: max abs diff {diff:.3e}");
+        }
+    }
+}
+
+/// A deeper recursion (three full levels) at a size with mixed parity
+/// per level: 100 → 50 → 25 (odd) → 12.
+#[test]
+fn deep_recursion_mixed_parity() {
+    for (name, variant, scheme) in SCHEDULES {
+        check_cell(name, variant, scheme, 100, 100, 100, -0.7);
+    }
+}

@@ -1,0 +1,70 @@
+//! Smoke test for the parallel Strassen path: at n = 1024 the
+//! seven-multiply fan-out must actually dispatch across pool workers,
+//! not degenerate to sequential execution on the calling thread.
+//!
+//! Runs as its own test binary so this file owns pool initialization:
+//! `set_num_threads(4)` before any pool use pins the worker count even
+//! on single-CPU machines.
+
+use blas::level3::{gemm, GemmConfig};
+use blas::Op;
+use matrix::{norms, random, Matrix};
+use strassen::{dgefmm, CutoffCriterion, Scheme, StrassenConfig};
+
+#[test]
+fn seven_temp_dispatches_across_workers_at_1024() {
+    // Whichever test in this binary runs first wins the init race; both
+    // request 4 workers, so the count is 4 either way.
+    let _ = pool::set_num_threads(4);
+    assert_eq!(pool::current_num_threads(), 4);
+
+    let n = 1024;
+    let a = random::uniform::<f64>(n, n, 41);
+    let b = random::uniform::<f64>(n, n, 42);
+    let mut c = Matrix::<f64>::zeros(n, n);
+
+    let cfg = StrassenConfig {
+        parallel_depth: 2,
+        ..StrassenConfig::dgefmm()
+            .scheme(Scheme::SevenTemp)
+            .cutoff(CutoffCriterion::Simple { tau: 256 })
+    };
+
+    let before = pool::worker_job_counts();
+    dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+    let after = pool::worker_job_counts();
+
+    let active = before.iter().zip(&after).filter(|(b, a)| a > b).count();
+    assert!(
+        active > 1,
+        "parallel Strassen used {active} of {} workers (counts {before:?} -> {after:?})",
+        after.len()
+    );
+
+    // The fan-out must also be *correct*: compare against the blocked
+    // sequential kernel.
+    let mut expect = Matrix::<f64>::zeros(n, n);
+    gemm(&GemmConfig::blocked(), 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, expect.as_mut());
+    let diff = norms::rel_diff(c.as_ref(), expect.as_ref());
+    assert!(diff < 1e-10, "parallel result diverged: rel diff {diff:.3e}");
+}
+
+#[test]
+fn parallel_gemm_backend_uses_pool() {
+    // May lose the init race to the other test; either way the pool has
+    // 4 workers because both request 4.
+    let _ = pool::set_num_threads(4);
+    let n = 512;
+    let a = random::uniform::<f64>(n, n, 7);
+    let b = random::uniform::<f64>(n, n, 8);
+    let mut c = Matrix::<f64>::zeros(n, n);
+
+    let before: u64 = pool::worker_job_counts().iter().sum();
+    gemm(&GemmConfig::parallel(), 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+    let after: u64 = pool::worker_job_counts().iter().sum();
+    assert!(after > before, "pool-parallel GEMM queued no tasks on the pool");
+
+    let mut expect = Matrix::<f64>::zeros(n, n);
+    gemm(&GemmConfig::blocked(), 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, expect.as_mut());
+    assert!(norms::rel_diff(c.as_ref(), expect.as_ref()) < 1e-12);
+}

@@ -1,0 +1,115 @@
+//! Dynamic-peeling edge cases (paper Section 3.3, eq. (9)): odd
+//! dimensions in every combination, degenerate 1×n / m×1 strips, and
+//! sizes straddling the cutoff boundary τ−1 / τ / τ+1.
+//!
+//! Every odd-handling strategy must agree with naive GEMM on these; the
+//! peeling fixups (GER rank-1 update, GEMV row/column products) carry
+//! all the weight when a dimension is 1.
+
+use blas::level3::{gemm, GemmConfig};
+use blas::Op;
+use matrix::{norms, random};
+use strassen::{dgefmm, CutoffCriterion, OddHandling, Scheme, StrassenConfig};
+
+const ODDS: [OddHandling; 4] = [
+    OddHandling::DynamicPeeling,
+    OddHandling::DynamicPeelingFirst,
+    OddHandling::DynamicPadding,
+    OddHandling::StaticPadding,
+];
+
+fn tol(m: usize, k: usize, n: usize) -> f64 {
+    let dim = m.max(k).max(n) as f64;
+    1e3 * dim * dim * f64::EPSILON
+}
+
+fn check_shape(odd: OddHandling, tau: usize, m: usize, k: usize, n: usize) {
+    let (alpha, beta) = (0.9, -0.3);
+    let seed = (m * 31 + k * 17 + n) as u64;
+    let a = random::uniform::<f64>(m, k, seed);
+    let b = random::uniform::<f64>(k, n, seed ^ 21);
+    let c0 = random::uniform::<f64>(m, n, seed ^ 42);
+
+    let mut expect = c0.clone();
+    gemm(&GemmConfig::naive(), alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, expect.as_mut());
+
+    for scheme in [Scheme::Auto, Scheme::Strassen1, Scheme::Strassen2, Scheme::SevenTemp] {
+        let cfg = StrassenConfig::dgefmm()
+            .cutoff(CutoffCriterion::Simple { tau })
+            .scheme(scheme)
+            .odd(odd);
+        let mut c = c0.clone();
+        dgefmm(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+        let diff = norms::rel_diff(c.as_ref(), expect.as_ref());
+        assert!(
+            diff <= tol(m, k, n),
+            "{odd:?} {scheme:?} {m}x{k}x{n} τ={tau}: rel diff {diff:.3e}"
+        );
+    }
+}
+
+/// All eight parity combinations of (m, k, n) just above the cutoff, so
+/// exactly the odd dimensions get peeled/padded at the first level.
+#[test]
+fn odd_parity_combinations() {
+    let t = 8;
+    for odd in ODDS {
+        for dm in [0, 1] {
+            for dk in [0, 1] {
+                for dn in [0, 1] {
+                    check_shape(odd, t, 2 * t + dm, 2 * t + dk, 2 * t + dn);
+                }
+            }
+        }
+    }
+}
+
+/// Degenerate strips: a dimension of 1 can never recurse; the fixup
+/// kernels (GEMV / GER / dot) produce the entire result.
+#[test]
+fn degenerate_strips() {
+    for odd in ODDS {
+        check_shape(odd, 4, 1, 40, 40); // 1×k · k×n: single GEMV row
+        check_shape(odd, 4, 40, 40, 1); // m×k · k×1: single GEMV column
+        check_shape(odd, 4, 40, 1, 40); // rank-1: pure GER territory
+        check_shape(odd, 4, 1, 1, 40);
+        check_shape(odd, 4, 40, 1, 1);
+        check_shape(odd, 4, 1, 40, 1);
+        check_shape(odd, 4, 1, 1, 1);
+    }
+}
+
+/// Sizes straddling the cutoff: τ−1 (stays conventional), τ (boundary),
+/// τ+1 (odd, recurses then peels — the paper's eq. (9) path), 2τ+1.
+#[test]
+fn cutoff_boundary_sizes() {
+    let tau = 12;
+    for odd in ODDS {
+        for s in [tau - 1, tau, tau + 1, 2 * tau, 2 * tau + 1] {
+            check_shape(odd, tau, s, s, s);
+        }
+    }
+}
+
+/// Long-thin rectangles around the cutoff: one dimension far above τ,
+/// another at or below it — the hybrid-criterion motivation shapes.
+#[test]
+fn thin_rectangles_near_cutoff() {
+    let tau = 8;
+    for odd in ODDS {
+        check_shape(odd, tau, 2 * tau + 1, 6 * tau + 1, tau);
+        check_shape(odd, tau, tau - 1, 6 * tau + 1, 6 * tau);
+        check_shape(odd, tau, 6 * tau + 1, tau + 1, 2 * tau - 1);
+    }
+}
+
+/// Repeated halving of an odd size exercises peeling at *every* level:
+/// 2^d·τ + 1 is odd at the top, and the even core halves to another
+/// near-boundary size.
+#[test]
+fn odd_at_every_level() {
+    for odd in ODDS {
+        check_shape(odd, 6, 97, 97, 97); // 97 → 48 → 24 → 12 → 6 with peels
+        check_shape(odd, 6, 95, 97, 99);
+    }
+}

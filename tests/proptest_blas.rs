@@ -1,13 +1,16 @@
 //! Property tests for the BLAS substrate: every kernel agrees with a
 //! scalar-indexing reference implementation on random shapes, strides,
 //! transposes, and scalars.
+//!
+//! Runs on the in-tree `testkit` harness (deterministic, seed via
+//! `TESTKIT_SEED`).
 
 use blas::level1;
 use blas::level2::{gemv, ger, Op};
 use blas::level3::{gemm, GemmAlgo, GemmConfig};
 use blas::{VecMut, VecRef};
 use matrix::{norms, random, Matrix};
-use proptest::prelude::*;
+use testkit::{check, Gen};
 
 fn reference_gemm(
     alpha: f64,
@@ -28,30 +31,27 @@ fn reference_gemm(
     })
 }
 
-fn algo_strategy() -> impl Strategy<Value = GemmConfig> {
-    prop_oneof![
-        Just(GemmConfig::naive()),
-        Just(GemmConfig::blocked()),
-        Just(GemmConfig { algo: GemmAlgo::Blocked, mc: 16, kc: 8, nc: 12 }),
-        Just(GemmConfig::parallel()),
-    ]
+fn pick_algo(g: &mut Gen) -> GemmConfig {
+    match g.usize_in(0, 4) {
+        0 => GemmConfig::naive(),
+        1 => GemmConfig::blocked(),
+        2 => GemmConfig { algo: GemmAlgo::Blocked, mc: 16, kc: 8, nc: 12 },
+        _ => GemmConfig::parallel(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn gemm_matches_reference(
-        m in 1usize..50,
-        k in 1usize..50,
-        n in 1usize..50,
-        alpha in -3.0f64..3.0,
-        beta in -3.0f64..3.0,
-        ta in proptest::bool::ANY,
-        tb in proptest::bool::ANY,
-        cfg in algo_strategy(),
-        seed in 0u64..1_000_000,
-    ) {
+#[test]
+fn gemm_matches_reference() {
+    check("gemm_matches_reference", 64, |g: &mut Gen| {
+        let m = g.usize_in(1, 50);
+        let k = g.usize_in(1, 50);
+        let n = g.usize_in(1, 50);
+        let alpha = g.f64_in(-3.0, 3.0);
+        let beta = g.f64_in(-3.0, 3.0);
+        let ta = g.bool();
+        let tb = g.bool();
+        let cfg = pick_algo(g);
+        let seed = g.seed();
         let op_a = if ta { Op::Trans } else { Op::NoTrans };
         let op_b = if tb { Op::Trans } else { Op::NoTrans };
         let (ar, ac) = if ta { (k, m) } else { (m, k) };
@@ -64,19 +64,20 @@ proptest! {
         let mut c = c0.clone();
         gemm(&cfg, alpha, op_a, a.as_ref(), op_b, b.as_ref(), beta, c.as_mut());
         let diff = norms::rel_diff(c.as_ref(), expect.as_ref());
-        prop_assert!(diff < 1e-12, "rel diff {diff:.3e} ({m}x{k}x{n} {cfg:?})");
-    }
+        assert!(diff < 1e-12, "rel diff {diff:.3e} ({m}x{k}x{n} {cfg:?})");
+    });
+}
 
-    #[test]
-    fn gemm_on_submatrix_views(
-        off_r in 0usize..4,
-        off_c in 0usize..4,
-        m in 1usize..20,
-        k in 1usize..20,
-        n in 1usize..20,
-        cfg in algo_strategy(),
-        seed in 0u64..100_000,
-    ) {
+#[test]
+fn gemm_on_submatrix_views() {
+    check("gemm_on_submatrix_views", 64, |g: &mut Gen| {
+        let off_r = g.usize_in(0, 4);
+        let off_c = g.usize_in(0, 4);
+        let m = g.usize_in(1, 20);
+        let k = g.usize_in(1, 20);
+        let n = g.usize_in(1, 20);
+        let cfg = pick_algo(g);
+        let seed = g.seed();
         // Views into larger buffers: exercises ld > nrows everywhere.
         let big_a = random::uniform::<f64>(m + 8, k + 8, seed);
         let big_b = random::uniform::<f64>(k + 8, n + 8, seed ^ 3);
@@ -87,18 +88,19 @@ proptest! {
         let expect = reference_gemm(1.0, Op::NoTrans, &a_own, Op::NoTrans, &b_own, 0.0, &Matrix::zeros(m, n));
         let mut c = Matrix::<f64>::zeros(m, n);
         gemm(&cfg, 1.0, Op::NoTrans, a, Op::NoTrans, b, 0.0, c.as_mut());
-        prop_assert!(norms::rel_diff(c.as_ref(), expect.as_ref()) < 1e-12);
-    }
+        assert!(norms::rel_diff(c.as_ref(), expect.as_ref()) < 1e-12);
+    });
+}
 
-    #[test]
-    fn gemv_matches_gemm_column(
-        m in 1usize..40,
-        n in 1usize..40,
-        trans in proptest::bool::ANY,
-        alpha in -2.0f64..2.0,
-        beta in -2.0f64..2.0,
-        seed in 0u64..100_000,
-    ) {
+#[test]
+fn gemv_matches_gemm_column() {
+    check("gemv_matches_gemm_column", 64, |g: &mut Gen| {
+        let m = g.usize_in(1, 40);
+        let n = g.usize_in(1, 40);
+        let trans = g.bool();
+        let alpha = g.f64_in(-2.0, 2.0);
+        let beta = g.f64_in(-2.0, 2.0);
+        let seed = g.seed();
         // gemv is gemm with a 1-column B.
         let a = random::uniform::<f64>(m, n, seed);
         let op = if trans { Op::Trans } else { Op::NoTrans };
@@ -110,61 +112,63 @@ proptest! {
         let mut y = y0.clone();
         gemv(alpha, op, a.as_ref(),
              VecRef::from_col(x.as_ref(), 0), beta, VecMut::from_col(y.as_mut(), 0));
-        prop_assert!(norms::rel_diff(y.as_ref(), expect.as_ref()) < 1e-13);
-    }
+        assert!(norms::rel_diff(y.as_ref(), expect.as_ref()) < 1e-13);
+    });
+}
 
-    #[test]
-    fn ger_matches_outer_product(
-        m in 1usize..30,
-        n in 1usize..30,
-        alpha in -2.0f64..2.0,
-        seed in 0u64..100_000,
-    ) {
+#[test]
+fn ger_matches_outer_product() {
+    check("ger_matches_outer_product", 64, |g: &mut Gen| {
+        let m = g.usize_in(1, 30);
+        let n = g.usize_in(1, 30);
+        let alpha = g.f64_in(-2.0, 2.0);
+        let seed = g.seed();
         let x = random::uniform::<f64>(m, 1, seed);
         let y = random::uniform::<f64>(n, 1, seed ^ 6);
         let a0 = random::uniform::<f64>(m, n, seed ^ 7);
         let expect = Matrix::from_fn(m, n, |i, j| a0.at(i, j) + alpha * x.at(i, 0) * y.at(j, 0));
         let mut a = a0.clone();
         ger(alpha, VecRef::from_col(x.as_ref(), 0), VecRef::from_col(y.as_ref(), 0), a.as_mut());
-        prop_assert!(norms::rel_diff(a.as_ref(), expect.as_ref()) < 1e-14);
-    }
+        assert!(norms::rel_diff(a.as_ref(), expect.as_ref()) < 1e-14);
+    });
+}
 
-    #[test]
-    fn dot_axpy_agree_with_naive(
-        n in 0usize..200,
-        alpha in -2.0f64..2.0,
-        seed in 0u64..100_000,
-    ) {
+#[test]
+fn dot_axpy_agree_with_naive() {
+    check("dot_axpy_agree_with_naive", 64, |g: &mut Gen| {
+        let n = g.usize_in(0, 200);
+        let alpha = g.f64_in(-2.0, 2.0);
+        let seed = g.seed();
         let x = random::uniform::<f64>(n.max(1), 1, seed);
         let y = random::uniform::<f64>(n.max(1), 1, seed ^ 8);
         let xs = &x.as_slice()[..n];
         let ys = &y.as_slice()[..n];
         let expect_dot: f64 = xs.iter().zip(ys).map(|(a, b)| a * b).sum();
         let got = level1::dot(VecRef::from_slice(xs), VecRef::from_slice(ys));
-        prop_assert!((got - expect_dot).abs() < 1e-12 * (n as f64 + 1.0));
+        assert!((got - expect_dot).abs() < 1e-12 * (n as f64 + 1.0));
 
         let mut z = ys.to_vec();
         level1::axpy(alpha, VecRef::from_slice(xs), VecMut::from_slice(&mut z));
         for i in 0..n {
-            prop_assert!((z[i] - (ys[i] + alpha * xs[i])).abs() < 1e-14);
+            assert!((z[i] - (ys[i] + alpha * xs[i])).abs() < 1e-14);
         }
-    }
+    });
+}
 
-    /// Row views (stride = ld) feed kernels identically to contiguous
-    /// copies — the access pattern the peeling fixups rely on.
-    #[test]
-    fn strided_rows_equal_contiguous(
-        m in 2usize..30,
-        n in 2usize..30,
-        i in 0usize..2,
-        seed in 0u64..100_000,
-    ) {
-        let a = random::uniform::<f64>(m, n, seed);
+/// Row views (stride = ld) feed kernels identically to contiguous
+/// copies — the access pattern the peeling fixups rely on.
+#[test]
+fn strided_rows_equal_contiguous() {
+    check("strided_rows_equal_contiguous", 64, |g: &mut Gen| {
+        let m = g.usize_in(2, 30);
+        let n = g.usize_in(2, 30);
+        let i = g.usize_in(0, 2);
+        let a = random::uniform::<f64>(m, n, g.seed());
         let row = VecRef::from_row(a.as_ref(), i % m);
         let copied: Vec<f64> = (0..n).map(|j| a.at(i % m, j)).collect();
         let d1 = level1::dot(row, row);
         let d2 = level1::dot(VecRef::from_slice(&copied), VecRef::from_slice(&copied));
-        prop_assert!((d1 - d2).abs() < 1e-13);
-        prop_assert_eq!(level1::iamax(row), level1::iamax(VecRef::from_slice(&copied)));
-    }
+        assert!((d1 - d2).abs() < 1e-13);
+        assert_eq!(level1::iamax(row), level1::iamax(VecRef::from_slice(&copied)));
+    });
 }

@@ -1,112 +1,130 @@
 //! Property tests for the eigensolver substrate: QR, Jacobi, and ISDA
 //! invariants on random inputs.
+//!
+//! Runs on the in-tree `testkit` harness (deterministic, seed via
+//! `TESTKIT_SEED`).
 
 use eigen::backend::GemmBackend;
 use eigen::isda::{gershgorin_bounds, isda_eigen, IsdaOptions};
 use eigen::jacobi::jacobi_eigen;
 use eigen::qr::qr_column_pivot;
 use matrix::{random, Matrix};
-use proptest::prelude::*;
+use testkit::{check, Gen};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// QR-CP factorization invariants: Q orthogonal, QR = AP, R triangular.
-    #[test]
-    fn qr_invariants(n in 1usize..24, seed in 0u64..100_000) {
-        let a = random::uniform::<f64>(n, n, seed);
+/// QR-CP factorization invariants: Q orthogonal, QR = AP, R triangular.
+#[test]
+fn qr_invariants() {
+    check("qr_invariants", 24, |g: &mut Gen| {
+        let n = g.usize_in(1, 24);
+        let a = random::uniform::<f64>(n, n, g.seed());
         let f = qr_column_pivot(&a);
         // Q orthogonal.
         for i in 0..n {
             for j in 0..n {
                 let d: f64 = (0..n).map(|p| f.q.at(p, i) * f.q.at(p, j)).sum();
                 let e = if i == j { 1.0 } else { 0.0 };
-                prop_assert!((d - e).abs() < 1e-11, "QtQ({i},{j}) = {d}");
+                assert!((d - e).abs() < 1e-11, "QtQ({i},{j}) = {d}");
             }
         }
         // QR = A P.
         for i in 0..n {
             for j in 0..n {
                 let qr: f64 = (0..n).map(|p| f.q.at(i, p) * f.r.at(p, j)).sum();
-                prop_assert!((qr - a.at(i, f.perm[j])).abs() < 1e-11);
+                assert!((qr - a.at(i, f.perm[j])).abs() < 1e-11);
             }
         }
         // perm is a permutation.
         let mut seen = vec![false; n];
         for &p in &f.perm {
-            prop_assert!(!seen[p]);
+            assert!(!seen[p]);
             seen[p] = true;
         }
-    }
+    });
+}
 
-    /// Gershgorin bounds always contain the (Jacobi-computed) spectrum.
-    #[test]
-    fn gershgorin_contains_spectrum(n in 2usize..20, seed in 0u64..100_000) {
-        let a = random::symmetric::<f64>(n, seed);
+/// Gershgorin bounds always contain the (Jacobi-computed) spectrum.
+#[test]
+fn gershgorin_contains_spectrum() {
+    check("gershgorin_contains_spectrum", 24, |g: &mut Gen| {
+        let n = g.usize_in(2, 20);
+        let a = random::symmetric::<f64>(n, g.seed());
         let (lo, hi) = gershgorin_bounds(&a);
         let e = jacobi_eigen(&a, 1e-12, 40);
         for &v in &e.values {
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
         }
-    }
+    });
+}
 
-    /// Jacobi invariants: sorted values, orthonormal vectors, reconstructs A.
-    #[test]
-    fn jacobi_invariants(n in 1usize..18, seed in 0u64..100_000) {
-        let a = random::symmetric::<f64>(n, seed);
+/// Jacobi invariants: sorted values, orthonormal vectors, reconstructs A.
+#[test]
+fn jacobi_invariants() {
+    check("jacobi_invariants", 24, |g: &mut Gen| {
+        let n = g.usize_in(1, 18);
+        let a = random::symmetric::<f64>(n, g.seed());
         let e = jacobi_eigen(&a, 1e-13, 50);
         for w in e.values.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-12);
+            assert!(w[0] <= w[1] + 1e-12);
         }
-        prop_assert!(e.residual(&a) < 1e-8, "residual {}", e.residual(&a));
+        assert!(e.residual(&a) < 1e-8, "residual {}", e.residual(&a));
         // Trace preserved.
         let tr_a: f64 = (0..n).map(|i| a.at(i, i)).sum();
         let tr_e: f64 = e.values.iter().sum();
-        prop_assert!((tr_a - tr_e).abs() < 1e-9);
-    }
+        assert!((tr_a - tr_e).abs() < 1e-9);
+    });
+}
 
-    /// ISDA agrees with Jacobi (same matrix, independent algorithms) and
-    /// preserves orthogonal-invariant quantities.
-    #[test]
-    fn isda_matches_jacobi(n in 2usize..48, seed in 0u64..100_000) {
-        let a = random::symmetric::<f64>(n, seed);
+/// ISDA agrees with Jacobi (same matrix, independent algorithms) and
+/// preserves orthogonal-invariant quantities.
+#[test]
+fn isda_matches_jacobi() {
+    check("isda_matches_jacobi", 24, |g: &mut Gen| {
+        let n = g.usize_in(2, 48);
+        let a = random::symmetric::<f64>(n, g.seed());
         let opts = IsdaOptions { base_size: 12, ..IsdaOptions::default() };
         let e1 = isda_eigen(&a, &GemmBackend::default(), &opts);
         let e2 = jacobi_eigen(&a, 1e-13, 50);
         for (x, y) in e1.values.iter().zip(&e2.values) {
-            prop_assert!((x - y).abs() < 1e-6, "{x} vs {y} (n={n})");
+            assert!((x - y).abs() < 1e-6, "{x} vs {y} (n={n})");
         }
-        prop_assert!(e1.residual(&a) < 1e-6);
-    }
+        assert!(e1.residual(&a) < 1e-6);
+    });
+}
 
-    /// Exactly-known spectra survive the similarity-transform generator
-    /// and both solvers end-to-end.
-    #[test]
-    fn known_spectrum_round_trip(n in 2usize..32, seed in 0u64..100_000, spread in 0.5f64..3.0) {
+/// Exactly-known spectra survive the similarity-transform generator
+/// and both solvers end-to-end.
+#[test]
+fn known_spectrum_round_trip() {
+    check("known_spectrum_round_trip", 24, |g: &mut Gen| {
+        let n = g.usize_in(2, 32);
+        let spread = g.f64_in(0.5, 3.0);
         let mut evals: Vec<f64> = (0..n).map(|i| spread * i as f64 - 1.0).collect();
-        let a = random::symmetric_with_spectrum::<f64>(&evals, seed);
+        let a = random::symmetric_with_spectrum::<f64>(&evals, g.seed());
         evals.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let opts = IsdaOptions { base_size: 8, ..IsdaOptions::default() };
         let e = isda_eigen(&a, &GemmBackend::default(), &opts);
         for (got, want) in e.values.iter().zip(&evals) {
-            prop_assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
         }
-    }
+    });
+}
 
-    /// The projector polynomial's fixed points: applying ISDA to an exact
-    /// projector-like matrix (spectrum {0, 1}) is stable.
-    #[test]
-    fn projector_spectrum(n in 4usize..24, r in 1usize..4, seed in 0u64..100_000) {
-        let r = r.min(n - 1);
+/// The projector polynomial's fixed points: applying ISDA to an exact
+/// projector-like matrix (spectrum {0, 1}) is stable.
+#[test]
+fn projector_spectrum() {
+    check("projector_spectrum", 24, |g: &mut Gen| {
+        let n = g.usize_in(4, 24);
+        let r = g.usize_in(1, 4).min(n - 1);
         let evals: Vec<f64> = (0..n).map(|i| if i < r { 1.0 } else { 0.0 }).collect();
-        let p = random::symmetric_with_spectrum::<f64>(&evals, seed);
+        let p = random::symmetric_with_spectrum::<f64>(&evals, g.seed());
         // P² = P (within rounding).
         let p2 = strassen::multiply(&p, &p);
-        prop_assert!(matrix::norms::max_abs_diff(p2.as_ref(), p.as_ref()) < 1e-10);
+        assert!(matrix::norms::max_abs_diff(p2.as_ref(), p.as_ref()) < 1e-10);
         // Rank via pivoted QR matches r.
         let f = qr_column_pivot(&p);
-        prop_assert_eq!(f.rank(1e-8), r);
-    }
+        assert_eq!(f.rank(1e-8), r);
+    });
 }
 
 #[test]

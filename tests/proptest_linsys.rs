@@ -1,9 +1,12 @@
 //! Property tests for the blocked LU solver.
+//!
+//! Runs on the in-tree `testkit` harness (deterministic, seed via
+//! `TESTKIT_SEED`).
 
 use linsys::lu::{lu_factor, LuError};
 use matrix::{random, Matrix};
-use proptest::prelude::*;
 use strassen::{GemmBackend, StrassenBackend, StrassenConfig};
+use testkit::{check, Gen};
 
 fn mul(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
     Matrix::from_fn(a.nrows(), b.ncols(), |i, j| {
@@ -11,77 +14,92 @@ fn mul(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// `P A = L U` with unit-lower `L`, upper `U`, and `|L| ≤ 1`
-    /// (the partial-pivoting guarantee).
-    #[test]
-    fn factorization_invariants(n in 1usize..40, nb in 1usize..12, seed in 0u64..100_000) {
-        let a = random::uniform::<f64>(n, n, seed);
+/// `P A = L U` with unit-lower `L`, upper `U`, and `|L| ≤ 1`
+/// (the partial-pivoting guarantee).
+#[test]
+fn factorization_invariants() {
+    check("factorization_invariants", 24, |g: &mut Gen| {
+        let n = g.usize_in(1, 40);
+        let nb = g.usize_in(1, 12);
+        let a = random::uniform::<f64>(n, n, g.seed());
         let f = lu_factor(&a, nb, &GemmBackend::default()).unwrap();
         let pa = f.permute(&a);
         let lu = mul(&f.l(), &f.u());
-        prop_assert!(matrix::norms::rel_diff(lu.as_ref(), pa.as_ref()) < 1e-10);
+        assert!(matrix::norms::rel_diff(lu.as_ref(), pa.as_ref()) < 1e-10);
         // Partial pivoting keeps multipliers at magnitude ≤ 1.
         let l = f.l();
         for j in 0..n {
             for i in (j + 1)..n {
-                prop_assert!(l.at(i, j).abs() <= 1.0 + 1e-12, "L({i},{j}) = {}", l.at(i, j));
+                assert!(l.at(i, j).abs() <= 1.0 + 1e-12, "L({i},{j}) = {}", l.at(i, j));
             }
         }
         // Pivot list is within bounds and forward-pointing.
         for (i, &p) in f.pivots.iter().enumerate() {
-            prop_assert!(p >= i && p < n);
+            assert!(p >= i && p < n);
         }
-    }
+    });
+}
 
-    /// Block size never changes the answer.
-    #[test]
-    fn block_size_irrelevant(n in 2usize..36, seed in 0u64..100_000) {
-        let a = random::uniform::<f64>(n, n, seed);
+/// Block size never changes the answer.
+#[test]
+fn block_size_irrelevant() {
+    check("block_size_irrelevant", 24, |g: &mut Gen| {
+        let n = g.usize_in(2, 36);
+        let a = random::uniform::<f64>(n, n, g.seed());
         let f1 = lu_factor(&a, 1, &GemmBackend::default()).unwrap();
         let f2 = lu_factor(&a, 7, &GemmBackend::default()).unwrap();
-        prop_assert_eq!(&f1.pivots, &f2.pivots);
-        prop_assert!(matrix::norms::rel_diff(f1.lu.as_ref(), f2.lu.as_ref()) < 1e-11);
-    }
+        assert_eq!(&f1.pivots, &f2.pivots);
+        assert!(matrix::norms::rel_diff(f1.lu.as_ref(), f2.lu.as_ref()) < 1e-11);
+    });
+}
 
-    /// Solving against a constructed right-hand side recovers the
-    /// solution, with either backend.
-    #[test]
-    fn solve_round_trip(n in 1usize..48, rhs in 1usize..4, seed in 0u64..100_000) {
+/// Solving against a constructed right-hand side recovers the
+/// solution, with either backend.
+#[test]
+fn solve_round_trip() {
+    check("solve_round_trip", 24, |g: &mut Gen| {
+        let n = g.usize_in(1, 48);
+        let rhs = g.usize_in(1, 4);
+        let seed = g.seed();
         let a = random::uniform::<f64>(n, n, seed);
         let x_true = random::uniform::<f64>(n, rhs, seed ^ 0x55);
         let b = mul(&a, &x_true);
 
         let f = lu_factor(&a, 8, &GemmBackend::default()).unwrap();
         let x = f.solve(&b);
-        prop_assert!(matrix::norms::rel_diff(x.as_ref(), x_true.as_ref()) < 1e-6);
+        assert!(matrix::norms::rel_diff(x.as_ref(), x_true.as_ref()) < 1e-6);
 
         let sb = StrassenBackend::new(StrassenConfig::with_square_cutoff(12));
         let fs = lu_factor(&a, 8, &sb).unwrap();
         let xs = fs.solve(&b);
-        prop_assert!(matrix::norms::rel_diff(xs.as_ref(), x_true.as_ref()) < 1e-6);
-    }
+        assert!(matrix::norms::rel_diff(xs.as_ref(), x_true.as_ref()) < 1e-6);
+    });
+}
 
-    /// Determinant is multiplicative against a known diagonal scaling.
-    #[test]
-    fn determinant_scales(n in 1usize..10, seed in 0u64..100_000, factor in 1.5f64..3.0) {
-        let a = random::uniform::<f64>(n, n, seed);
+/// Determinant is multiplicative against a known diagonal scaling.
+#[test]
+fn determinant_scales() {
+    check("determinant_scales", 24, |g: &mut Gen| {
+        let n = g.usize_in(1, 10);
+        let factor = g.f64_in(1.5, 3.0);
+        let a = random::uniform::<f64>(n, n, g.seed());
         let f = lu_factor(&a, 4, &GemmBackend::default()).unwrap();
         // Scale one row by `factor`: determinant scales by `factor`.
         let scaled = Matrix::from_fn(n, n, |i, j| if i == 0 { factor * a.at(i, j) } else { a.at(i, j) });
         let fs = lu_factor(&scaled, 4, &GemmBackend::default()).unwrap();
         let (d1, d2) = (f.determinant(), fs.determinant());
-        prop_assert!((d2 - factor * d1).abs() <= 1e-9 * d1.abs().max(1.0), "{d2} vs {}", factor * d1);
-    }
+        assert!((d2 - factor * d1).abs() <= 1e-9 * d1.abs().max(1.0), "{d2} vs {}", factor * d1);
+    });
+}
 
-    /// Rank-deficient matrices are reported singular, never silently
-    /// mis-factored.
-    #[test]
-    fn rank_deficient_detected(n in 2usize..16, col in 0usize..16, seed in 0u64..100_000) {
-        let col = col % n;
-        let mut a = random::uniform::<f64>(n, n, seed);
+/// Rank-deficient matrices are reported singular, never silently
+/// mis-factored.
+#[test]
+fn rank_deficient_detected() {
+    check("rank_deficient_detected", 24, |g: &mut Gen| {
+        let n = g.usize_in(2, 16);
+        let col = g.usize_in(0, 16) % n;
+        let mut a = random::uniform::<f64>(n, n, g.seed());
         // Duplicate a column (exact linear dependence ⇒ exact zero pivot
         // in exact arithmetic; with rounding the pivot may be tiny instead,
         // so accept either singular-error or a huge solve residual).
@@ -94,11 +112,11 @@ proptest! {
             Err(LuError::Singular(_)) => {}
             Ok(f) => {
                 // Tiny pivot slipped through: determinant must be ~0.
-                prop_assert!(f.determinant().abs() < 1e-6 * matrix::norms::frobenius(a.as_ref()).powi(n as i32).max(1.0));
+                assert!(f.determinant().abs() < 1e-6 * matrix::norms::frobenius(a.as_ref()).powi(n as i32).max(1.0));
             }
-            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            Err(e) => panic!("unexpected error {e:?}"),
         }
-    }
+    });
 }
 
 #[test]

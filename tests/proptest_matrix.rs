@@ -1,28 +1,25 @@
 //! Property tests for the view algebra the Strassen recursion stands on:
 //! splits partition, compositions commute, transposes round-trip.
+//!
+//! Runs on the in-tree `testkit` harness: deterministic under
+//! `TESTKIT_SEED` (default seed baked in), shrinking by size-replay.
 
 use matrix::{norms, random, Matrix};
-use proptest::prelude::*;
+use testkit::{check, Gen};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The four quadrants partition the matrix: every element is in
-    /// exactly one quadrant, at the expected offset.
-    #[test]
-    fn quadrants_partition(
-        m in 1usize..30,
-        n in 1usize..30,
-        rs_frac in 0.0f64..1.0,
-        cs_frac in 0.0f64..1.0,
-        seed in 0u64..100_000,
-    ) {
-        let a = random::uniform::<f64>(m, n, seed);
-        let rs = ((m as f64 * rs_frac) as usize).min(m);
-        let cs = ((n as f64 * cs_frac) as usize).min(n);
+/// The four quadrants partition the matrix: every element is in
+/// exactly one quadrant, at the expected offset.
+#[test]
+fn quadrants_partition() {
+    check("quadrants_partition", 48, |g: &mut Gen| {
+        let m = g.usize_in(1, 30);
+        let n = g.usize_in(1, 30);
+        let rs = ((m as f64 * g.f64_in(0.0, 1.0)) as usize).min(m);
+        let cs = ((n as f64 * g.f64_in(0.0, 1.0)) as usize).min(n);
+        let a = random::uniform::<f64>(m, n, g.seed());
         let (q11, q12, q21, q22) = a.as_ref().quadrants(rs, cs);
-        prop_assert_eq!(q11.nrows() + q21.nrows(), m);
-        prop_assert_eq!(q11.ncols() + q12.ncols(), n);
+        assert_eq!(q11.nrows() + q21.nrows(), m);
+        assert_eq!(q11.ncols() + q12.ncols(), n);
         for i in 0..m {
             for j in 0..n {
                 let v = a.at(i, j);
@@ -32,39 +29,39 @@ proptest! {
                     (false, true) => q21.at(i - rs, j),
                     (false, false) => q22.at(i - rs, j - cs),
                 };
-                prop_assert_eq!(v, got, "({}, {})", i, j);
+                assert_eq!(v, got, "({i}, {j})");
             }
         }
-    }
+    });
+}
 
-    /// Nested submatrix views compose additively in their offsets.
-    #[test]
-    fn submatrix_composition(
-        m in 4usize..30,
-        n in 4usize..30,
-        seed in 0u64..100_000,
-    ) {
-        let a = random::uniform::<f64>(m, n, seed);
+/// Nested submatrix views compose additively in their offsets.
+#[test]
+fn submatrix_composition() {
+    check("submatrix_composition", 48, |g: &mut Gen| {
+        let m = g.usize_in(4, 30);
+        let n = g.usize_in(4, 30);
+        let a = random::uniform::<f64>(m, n, g.seed());
         let outer = a.as_ref().submatrix(1, 1, m - 2, n - 2);
         let inner = outer.submatrix(1, 1, m - 3, n - 3);
         for i in 0..(m - 3) {
             for j in 0..(n - 3) {
-                prop_assert_eq!(inner.at(i, j), a.at(i + 2, j + 2));
+                assert_eq!(inner.at(i, j), a.at(i + 2, j + 2));
             }
         }
-    }
+    });
+}
 
-    /// Transpose is an involution, and `copy_transposed_from` agrees
-    /// with elementwise transposition on strided views.
-    #[test]
-    fn transpose_round_trip(
-        m in 1usize..40,
-        n in 1usize..40,
-        seed in 0u64..100_000,
-    ) {
-        let a = random::uniform::<f64>(m, n, seed);
+/// Transpose is an involution, and `copy_transposed_from` agrees
+/// with elementwise transposition on strided views.
+#[test]
+fn transpose_round_trip() {
+    check("transpose_round_trip", 48, |g: &mut Gen| {
+        let m = g.usize_in(1, 40);
+        let n = g.usize_in(1, 40);
+        let a = random::uniform::<f64>(m, n, g.seed());
         let tt = a.transposed().transposed();
-        prop_assert_eq!(&a, &tt);
+        assert_eq!(&a, &tt);
         // On an interior view too (ld > nrows).
         if m > 2 && n > 2 {
             let v = a.as_ref().submatrix(1, 1, m - 2, n - 2);
@@ -72,44 +69,45 @@ proptest! {
             t.as_mut().copy_transposed_from(v);
             for i in 0..(m - 2) {
                 for j in 0..(n - 2) {
-                    prop_assert_eq!(t.at(j, i), v.at(i, j));
+                    assert_eq!(t.at(j, i), v.at(i, j));
                 }
             }
         }
-    }
+    });
+}
 
-    /// Norm identities: ‖A‖₁ of Aᵀ equals ‖A‖_∞ of A; Frobenius is
-    /// transpose-invariant; max_abs bounds all entries.
-    #[test]
-    fn norm_identities(m in 1usize..25, n in 1usize..25, seed in 0u64..100_000) {
-        let a = random::uniform::<f64>(m, n, seed);
+/// Norm identities: ‖A‖₁ of Aᵀ equals ‖A‖_∞ of A; Frobenius is
+/// transpose-invariant; max_abs bounds all entries.
+#[test]
+fn norm_identities() {
+    check("norm_identities", 48, |g: &mut Gen| {
+        let m = g.usize_in(1, 25);
+        let n = g.usize_in(1, 25);
+        let a = random::uniform::<f64>(m, n, g.seed());
         let at = a.transposed();
-        prop_assert!((norms::one_norm(at.as_ref()) - norms::inf_norm(a.as_ref())).abs() < 1e-12);
-        prop_assert!(
-            (norms::frobenius(a.as_ref()) - norms::frobenius(at.as_ref())).abs() < 1e-12
-        );
+        assert!((norms::one_norm(at.as_ref()) - norms::inf_norm(a.as_ref())).abs() < 1e-12);
+        assert!((norms::frobenius(a.as_ref()) - norms::frobenius(at.as_ref())).abs() < 1e-12);
         let mx = norms::max_abs(a.as_ref());
         for j in 0..n {
             for &x in a.as_ref().col(j) {
-                prop_assert!(x.abs() <= mx + 1e-15);
+                assert!(x.abs() <= mx + 1e-15);
             }
         }
         // Frobenius dominates max_abs, and is dominated by sqrt(mn)·max_abs.
         let fro = norms::frobenius(a.as_ref());
-        prop_assert!(fro + 1e-12 >= mx);
-        prop_assert!(fro <= ((m * n) as f64).sqrt() * mx + 1e-12);
-    }
+        assert!(fro + 1e-12 >= mx);
+        assert!(fro <= ((m * n) as f64).sqrt() * mx + 1e-12);
+    });
+}
 
-    /// Mutable split halves write disjointly and cover everything.
-    #[test]
-    fn split_rows_cols_disjoint_cover(
-        m in 2usize..24,
-        n in 2usize..24,
-        r_frac in 0.0f64..1.0,
-        seed in 0u64..100_000,
-    ) {
-        let r = ((m as f64 * r_frac) as usize).min(m);
-        let mut a = random::uniform::<f64>(m, n, seed);
+/// Mutable split halves write disjointly and cover everything.
+#[test]
+fn split_rows_cols_disjoint_cover() {
+    check("split_rows_cols_disjoint_cover", 48, |g: &mut Gen| {
+        let m = g.usize_in(2, 24);
+        let n = g.usize_in(2, 24);
+        let r = ((m as f64 * g.f64_in(0.0, 1.0)) as usize).min(m);
+        let mut a = random::uniform::<f64>(m, n, g.seed());
         {
             let (mut top, mut bot) = a.as_mut().split_rows(r);
             top.fill(1.0);
@@ -117,18 +115,22 @@ proptest! {
         }
         for i in 0..m {
             for j in 0..n {
-                prop_assert_eq!(a.at(i, j), if i < r { 1.0 } else { 2.0 });
+                assert_eq!(a.at(i, j), if i < r { 1.0 } else { 2.0 });
             }
         }
-    }
+    });
+}
 
-    /// Row-major and column-major constructors agree with from_fn.
-    #[test]
-    fn constructors_agree(m in 1usize..12, n in 1usize..12) {
+/// Row-major and column-major constructors agree with from_fn.
+#[test]
+fn constructors_agree() {
+    check("constructors_agree", 48, |g: &mut Gen| {
+        let m = g.usize_in(1, 12);
+        let n = g.usize_in(1, 12);
         let f = Matrix::from_fn(m, n, |i, j| (i * n + j) as f64);
         let rm: Vec<f64> = (0..m * n).map(|x| x as f64).collect();
         let from_rows = Matrix::from_row_major(m, n, &rm);
-        prop_assert_eq!(&f, &from_rows);
+        assert_eq!(&f, &from_rows);
         let cm: Vec<f64> = {
             let mut v = vec![0.0; m * n];
             for j in 0..n {
@@ -139,6 +141,6 @@ proptest! {
             v
         };
         let from_cols = Matrix::from_col_major(m, n, cm);
-        prop_assert_eq!(&f, &from_cols);
-    }
+        assert_eq!(&f, &from_cols);
+    });
 }

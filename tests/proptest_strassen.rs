@@ -1,34 +1,27 @@
 //! Property-based tests: DGEFMM ≡ conventional GEMM over random shapes,
 //! scalars, schedules, and odd-handling strategies, with the error
 //! bounded by a Strassen-style stability envelope.
+//!
+//! Runs on the in-tree `testkit` harness (deterministic, seed via
+//! `TESTKIT_SEED`).
 
 use blas::level3::{gemm, GemmConfig};
 use blas::Op;
 use matrix::{norms, random, Matrix};
-use proptest::prelude::*;
 use strassen::{dgefmm, CutoffCriterion, OddHandling, Scheme, StrassenConfig, Variant};
+use testkit::{check, Gen};
 
-fn scheme_strategy() -> impl Strategy<Value = Scheme> {
-    prop_oneof![
-        Just(Scheme::Auto),
-        Just(Scheme::Strassen1),
-        Just(Scheme::Strassen2),
-        Just(Scheme::SevenTemp),
-    ]
-}
+const SCHEMES: [Scheme; 4] =
+    [Scheme::Auto, Scheme::Strassen1, Scheme::Strassen2, Scheme::SevenTemp];
 
-fn odd_strategy() -> impl Strategy<Value = OddHandling> {
-    prop_oneof![
-        Just(OddHandling::DynamicPeeling),
-        Just(OddHandling::DynamicPeelingFirst),
-        Just(OddHandling::DynamicPadding),
-        Just(OddHandling::StaticPadding),
-    ]
-}
+const ODDS: [OddHandling; 4] = [
+    OddHandling::DynamicPeeling,
+    OddHandling::DynamicPeelingFirst,
+    OddHandling::DynamicPadding,
+    OddHandling::StaticPadding,
+];
 
-fn variant_strategy() -> impl Strategy<Value = Variant> {
-    prop_oneof![Just(Variant::Winograd), Just(Variant::Original)]
-}
+const VARIANTS: [Variant; 2] = [Variant::Winograd, Variant::Original];
 
 /// Stability envelope: Higham-style bound scaled loosely. Winograd's
 /// variant satisfies `‖Ĉ − C‖ ≤ c·f(n)·ε·‖A‖‖B‖` with `f` polynomial in
@@ -39,22 +32,19 @@ fn tolerance(m: usize, k: usize, n: usize) -> f64 {
     1e3 * dim * dim * f64::EPSILON
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dgefmm_matches_gemm(
-        m in 1usize..90,
-        k in 1usize..90,
-        n in 1usize..90,
-        alpha in -2.0f64..2.0,
-        beta in -2.0f64..2.0,
-        tau in 4usize..24,
-        scheme in scheme_strategy(),
-        odd in odd_strategy(),
-        variant in variant_strategy(),
-        seed in 0u64..1_000_000,
-    ) {
+#[test]
+fn dgefmm_matches_gemm() {
+    check("dgefmm_matches_gemm", 48, |g: &mut Gen| {
+        let m = g.usize_in(1, 90);
+        let k = g.usize_in(1, 90);
+        let n = g.usize_in(1, 90);
+        let alpha = g.f64_in(-2.0, 2.0);
+        let beta = g.f64_in(-2.0, 2.0);
+        let tau = g.usize_in(4, 24);
+        let scheme = g.pick(&SCHEMES);
+        let odd = g.pick(&ODDS);
+        let variant = g.pick(&VARIANTS);
+        let seed = g.seed();
         let a = random::uniform::<f64>(m, k, seed);
         let b = random::uniform::<f64>(k, n, seed ^ 0xabcd);
         let c0 = random::uniform::<f64>(m, n, seed ^ 0x1234);
@@ -71,19 +61,20 @@ proptest! {
         dgefmm(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
 
         let diff = norms::rel_diff(c.as_ref(), expect.as_ref());
-        prop_assert!(diff <= tolerance(m, k, n),
+        assert!(diff <= tolerance(m, k, n),
             "rel diff {diff:.3e} > tol ({m}x{k}x{n}, {scheme:?}, {odd:?}, {variant:?}, α={alpha}, β={beta})");
-    }
+    });
+}
 
-    #[test]
-    fn transposes_match(
-        m in 1usize..60,
-        k in 1usize..60,
-        n in 1usize..60,
-        ta in proptest::bool::ANY,
-        tb in proptest::bool::ANY,
-        seed in 0u64..1_000_000,
-    ) {
+#[test]
+fn transposes_match() {
+    check("transposes_match", 48, |g: &mut Gen| {
+        let m = g.usize_in(1, 60);
+        let k = g.usize_in(1, 60);
+        let n = g.usize_in(1, 60);
+        let ta = g.bool();
+        let tb = g.bool();
+        let seed = g.seed();
         let op_a = if ta { Op::Trans } else { Op::NoTrans };
         let op_b = if tb { Op::Trans } else { Op::NoTrans };
         let (ar, ac) = if ta { (k, m) } else { (m, k) };
@@ -98,21 +89,22 @@ proptest! {
         let mut c = c0.clone();
         dgefmm(&cfg, 1.3, op_a, a.as_ref(), op_b, b.as_ref(), -0.4, c.as_mut());
 
-        prop_assert!(norms::rel_diff(c.as_ref(), expect.as_ref()) <= tolerance(m, k, n));
-    }
+        assert!(norms::rel_diff(c.as_ref(), expect.as_ref()) <= tolerance(m, k, n));
+    });
+}
 
-    /// The workspace the dispatcher claims to need is genuinely enough:
-    /// `dgefmm` never panics on a `split_at_mut` overrun (an overrun
-    /// would panic, failing this test).
-    #[test]
-    fn workspace_claim_is_sufficient(
-        m in 4usize..120,
-        k in 4usize..120,
-        n in 4usize..120,
-        tau in 4usize..16,
-        beta_zero in proptest::bool::ANY,
-        scheme in scheme_strategy(),
-    ) {
+/// The workspace the dispatcher claims to need is genuinely enough:
+/// `dgefmm` never panics on a `split_at_mut` overrun (an overrun
+/// would panic, failing this test).
+#[test]
+fn workspace_claim_is_sufficient() {
+    check("workspace_claim_is_sufficient", 48, |g: &mut Gen| {
+        let m = g.usize_in(4, 120);
+        let k = g.usize_in(4, 120);
+        let n = g.usize_in(4, 120);
+        let tau = g.usize_in(4, 16);
+        let beta_zero = g.bool();
+        let scheme = g.pick(&SCHEMES);
         let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau }).scheme(scheme);
         let a = random::uniform::<f64>(m, k, 1);
         let b = random::uniform::<f64>(k, n, 2);
@@ -120,19 +112,20 @@ proptest! {
         let beta = if beta_zero { 0.0 } else { 1.0 };
         // Internally allocates exactly required_workspace(..) elements.
         dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
-        prop_assert!(c.as_slice().iter().all(|x| x.is_finite()));
-    }
+        assert!(c.as_slice().iter().all(|x| x.is_finite()));
+    });
+}
 
-    /// β = 0 semantics: NaN/Inf garbage in C never leaks into the result,
-    /// whatever the configuration.
-    #[test]
-    fn beta_zero_never_reads_c(
-        m in 1usize..60,
-        k in 1usize..60,
-        n in 1usize..60,
-        scheme in scheme_strategy(),
-        odd in odd_strategy(),
-    ) {
+/// β = 0 semantics: NaN/Inf garbage in C never leaks into the result,
+/// whatever the configuration.
+#[test]
+fn beta_zero_never_reads_c() {
+    check("beta_zero_never_reads_c", 48, |g: &mut Gen| {
+        let m = g.usize_in(1, 60);
+        let k = g.usize_in(1, 60);
+        let n = g.usize_in(1, 60);
+        let scheme = g.pick(&SCHEMES);
+        let odd = g.pick(&ODDS);
         let a = random::uniform::<f64>(m, k, 3);
         let b = random::uniform::<f64>(k, n, 4);
         let mut c = Matrix::from_fn(m, n, |_, _| f64::NAN);
@@ -141,23 +134,23 @@ proptest! {
             .scheme(scheme)
             .odd(odd);
         dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
-        prop_assert!(c.as_slice().iter().all(|x| x.is_finite()), "NaN leaked ({scheme:?}, {odd:?})");
-    }
+        assert!(c.as_slice().iter().all(|x| x.is_finite()), "NaN leaked ({scheme:?}, {odd:?})");
+    });
+}
 
-    /// Strassen on the identity recovers B almost exactly: the operand
-    /// sums reduce to expressions like B11 + (B12 − B11), so only a few
-    /// ulps of error per level can appear — far below any algebraic bug.
-    #[test]
-    fn identity_times_b_close(
-        n in 2usize..64,
-        scheme in scheme_strategy(),
-        seed in 0u64..100_000,
-    ) {
+/// Strassen on the identity recovers B almost exactly: the operand
+/// sums reduce to expressions like B11 + (B12 − B11), so only a few
+/// ulps of error per level can appear — far below any algebraic bug.
+#[test]
+fn identity_times_b_close() {
+    check("identity_times_b_close", 48, |g: &mut Gen| {
+        let n = g.usize_in(2, 64);
+        let scheme = g.pick(&SCHEMES);
         let i = Matrix::<f64>::identity(n);
-        let b = random::uniform::<f64>(n, n, seed);
+        let b = random::uniform::<f64>(n, n, g.seed());
         let mut c = Matrix::<f64>::zeros(n, n);
         let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 4 }).scheme(scheme);
         dgefmm(&cfg, 1.0, Op::NoTrans, i.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
-        prop_assert!(norms::max_abs_diff(c.as_ref(), b.as_ref()) <= 1e-12);
-    }
+        assert!(norms::max_abs_diff(c.as_ref(), b.as_ref()) <= 1e-12);
+    });
 }

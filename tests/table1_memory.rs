@@ -1,0 +1,134 @@
+//! Table 1 memory-bound regressions: the workspace the dispatcher
+//! allocates stays within the paper's closed-form limits.
+//!
+//! Summing the per-level temporaries over an infinite recursion gives a
+//! geometric series with ratio 1/4, so the totals converge to (Table 1,
+//! Huss-Lederman et al. SC '96):
+//!
+//! - STRASSEN1, β = 0:   (m·max(k, n) + k·n) / 3
+//! - STRASSEN2, any β:   (m·k + k·n + m·n) / 3
+//!
+//! Any schedule change that silently grows a temporary breaks these.
+
+use blas::Op;
+use matrix::{random, Matrix};
+use strassen::{
+    dgefmm_with_workspace, required_workspace, CutoffCriterion, Scheme, StrassenConfig, Workspace,
+};
+
+fn strassen1(tau: usize) -> StrassenConfig {
+    StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau }).scheme(Scheme::Strassen1)
+}
+
+fn strassen2(tau: usize) -> StrassenConfig {
+    StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau }).scheme(Scheme::Strassen2)
+}
+
+/// A grid of shapes: powers of two, odd sizes, and paper-style
+/// rectangles, at the smallest legal cutoff (deepest recursion — the
+/// worst case for the series bound).
+fn shape_grid() -> Vec<(usize, usize, usize)> {
+    let mut shapes = vec![
+        (64, 64, 64),
+        (128, 128, 128),
+        (256, 256, 256),
+        (255, 255, 255),
+        (129, 129, 129),
+        (100, 200, 50),
+        (97, 193, 151),
+        (512, 64, 512),
+        (64, 512, 64),
+        (1024, 32, 96),
+    ];
+    for s in [33, 48, 65, 96, 200] {
+        shapes.push((s, s, s));
+    }
+    shapes
+}
+
+#[test]
+fn strassen1_beta0_within_paper_bound() {
+    for (m, k, n) in shape_grid() {
+        for tau in [4, 8, 16] {
+            let need = required_workspace(&strassen1(tau), m, k, n, true);
+            let bound = (m * k.max(n) + k * n) as f64 / 3.0;
+            assert!(
+                (need as f64) <= bound,
+                "STRASSEN1 β=0 {m}x{k}x{n} τ={tau}: {need} > {bound:.1}"
+            );
+        }
+    }
+}
+
+#[test]
+fn strassen2_general_within_paper_bound() {
+    for (m, k, n) in shape_grid() {
+        for tau in [4, 8, 16] {
+            let need = required_workspace(&strassen2(tau), m, k, n, false);
+            let bound = (m * k + k * n + m * n) as f64 / 3.0;
+            assert!(
+                (need as f64) <= bound,
+                "STRASSEN2 general {m}x{k}x{n} τ={tau}: {need} > {bound:.1}"
+            );
+        }
+    }
+}
+
+/// STRASSEN2 with β = 0 uses the same three-temporary schedule, so the
+/// same bound applies.
+#[test]
+fn strassen2_beta0_within_paper_bound() {
+    for (m, k, n) in shape_grid() {
+        let need = required_workspace(&strassen2(4), m, k, n, true);
+        let bound = (m * k + k * n + m * n) as f64 / 3.0;
+        assert!((need as f64) <= bound, "STRASSEN2 β=0 {m}x{k}x{n}: {need} > {bound:.1}");
+    }
+}
+
+/// `Workspace::for_problem` allocates exactly the claimed requirement —
+/// no hidden slack that would mask an accounting bug.
+#[test]
+fn workspace_allocates_exactly_the_claim() {
+    for (m, k, n) in [(64, 64, 64), (97, 193, 151), (100, 200, 50)] {
+        for (cfg, beta_zero) in [(strassen1(8), true), (strassen2(8), false)] {
+            let need = required_workspace(&cfg, m, k, n, beta_zero);
+            let ws = Workspace::<f64>::for_problem(&cfg, m, k, n, beta_zero);
+            assert_eq!(ws.len(), need, "{m}x{k}x{n}");
+        }
+    }
+}
+
+/// End-to-end: a multiply through an exactly-sized arena completes (an
+/// under-claim would panic on arena exhaustion) and the arena never
+/// needs to grow mid-run.
+#[test]
+fn exact_arena_suffices_end_to_end() {
+    for (m, k, n) in [(96, 96, 96), (97, 65, 129)] {
+        for (cfg, beta) in [(strassen1(8), 0.0), (strassen2(8), 0.5)] {
+            let a = random::uniform::<f64>(m, k, 1);
+            let b = random::uniform::<f64>(k, n, 2);
+            let mut c = Matrix::<f64>::zeros(m, n);
+            let mut ws = Workspace::<f64>::for_problem(&cfg, m, k, n, beta == 0.0);
+            let before = ws.len();
+            dgefmm_with_workspace(
+                &cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut(),
+                &mut ws,
+            );
+            assert_eq!(ws.len(), before, "arena grew mid-run for {m}x{k}x{n}");
+            assert!(c.as_slice().iter().all(|x| x.is_finite()));
+        }
+    }
+}
+
+/// The requirement is monotone in problem size — a sanity property the
+/// series bound implicitly relies on.
+#[test]
+fn requirement_monotone_in_size() {
+    let cfg = strassen2(8);
+    let mut prev = 0;
+    for s in [16, 32, 64, 128, 256] {
+        let need = required_workspace(&cfg, s, s, s, false);
+        assert!(need >= prev, "requirement shrank from {prev} to {need} at {s}");
+        prev = need;
+    }
+}
