@@ -17,13 +17,22 @@ fn bench(c: &mut Harness) {
     let mut g = c.benchmark_group("ablation_depth");
     g.sample_size(10);
     for depth in 0usize..=3 {
-        let cfg = StrassenConfig::dgefmm()
-            .gemm(p.gemm)
-            .cutoff(CutoffCriterion::Never)
-            .max_depth(depth);
+        let cfg = StrassenConfig::dgefmm().gemm(p.gemm).cutoff(CutoffCriterion::Never).max_depth(depth);
         let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, true);
         g.bench_function(format!("depth_{depth}"), |bch| {
-            bch.iter(|| dgefmm_with_workspace(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, out.as_mut(), &mut ws))
+            bch.iter(|| {
+                dgefmm_with_workspace(
+                    &cfg,
+                    1.0,
+                    Op::NoTrans,
+                    a.as_ref(),
+                    Op::NoTrans,
+                    b.as_ref(),
+                    0.0,
+                    out.as_mut(),
+                    &mut ws,
+                )
+            })
         });
     }
     g.finish();

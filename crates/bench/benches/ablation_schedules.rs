@@ -5,7 +5,9 @@ use bench::micro::Harness;
 
 use blas::level2::Op;
 use matrix::{random, Matrix};
-use strassen::{dgefmm_with_workspace, CutoffCriterion, OddHandling, Scheme, StrassenConfig, Variant, Workspace};
+use strassen::{
+    dgefmm_with_workspace, CutoffCriterion, OddHandling, Scheme, StrassenConfig, Variant, Workspace,
+};
 
 fn bench(c: &mut Harness) {
     let base = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 96 });
@@ -25,7 +27,19 @@ fn bench(c: &mut Harness) {
             let cfg = base.scheme(scheme);
             let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, false);
             g.bench_function(name, |bch| {
-                bch.iter(|| dgefmm_with_workspace(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 1.0, out.as_mut(), &mut ws))
+                bch.iter(|| {
+                    dgefmm_with_workspace(
+                        &cfg,
+                        1.0,
+                        Op::NoTrans,
+                        a.as_ref(),
+                        Op::NoTrans,
+                        b.as_ref(),
+                        1.0,
+                        out.as_mut(),
+                        &mut ws,
+                    )
+                })
             });
         }
         g.finish();
@@ -47,7 +61,19 @@ fn bench(c: &mut Harness) {
             let cfg = base.odd(odd);
             let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, true);
             g.bench_function(name, |bch| {
-                bch.iter(|| dgefmm_with_workspace(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, out.as_mut(), &mut ws))
+                bch.iter(|| {
+                    dgefmm_with_workspace(
+                        &cfg,
+                        1.0,
+                        Op::NoTrans,
+                        a.as_ref(),
+                        Op::NoTrans,
+                        b.as_ref(),
+                        0.0,
+                        out.as_mut(),
+                        &mut ws,
+                    )
+                })
             });
         }
         g.finish();
@@ -64,7 +90,19 @@ fn bench(c: &mut Harness) {
             let cfg = base.variant(variant);
             let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, true);
             g.bench_function(name, |bch| {
-                bch.iter(|| dgefmm_with_workspace(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, out.as_mut(), &mut ws))
+                bch.iter(|| {
+                    dgefmm_with_workspace(
+                        &cfg,
+                        1.0,
+                        Op::NoTrans,
+                        a.as_ref(),
+                        Op::NoTrans,
+                        b.as_ref(),
+                        0.0,
+                        out.as_mut(),
+                        &mut ws,
+                    )
+                })
             });
         }
         g.finish();

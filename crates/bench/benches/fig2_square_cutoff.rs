@@ -26,7 +26,17 @@ fn bench(c: &mut Harness) {
         let mut ws = Workspace::<f64>::for_problem(&one, m, m, m, true);
         g.bench_function(format!("dgefmm_one_level/{m}"), |bch| {
             bch.iter(|| {
-                dgefmm_with_workspace(&one, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, out.as_mut(), &mut ws)
+                dgefmm_with_workspace(
+                    &one,
+                    1.0,
+                    Op::NoTrans,
+                    a.as_ref(),
+                    Op::NoTrans,
+                    b.as_ref(),
+                    0.0,
+                    out.as_mut(),
+                    &mut ws,
+                )
             })
         });
     }

@@ -20,10 +20,34 @@ fn bench(c: &mut Harness) {
     let cfg = p.dgefmm_config();
     let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, false);
     g.bench_function(format!("dgefmm/{m}"), |bch| {
-        bch.iter(|| dgefmm_with_workspace(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, out.as_mut(), &mut ws))
+        bch.iter(|| {
+            dgefmm_with_workspace(
+                &cfg,
+                alpha,
+                Op::NoTrans,
+                a.as_ref(),
+                Op::NoTrans,
+                b.as_ref(),
+                beta,
+                out.as_mut(),
+                &mut ws,
+            )
+        })
     });
     g.bench_function(format!("dgemmw/{m}"), |bch| {
-        bch.iter(|| dgemmw::dgemmw(tau, p.gemm, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, out.as_mut()))
+        bch.iter(|| {
+            dgemmw::dgemmw(
+                tau,
+                p.gemm,
+                alpha,
+                Op::NoTrans,
+                a.as_ref(),
+                Op::NoTrans,
+                b.as_ref(),
+                beta,
+                out.as_mut(),
+            )
+        })
     });
     g.finish();
 }

@@ -22,11 +22,24 @@ fn bench(c: &mut Harness) {
         ("seven_temp_beta0", Scheme::SevenTemp, 0.0),
     ] {
         let cfg = base.scheme(scheme);
-        eprintln!("{name}: workspace = {} elements", strassen::required_workspace(&cfg, m, m, m, beta == 0.0));
+        eprintln!(
+            "{name}: workspace = {} elements",
+            strassen::required_workspace(&cfg, m, m, m, beta == 0.0)
+        );
         let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, beta == 0.0);
         g.bench_function(name, |bch| {
             bch.iter(|| {
-                dgefmm_with_workspace(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, out.as_mut(), &mut ws)
+                dgefmm_with_workspace(
+                    &cfg,
+                    1.0,
+                    Op::NoTrans,
+                    a.as_ref(),
+                    Op::NoTrans,
+                    b.as_ref(),
+                    beta,
+                    out.as_mut(),
+                    &mut ws,
+                )
             })
         });
     }

@@ -27,7 +27,17 @@ fn bench(c: &mut Harness) {
         let mut ws = Workspace::<f64>::for_problem(&cfg, m, k, n, true);
         g.bench_function(name, |bch| {
             bch.iter(|| {
-                dgefmm_with_workspace(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, out.as_mut(), &mut ws)
+                dgefmm_with_workspace(
+                    &cfg,
+                    1.0,
+                    Op::NoTrans,
+                    a.as_ref(),
+                    Op::NoTrans,
+                    b.as_ref(),
+                    0.0,
+                    out.as_mut(),
+                    &mut ws,
+                )
             })
         });
     }

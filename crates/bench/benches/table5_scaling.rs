@@ -21,11 +21,25 @@ fn bench(c: &mut Harness) {
         let b = random::uniform::<f64>(m, m, 2);
         let mut out = random::uniform::<f64>(m, m, 3);
         g.bench_function(format!("dgemm/{m}"), |bch| {
-            bch.iter(|| gemm(&p.gemm, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, out.as_mut()))
+            bch.iter(|| {
+                gemm(&p.gemm, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, out.as_mut())
+            })
         });
         let mut ws = Workspace::<f64>::for_problem(&cfg, m, m, m, false);
         g.bench_function(format!("dgefmm/{m}"), |bch| {
-            bch.iter(|| dgefmm_with_workspace(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, out.as_mut(), &mut ws))
+            bch.iter(|| {
+                dgefmm_with_workspace(
+                    &cfg,
+                    alpha,
+                    Op::NoTrans,
+                    a.as_ref(),
+                    Op::NoTrans,
+                    b.as_ref(),
+                    beta,
+                    out.as_mut(),
+                    &mut ws,
+                )
+            })
         });
     }
     g.finish();

@@ -1,0 +1,178 @@
+//! Quick before/after benchmark for the fused-kernel PR.
+//!
+//! Runs a pinned subset of targets — the square blocked GEMM and the
+//! default DGEFMM Winograd schedule — at n ∈ {256, 512, 1024}, timing
+//! the classic temp-based schedule (`fused = false`, "before") against
+//! the fused add-pack / multi-destination write-back path
+//! (`fused = true`, "after") plus the opt-in two-level flattening
+//! ablation, and writes the summaries to `BENCH_PR2.json` in the
+//! current directory.
+//!
+//! All targets at one size are timed **interleaved round-robin** (one
+//! call of each per round) so slow drift of the machine — easily ±20%
+//! over a run on a shared box — hits every target equally instead of
+//! biasing whichever ran last. Speedups are reported from per-target
+//! minima, the usual noise-robust statistic for paired timing.
+//!
+//! Scale at runtime with the usual harness knobs: `BENCH_SAMPLES` (min
+//! rounds), `BENCH_WARMUP_MS`, `BENCH_MEASURE_MS` (see [`bench::micro`]).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use bench::micro::Harness;
+use bench::stats::{summarize, Summary};
+use blas::level3::gemm_blocked;
+use blas::{GemmConfig, Op};
+use matrix::{random, Matrix};
+use strassen::{dgefmm, StrassenConfig};
+
+const SIZES: [usize; 3] = [256, 512, 1024];
+
+/// Time every target interleaved: one call of each per round, `rounds`
+/// chosen so the whole group roughly fills `h.measure` (at least
+/// `h.samples` rounds). Returns one per-call-nanoseconds [`Summary`] per
+/// target plus the round count.
+fn bench_group(h: &Harness, targets: &mut [(&str, &mut dyn FnMut())]) -> (Vec<Summary>, usize) {
+    // Warm-up round-robin, remembering the last per-round total.
+    let mut round_ns;
+    let warm_start = Instant::now();
+    loop {
+        let t = Instant::now();
+        for (_, f) in targets.iter_mut() {
+            f();
+        }
+        round_ns = t.elapsed().as_nanos();
+        if warm_start.elapsed() >= h.warmup {
+            break;
+        }
+    }
+
+    let rounds = (h.measure.as_nanos() / round_ns.max(1)).clamp(h.samples as u128, 10_000) as usize;
+    let mut samples = vec![Vec::with_capacity(rounds); targets.len()];
+    for _ in 0..rounds {
+        for (i, (_, f)) in targets.iter_mut().enumerate() {
+            let t = Instant::now();
+            f();
+            samples[i].push(t.elapsed().as_nanos() as f64);
+        }
+    }
+    (samples.iter().map(|s| summarize(s)).collect(), rounds)
+}
+
+fn gflops(n: usize, ns: f64) -> f64 {
+    2.0 * (n as f64).powi(3) / ns
+}
+
+/// Append one result object to the JSON `results` array.
+fn push_result(json: &mut String, bench: &str, n: usize, s: &Summary, rounds: usize) {
+    let _ = write!(
+        json,
+        "    {{\"bench\": \"{bench}\", \"n\": {n}, \"rounds\": {rounds}, \
+         \"median_ms\": {:.4}, \"min_ms\": {:.4}, \"mean_ms\": {:.4}, \"max_ms\": {:.4}, \
+         \"gflops_min\": {:.3}}}",
+        s.median / 1e6,
+        s.min / 1e6,
+        s.mean / 1e6,
+        s.max / 1e6,
+        gflops(n, s.min)
+    );
+}
+
+fn main() {
+    let h = Harness::from_env();
+    println!(
+        "bench_quick: ≥{} interleaved rounds, warmup {:?}, measure {:?} per size",
+        h.samples, h.warmup, h.measure
+    );
+
+    let mut json = String::from("{\n  \"pr\": 2,\n");
+    let _ = writeln!(json, "  \"harness\": {{\"min_rounds\": {}}},", h.samples);
+    json.push_str("  \"results\": [\n");
+
+    let mut first = true;
+    let mut speedups = Vec::new();
+    for n in SIZES {
+        let a = random::uniform::<f64>(n, n, 1);
+        let b = random::uniform::<f64>(n, n, 2);
+        // All targets write the *same* destination (β = 0, so each call
+        // is self-contained): with per-target matrices, whichever C
+        // happens to land at an unlucky offset relative to A/B pays a
+        // large conflict-miss penalty at power-of-two sizes, and the
+        // comparison measures allocator luck instead of the kernels.
+        let c = std::cell::RefCell::new(Matrix::<f64>::zeros(n, n));
+
+        let gemm_cfg = GemmConfig::blocked();
+        let classic = StrassenConfig::dgefmm().fused(false);
+        let fused = StrassenConfig::dgefmm().fused(true);
+        let fused2 = StrassenConfig::dgefmm().fused(true).fused_levels(2);
+
+        let strassen = |cfg: &StrassenConfig| {
+            let mut cm = c.borrow_mut();
+            dgefmm(
+                cfg,
+                1.0,
+                Op::NoTrans,
+                black_box(a.as_ref()),
+                Op::NoTrans,
+                black_box(b.as_ref()),
+                0.0,
+                cm.as_mut(),
+            );
+        };
+        let mut f_blocked = || {
+            let mut cm = c.borrow_mut();
+            gemm_blocked(
+                &gemm_cfg,
+                1.0,
+                Op::NoTrans,
+                black_box(a.as_ref()),
+                Op::NoTrans,
+                black_box(b.as_ref()),
+                0.0,
+                cm.as_mut(),
+            );
+        };
+        let mut f_classic = || strassen(&classic);
+        let mut f_fused = || strassen(&fused);
+        let mut f_fused2 = || strassen(&fused2);
+
+        let mut targets: [(&str, &mut dyn FnMut()); 4] = [
+            ("gemm_blocked", &mut f_blocked),
+            ("dgefmm_winograd_classic", &mut f_classic),
+            ("dgefmm_winograd_fused", &mut f_fused),
+            ("dgefmm_fused_two_level_ablation", &mut f_fused2),
+        ];
+        let (summaries, rounds) = bench_group(&h, &mut targets);
+
+        for ((label, _), s) in targets.iter().zip(&summaries) {
+            println!(
+                "{label:<32} n={n:<5} min {:>9.3} ms  median {:>9.3} ms  ({:.3} GFLOP/s)",
+                s.min / 1e6,
+                s.median / 1e6,
+                gflops(n, s.min)
+            );
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            push_result(&mut json, label, n, s, rounds);
+        }
+        let speedup = summaries[1].min / summaries[2].min;
+        println!("  fused speedup at n={n}: {speedup:.3}x (paired min of {rounds} rounds)\n");
+        speedups.push((n, speedup));
+    }
+
+    json.push_str("\n  ],\n  \"fused_speedup_vs_classic\": {");
+    for (i, (n, s)) in speedups.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{n}\": {s:.4}");
+    }
+    json.push_str("}\n}\n");
+
+    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
+    println!("wrote BENCH_PR2.json");
+}

@@ -16,8 +16,20 @@ use bench::runner::Scale;
 use std::process::ExitCode;
 
 const NAMES: &[&str] = &[
-    "analytic", "table1", "fig2", "table2", "table3", "table4", "table5", "fig3", "fig4", "fig5",
-    "fig6", "table6", "stability", "model",
+    "analytic",
+    "table1",
+    "fig2",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table6",
+    "stability",
+    "model",
 ];
 
 fn usage() -> ExitCode {

@@ -10,7 +10,8 @@ pub fn run() -> String {
     writeln!(w, "== Section 2 analytic claims (op-count model) ==").unwrap();
     writeln!(w).unwrap();
 
-    writeln!(w, "asymptotic exponent lg(7)           : {:.4}  (paper: 2.807)", analysis::strassen_exponent()).unwrap();
+    writeln!(w, "asymptotic exponent lg(7)           : {:.4}  (paper: 2.807)", analysis::strassen_exponent())
+        .unwrap();
     writeln!(
         w,
         "one-level ratio limit (eq. 1)       : {:.4}  (paper: 7/8, a 12.5% improvement)",
@@ -59,12 +60,7 @@ pub fn run() -> String {
     writeln!(w, "closed forms at d = 5 (orders 2^5·8 = 256, cutoff 8):").unwrap();
     writeln!(w, "  Winograd W (eq. 4) : {}", recurrence::winograd_square(5, 8)).unwrap();
     writeln!(w, "  original S (eq. 5) : {}", recurrence::original_square(5, 8)).unwrap();
-    writeln!(
-        w,
-        "  standard 2m^3-m^2  : {}",
-        opcount::model::standard_ops(256, 256, 256)
-    )
-    .unwrap();
+    writeln!(w, "  standard 2m^3-m^2  : {}", opcount::model::standard_ops(256, 256, 256)).unwrap();
     out
 }
 

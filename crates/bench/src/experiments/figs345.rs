@@ -66,28 +66,12 @@ fn time_comparator(
                 );
             }
         }
-        Comparator::Sgemms => sgemms::sgemms(
-            tau,
-            g,
-            alpha,
-            Op::NoTrans,
-            a.as_ref(),
-            Op::NoTrans,
-            b.as_ref(),
-            beta,
-            c.as_mut(),
-        ),
-        Comparator::Dgemmw => dgemmw::dgemmw(
-            tau,
-            g,
-            alpha,
-            Op::NoTrans,
-            a.as_ref(),
-            Op::NoTrans,
-            b.as_ref(),
-            beta,
-            c.as_mut(),
-        ),
+        Comparator::Sgemms => {
+            sgemms::sgemms(tau, g, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut())
+        }
+        Comparator::Dgemmw => {
+            dgemmw::dgemmw(tau, g, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut())
+        }
     })
 }
 

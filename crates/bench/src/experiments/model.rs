@@ -57,17 +57,26 @@ pub fn run(scale: Scale, profile: &MachineProfile) -> String {
 
     let mut out = String::new();
     let w = &mut out;
-    writeln!(w, "== Model extension: fitted time model & predicted crossover — {} ==", profile.name)
-        .unwrap();
+    writeln!(w, "== Model extension: fitted time model & predicted crossover — {} ==", profile.name).unwrap();
     let Some(model) = fit(&gemm_samples, &add_samples) else {
         writeln!(w, "fit failed (degenerate samples)").unwrap();
         return out;
     };
     writeln!(w, "fitted parameters:").unwrap();
-    writeln!(w, "  mul_rate  = {:.3e} s/flop   (~{:.2} GFLOP/s inside GEMM)", model.mul_rate, 1e-9 / model.mul_rate)
-        .unwrap();
-    writeln!(w, "  add_rate  = {:.3e} s/element ({:.1}x the per-flop GEMM cost)", model.add_rate, model.add_rate / model.mul_rate)
-        .unwrap();
+    writeln!(
+        w,
+        "  mul_rate  = {:.3e} s/flop   (~{:.2} GFLOP/s inside GEMM)",
+        model.mul_rate,
+        1e-9 / model.mul_rate
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "  add_rate  = {:.3e} s/element ({:.1}x the per-flop GEMM cost)",
+        model.add_rate,
+        model.add_rate / model.mul_rate
+    )
+    .unwrap();
     writeln!(w, "  overhead  = {:.3e} s/call", model.overhead).unwrap();
 
     let predicted = model.predicted_square_crossover(8192);
@@ -79,7 +88,7 @@ pub fn run(scale: Scale, profile: &MachineProfile) -> String {
     // Spot-check the model against one direct measurement near the
     // predicted crossover.
     if let Some(p) = predicted {
-        let probe = (2 * p).min(2048).max(64);
+        let probe = (2 * p).clamp(64, 2048);
         let measured_ratio = crossover_ratio(&profile.gemm, probe, probe, probe, reps);
         let pf = probe as f64;
         let model_ratio = model.gemm_time(pf, pf, pf) / model.one_level_time(pf, pf, pf);

@@ -26,7 +26,16 @@ pub fn run(scale: Scale) -> String {
     let a = random::uniform::<f64>(m, m, 0x57ab);
     let b = random::uniform::<f64>(m, m, 0x57ac);
     let mut reference = Matrix::<f64>::zeros(m, m);
-    gemm(&GemmConfig::blocked(), 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, reference.as_mut());
+    gemm(
+        &GemmConfig::blocked(),
+        1.0,
+        Op::NoTrans,
+        a.as_ref(),
+        Op::NoTrans,
+        b.as_ref(),
+        0.0,
+        reference.as_mut(),
+    );
 
     let mut out = String::new();
     let w = &mut out;
@@ -36,10 +45,8 @@ pub fn run(scale: Scale) -> String {
     for depth in 0..=4usize {
         let mut errs = [0.0f64; 2];
         for (slot, variant) in [(0, Variant::Winograd), (1, Variant::Original)] {
-            let cfg = StrassenConfig::dgefmm()
-                .variant(variant)
-                .cutoff(CutoffCriterion::Never)
-                .max_depth(depth);
+            let cfg =
+                StrassenConfig::dgefmm().variant(variant).cutoff(CutoffCriterion::Never).max_depth(depth);
             let mut c = Matrix::<f64>::zeros(m, m);
             dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
             errs[slot] = norms::rel_diff(c.as_ref(), reference.as_ref());

@@ -29,7 +29,12 @@ pub fn run(scale: Scale) -> String {
     for &m in orders {
         let m2 = (m * m) as f64;
         writeln!(w, "\n-- m = {m} (cutoff {tau}); entries also shown as multiples of m² --").unwrap();
-        writeln!(w, "{:<22} {:>14} {:>9}   {:>14} {:>9}", "implementation", "beta=0", "/m^2", "beta!=0", "/m^2").unwrap();
+        writeln!(
+            w,
+            "{:<22} {:>14} {:>9}   {:>14} {:>9}",
+            "implementation", "beta=0", "/m^2", "beta!=0", "/m^2"
+        )
+        .unwrap();
 
         let fmt_pair = |w: &mut String, name: &str, b0: Option<f64>, b1: Option<f64>| {
             let cell = |x: Option<f64>| match x {

@@ -91,12 +91,7 @@ pub fn run(scale: Scale, profile: &MachineProfile) -> String {
 
     let mut out = String::new();
     let w = &mut out;
-    writeln!(
-        w,
-        "== Table 4: cutoff criteria comparison — {} (alpha=1, beta=0) ==",
-        profile.name
-    )
-    .unwrap();
+    writeln!(w, "== Table 4: cutoff criteria comparison — {} (alpha=1, beta=0) ==", profile.name).unwrap();
     writeln!(w, "ratios t(eq.15 hybrid)/t(other); < 1 means the new criterion wins").unwrap();
     writeln!(w, "{:<26} {:>3}  range  quartiles  average", "comparison", "n").unwrap();
 

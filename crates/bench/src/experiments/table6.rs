@@ -56,12 +56,8 @@ pub fn run(scale: Scale, profile: &MachineProfile) -> String {
     };
 
     // Both arms must agree on the spectrum.
-    let max_dev = gemm_arm
-        .values
-        .iter()
-        .zip(&strassen_arm.values)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0f64, f64::max);
+    let max_dev =
+        gemm_arm.values.iter().zip(&strassen_arm.values).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
 
     let mut out = String::new();
     let w = &mut out;
@@ -79,8 +75,12 @@ pub fn run(scale: Scale, profile: &MachineProfile) -> String {
     )
     .unwrap();
     writeln!(w).unwrap();
-    writeln!(w, "MM-time ratio DGEFMM/DGEMM   : {:.3}  (paper: 812/1030 = 0.788)", strassen_arm.mm / gemm_arm.mm)
-        .unwrap();
+    writeln!(
+        w,
+        "MM-time ratio DGEFMM/DGEMM   : {:.3}  (paper: 812/1030 = 0.788)",
+        strassen_arm.mm / gemm_arm.mm
+    )
+    .unwrap();
     writeln!(
         w,
         "total-time ratio DGEFMM/DGEMM: {:.3}  (paper: 974/1168 = 0.834)",

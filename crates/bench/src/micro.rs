@@ -44,11 +44,7 @@ impl Harness {
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&s| s > 0)
             .unwrap_or(10);
-        Harness {
-            samples,
-            warmup: env_ms("BENCH_WARMUP_MS", 300),
-            measure: env_ms("BENCH_MEASURE_MS", 1200),
-        }
+        Harness { samples, warmup: env_ms("BENCH_WARMUP_MS", 300), measure: env_ms("BENCH_MEASURE_MS", 1200) }
     }
 
     /// Start a named group of related bench functions.

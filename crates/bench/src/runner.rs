@@ -52,7 +52,15 @@ pub fn time_gemm(gcfg: &GemmConfig, m: usize, k: usize, n: usize, alpha: f64, be
 /// Median seconds for the same product via DGEFMM under `cfg`
 /// (workspace pre-allocated outside the timed region, as a long-running
 /// caller would hold it).
-pub fn time_dgefmm(cfg: &StrassenConfig, m: usize, k: usize, n: usize, alpha: f64, beta: f64, reps: usize) -> f64 {
+pub fn time_dgefmm(
+    cfg: &StrassenConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f64,
+    beta: f64,
+    reps: usize,
+) -> f64 {
     let a = random::uniform::<f64>(m, k, 101);
     let b = random::uniform::<f64>(k, n, 102);
     let mut c = random::uniform::<f64>(m, n, 103);

@@ -10,12 +10,7 @@
 use matrix::{MatMut, MatRef, Scalar};
 
 #[inline(always)]
-fn zip_cols<T: Scalar>(
-    mut c: MatMut<'_, T>,
-    a: MatRef<'_, T>,
-    b: MatRef<'_, T>,
-    f: impl Fn(T, T) -> T,
-) {
+fn zip_cols<T: Scalar>(mut c: MatMut<'_, T>, a: MatRef<'_, T>, b: MatRef<'_, T>, f: impl Fn(T, T) -> T) {
     assert_eq!(a.nrows(), b.nrows());
     assert_eq!(a.ncols(), b.ncols());
     assert_eq!(c.nrows(), a.nrows());

@@ -30,14 +30,7 @@ impl Op {
 /// General matrix-vector product `y ← α op(A) x + β y`.
 ///
 /// `op(A)` is `m x n`; `x` has length `n` and `y` length `m`.
-pub fn gemv<T: Scalar>(
-    alpha: T,
-    op: Op,
-    a: MatRef<'_, T>,
-    x: VecRef<'_, T>,
-    beta: T,
-    mut y: VecMut<'_, T>,
-) {
+pub fn gemv<T: Scalar>(alpha: T, op: Op, a: MatRef<'_, T>, x: VecRef<'_, T>, beta: T, mut y: VecMut<'_, T>) {
     let (m, n) = op.dims(&a);
     assert_eq!(x.len(), n, "gemv: x length {} != {}", x.len(), n);
     assert_eq!(y.len(), m, "gemv: y length {} != {}", y.len(), m);

@@ -3,18 +3,17 @@
 //! Loop structure, outermost first: `jc` over `NC`-wide column panels of
 //! `op(B)`, `pc` over `KC`-deep rank panels (packing `op(B)` once), `ic`
 //! over `MC`-tall row panels (packing `op(A)` once), then an `MR x NR`
-//! register-tiled micro-kernel. Packing also absorbs the transpose, so
-//! `op = Trans` costs nothing extra in the inner loops — which is how the
-//! vendor DGEMMs the paper built on behave.
+//! register-tiled micro-kernel (see [`super::kernel`]). Packing also
+//! absorbs the transpose, so `op = Trans` costs nothing extra in the
+//! inner loops — which is how the vendor DGEMMs the paper built on
+//! behave. Packed panels live in a per-thread reusable buffer
+//! ([`super::packbuf`]), so steady-state calls allocate nothing.
 
+use super::kernel::{microkernel, AccTile, MR, NR};
+use super::packbuf::with_pack_bufs;
 use super::{check_gemm_dims, scale_c, GemmConfig};
 use crate::level2::Op;
 use matrix::{MatMut, MatRef, Scalar};
-
-/// Micro-tile rows (register-blocked).
-pub(crate) const MR: usize = 8;
-/// Micro-tile columns (register-blocked).
-pub(crate) const NR: usize = 4;
 
 /// Element `(i, p)` of `op(A)` given the stored `a`.
 #[inline(always)]
@@ -91,25 +90,6 @@ pub(crate) fn pack_b<T: Scalar>(
     }
 }
 
-/// `MR x NR` micro-kernel: `acc += pa_panel * pb_panel` over depth `kb`.
-#[inline(always)]
-fn microkernel<T: Scalar>(kb: usize, pa: &[T], pb: &[T], acc: &mut [[T; NR]; MR]) {
-    debug_assert!(pa.len() >= kb * MR && pb.len() >= kb * NR);
-    for kk in 0..kb {
-        let a_off = kk * MR;
-        let b_off = kk * NR;
-        // Fully unrolled by the const bounds; vectorizes on f32/f64.
-        for r in 0..MR {
-            // SAFETY: offsets bounded by the debug_assert above.
-            let av = unsafe { *pa.get_unchecked(a_off + r) };
-            for cc in 0..NR {
-                let bv = unsafe { *pb.get_unchecked(b_off + cc) };
-                acc[r][cc] = av.mul_add(bv, acc[r][cc]);
-            }
-        }
-    }
-}
-
 /// Inner macro-kernel: multiply one packed `mb x kb` A-block by one packed
 /// `kb x nb` B-panel, accumulating `alpha * product` into the
 /// corresponding region of `C`.
@@ -134,21 +114,27 @@ pub(crate) fn macrokernel<T: Scalar>(
             let row0 = qm * MR;
             let rows = MR.min(mb - row0);
             let pa = &packed_a[qm * MR * kb..(qm + 1) * MR * kb];
-            let mut acc = [[T::ZERO; NR]; MR];
+            let mut acc: AccTile<T> = [[T::ZERO; MR]; NR];
             microkernel(kb, pa, pb, &mut acc);
             // Write-back of the valid part of the tile.
-            for cc in 0..cols {
+            for (cc, acc_col) in acc.iter().enumerate().take(cols) {
                 let j = jc + col0 + cc;
-                for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                for (r, &v) in acc_col.iter().enumerate().take(rows) {
                     let i = ic + row0 + r;
                     // SAFETY: i < m, j < n by construction of the blocking.
                     unsafe {
-                        *c.get_unchecked_mut(i, j) += alpha * acc_row[cc];
+                        *c.get_unchecked_mut(i, j) += alpha * v;
                     }
                 }
             }
         }
     }
+}
+
+/// Packed-panel lengths for one `(mc, kc, nc)` blocking — shared with the
+/// parallel and fused drivers.
+pub(crate) fn panel_lens(mc: usize, kc: usize, nc: usize) -> (usize, usize) {
+    (mc.div_ceil(MR) * MR * kc, nc.div_ceil(NR) * NR * kc)
 }
 
 /// `C ← α op(A) op(B) + β C` with cache blocking and packing.
@@ -171,21 +157,21 @@ pub fn gemm_blocked<T: Scalar>(
     let kc = cfg.kc.max(1);
     let nc = cfg.nc.max(NR);
 
-    let mut packed_a = vec![T::ZERO; mc.div_ceil(MR) * MR * kc];
-    let mut packed_b = vec![T::ZERO; nc.div_ceil(NR) * NR * kc];
-
-    for jc in (0..n).step_by(nc) {
-        let nb = nc.min(n - jc);
-        for pc in (0..k).step_by(kc) {
-            let kb = kc.min(k - pc);
-            pack_b(op_b, &b, pc, jc, kb, nb, &mut packed_b);
-            for ic in (0..m).step_by(mc) {
-                let mb = mc.min(m - ic);
-                pack_a(op_a, &a, ic, pc, mb, kb, &mut packed_a);
-                macrokernel(alpha, mb, kb, nb, &packed_a, &packed_b, &mut c, ic, jc);
+    let (a_len, b_len) = panel_lens(mc, kc, nc);
+    with_pack_bufs::<T, _>(a_len, b_len, |packed_a, packed_b| {
+        for jc in (0..n).step_by(nc) {
+            let nb = nc.min(n - jc);
+            for pc in (0..k).step_by(kc) {
+                let kb = kc.min(k - pc);
+                pack_b(op_b, &b, pc, jc, kb, nb, packed_b);
+                for ic in (0..m).step_by(mc) {
+                    let mb = mc.min(m - ic);
+                    pack_a(op_a, &a, ic, pc, mb, kb, packed_a);
+                    macrokernel(alpha, mb, kb, nb, packed_a, packed_b, &mut c, ic, jc);
+                }
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]
@@ -200,9 +186,9 @@ mod tests {
         pack_a(Op::NoTrans, &a.as_ref(), 0, 0, 5, 3, &mut buf);
         // panel 0, element (r=2, kk=1) => buf[1*MR + 2] == a[2,1] == 21
         assert_eq!(buf[MR + 2], 21.0);
-        // zero padding for rows 5..8
+        // zero padding for rows 5..MR
         assert_eq!(buf[5], 0.0);
-        assert_eq!(buf[MR + 7], 0.0);
+        assert_eq!(buf[MR + MR - 1], 0.0);
     }
 
     #[test]
@@ -216,14 +202,16 @@ mod tests {
 
     #[test]
     fn pack_b_layout() {
-        let b = Matrix::from_fn(3, 6, |i, j| (i * 10 + j) as f64);
-        let mut buf = vec![-1.0f64; 6usize.div_ceil(NR) * NR * 3];
-        pack_b(Op::NoTrans, &b.as_ref(), 0, 0, 3, 6, &mut buf);
+        // One full panel plus a 2-column remainder panel.
+        let nb = NR + 2;
+        let b = Matrix::from_fn(3, nb, |i, j| (i * 10 + j) as f64);
+        let mut buf = vec![-1.0f64; nb.div_ceil(NR) * NR * 3];
+        pack_b(Op::NoTrans, &b.as_ref(), 0, 0, 3, nb, &mut buf);
         // panel 0: element (kk=2, cc=3) at 2*NR+3 => b[2,3] = 23
         assert_eq!(buf[2 * NR + 3], 23.0);
-        // panel 1 holds cols 4..6 with padding at cc>=2
+        // panel 1 holds cols NR.. with padding at cc >= 2
         let base = NR * 3;
-        assert_eq!(buf[base], 4.0); // (kk=0, cc=0) -> b[0,4]
+        assert_eq!(buf[base], NR as f64); // (kk=0, cc=0) -> b[0, NR]
         assert_eq!(buf[base + 2], 0.0); // padded col
     }
 

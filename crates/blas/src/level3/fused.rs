@@ -1,0 +1,604 @@
+//! Fused Strassen/GEMM kernels: operand-sum packing and
+//! multi-destination write-back.
+//!
+//! A Strassen product has the shape `P = (Σ γ_t · A_t)(Σ γ_t · B_t)`
+//! followed by `C_d += δ_d · P` for one or more quadrants `C_d`. The
+//! classical schedules materialize the operand sums into temporaries and
+//! sweep the quadrant updates as standalone add passes; both cost a full
+//! read+write of quadrant-sized data per pass. Following Huang et al.
+//! (*Strassen's Algorithm Reloaded* / the BLIS practical-Strassen line),
+//! this module folds the sums into the GEMM *packing* step — the packed
+//! panel is built from `Σ γ_t · op(X_t)` element-wise, at no extra memory
+//! traffic since packing reads the operands anyway — and folds the
+//! quadrant updates into the micro-tile *write-back*, scattering each
+//! `MR x NR` accumulator into every destination while it is still in
+//! registers.
+//!
+//! [`gemm_fused`] computes, for each destination `d`:
+//!
+//! ```text
+//! C_d ← α · δ_d · (Σ γ_t op(A_t)) (Σ γ_t op(B_t)) + β_d · C_d
+//! ```
+//!
+//! where `β_d` is optional (absent means pure accumulation, `β_d = 1`).
+
+use super::blocked::panel_lens;
+#[cfg(test)]
+use super::blocked::{pack_a, pack_b};
+use super::kernel::{microkernel, AccTile, MR, NR};
+use super::packbuf::with_pack_bufs;
+use super::{scale_c, GemmConfig};
+use crate::level2::Op;
+use matrix::{MatMut, MatRef, Scalar};
+
+/// Maximum number of `γ_t · X_t` terms a [`SumOperand`] can carry — the
+/// Winograd schedule needs up to four (e.g. `A12 − S2 = A12 − A21 − A22 +
+/// A11`).
+pub const MAX_TERMS: usize = 4;
+
+/// Maximum number of destinations per fused multiply — a Strassen product
+/// feeds at most all four `C` quadrants (`P1` in the Winograd schedule).
+pub const MAX_DESTS: usize = 4;
+
+/// A linear combination `Σ γ_t · X_t` of equally-shaped matrix views,
+/// with one transpose op applied to the whole sum. The combination is
+/// never materialized; [`pack_a_sum`]/[`pack_b_sum`] evaluate it
+/// element-wise while packing.
+#[derive(Clone, Copy)]
+pub struct SumOperand<'a, T> {
+    op: Op,
+    terms: [(T, MatRef<'a, T>); MAX_TERMS],
+    len: usize,
+}
+
+impl<'a, T: Scalar> SumOperand<'a, T> {
+    /// Build a sum from `(γ_t, X_t)` terms. All views must share one
+    /// shape; `op` applies to the summed result (equivalently to every
+    /// term, since transposition is linear).
+    ///
+    /// # Panics
+    /// If `terms` is empty, has more than [`MAX_TERMS`] entries, or the
+    /// shapes disagree.
+    pub fn new(op: Op, terms: &[(T, MatRef<'a, T>)]) -> Self {
+        assert!(
+            !terms.is_empty() && terms.len() <= MAX_TERMS,
+            "SumOperand: need 1..={MAX_TERMS} terms, got {}",
+            terms.len()
+        );
+        let (r, c) = (terms[0].1.nrows(), terms[0].1.ncols());
+        for (_, t) in terms {
+            assert!(
+                t.nrows() == r && t.ncols() == c,
+                "SumOperand: term shapes disagree ({r}x{c} vs {}x{})",
+                t.nrows(),
+                t.ncols()
+            );
+        }
+        let mut stored = [terms[0]; MAX_TERMS];
+        stored[..terms.len()].copy_from_slice(terms);
+        // Padding entries alias term 0 but with γ = 0, so even an
+        // accidental read past `len` contributes nothing.
+        for slot in stored.iter_mut().skip(terms.len()) {
+            slot.0 = T::ZERO;
+        }
+        Self { op, terms: stored, len: terms.len() }
+    }
+
+    /// A single-term operand `op(X)` (γ = 1) — plain GEMM semantics.
+    pub fn single(op: Op, x: MatRef<'a, T>) -> Self {
+        Self::new(op, &[(T::ONE, x)])
+    }
+
+    /// Dimensions of the sum *after* applying `op`.
+    pub fn dims(&self) -> (usize, usize) {
+        let (r, c) = (self.terms[0].1.nrows(), self.terms[0].1.ncols());
+        match self.op {
+            Op::NoTrans => (r, c),
+            Op::Trans => (c, r),
+        }
+    }
+
+    /// Element `(i, j)` of `op(Σ γ_t X_t)`.
+    ///
+    /// # Safety
+    /// `(i, j)` must be in bounds for the op-applied shape.
+    #[inline(always)]
+    unsafe fn at_unchecked(&self, i: usize, j: usize) -> T {
+        let (si, sj) = match self.op {
+            Op::NoTrans => (i, j),
+            Op::Trans => (j, i),
+        };
+        let (g0, x0) = &self.terms[0];
+        let mut v = *g0 * *x0.get_unchecked(si, sj);
+        for (g, x) in &self.terms[1..self.len] {
+            v = g.mul_add(*x.get_unchecked(si, sj), v);
+        }
+        v
+    }
+}
+
+/// One destination of a fused multiply: `c ← δ · P + β · c`, where the
+/// scale `β` is optional (absent means accumulate into `c` as-is).
+pub struct DestSpec<'a, T> {
+    c: MatMut<'a, T>,
+    delta: T,
+    beta: Option<T>,
+}
+
+impl<'a, T: Scalar> DestSpec<'a, T> {
+    /// First touch of a quadrant: apply BLAS β-semantics (`β = 0`
+    /// overwrites without reading), then accumulate `δ · P`.
+    pub fn init(c: MatMut<'a, T>, delta: T, beta: T) -> Self {
+        Self { c, delta, beta: Some(beta) }
+    }
+
+    /// Subsequent touch: accumulate `δ · P` into the existing contents.
+    pub fn update(c: MatMut<'a, T>, delta: T) -> Self {
+        Self { c, delta, beta: None }
+    }
+}
+
+/// The `L` column slices (one per term) covering rows `row0..row0+rows`
+/// of stored column `j`, plus the matching γ coefficients.
+#[inline(always)]
+fn term_cols<'s, T: Scalar, const L: usize>(
+    sum: &'s SumOperand<'_, T>,
+    j: usize,
+    row0: usize,
+    rows: usize,
+) -> ([&'s [T]; L], [T; L]) {
+    let mut cols = [&[] as &[T]; L];
+    let mut gammas = [T::ZERO; L];
+    for t in 0..L {
+        let (g, x) = &sum.terms[t];
+        cols[t] = &x.col(j)[row0..row0 + rows];
+        gammas[t] = *g;
+    }
+    (cols, gammas)
+}
+
+/// `dst[r] ← Σ_t γ_t · cols_t[r]` with the term loop unrolled at compile
+/// time — the vectorizable core of the `NoTrans` packing fast path.
+#[inline(always)]
+fn fill_sum_rows<T: Scalar, const L: usize>(dst: &mut [T], cols: &[&[T]; L], gammas: &[T; L]) {
+    debug_assert!(cols.iter().all(|c| c.len() == dst.len()));
+    for (r, d) in dst.iter_mut().enumerate() {
+        // SAFETY: every slice in `cols` has dst.len() elements.
+        let mut v = unsafe { gammas[0] * *cols[0].get_unchecked(r) };
+        for t in 1..L {
+            v = unsafe { gammas[t].mul_add(*cols[t].get_unchecked(r), v) };
+        }
+        *d = v;
+    }
+}
+
+/// `NoTrans` fast path of [`pack_a_sum`]: stored columns are contiguous,
+/// so each `MR`-row segment is a straight-line `Σ γ_t · col_t` loop.
+///
+/// The loop order is column-outer / panel-inner so every source column is
+/// read in one contiguous pass — the sources are typically quadrant views
+/// with large leading dimensions, where revisiting a column once per
+/// `MR`-row panel would touch the same pages over and over.
+fn pack_a_sum_nt<T: Scalar, const L: usize>(
+    a: &SumOperand<'_, T>,
+    ic: usize,
+    pc: usize,
+    mb: usize,
+    kb: usize,
+    buf: &mut [T],
+) {
+    let panels = mb.div_ceil(MR);
+    for kk in 0..kb {
+        let (cols, gammas) = term_cols::<T, L>(a, pc + kk, ic, mb);
+        for q in 0..panels {
+            let row0 = q * MR;
+            let rows = MR.min(mb - row0);
+            let mut seg = [&[] as &[T]; L];
+            for t in 0..L {
+                seg[t] = &cols[t][row0..row0 + rows];
+            }
+            let dst = &mut buf[q * MR * kb + kk * MR..q * MR * kb + kk * MR + MR];
+            fill_sum_rows(&mut dst[..rows], &seg, &gammas);
+            for d in dst.iter_mut().skip(rows) {
+                *d = T::ZERO;
+            }
+        }
+    }
+}
+
+/// `NoTrans` fast path of [`pack_b_sum`]: iterate stored columns so the
+/// reads are contiguous (the writes stride by `NR`).
+fn pack_b_sum_nt<T: Scalar, const L: usize>(
+    b: &SumOperand<'_, T>,
+    pc: usize,
+    jc: usize,
+    kb: usize,
+    nb: usize,
+    buf: &mut [T],
+) {
+    let panels = nb.div_ceil(NR);
+    for q in 0..panels {
+        let col0 = q * NR;
+        let cols_in_panel = NR.min(nb - col0);
+        let base = q * NR * kb;
+        let panel = &mut buf[base..base + NR * kb];
+        for cc in 0..cols_in_panel {
+            let (cols, gammas) = term_cols::<T, L>(b, jc + col0 + cc, pc, kb);
+            for (kk, chunk) in panel.chunks_exact_mut(NR).enumerate() {
+                // SAFETY: every slice in `cols` has kb elements and the
+                // panel holds kb NR-wide chunks.
+                let mut v = unsafe { gammas[0] * *cols[0].get_unchecked(kk) };
+                for t in 1..L {
+                    v = unsafe { gammas[t].mul_add(*cols[t].get_unchecked(kk), v) };
+                }
+                chunk[cc] = v;
+            }
+        }
+        for chunk in panel.chunks_exact_mut(NR) {
+            for d in chunk.iter_mut().skip(cols_in_panel) {
+                *d = T::ZERO;
+            }
+        }
+    }
+}
+
+/// Pack the `mb x kb` block of `op(Σ γ_t A_t)` starting at `(ic, pc)`
+/// into `buf`, in exactly the row-panel layout of
+/// [`pack_a`](super::blocked::pack_a).
+pub fn pack_a_sum<T: Scalar>(
+    a: &SumOperand<'_, T>,
+    ic: usize,
+    pc: usize,
+    mb: usize,
+    kb: usize,
+    buf: &mut [T],
+) {
+    let panels = mb.div_ceil(MR);
+    debug_assert!(buf.len() >= panels * MR * kb);
+    if a.op == Op::NoTrans {
+        // Dispatch on the term count so the sum loop unrolls and the
+        // contiguous-column inner loop vectorizes.
+        match a.len {
+            1 => return pack_a_sum_nt::<T, 1>(a, ic, pc, mb, kb, buf),
+            2 => return pack_a_sum_nt::<T, 2>(a, ic, pc, mb, kb, buf),
+            3 => return pack_a_sum_nt::<T, 3>(a, ic, pc, mb, kb, buf),
+            _ => return pack_a_sum_nt::<T, 4>(a, ic, pc, mb, kb, buf),
+        }
+    }
+    for q in 0..panels {
+        let row0 = q * MR;
+        let rows = MR.min(mb - row0);
+        let base = q * MR * kb;
+        for kk in 0..kb {
+            let dst = &mut buf[base + kk * MR..base + kk * MR + MR];
+            for (r, d) in dst.iter_mut().enumerate().take(rows) {
+                // SAFETY: ic+row0+r < ic+mb <= sum rows, pc+kk < sum cols.
+                *d = unsafe { a.at_unchecked(ic + row0 + r, pc + kk) };
+            }
+            for d in dst.iter_mut().skip(rows) {
+                *d = T::ZERO;
+            }
+        }
+    }
+}
+
+/// Pack the `kb x nb` block of `op(Σ γ_t B_t)` starting at `(pc, jc)`
+/// into `buf`, in exactly the column-panel layout of
+/// [`pack_b`](super::blocked::pack_b).
+pub fn pack_b_sum<T: Scalar>(
+    b: &SumOperand<'_, T>,
+    pc: usize,
+    jc: usize,
+    kb: usize,
+    nb: usize,
+    buf: &mut [T],
+) {
+    let panels = nb.div_ceil(NR);
+    debug_assert!(buf.len() >= panels * NR * kb);
+    if b.op == Op::NoTrans {
+        match b.len {
+            1 => return pack_b_sum_nt::<T, 1>(b, pc, jc, kb, nb, buf),
+            2 => return pack_b_sum_nt::<T, 2>(b, pc, jc, kb, nb, buf),
+            3 => return pack_b_sum_nt::<T, 3>(b, pc, jc, kb, nb, buf),
+            _ => return pack_b_sum_nt::<T, 4>(b, pc, jc, kb, nb, buf),
+        }
+    }
+    for q in 0..panels {
+        let col0 = q * NR;
+        let cols = NR.min(nb - col0);
+        let base = q * NR * kb;
+        for kk in 0..kb {
+            let dst = &mut buf[base + kk * NR..base + kk * NR + NR];
+            for (cc, d) in dst.iter_mut().enumerate().take(cols) {
+                // SAFETY: pc+kk < sum rows, jc+col0+cc < sum cols.
+                *d = unsafe { b.at_unchecked(pc + kk, jc + col0 + cc) };
+            }
+            for d in dst.iter_mut().skip(cols) {
+                *d = T::ZERO;
+            }
+        }
+    }
+}
+
+/// Macro-kernel with multi-destination write-back: each `MR x NR`
+/// accumulator tile is scattered into every destination with its folded
+/// coefficient while still in registers.
+///
+/// `first_k` marks the first `pc` block: β-semantics of `init`
+/// destinations are folded into that block's write-back, so `β = 0`
+/// becomes a pure streaming store (no pre-sweep, no read of `C`) and a
+/// general β costs one fused read-scale-accumulate pass instead of a
+/// separate scale sweep plus a read-modify-write pass.
+fn macrokernel_multi<T: Scalar>(
+    mb: usize,
+    kb: usize,
+    nb: usize,
+    packed_a: &[T],
+    packed_b: &[T],
+    dests: &mut [DestSpec<'_, T>],
+    coeffs: &[T],
+    ic: usize,
+    jc: usize,
+    first_k: bool,
+) {
+    let mpanels = mb.div_ceil(MR);
+    let npanels = nb.div_ceil(NR);
+    for qn in 0..npanels {
+        let col0 = qn * NR;
+        let cols = NR.min(nb - col0);
+        let pb = &packed_b[qn * NR * kb..(qn + 1) * NR * kb];
+        for qm in 0..mpanels {
+            let row0 = qm * MR;
+            let rows = MR.min(mb - row0);
+            let pa = &packed_a[qm * MR * kb..(qm + 1) * MR * kb];
+            let mut acc: AccTile<T> = [[T::ZERO; MR]; NR];
+            microkernel(kb, pa, pb, &mut acc);
+            let i0 = ic + row0;
+            for (dest, &coeff) in dests.iter_mut().zip(coeffs) {
+                let beta = if first_k { dest.beta } else { None };
+                let ld = dest.c.ld();
+                // Hoist the destination base pointer: at leaf-sized `kb`
+                // the per-column slice checks of safe indexing cost as
+                // much as the micro-kernel itself.
+                let base = dest.c.as_mut_ptr();
+                for (cc, acc_col) in acc.iter().enumerate().take(cols) {
+                    // SAFETY: rows i0..i0+rows of column jc+col0+cc are in
+                    // bounds by construction of the blocking, and `dests`
+                    // holds exclusive borrows of disjoint matrices.
+                    let cseg = unsafe {
+                        core::slice::from_raw_parts_mut(base.add((jc + col0 + cc) * ld + i0), rows)
+                    };
+                    match beta {
+                        Some(b) if b == T::ZERO => {
+                            for (d, &v) in cseg.iter_mut().zip(acc_col) {
+                                *d = coeff * v;
+                            }
+                        }
+                        Some(b) => {
+                            for (d, &v) in cseg.iter_mut().zip(acc_col) {
+                                *d = b * *d + coeff * v;
+                            }
+                        }
+                        None => {
+                            for (d, &v) in cseg.iter_mut().zip(acc_col) {
+                                *d += coeff * v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fused multiply: `C_d ← α δ_d (Σ γ_t op(A_t))(Σ γ_t op(B_t)) + β_d C_d`
+/// for every destination `d`, with the operand sums evaluated during
+/// packing and the destination updates performed at tile write-back.
+///
+/// # Panics
+/// On dimension mismatch between the operand sums and any destination,
+/// or if `dests` is empty or longer than [`MAX_DESTS`].
+pub fn gemm_fused<T: Scalar>(
+    cfg: &GemmConfig,
+    alpha: T,
+    a: &SumOperand<'_, T>,
+    b: &SumOperand<'_, T>,
+    dests: &mut [DestSpec<'_, T>],
+) {
+    assert!(
+        !dests.is_empty() && dests.len() <= MAX_DESTS,
+        "gemm_fused: need 1..={MAX_DESTS} destinations, got {}",
+        dests.len()
+    );
+    let (m, ka) = a.dims();
+    let (kb_dim, n) = b.dims();
+    assert_eq!(ka, kb_dim, "gemm_fused: inner dimensions disagree ({ka} vs {kb_dim})");
+    for dest in dests.iter() {
+        assert!(
+            dest.c.nrows() == m && dest.c.ncols() == n,
+            "gemm_fused: destination is {}x{}, expected {m}x{n}",
+            dest.c.nrows(),
+            dest.c.ncols()
+        );
+    }
+    let k = ka;
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
+        // Degenerate product: only the β-semantics of `init`
+        // destinations remain to be applied.
+        for dest in dests.iter_mut() {
+            if let Some(beta) = dest.beta {
+                scale_c(beta, &mut dest.c);
+            }
+        }
+        return;
+    }
+    let mut coeffs = [T::ZERO; MAX_DESTS];
+    for (slot, dest) in coeffs.iter_mut().zip(dests.iter()) {
+        *slot = alpha * dest.delta;
+    }
+
+    let mc = cfg.mc.max(MR);
+    let kc = cfg.kc.max(1);
+    let nc = cfg.nc.max(NR);
+    let (a_len, b_len) = panel_lens(mc, kc, nc);
+    with_pack_bufs::<T, _>(a_len, b_len, |packed_a, packed_b| {
+        for jc in (0..n).step_by(nc) {
+            let nb = nc.min(n - jc);
+            for pc in (0..k).step_by(kc) {
+                let kb = kc.min(k - pc);
+                pack_b_sum(b, pc, jc, kb, nb, packed_b);
+                for ic in (0..m).step_by(mc) {
+                    let mb = mc.min(m - ic);
+                    pack_a_sum(a, ic, pc, mb, kb, packed_a);
+                    macrokernel_multi(
+                        mb,
+                        kb,
+                        nb,
+                        packed_a,
+                        packed_b,
+                        dests,
+                        &coeffs[..dests.len()],
+                        ic,
+                        jc,
+                        pc == 0,
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::{random, Matrix};
+
+    fn materialize(sum: &SumOperand<'_, f64>) -> Matrix<f64> {
+        let (r, c) = (sum.terms[0].1.nrows(), sum.terms[0].1.ncols());
+        Matrix::from_fn(r, c, |i, j| sum.terms[..sum.len].iter().map(|(g, x)| g * x.at(i, j)).sum())
+    }
+
+    #[test]
+    fn pack_a_sum_matches_pack_a_on_materialized_sum() {
+        let x0 = random::uniform::<f64>(11, 9, 1);
+        let x1 = random::uniform::<f64>(11, 9, 2);
+        let sum = SumOperand::new(Op::NoTrans, &[(1.0, x0.as_ref()), (-1.0, x1.as_ref())]);
+        let mat = materialize(&sum);
+        let (mb, kb) = (7usize, 5usize);
+        let len = mb.div_ceil(MR) * MR * kb;
+        let mut got = vec![f64::NAN; len];
+        let mut expect = vec![f64::NAN; len];
+        pack_a_sum(&sum, 2, 3, mb, kb, &mut got);
+        pack_a(Op::NoTrans, &mat.as_ref(), 2, 3, mb, kb, &mut expect);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pack_b_sum_matches_pack_b_with_transpose() {
+        // op(Σ) = (X0 + 2·X1)ᵀ where the stored views are 9x12.
+        let x0 = random::uniform::<f64>(9, 12, 3);
+        let x1 = random::uniform::<f64>(9, 12, 4);
+        let sum = SumOperand::new(Op::Trans, &[(1.0, x0.as_ref()), (2.0, x1.as_ref())]);
+        let mat = materialize(&sum); // 9x12; pack with Op::Trans sees 12x9
+        let (kb, nb) = (10usize, 8usize);
+        let len = nb.div_ceil(NR) * NR * kb;
+        let mut got = vec![f64::NAN; len];
+        let mut expect = vec![f64::NAN; len];
+        pack_b_sum(&sum, 1, 0, kb, nb, &mut got);
+        pack_b(Op::Trans, &mat.as_ref(), 1, 0, kb, nb, &mut expect);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn four_term_sum_and_padding_coeffs_are_inert() {
+        let xs: Vec<Matrix<f64>> = (0..4).map(|s| random::uniform::<f64>(6, 6, s as u64)).collect();
+        let terms: Vec<(f64, matrix::MatRef<'_, f64>)> =
+            xs.iter().zip([1.0, -1.0, -1.0, 1.0]).map(|(x, g)| (g, x.as_ref())).collect();
+        let sum = SumOperand::new(Op::NoTrans, &terms);
+        let mat = materialize(&sum);
+        let mut got = vec![0.0; MR * 6];
+        let mut expect = vec![0.0; MR * 6];
+        pack_a_sum(&sum, 0, 0, 6, 6, &mut got);
+        pack_a(Op::NoTrans, &mat.as_ref(), 0, 0, 6, 6, &mut expect);
+        assert_eq!(got, expect);
+
+        // A one-term operand must ignore the padding slots entirely.
+        let single = SumOperand::single(Op::NoTrans, xs[0].as_ref());
+        let mut got1 = vec![0.0; MR * 6];
+        pack_a_sum(&single, 0, 0, 6, 6, &mut got1);
+        let mut expect1 = vec![0.0; MR * 6];
+        pack_a(Op::NoTrans, &xs[0].as_ref(), 0, 0, 6, 6, &mut expect1);
+        assert_eq!(got1, expect1);
+    }
+
+    #[test]
+    fn fused_multi_dest_matches_separate_gemm_plus_add() {
+        // Odd/rectangular shapes so tile edges are exercised.
+        let cfg = GemmConfig { mc: 16, kc: 12, nc: 20, ..GemmConfig::blocked() };
+        let (m, k, n) = (13, 9, 17);
+        let a0 = random::uniform::<f64>(m, k, 10);
+        let a1 = random::uniform::<f64>(m, k, 11);
+        let b0 = random::uniform::<f64>(k, n, 12);
+        let c0_init = random::uniform::<f64>(m, n, 13);
+        let c1_init = random::uniform::<f64>(m, n, 14);
+
+        let alpha = 0.7;
+        let a_sum = SumOperand::new(Op::NoTrans, &[(1.0, a0.as_ref()), (-1.0, a1.as_ref())]);
+        let b_sum = SumOperand::single(Op::NoTrans, b0.as_ref());
+
+        let mut c0 = c0_init.clone();
+        let mut c1 = c1_init.clone();
+        {
+            let mut dests = [DestSpec::init(c0.as_mut(), 1.0, -0.5), DestSpec::update(c1.as_mut(), -1.0)];
+            gemm_fused(&cfg, alpha, &a_sum, &b_sum, &mut dests);
+        }
+
+        // Reference: materialize A0 - A1, separate GEMMs per destination.
+        let diff = materialize(&a_sum);
+        let mut e0 = c0_init.clone();
+        let mut e1 = c1_init.clone();
+        super::super::gemm_blocked(
+            &cfg,
+            alpha,
+            Op::NoTrans,
+            diff.as_ref(),
+            Op::NoTrans,
+            b0.as_ref(),
+            -0.5,
+            e0.as_mut(),
+        );
+        super::super::gemm_blocked(
+            &cfg,
+            -alpha,
+            Op::NoTrans,
+            diff.as_ref(),
+            Op::NoTrans,
+            b0.as_ref(),
+            1.0,
+            e1.as_mut(),
+        );
+        matrix::norms::assert_allclose(c0.as_ref(), e0.as_ref(), 1e-12, "dest 0");
+        matrix::norms::assert_allclose(c1.as_ref(), e1.as_ref(), 1e-12, "dest 1");
+    }
+
+    #[test]
+    fn beta_zero_first_touch_clears_nan() {
+        let cfg = GemmConfig::blocked();
+        let a = Matrix::from_row_major(1, 1, &[2.0]);
+        let b = Matrix::from_row_major(1, 1, &[3.0]);
+        let mut c = Matrix::from_row_major(1, 1, &[f64::NAN]);
+        let a_sum = SumOperand::single(Op::NoTrans, a.as_ref());
+        let b_sum = SumOperand::single(Op::NoTrans, b.as_ref());
+        let mut dests = [DestSpec::init(c.as_mut(), 1.0, 0.0)];
+        gemm_fused(&cfg, 1.0, &a_sum, &b_sum, &mut dests);
+        assert_eq!(c.at(0, 0), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "term shapes disagree")]
+    fn mismatched_term_shapes_panic() {
+        let x0 = Matrix::<f64>::zeros(3, 3);
+        let x1 = Matrix::<f64>::zeros(3, 4);
+        let _ = SumOperand::new(Op::NoTrans, &[(1.0, x0.as_ref()), (1.0, x1.as_ref())]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Register-tiled micro-kernels shared by every packing GEMM path.
+//!
+//! The packed-panel format (see [`super::blocked`]) feeds an `MR x NR`
+//! accumulator tile held entirely in registers. Two implementations sit
+//! behind [`microkernel`]:
+//!
+//! * a generic, autovectorized kernel for any [`Scalar`]; and
+//! * an `f64`-specialized kernel compiled with AVX2 + FMA codegen
+//!   (`#[target_feature]`) and an explicit `mul_add` unroll, selected at
+//!   runtime when the CPU supports those features.
+//!
+//! The tile is `8 x 6` for `f64`: twelve 4-lane FMA accumulators plus two
+//! loads of the packed-`A` column and one broadcast of the packed-`B`
+//! element stay within the sixteen AVX ymm registers — the same shape the
+//! BLIS `dgemm` micro-kernels use on this ISA class. The accumulator is
+//! stored column-major (`acc[column][row]`) so the row dimension, which is
+//! contiguous in the packed-`A` panel, is the vectorized one.
+
+use matrix::Scalar;
+
+/// Micro-tile rows (the packed-`A` panel height).
+pub const MR: usize = 8;
+/// Micro-tile columns (the packed-`B` panel width).
+pub const NR: usize = 6;
+
+/// One `MR x NR` register tile, column-major: `acc[cc][r]` is row `r` of
+/// column `cc`.
+pub(crate) type AccTile<T> = [[T; MR]; NR];
+
+/// `acc += pa_panel * pb_panel` over depth `kb`, generic autovectorized
+/// form. Panel layout: `pa[kk*MR + r]`, `pb[kk*NR + cc]`.
+#[inline(always)]
+fn microkernel_generic<T: Scalar>(kb: usize, pa: &[T], pb: &[T], acc: &mut AccTile<T>) {
+    debug_assert!(pa.len() >= kb * MR && pb.len() >= kb * NR);
+    for kk in 0..kb {
+        let a_off = kk * MR;
+        let b_off = kk * NR;
+        for (cc, acc_col) in acc.iter_mut().enumerate() {
+            // SAFETY: offsets bounded by the debug_assert above.
+            let bv = unsafe { *pb.get_unchecked(b_off + cc) };
+            for (r, slot) in acc_col.iter_mut().enumerate() {
+                let av = unsafe { *pa.get_unchecked(a_off + r) };
+                *slot = av.mul_add(bv, *slot);
+            }
+        }
+    }
+}
+
+/// `f64` micro-kernel compiled for AVX2 + FMA: the same loop nest, but
+/// with hardware-FMA `f64::mul_add` (contracting to `vfmadd` under the
+/// enabled target features) and the depth loop unrolled by two so the
+/// twelve accumulator vectors pipeline across independent FMA chains.
+///
+/// # Safety
+/// The caller must ensure the running CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_f64_fma(kb: usize, pa: &[f64], pb: &[f64], acc: &mut AccTile<f64>) {
+    debug_assert!(pa.len() >= kb * MR && pb.len() >= kb * NR);
+    #[inline(always)]
+    unsafe fn step(kk: usize, pa: &[f64], pb: &[f64], acc: &mut AccTile<f64>) {
+        let a = pa.get_unchecked(kk * MR..kk * MR + MR);
+        let b = pb.get_unchecked(kk * NR..kk * NR + NR);
+        for cc in 0..NR {
+            let bv = *b.get_unchecked(cc);
+            let col = acc.get_unchecked_mut(cc);
+            for r in 0..MR {
+                let slot = col.get_unchecked_mut(r);
+                *slot = a.get_unchecked(r).mul_add(bv, *slot);
+            }
+        }
+    }
+    let mut kk = 0;
+    while kk + 2 <= kb {
+        step(kk, pa, pb, acc);
+        step(kk + 1, pa, pb, acc);
+        kk += 2;
+    }
+    if kk < kb {
+        step(kk, pa, pb, acc);
+    }
+}
+
+/// True when the `f64` FMA kernel may run on this CPU (cached probe).
+#[cfg(target_arch = "x86_64")]
+fn fma_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    // 0 = unprobed, 1 = no, 2 = yes.
+    static PROBE: AtomicU8 = AtomicU8::new(0);
+    match PROBE.load(Ordering::Relaxed) {
+        0 => {
+            let yes = std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma");
+            PROBE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+        v => v == 2,
+    }
+}
+
+/// `acc += pa_panel * pb_panel` over depth `kb`, dispatching to the
+/// `f64`/FMA specialization when the element type and CPU allow it.
+#[inline(always)]
+pub(crate) fn microkernel<T: Scalar>(kb: usize, pa: &[T], pb: &[T], acc: &mut AccTile<T>) {
+    #[cfg(target_arch = "x86_64")]
+    if core::any::TypeId::of::<T>() == core::any::TypeId::of::<f64>() && fma_available() {
+        // SAFETY: T is exactly f64 (TypeId match on a 'static type), so the
+        // slice and tile reinterpretations are identity casts; the CPU
+        // probe guarantees the target features.
+        unsafe {
+            microkernel_f64_fma(
+                kb,
+                core::slice::from_raw_parts(pa.as_ptr().cast::<f64>(), pa.len()),
+                core::slice::from_raw_parts(pb.as_ptr().cast::<f64>(), pb.len()),
+                &mut *(acc as *mut AccTile<T>).cast::<AccTile<f64>>(),
+            );
+        }
+        return;
+    }
+    microkernel_generic(kb, pa, pb, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_tile(kb: usize, pa: &[f64], pb: &[f64]) -> AccTile<f64> {
+        let mut acc = [[0.0; MR]; NR];
+        for kk in 0..kb {
+            for (cc, col) in acc.iter_mut().enumerate() {
+                for (r, slot) in col.iter_mut().enumerate() {
+                    *slot += pa[kk * MR + r] * pb[kk * NR + cc];
+                }
+            }
+        }
+        acc
+    }
+
+    fn panels(kb: usize) -> (Vec<f64>, Vec<f64>) {
+        let pa: Vec<f64> = (0..kb * MR).map(|i| (i as f64 * 0.37).sin()).collect();
+        let pb: Vec<f64> = (0..kb * NR).map(|i| (i as f64 * 0.61).cos()).collect();
+        (pa, pb)
+    }
+
+    #[test]
+    fn generic_matches_reference() {
+        for kb in [0usize, 1, 2, 3, 7, 16, 33] {
+            let (pa, pb) = panels(kb);
+            let mut acc = [[0.0; MR]; NR];
+            microkernel_generic(kb, &pa, &pb, &mut acc);
+            let expect = reference_tile(kb, &pa, &pb);
+            for cc in 0..NR {
+                for r in 0..MR {
+                    assert!((acc[cc][r] - expect[cc][r]).abs() < 1e-13, "kb={kb} ({r},{cc})");
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn fma_kernel_matches_generic() {
+        if !fma_available() {
+            return; // nothing to compare on this CPU
+        }
+        for kb in [1usize, 2, 5, 16, 31] {
+            let (pa, pb) = panels(kb);
+            let mut acc_g = [[1.0; MR]; NR];
+            let mut acc_f = [[1.0; MR]; NR];
+            microkernel_generic(kb, &pa, &pb, &mut acc_g);
+            // SAFETY: fma_available() checked above.
+            unsafe { microkernel_f64_fma(kb, &pa, &pb, &mut acc_f) };
+            for cc in 0..NR {
+                for r in 0..MR {
+                    // FMA keeps extra precision in the intermediate, so
+                    // allow a tiny rounding difference.
+                    assert!((acc_g[cc][r] - acc_f[cc][r]).abs() < 1e-12, "kb={kb} ({r},{cc})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatcher_runs_for_f32_and_f64() {
+        let (pa, pb) = panels(4);
+        let mut acc = [[0.0f64; MR]; NR];
+        microkernel(4, &pa, &pb, &mut acc);
+        let expect = reference_tile(4, &pa, &pb);
+        assert!((acc[0][0] - expect[0][0]).abs() < 1e-12);
+
+        let pa32: Vec<f32> = pa.iter().map(|&x| x as f32).collect();
+        let pb32: Vec<f32> = pb.iter().map(|&x| x as f32).collect();
+        let mut acc32 = [[0.0f32; MR]; NR];
+        microkernel(4, &pa32, &pb32, &mut acc32);
+        assert!((acc32[0][0] as f64 - expect[0][0]).abs() < 1e-5);
+    }
+}

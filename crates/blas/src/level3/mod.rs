@@ -7,14 +7,20 @@
 //! three machines (see DESIGN.md §2).
 
 mod blocked;
+pub mod fused;
+mod kernel;
 mod naive;
+mod packbuf;
 mod parallel;
 pub mod symm;
 pub mod syrk;
 pub mod trsm;
 
 pub use blocked::gemm_blocked;
+pub use fused::{gemm_fused, DestSpec, SumOperand};
+pub use kernel::{MR, NR};
 pub use naive::gemm_naive;
+pub use packbuf::pack_buf_capacity_words;
 pub use parallel::gemm_parallel;
 pub use symm::symm;
 pub use syrk::{symmetrize_from, syrk, Uplo};
@@ -179,9 +185,12 @@ mod tests {
         let shapes = [(1, 1, 1), (2, 3, 4), (5, 5, 5), (7, 1, 9), (16, 16, 16), (33, 17, 29), (64, 48, 80)];
         for cfg in all_kernels() {
             for &(m, k, n) in &shapes {
-                for (op_a, op_b) in
-                    [(Op::NoTrans, Op::NoTrans), (Op::Trans, Op::NoTrans), (Op::NoTrans, Op::Trans), (Op::Trans, Op::Trans)]
-                {
+                for (op_a, op_b) in [
+                    (Op::NoTrans, Op::NoTrans),
+                    (Op::Trans, Op::NoTrans),
+                    (Op::NoTrans, Op::Trans),
+                    (Op::Trans, Op::Trans),
+                ] {
                     let (ar, ac) = if op_a == Op::NoTrans { (m, k) } else { (k, m) };
                     let (br, bc) = if op_b == Op::NoTrans { (k, n) } else { (n, k) };
                     let a = random::uniform::<f64>(ar, ac, 1);

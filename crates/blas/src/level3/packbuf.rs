@@ -1,0 +1,103 @@
+//! Thread-local scratch for the packed GEMM panels.
+//!
+//! Every blocked kernel invocation needs two packed panels (`mc x kc` of
+//! `A`, `kc x nc` of `B`). Allocating them per call puts a `vec!` on the
+//! Strassen hot path — seven leaf GEMMs per recursion level. This module
+//! keeps one grow-only buffer per thread and lends slices out of it, so
+//! after warm-up a conventional multiply performs no heap allocation.
+//!
+//! The buffer is stored as `u64` words and reinterpreted as `T`: any bit
+//! pattern is a valid `f32`/`f64`, `align_of::<u64>() == 8` covers both,
+//! and the packing routines overwrite every element they later read, so
+//! handing out stale contents is sound.
+
+use matrix::Scalar;
+use std::cell::Cell;
+
+thread_local! {
+    static PACK_BUF: Cell<Vec<u64>> = const { Cell::new(Vec::new()) };
+}
+
+fn words_for<T>(len: usize) -> usize {
+    (len * std::mem::size_of::<T>()).div_ceil(std::mem::size_of::<u64>())
+}
+
+/// Run `f` with two scratch slices of `a_len` and `b_len` elements carved
+/// from this thread's reusable pack buffer. Contents are unspecified on
+/// entry. Reentrant calls (e.g. a test harness multiplying inside a
+/// callback) simply allocate a fresh buffer for the inner call.
+pub(crate) fn with_pack_bufs<T: Scalar, R>(
+    a_len: usize,
+    b_len: usize,
+    f: impl FnOnce(&mut [T], &mut [T]) -> R,
+) -> R {
+    const {
+        assert!(std::mem::size_of::<T>() <= std::mem::size_of::<u64>());
+        assert!(std::mem::align_of::<T>() <= std::mem::align_of::<u64>());
+    }
+    let mut words = PACK_BUF.with(Cell::take);
+    let need = words_for::<T>(a_len) + words_for::<T>(b_len);
+    if words.len() < need {
+        words.resize(need, 0);
+    }
+    // SAFETY: the buffer holds at least `need` u64 words; T's size and
+    // align fit in a u64 word (checked above) and T accepts any bit
+    // pattern (Scalar is implemented for f32/f64 only).
+    let (wa, wb) = words.split_at_mut(words_for::<T>(a_len));
+    let pa = unsafe { std::slice::from_raw_parts_mut(wa.as_mut_ptr().cast::<T>(), a_len) };
+    let pb = unsafe { std::slice::from_raw_parts_mut(wb.as_mut_ptr().cast::<T>(), b_len) };
+    let out = f(pa, pb);
+    PACK_BUF.with(|slot| slot.set(words));
+    out
+}
+
+/// Capacity (in `u64` words) of this thread's pack buffer — test hook for
+/// the no-allocation-after-warm-up guarantee.
+pub fn pack_buf_capacity_words() -> usize {
+    let words = PACK_BUF.with(Cell::take);
+    let cap = words.capacity();
+    PACK_BUF.with(|slot| slot.set(words));
+    cap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_have_requested_lengths_and_are_writable() {
+        with_pack_bufs::<f64, _>(10, 7, |a, b| {
+            assert_eq!(a.len(), 10);
+            assert_eq!(b.len(), 7);
+            a.fill(1.5);
+            b.fill(-2.5);
+            assert!(a.iter().all(|&x| x == 1.5));
+            assert!(b.iter().all(|&x| x == -2.5));
+        });
+    }
+
+    #[test]
+    fn buffer_is_reused_not_regrown() {
+        with_pack_bufs::<f64, _>(1024, 1024, |_, _| {});
+        let cap = pack_buf_capacity_words();
+        for _ in 0..8 {
+            with_pack_bufs::<f64, _>(512, 900, |a, b| {
+                a[0] = 1.0;
+                b[0] = 2.0;
+            });
+        }
+        assert_eq!(pack_buf_capacity_words(), cap);
+    }
+
+    #[test]
+    fn reentrant_use_is_sound() {
+        with_pack_bufs::<f64, _>(16, 16, |a, _| {
+            a.fill(3.0);
+            with_pack_bufs::<f32, _>(8, 8, |ia, ib| {
+                ia.fill(1.0);
+                ib.fill(2.0);
+            });
+            assert!(a.iter().all(|&x| x == 3.0));
+        });
+    }
+}

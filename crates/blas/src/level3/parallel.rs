@@ -5,9 +5,13 @@
 //! never synchronizes with the others — the classic embarrassingly
 //! parallel decomposition for `C ← A B` (each output column depends on
 //! all of `A` but only its own columns of `B`). Panels are spawned on
-//! the in-tree [`pool`], one scoped task per panel.
+//! the in-tree [`pool`], one scoped task per panel. When the whole
+//! problem fits in a single panel (`n ≤ nc`) the scope machinery buys
+//! nothing, so the call degrades to [`gemm_blocked`] directly.
 
-use super::blocked::{macrokernel, pack_a, pack_b, MR, NR};
+use super::blocked::{gemm_blocked, macrokernel, pack_a, pack_b, panel_lens};
+use super::kernel::{MR, NR};
+use super::packbuf::with_pack_bufs;
 use super::{check_gemm_dims, scale_c, GemmConfig};
 use crate::level2::Op;
 use matrix::{MatMut, MatRef, Scalar};
@@ -24,16 +28,23 @@ pub fn gemm_parallel<T: Scalar>(
     mut c: MatMut<'_, T>,
 ) {
     let (m, k, n) = check_gemm_dims(op_a, &a, op_b, &b, &c);
-    scale_c(beta, &mut c);
-    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
-        return;
-    }
     let mc = cfg.mc.max(MR);
     let kc = cfg.kc.max(1);
     // Panel width: split n so every pool worker gets some columns, but
     // never below the micro-tile width.
     let threads = pool::current_num_threads().max(1);
     let nc = cfg.nc.max(NR).min(n.div_ceil(threads).next_multiple_of(NR));
+
+    // A single panel means no parallelism to extract — skip the scope
+    // overhead and run the serial kernel with the original β.
+    if n <= nc || threads == 1 {
+        return gemm_blocked(cfg, alpha, op_a, a, op_b, b, beta, c);
+    }
+
+    scale_c(beta, &mut c);
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
+        return;
+    }
 
     // Carve C into disjoint column-panel views up front.
     let mut panels: Vec<(usize, MatMut<'_, T>)> = Vec::with_capacity(n.div_ceil(nc));
@@ -51,18 +62,19 @@ pub fn gemm_parallel<T: Scalar>(
         for (jc, mut cpanel) in panels {
             scope.spawn(move || {
                 let nb = cpanel.ncols();
-                let mut packed_a = vec![T::ZERO; mc.div_ceil(MR) * MR * kc];
-                let mut packed_b = vec![T::ZERO; nb.div_ceil(NR) * NR * kc];
-                for pc in (0..k).step_by(kc) {
-                    let kb = kc.min(k - pc);
-                    pack_b(op_b, &b, pc, jc, kb, nb, &mut packed_b);
-                    for ic in (0..m).step_by(mc) {
-                        let mb = mc.min(m - ic);
-                        pack_a(op_a, &a, ic, pc, mb, kb, &mut packed_a);
-                        // cpanel's column 0 is global column jc, so pass jc=0.
-                        macrokernel(alpha, mb, kb, nb, &packed_a, &packed_b, &mut cpanel, ic, 0);
+                let (a_len, b_len) = panel_lens(mc, kc, nb);
+                with_pack_bufs::<T, _>(a_len, b_len, |packed_a, packed_b| {
+                    for pc in (0..k).step_by(kc) {
+                        let kb = kc.min(k - pc);
+                        pack_b(op_b, &b, pc, jc, kb, nb, packed_b);
+                        for ic in (0..m).step_by(mc) {
+                            let mb = mc.min(m - ic);
+                            pack_a(op_a, &a, ic, pc, mb, kb, packed_a);
+                            // cpanel's column 0 is global column jc, so pass jc=0.
+                            macrokernel(alpha, mb, kb, nb, packed_a, packed_b, &mut cpanel, ic, 0);
+                        }
                     }
-                }
+                });
             });
         }
     });
@@ -82,7 +94,16 @@ mod tests {
             let b = random::uniform::<f64>(k, n, 12);
             let mut c1 = random::uniform::<f64>(m, n, 13);
             let mut c2 = c1.clone();
-            super::super::gemm_blocked(&scfg, 0.9, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.1, c1.as_mut());
+            super::super::gemm_blocked(
+                &scfg,
+                0.9,
+                Op::NoTrans,
+                a.as_ref(),
+                Op::NoTrans,
+                b.as_ref(),
+                0.1,
+                c1.as_mut(),
+            );
             gemm_parallel(&pcfg, 0.9, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.1, c2.as_mut());
             matrix::norms::assert_allclose(c1.as_ref(), c2.as_ref(), 1e-13, &format!("{m}x{k}x{n}"));
         }
@@ -90,13 +111,43 @@ mod tests {
 
     #[test]
     fn parallel_handles_narrow_matrices() {
-        // n smaller than one micro-tile: single panel, no parallelism.
+        // n smaller than one micro-tile: single panel, delegates to the
+        // serial kernel (including β handling) without spawning.
         let a = random::uniform::<f64>(50, 50, 1);
         let b = random::uniform::<f64>(50, 2, 2);
         let mut c1 = random::uniform::<f64>(50, 2, 3);
         let mut c2 = c1.clone();
         super::super::gemm_naive(1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c1.as_mut());
-        gemm_parallel(&GemmConfig::parallel(), 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c2.as_mut());
+        gemm_parallel(
+            &GemmConfig::parallel(),
+            1.0,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            0.0,
+            c2.as_mut(),
+        );
         matrix::norms::assert_allclose(c1.as_ref(), c2.as_ref(), 1e-13, "narrow");
+    }
+
+    #[test]
+    fn single_panel_fallback_preserves_beta_semantics() {
+        // n ≤ nc forces the gemm_blocked fallback; β = 0 must still
+        // overwrite NaN without reading it.
+        let a = random::uniform::<f64>(20, 20, 4);
+        let b = random::uniform::<f64>(20, 8, 5);
+        let mut c = matrix::Matrix::from_fn(20, 8, |_, _| f64::NAN);
+        gemm_parallel(
+            &GemmConfig::parallel(),
+            1.0,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        assert!(c.as_slice().iter().all(|x| x.is_finite()));
     }
 }

@@ -109,7 +109,14 @@ mod tests {
         })
     }
 
-    fn dense(side: Side, alpha: f64, a: &Matrix<f64>, b: &Matrix<f64>, beta: f64, c: &Matrix<f64>) -> Matrix<f64> {
+    fn dense(
+        side: Side,
+        alpha: f64,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+        beta: f64,
+        c: &Matrix<f64>,
+    ) -> Matrix<f64> {
         let (m, n) = (c.nrows(), c.ncols());
         Matrix::from_fn(m, n, |i, j| {
             let s: f64 = match side {

@@ -22,14 +22,7 @@ pub enum Uplo {
 /// With `trans = NoTrans`: `C ← α A Aᵀ + β C` where `A` is `n × k`.
 /// With `trans = Trans`:   `C ← α Aᵀ A + β C` where `A` is `k × n`.
 /// Only the `uplo` triangle of the `n × n` matrix `C` is read or written.
-pub fn syrk<T: Scalar>(
-    uplo: Uplo,
-    trans: Op,
-    alpha: T,
-    a: MatRef<'_, T>,
-    beta: T,
-    mut c: MatMut<'_, T>,
-) {
+pub fn syrk<T: Scalar>(uplo: Uplo, trans: Op, alpha: T, a: MatRef<'_, T>, beta: T, mut c: MatMut<'_, T>) {
     let (n, k) = trans.dims(&a);
     assert_eq!(c.nrows(), n, "syrk: C must be {n}x{n}");
     assert_eq!(c.ncols(), n, "syrk: C must be {n}x{n}");

@@ -63,10 +63,7 @@ pub fn trsm<T: Scalar>(
 
     // Effective orientation: a stored-Upper matrix accessed transposed
     // behaves like Lower, and vice versa.
-    let effective_lower = matches!(
-        (uplo, trans),
-        (Uplo::Lower, Op::NoTrans) | (Uplo::Upper, Op::Trans)
-    );
+    let effective_lower = matches!((uplo, trans), (Uplo::Lower, Op::NoTrans) | (Uplo::Upper, Op::Trans));
     // Element of op(A).
     let at = |i: usize, j: usize| match trans {
         Op::NoTrans => a.at(i, j),
@@ -192,9 +189,7 @@ mod tests {
     }
 
     fn mul(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
-        Matrix::from_fn(a.nrows(), b.ncols(), |i, j| {
-            (0..a.ncols()).map(|p| a.at(i, p) * b.at(p, j)).sum()
-        })
+        Matrix::from_fn(a.nrows(), b.ncols(), |i, j| (0..a.ncols()).map(|p| a.at(i, p) * b.at(p, j)).sum())
     }
 
     #[test]

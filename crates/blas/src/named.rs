@@ -39,14 +39,7 @@ pub fn sgemm(
 }
 
 /// `DGEMV`: `y ← α op(A) x + β y` in `f64`.
-pub fn dgemv(
-    alpha: f64,
-    op: Op,
-    a: MatRef<'_, f64>,
-    x: VecRef<'_, f64>,
-    beta: f64,
-    y: VecMut<'_, f64>,
-) {
+pub fn dgemv(alpha: f64, op: Op, a: MatRef<'_, f64>, x: VecRef<'_, f64>, beta: f64, y: VecMut<'_, f64>) {
     crate::level2::gemv(alpha, op, a, x, beta, y);
 }
 
@@ -75,7 +68,15 @@ mod tests {
     fn sgemm_alias_works() {
         let a = random::uniform::<f32>(3, 3, 1);
         let mut c = Matrix::<f32>::zeros(3, 3);
-        sgemm(1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, Matrix::<f32>::identity(3).as_ref(), 0.0, c.as_mut());
+        sgemm(
+            1.0,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            Matrix::<f32>::identity(3).as_ref(),
+            0.0,
+            c.as_mut(),
+        );
         matrix::norms::assert_allclose(c.as_ref(), a.as_ref(), 1e-6, "sgemm");
     }
 

@@ -48,14 +48,7 @@ impl<'a, T: Scalar> VecRef<'a, T> {
     pub fn from_row(a: MatRef<'a, T>, i: usize) -> Self {
         assert!(i < a.nrows(), "row {i} out of bounds ({})", a.nrows());
         // SAFETY: elements i + j*ld for j < ncols are in bounds.
-        unsafe {
-            Self {
-                ptr: a.as_ptr().add(i),
-                len: a.ncols(),
-                stride: a.ld(),
-                _marker: PhantomData,
-            }
-        }
+        unsafe { Self { ptr: a.as_ptr().add(i), len: a.ncols(), stride: a.ld(), _marker: PhantomData } }
     }
 
     /// Number of elements.
@@ -119,9 +112,7 @@ impl<'a, T: Scalar> VecMut<'a, T> {
         let nrows = a.nrows();
         let ld = a.ld();
         // SAFETY: column j occupies offsets j*ld .. j*ld+nrows.
-        unsafe {
-            Self { ptr: a.as_mut_ptr().add(j * ld), len: nrows, stride: 1, _marker: PhantomData }
-        }
+        unsafe { Self { ptr: a.as_mut_ptr().add(j * ld), len: nrows, stride: 1, _marker: PhantomData } }
     }
 
     /// Row `i` of `a` (stride = leading dimension).

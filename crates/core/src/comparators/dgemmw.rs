@@ -29,6 +29,10 @@ pub fn dgemmw_config(tau: usize, gemm: GemmConfig) -> StrassenConfig {
         gemm,
         parallel_depth: 0,
         max_depth: usize::MAX,
+        // The comparator codes predate the fused kernels; keep them on
+        // the classic temp-based schedules they model.
+        fused: false,
+        fused_levels: 1,
     }
 }
 

@@ -75,6 +75,20 @@ pub struct StrassenConfig {
     /// `max_depth = 1` to time "exactly one level of recursion" against
     /// plain GEMM, as in the paper's Section 3.4 crossover experiments.
     pub max_depth: usize,
+    /// Run the last recursion level (the one whose seven products are all
+    /// leaf GEMMs) through the fused add-pack / multi-destination
+    /// write-back kernels instead of the temp-based schedules. Requires
+    /// the blocked serial GEMM kernel; other kernels ignore the flag.
+    pub fused: bool,
+    /// How many recursion levels the fused path may flatten at once
+    /// (1 or 2). Two levels compose the 1969 schedule with itself — 49
+    /// products with ≤ 4-term sums and ≤ 4 destinations, zero workspace
+    /// for the bottom *two* levels — but measure slower here than
+    /// one-level fusion: the classic outer level's adds materialize
+    /// contiguous temporaries that the inner level packs cheaply, while
+    /// the flattened schedule packs wide-strided 4-term sums straight
+    /// from the parent views. Kept as an opt-in ablation (default 1).
+    pub fused_levels: u8,
 }
 
 impl StrassenConfig {
@@ -91,6 +105,8 @@ impl StrassenConfig {
             gemm: GemmConfig::blocked(),
             parallel_depth: 0,
             max_depth: usize::MAX,
+            fused: true,
+            fused_levels: 1,
         }
     }
 
@@ -157,6 +173,18 @@ impl StrassenConfig {
     /// Limit recursion depth (1 = a single level of Strassen, then GEMM).
     pub fn max_depth(mut self, max_depth: usize) -> Self {
         self.max_depth = max_depth;
+        self
+    }
+
+    /// Enable or disable the fused last-level kernels.
+    pub fn fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
+    /// Set how many levels the fused path may flatten (clamped to 1–2).
+    pub fn fused_levels(mut self, levels: u8) -> Self {
+        self.fused_levels = levels.clamp(1, 2);
         self
     }
 }

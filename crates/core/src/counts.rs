@@ -87,8 +87,7 @@ fn predict_at(
     if cfg.odd == OddHandling::StaticPadding && depth == 0 {
         let d = crate::workspace::static_padding_depth_for(cfg, m, k, n, beta_zero);
         let unit = 1usize << d;
-        let (mp, kp, np) =
-            (m.next_multiple_of(unit), k.next_multiple_of(unit), n.next_multiple_of(unit));
+        let (mp, kp, np) = (m.next_multiple_of(unit), k.next_multiple_of(unit), n.next_multiple_of(unit));
         let inner = StrassenConfig { odd: OddHandling::DynamicPadding, ..*cfg };
         let mut c = predict_at(&inner, mp, kp, np, beta_zero, depth);
         if (mp, kp, np) != (m, k, n) {

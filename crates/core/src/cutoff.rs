@@ -65,9 +65,7 @@ impl CutoffCriterion {
             CutoffCriterion::HighamScaled { tau } => {
                 mf * kf * nf <= tau as f64 * (nf * kf + mf * nf + mf * kf) / 3.0
             }
-            CutoffCriterion::TheoreticalOpCount => {
-                mf * kf * nf <= 4.0 * (mf * kf + kf * nf + mf * nf)
-            }
+            CutoffCriterion::TheoreticalOpCount => mf * kf * nf <= 4.0 * (mf * kf + kf * nf + mf * nf),
             CutoffCriterion::Hybrid { tau, tau_m, tau_k, tau_n } => {
                 let t = tau as f64;
                 // eq. (13) with asymmetric parameters.

@@ -2,13 +2,80 @@
 
 use crate::config::{OddHandling, StrassenConfig};
 use crate::cutoff::CutoffCriterion;
-use crate::schedules::{original, seven_temp, winograd1, winograd2};
-use crate::workspace::{required_workspace, resolve_scheme, ResolvedScheme, Workspace};
+use crate::schedules::{fused, original, seven_temp, winograd1, winograd2};
+use crate::workspace::{required_workspace, resolve_scheme, with_tls_arena, ResolvedScheme, Workspace};
 use crate::{pad, peel};
 use blas::add::axpby;
 use blas::level2::Op;
-use blas::level3::gemm;
+use blas::level3::{gemm, GemmAlgo};
 use matrix::{MatMut, MatRef, Matrix, Scalar};
+
+/// How many recursion levels (0, 1, or 2) to run through the fused
+/// add-pack / multi-destination kernels at this node.
+enum FusedSpan {
+    No,
+    One,
+    Two,
+}
+
+/// Decide the fused span. `One` when the level's seven products would all
+/// bottom out in conventional GEMMs anyway (their operands are at or
+/// below the cutoff for *both* β classes, since the fused products are
+/// plain GEMMs rather than `fmm` re-entries), the dimensions are already
+/// even, and the serial blocked kernel — the one the fused driver is
+/// built on — is selected. `Two` when the children would recurse exactly
+/// once more (again for both β classes, and with dimensions divisible by
+/// 4 so no peel/pad intervenes): the 49 grandchild products then run as
+/// one flat two-level schedule, eliminating the outer level's temp
+/// traffic as well. SevenTemp levels inside `parallel_depth` keep the
+/// task-parallel schedule instead.
+fn fused_span(
+    cfg: &StrassenConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    beta_zero: bool,
+    depth: usize,
+) -> FusedSpan {
+    if !cfg.fused || cfg.gemm.algo != GemmAlgo::Blocked {
+        return FusedSpan::No;
+    }
+    if m % 2 != 0 || k % 2 != 0 || n % 2 != 0 || m == 0 || k == 0 || n == 0 {
+        return FusedSpan::No;
+    }
+    if resolve_scheme(cfg, beta_zero) == ResolvedScheme::SevenTemp && depth < cfg.parallel_depth {
+        return FusedSpan::No;
+    }
+    let stop_both = |mm: usize, kk: usize, nn: usize| {
+        cfg.criterion_for(true).should_stop(mm, kk, nn) && cfg.criterion_for(false).should_stop(mm, kk, nn)
+    };
+    let (m2, k2, n2) = (m / 2, k / 2, n / 2);
+    if depth + 1 >= cfg.max_depth || stop_both(m2, k2, n2) {
+        return FusedSpan::One;
+    }
+    if cfg.fused_levels < 2 {
+        return FusedSpan::No;
+    }
+    // Two-level window (opt-in ablation): children recurse in both β
+    // classes (neither criterion stops them — a mixed verdict would make
+    // the fused plan diverge from the classic one), and every grandchild
+    // is a leaf.
+    let recurse_both =
+        !cfg.criterion_for(true).should_stop(m2, k2, n2) && !cfg.criterion_for(false).should_stop(m2, k2, n2);
+    let child_parallel = (resolve_scheme(cfg, true) == ResolvedScheme::SevenTemp
+        || resolve_scheme(cfg, false) == ResolvedScheme::SevenTemp)
+        && depth + 1 < cfg.parallel_depth;
+    if m % 4 == 0
+        && k % 4 == 0
+        && n % 4 == 0
+        && recurse_both
+        && !child_parallel
+        && (depth + 2 >= cfg.max_depth || stop_both(m / 4, k / 4, n / 4))
+    {
+        return FusedSpan::Two;
+    }
+    FusedSpan::No
+}
 
 /// The internal fast-matrix-multiply recursion:
 /// `C ← α A B + β C` with `op = NoTrans` on both operands.
@@ -34,6 +101,26 @@ pub(crate) fn fmm<T: Scalar>(
     if depth >= cfg.max_depth || cfg.criterion_for(beta == T::ZERO).should_stop(m, k, n) {
         gemm(&cfg.gemm, alpha, Op::NoTrans, a, Op::NoTrans, b, beta, c);
         return;
+    }
+
+    // The last recursion level (or two) fuses the operand/result
+    // additions into the leaf GEMMs themselves — no temporaries, no
+    // workspace draw. Both variants run the 1969 original form here:
+    // Winograd's smaller add count is a property of *temp reuse*
+    // (U1 = P1 + P6 shared by three quadrants), which fusion abandons;
+    // expanded per quadrant it needs 14 destination touches and up to
+    // 4-term operand sums, while the original form needs 12 touches and
+    // at most 2-term sums.
+    match fused_span(cfg, m, k, n, beta == T::ZERO, depth) {
+        FusedSpan::Two => {
+            fused::original_fused_two_level(cfg, alpha, a, b, beta, c);
+            return;
+        }
+        FusedSpan::One => {
+            fused::original_fused(cfg, alpha, a, b, beta, c);
+            return;
+        }
+        FusedSpan::No => {}
     }
 
     let scheme = resolve_scheme(cfg, beta == T::ZERO);
@@ -65,16 +152,12 @@ pub(crate) fn fmm<T: Scalar>(
     }
 
     match scheme {
-        ResolvedScheme::Strassen1BetaZero => {
-            winograd1::strassen1_beta_zero(cfg, alpha, a, b, c, ws, depth)
-        }
+        ResolvedScheme::Strassen1BetaZero => winograd1::strassen1_beta_zero(cfg, alpha, a, b, c, ws, depth),
         ResolvedScheme::Strassen1General => {
             winograd1::strassen1_general(cfg, alpha, a, b, beta, c, ws, depth)
         }
         ResolvedScheme::Strassen2 => winograd2::strassen2(cfg, alpha, a, b, beta, c, ws, depth),
-        ResolvedScheme::OriginalBetaZero => {
-            original::original_beta_zero(cfg, alpha, a, b, c, ws, depth)
-        }
+        ResolvedScheme::OriginalBetaZero => original::original_beta_zero(cfg, alpha, a, b, c, ws, depth),
         ResolvedScheme::OriginalGeneral => unreachable!("staged above"),
         ResolvedScheme::SevenTemp => seven_temp::seven_temp(cfg, alpha, a, b, beta, c, ws, depth),
     }
@@ -100,9 +183,13 @@ fn materialize<'a: 't, 't, T: Scalar>(
 /// DGEFMM: `C ← α op(A) op(B) + β C` via Strassen's algorithm — the
 /// drop-in replacement for the Level 3 BLAS `GEMM` (paper Section 3.1).
 ///
-/// Transposed operands are materialized once at entry (the recursion
-/// itself always runs on plain views); workspace is allocated internally.
-/// Use [`dgefmm_with_workspace`] to amortize the allocation across calls.
+/// Workspace comes from a thread-local [`crate::WorkspaceArena`] sized at
+/// the Table 1 requirement (plus staging for transposed operands, which
+/// are materialized once at entry — the recursion itself always runs on
+/// plain views). The arena is grow-only and reused, so after the first
+/// call at a given problem size a thread performs no further heap
+/// allocation on this path. Use [`dgefmm_with_workspace`] for an
+/// explicitly caller-managed arena instead.
 ///
 /// # Panics
 /// On dimension mismatches, like the BLAS `XERBLA` path.
@@ -119,8 +206,33 @@ pub fn dgefmm<T: Scalar>(
     let (m, ka) = op_a.dims(&a);
     let (kb, n) = op_b.dims(&b);
     assert_eq!(ka, kb, "dgefmm: inner dimensions disagree ({ka} vs {kb})");
-    let mut ws = Workspace::for_problem(cfg, m, ka, n, beta == T::ZERO);
-    dgefmm_with_workspace(cfg, alpha, op_a, a, op_b, b, beta, c, &mut ws);
+    assert_eq!(c.nrows(), m, "dgefmm: C has {} rows, expected {m}", c.nrows());
+    assert_eq!(c.ncols(), n, "dgefmm: C has {} cols, expected {n}", c.ncols());
+
+    let a_extra = if op_a == Op::Trans { m * ka } else { 0 };
+    let b_extra = if op_b == Op::Trans { ka * n } else { 0 };
+    let ws_elems = required_workspace(cfg, m, ka, n, beta == T::ZERO);
+    with_tls_arena::<T, _>(ws_elems + a_extra + b_extra, |arena| {
+        let (a_buf, rest) = arena.split_at_mut(a_extra);
+        let (b_buf, ws) = rest.split_at_mut(b_extra);
+        let a_eff = stage_transposed(op_a, a, a_buf);
+        let b_eff = stage_transposed(op_b, b, b_buf);
+        fmm(cfg, alpha, a_eff, b_eff, beta, c, ws, 0);
+    });
+}
+
+/// Return `op(x)` as a plain view, writing the transposed copy into
+/// `store` (an arena carve-out of exactly `x.len()` elements) when
+/// `op = Trans`.
+fn stage_transposed<'t, T: Scalar>(op: Op, x: MatRef<'t, T>, store: &'t mut [T]) -> MatRef<'t, T> {
+    match op {
+        Op::NoTrans => x,
+        Op::Trans => {
+            let (rows, cols) = (x.ncols(), x.nrows());
+            MatMut::from_slice(&mut *store, rows, cols, rows.max(1)).copy_transposed_from(x);
+            MatRef::from_slice(store, rows, cols, rows.max(1))
+        }
+    }
 }
 
 /// [`dgefmm`] with a caller-managed workspace (grown if too small).
@@ -176,9 +288,7 @@ pub fn planned_depth(cfg: &StrassenConfig, m: usize, k: usize, n: usize) -> u32 
             return 0;
         }
         let (me, ke, ne) = match cfg.odd {
-            OddHandling::DynamicPeeling | OddHandling::DynamicPeelingFirst => {
-                (m & !1, k & !1, n & !1)
-            }
+            OddHandling::DynamicPeeling | OddHandling::DynamicPeelingFirst => (m & !1, k & !1, n & !1),
             _ => (m + (m & 1), k + (k & 1), n + (n & 1)),
         };
         1 + go(cfg, me / 2, ke / 2, ne / 2, depth + 1)

@@ -37,8 +37,8 @@
 
 pub mod backend;
 pub mod comparators;
-pub mod counts;
 pub mod config;
+pub mod counts;
 pub mod cutoff;
 mod dispatch;
 mod pad;
@@ -53,7 +53,9 @@ pub use cutoff::CutoffCriterion;
 pub use dispatch::{
     criterion_tau, dgefmm, dgefmm_with_workspace, multiply, planned_depth, workspace_elements,
 };
-pub use workspace::{required_workspace, total_temp_elements, Workspace};
+pub use workspace::{
+    required_workspace, tls_arena_capacity_elements, total_temp_elements, Workspace, WorkspaceArena,
+};
 
 #[cfg(test)]
 mod tests;

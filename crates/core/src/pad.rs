@@ -6,7 +6,7 @@ use crate::config::{OddHandling, StrassenConfig};
 use crate::dispatch::fmm;
 use crate::workspace::static_padding_depth_for;
 use blas::add::axpby;
-use matrix::{Matrix, MatMut, MatRef, Scalar};
+use matrix::{MatMut, MatRef, Matrix, Scalar};
 
 /// Copy `src` into the top-left corner of a zero `rows x cols` matrix.
 fn padded_copy<T: Scalar>(src: MatRef<'_, T>, rows: usize, cols: usize) -> Matrix<T> {
@@ -59,8 +59,7 @@ pub(crate) fn multiply_static_padded<T: Scalar>(
     let n = b.ncols();
     let d = static_padding_depth_for(cfg, m, k, n, beta == T::ZERO);
     let unit = 1usize << d;
-    let (mp, kp, np) =
-        (m.next_multiple_of(unit), k.next_multiple_of(unit), n.next_multiple_of(unit));
+    let (mp, kp, np) = (m.next_multiple_of(unit), k.next_multiple_of(unit), n.next_multiple_of(unit));
 
     // Below the top level dimensions stay even by construction; if the
     // cutoff fires later than planned and an odd size sneaks through,

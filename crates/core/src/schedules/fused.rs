@@ -1,0 +1,435 @@
+//! Fused last-level schedules: one recursion level executed entirely
+//! through the add-pack / multi-destination-write-back GEMM kernels.
+//!
+//! When every one of the seven recursive products would bottom out in a
+//! conventional GEMM (its operands are at or below the cutoff), the
+//! temp-based schedules in [`super::winograd1`]/[`super::winograd2`]/
+//! [`super::original`] pay for their operand additions (`S_i`, `T_i`)
+//! and result additions (`U_i`) as standalone memory sweeps. At that
+//! level the additions can instead ride along with the multiplies for
+//! free: [`blas::level3::gemm_fused`] evaluates `Σ γ·X` sums while
+//! packing panels (which reads the operands anyway) and scatters each
+//! register tile into every destination quadrant at write-back (which
+//! writes `C` anyway). The schedules below therefore use **zero
+//! temporaries and zero standalone add passes** — 7 fused GEMM calls
+//! replace 7 GEMMs + 15 (Winograd) or 18 (original) quadrant sweeps.
+//!
+//! `β` is folded into the first product that touches each quadrant
+//! (`DestSpec::init`, BLAS semantics: `β = 0` overwrites without
+//! reading); later touches accumulate in place.
+
+use crate::config::StrassenConfig;
+use blas::level2::Op;
+use blas::level3::{gemm_fused, DestSpec, SumOperand};
+use matrix::{MatMut, MatRef, Scalar};
+
+/// One level of the Winograd variant (7 multiplies), fully fused.
+///
+/// Schedule (S/T/P/U naming of the classic Winograd form):
+///
+/// ```text
+/// P1 = A11·B11                  → C11, C12, C21, C22   (applies β)
+/// P2 = A12·B21                  → C11                  (C11 final)
+/// P6 = (A21+A22−A11)(B22−B12+B11) → C12, C21, C22
+/// P7 = (A11−A21)(B22−B12)       → C21, C22
+/// P5 = (A21+A22)(B12−B11)       → C12, C22             (C22 final)
+/// P3 = (A12−A21−A22+A11)·B22    → C12                  (C12 final)
+/// P4 = A22·(B22−B12+B11−B21)    → C21 (δ = −1)         (C21 final)
+/// ```
+///
+/// which realizes `C11 = P1+P2`, `C12 = P1+P6+P5+P3`,
+/// `C21 = P1+P6+P7−P4`, `C22 = P1+P6+P7+P5`.
+///
+/// All dimensions must be even; every product runs as a single fused
+/// conventional multiply (no further recursion).
+///
+/// Not wired into the dispatcher: expanding the `U` recurrence per
+/// quadrant costs 14 destination touches and up to 4-term operand sums,
+/// and measures slower than [`original_fused`] (12 touches, ≤ 2-term
+/// sums) — Winograd's add savings are a property of temp *reuse*, which
+/// fusion abandons. Kept (and tested) as the reference expansion and for
+/// schedule ablations.
+#[allow(dead_code)]
+pub(crate) fn winograd_fused<T: Scalar>(
+    cfg: &StrassenConfig,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+) {
+    let (m, k) = (a.nrows(), a.ncols());
+    let n = b.ncols();
+    debug_assert!(m % 2 == 0 && k % 2 == 0 && n % 2 == 0);
+    let (mh, kh, nh) = (m / 2, k / 2, n / 2);
+    let (a11, a12, a21, a22) = a.quadrants(mh, kh);
+    let (b11, b12, b21, b22) = b.quadrants(kh, nh);
+    let (mut c11, mut c12, mut c21, mut c22) = c.split_quadrants(mh, nh);
+    let one = T::ONE;
+    let neg = -T::ONE;
+    let g = &cfg.gemm;
+
+    // P1 = A11·B11 feeds every quadrant, so it carries the β application.
+    gemm_fused(
+        g,
+        alpha,
+        &SumOperand::single(Op::NoTrans, a11),
+        &SumOperand::single(Op::NoTrans, b11),
+        &mut [
+            DestSpec::init(c11.rb_mut(), one, beta),
+            DestSpec::init(c12.rb_mut(), one, beta),
+            DestSpec::init(c21.rb_mut(), one, beta),
+            DestSpec::init(c22.rb_mut(), one, beta),
+        ],
+    );
+    // P2 = A12·B21 → C11 (final).
+    gemm_fused(
+        g,
+        alpha,
+        &SumOperand::single(Op::NoTrans, a12),
+        &SumOperand::single(Op::NoTrans, b21),
+        &mut [DestSpec::update(c11.rb_mut(), one)],
+    );
+    // P6 = S2·T2 = (A21+A22−A11)(B22−B12+B11).
+    gemm_fused(
+        g,
+        alpha,
+        &SumOperand::new(Op::NoTrans, &[(one, a21), (one, a22), (neg, a11)]),
+        &SumOperand::new(Op::NoTrans, &[(one, b22), (neg, b12), (one, b11)]),
+        &mut [
+            DestSpec::update(c12.rb_mut(), one),
+            DestSpec::update(c21.rb_mut(), one),
+            DestSpec::update(c22.rb_mut(), one),
+        ],
+    );
+    // P7 = S3·T3 = (A11−A21)(B22−B12).
+    gemm_fused(
+        g,
+        alpha,
+        &SumOperand::new(Op::NoTrans, &[(one, a11), (neg, a21)]),
+        &SumOperand::new(Op::NoTrans, &[(one, b22), (neg, b12)]),
+        &mut [DestSpec::update(c21.rb_mut(), one), DestSpec::update(c22.rb_mut(), one)],
+    );
+    // P5 = S1·T1 = (A21+A22)(B12−B11); completes C22.
+    gemm_fused(
+        g,
+        alpha,
+        &SumOperand::new(Op::NoTrans, &[(one, a21), (one, a22)]),
+        &SumOperand::new(Op::NoTrans, &[(one, b12), (neg, b11)]),
+        &mut [DestSpec::update(c12.rb_mut(), one), DestSpec::update(c22.rb_mut(), one)],
+    );
+    // P3 = S4·B22 = (A12−A21−A22+A11)·B22; completes C12.
+    gemm_fused(
+        g,
+        alpha,
+        &SumOperand::new(Op::NoTrans, &[(one, a12), (neg, a21), (neg, a22), (one, a11)]),
+        &SumOperand::single(Op::NoTrans, b22),
+        &mut [DestSpec::update(c12.rb_mut(), one)],
+    );
+    // P4 = A22·T4 = A22·(B22−B12+B11−B21); completes C21 with δ = −1.
+    gemm_fused(
+        g,
+        alpha,
+        &SumOperand::single(Op::NoTrans, a22),
+        &SumOperand::new(Op::NoTrans, &[(one, b22), (neg, b12), (one, b11), (neg, b21)]),
+        &mut [DestSpec::update(c21.rb_mut(), neg)],
+    );
+}
+
+// ---------------------------------------------------------------------
+// Table-driven fused schedules.
+//
+// A fused schedule is a list of products `(Σ γ·A_blk)(Σ γ·B_blk) →
+// Σ δ·C_blk` over a `g × g` block partition of the operands, with every
+// coefficient ±1. Expressing the schedule as *data* lets the two-level
+// table be derived from the one-level table at compile time by plain
+// bilinear composition — no hand-transcribed 49-product schedule to get
+// wrong.
+
+/// Up to four `(coefficient, (block_row, block_col))` terms.
+#[derive(Clone, Copy)]
+struct Terms {
+    t: [(i8, (u8, u8)); 4],
+    len: u8,
+}
+
+/// One fused product: A-operand sum, B-operand sum, C destinations.
+#[derive(Clone, Copy)]
+struct Prod {
+    a: Terms,
+    b: Terms,
+    c: Terms,
+}
+
+const fn t1(g0: i8, q0: (u8, u8)) -> Terms {
+    Terms { t: [(g0, q0), (0, (0, 0)), (0, (0, 0)), (0, (0, 0))], len: 1 }
+}
+const fn t2(g0: i8, q0: (u8, u8), g1: i8, q1: (u8, u8)) -> Terms {
+    Terms { t: [(g0, q0), (g1, q1), (0, (0, 0)), (0, (0, 0))], len: 2 }
+}
+
+const Q11: (u8, u8) = (0, 0);
+const Q12: (u8, u8) = (0, 1);
+const Q21: (u8, u8) = (1, 0);
+const Q22: (u8, u8) = (1, 1);
+
+/// Strassen's original 1969 construction as schedule data:
+///
+/// ```text
+/// M1 = (A11+A22)(B11+B22) → C11, C22   (applies β to both)
+/// M2 = (A21+A22)·B11      → C21 (β), C22 (δ = −1)
+/// M3 = A11·(B12−B22)      → C12 (β), C22
+/// M4 = A22·(B21−B11)      → C11, C21
+/// M5 = (A11+A12)·B22      → C11 (δ = −1), C12
+/// M6 = (A21−A11)(B11+B12) → C22
+/// M7 = (A12−A22)(B21+B22) → C11
+/// ```
+///
+/// realizing `C11 = M1+M4−M5+M7`, `C12 = M3+M5`, `C21 = M2+M4`,
+/// `C22 = M1−M2+M3+M6`. Every product reads ≤ 2-term operand sums and
+/// feeds ≤ 2 quadrants — the shape the dual-destination write-back was
+/// designed around. The M1/M2/M3 prefix touches all four quadrants, so β
+/// application (first touch) completes within the first three products.
+const ORIGINAL: [Prod; 7] = [
+    Prod { a: t2(1, Q11, 1, Q22), b: t2(1, Q11, 1, Q22), c: t2(1, Q11, 1, Q22) },
+    Prod { a: t2(1, Q21, 1, Q22), b: t1(1, Q11), c: t2(1, Q21, -1, Q22) },
+    Prod { a: t1(1, Q11), b: t2(1, Q12, -1, Q22), c: t2(1, Q12, 1, Q22) },
+    Prod { a: t1(1, Q22), b: t2(1, Q21, -1, Q11), c: t2(1, Q11, 1, Q21) },
+    Prod { a: t2(1, Q11, 1, Q12), b: t1(1, Q22), c: t2(-1, Q11, 1, Q12) },
+    Prod { a: t2(1, Q21, -1, Q11), b: t2(1, Q11, 1, Q12), c: t1(1, Q22) },
+    Prod { a: t2(1, Q12, -1, Q22), b: t2(1, Q21, 1, Q22), c: t1(1, Q11) },
+];
+
+/// Bilinear composition of term lists: outer terms address quadrants,
+/// inner terms address quadrants *of* those quadrants, so the composed
+/// terms address a 4 × 4 grid of quarter-blocks with multiplied signs.
+const fn cross(outer: Terms, inner: Terms) -> Terms {
+    let mut t = [(0i8, (0u8, 0u8)); 4];
+    let mut len = 0;
+    let mut x = 0;
+    while x < outer.len as usize {
+        let mut y = 0;
+        while y < inner.len as usize {
+            let (go, qo) = outer.t[x];
+            let (gi, qi) = inner.t[y];
+            t[len] = (go * gi, (qo.0 * 2 + qi.0, qo.1 * 2 + qi.1));
+            len += 1;
+            y += 1;
+        }
+        x += 1;
+    }
+    Terms { t, len: len as u8 }
+}
+
+/// [`ORIGINAL`] composed with itself: two recursion levels flattened into
+/// 49 products over a 4 × 4 block grid. The outer product `M_o` reads
+/// operand `X = Σ γ_o·A[q_o]`; running the inner schedule on `X` needs
+/// its quadrants `X[q_i] = Σ γ_o·A[q_o][q_i]`, so inner sums distribute
+/// over outer sums ([`cross`]). Each inner product scatters `δ_i` into
+/// quadrant `q_i` of the never-materialized outer product, which itself
+/// scatters `δ_o` into `C[q_o]` — destinations compose the same way.
+/// Term and destination counts multiply: ≤ 2 × 2 = 4 each, exactly the
+/// kernel's `MAX_TERMS`/`MAX_DESTS`.
+const ORIGINAL_X2: [Prod; 49] = {
+    let mut out = [ORIGINAL[0]; 49];
+    let mut o = 0;
+    while o < 7 {
+        let mut i = 0;
+        while i < 7 {
+            out[o * 7 + i] = Prod {
+                a: cross(ORIGINAL[o].a, ORIGINAL[i].a),
+                b: cross(ORIGINAL[o].b, ORIGINAL[i].b),
+                c: cross(ORIGINAL[o].c, ORIGINAL[i].c),
+            };
+            i += 1;
+        }
+        o += 1;
+    }
+    out
+};
+
+/// Execute a fused block schedule over the `g × g` partition: one
+/// [`gemm_fused`] call per table entry. β rides on the first product that
+/// touches each destination block ([`DestSpec::init`]); later touches
+/// accumulate. All dimensions must be divisible by `g`.
+fn run_table<T: Scalar>(
+    cfg: &StrassenConfig,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+    table: &[Prod],
+    g: usize,
+) {
+    let (m, k) = (a.nrows(), a.ncols());
+    let n = b.ncols();
+    debug_assert!(m % g == 0 && k % g == 0 && n % g == 0);
+    let (mb, kb, nb) = (m / g, k / g, n / g);
+    let ld = c.ld();
+    let base = c.as_mut_ptr();
+    let sign = |s: i8| if s >= 0 { T::ONE } else { -T::ONE };
+    let a_blk = |q: (u8, u8)| a.submatrix(q.0 as usize * mb, q.1 as usize * kb, mb, kb);
+    let b_blk = |q: (u8, u8)| b.submatrix(q.0 as usize * kb, q.1 as usize * nb, kb, nb);
+    // SAFETY: the grid blocks are disjoint, one product never lists the
+    // same destination twice, and the parent view `c` is dormant while
+    // the block views are live.
+    let c_blk = |q: (u8, u8)| unsafe {
+        MatMut::from_raw_parts(base.add(q.0 as usize * mb + q.1 as usize * nb * ld), mb, nb, ld)
+    };
+
+    let mut seen = [[false; 4]; 4];
+    for p in table {
+        let mut ta = [(T::ONE, a); 4];
+        let la = p.a.len as usize;
+        for (dst, src) in ta[..la].iter_mut().zip(&p.a.t[..la]) {
+            *dst = (sign(src.0), a_blk(src.1));
+        }
+        let mut tb = [(T::ONE, b); 4];
+        let lb = p.b.len as usize;
+        for (dst, src) in tb[..lb].iter_mut().zip(&p.b.t[..lb]) {
+            *dst = (sign(src.0), b_blk(src.1));
+        }
+        let sa = SumOperand::new(Op::NoTrans, &ta[..la]);
+        let sb = SumOperand::new(Op::NoTrans, &tb[..lb]);
+        let mut mk = |d: &(i8, (u8, u8))| {
+            let (r, q) = (d.1 .0 as usize, d.1 .1 as usize);
+            let first = !seen[r][q];
+            seen[r][q] = true;
+            if first {
+                DestSpec::init(c_blk(d.1), sign(d.0), beta)
+            } else {
+                DestSpec::update(c_blk(d.1), sign(d.0))
+            }
+        };
+        let gc = &cfg.gemm;
+        match &p.c.t[..p.c.len as usize] {
+            [d0] => gemm_fused(gc, alpha, &sa, &sb, &mut [mk(d0)]),
+            [d0, d1] => gemm_fused(gc, alpha, &sa, &sb, &mut [mk(d0), mk(d1)]),
+            [d0, d1, d2] => gemm_fused(gc, alpha, &sa, &sb, &mut [mk(d0), mk(d1), mk(d2)]),
+            [d0, d1, d2, d3] => gemm_fused(gc, alpha, &sa, &sb, &mut [mk(d0), mk(d1), mk(d2), mk(d3)]),
+            _ => unreachable!("fused schedules carry 1–4 destinations"),
+        }
+    }
+    // Every block must have received its β application.
+    debug_assert!(seen.iter().take(g).all(|row| row[..g].iter().all(|&s| s)));
+}
+
+/// One level of Strassen's original 1969 construction (7 multiplies),
+/// fully fused: zero temporaries, zero standalone add passes, 12 quadrant
+/// write-back touches and ≤ 2-term operand sums (see [`ORIGINAL`]).
+pub(crate) fn original_fused<T: Scalar>(
+    cfg: &StrassenConfig,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+) {
+    run_table(cfg, alpha, a, b, beta, c, &ORIGINAL, 2);
+}
+
+/// Two recursion levels fused at once ([`ORIGINAL_X2`]): 49 products over
+/// a 4 × 4 block grid, ≤ 4-term operand sums and ≤ 4 destination blocks
+/// each. Where the dispatcher would otherwise run one temp-based level on
+/// top of a fused level, this removes the outer level's operand/result
+/// sweeps *too* — the last two levels of the recursion execute without
+/// touching workspace at all. All dimensions must be divisible by 4.
+pub(crate) fn original_fused_two_level<T: Scalar>(
+    cfg: &StrassenConfig,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+) {
+    run_table(cfg, alpha, a, b, beta, c, &ORIGINAL_X2, 4);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blas::level3::{gemm, GemmConfig};
+    use matrix::{norms, random, Matrix};
+
+    fn check_shapes(
+        fused: impl Fn(&StrassenConfig, f64, MatRef<'_, f64>, MatRef<'_, f64>, f64, MatMut<'_, f64>),
+        shapes: [(usize, usize, usize); 3],
+    ) {
+        let cfg = StrassenConfig::dgefmm();
+        for (m, k, n) in shapes {
+            for beta in [0.0, 1.0, -0.7] {
+                let a = random::uniform::<f64>(m, k, 1);
+                let b = random::uniform::<f64>(k, n, 2);
+                let c0 = random::uniform::<f64>(m, n, 3);
+                let mut expect = c0.clone();
+                gemm(
+                    &GemmConfig::naive(),
+                    1.1,
+                    blas::Op::NoTrans,
+                    a.as_ref(),
+                    blas::Op::NoTrans,
+                    b.as_ref(),
+                    beta,
+                    expect.as_mut(),
+                );
+                let mut c = c0.clone();
+                fused(&cfg, 1.1, a.as_ref(), b.as_ref(), beta, c.as_mut());
+                let diff = norms::rel_diff(c.as_ref(), expect.as_ref());
+                assert!(diff < 1e-12, "{m}x{k}x{n} β={beta}: rel diff {diff:.3e}");
+            }
+        }
+    }
+
+    #[test]
+    fn winograd_fused_matches_naive() {
+        check_shapes(winograd_fused::<f64>, [(8, 8, 8), (16, 10, 12), (64, 32, 48)]);
+    }
+
+    #[test]
+    fn original_fused_matches_naive() {
+        check_shapes(original_fused::<f64>, [(8, 8, 8), (16, 10, 12), (64, 32, 48)]);
+    }
+
+    #[test]
+    fn original_fused_two_level_matches_naive() {
+        // Two-level needs every dimension divisible by 4.
+        check_shapes(original_fused_two_level::<f64>, [(8, 8, 8), (16, 12, 20), (64, 32, 48)]);
+    }
+
+    #[test]
+    fn composed_table_has_full_coverage_and_unit_coefficients() {
+        // 49 products; each C quarter-block is touched, term/dest counts
+        // stay within the kernel's limits, and every coefficient is ±1.
+        let mut touched = [[0usize; 4]; 4];
+        for p in &ORIGINAL_X2 {
+            for terms in [&p.a, &p.b, &p.c] {
+                assert!((1..=4).contains(&(terms.len as usize)));
+                for &(g, (r, q)) in &terms.t[..terms.len as usize] {
+                    assert!(g == 1 || g == -1);
+                    assert!(r < 4 && q < 4);
+                }
+            }
+            for &(_, (r, q)) in &p.c.t[..p.c.len as usize] {
+                touched[r as usize][q as usize] += 1;
+            }
+        }
+        // Destination touches compose multiplicatively, so the grand
+        // total is Σ_o Σ_i |c_o|·|c_i| = (Σ|c_o|)·(Σ|c_i|) = 12·12.
+        let total: usize = touched.iter().flatten().sum();
+        assert_eq!(total, 144);
+        assert!(touched.iter().flatten().all(|&t| t >= 1));
+    }
+
+    #[test]
+    fn beta_zero_clears_nan_in_every_quadrant() {
+        let cfg = StrassenConfig::dgefmm();
+        let a = random::uniform::<f64>(8, 8, 5);
+        let b = random::uniform::<f64>(8, 8, 6);
+        for fused in [winograd_fused::<f64>, original_fused::<f64>, original_fused_two_level::<f64>] {
+            let mut c = Matrix::from_fn(8, 8, |_, _| f64::NAN);
+            fused(&cfg, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+            assert!(c.as_slice().iter().all(|x| x.is_finite()));
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The computation schedules: how the 7 recursive products and the
 //! operand/result additions are ordered and where temporaries live.
 
+pub(crate) mod fused;
 pub(crate) mod original;
 pub(crate) mod seven_temp;
 pub(crate) mod winograd1;

@@ -97,10 +97,8 @@ mod tests {
 
     #[test]
     fn original_construction_one_level() {
-        let cfg = StrassenConfig::dgefmm()
-            .variant(Variant::Original)
-            .cutoff(CutoffCriterion::Never)
-            .max_depth(1);
+        let cfg =
+            StrassenConfig::dgefmm().variant(Variant::Original).cutoff(CutoffCriterion::Never).max_depth(1);
         let (m, k, n) = (10, 6, 8);
         let a = random::uniform::<f64>(m, k, 7);
         let b = random::uniform::<f64>(k, n, 8);
@@ -108,7 +106,16 @@ mod tests {
         let mut ws = vec![0.0; crate::required_workspace(&cfg, m, k, n, true)];
         original_beta_zero(&cfg, -0.5, a.as_ref(), b.as_ref(), c.as_mut(), &mut ws, 0);
         let mut expect = Matrix::<f64>::zeros(m, n);
-        gemm(&GemmConfig::naive(), -0.5, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, expect.as_mut());
+        gemm(
+            &GemmConfig::naive(),
+            -0.5,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            0.0,
+            expect.as_mut(),
+        );
         matrix::norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-13, "original one level");
     }
 }

@@ -131,16 +131,23 @@ mod tests {
 
     #[test]
     fn seven_temp_one_level_serial_and_parallel() {
-        let base = StrassenConfig::dgefmm()
-            .scheme(Scheme::SevenTemp)
-            .cutoff(CutoffCriterion::Never)
-            .max_depth(1);
+        let base =
+            StrassenConfig::dgefmm().scheme(Scheme::SevenTemp).cutoff(CutoffCriterion::Never).max_depth(1);
         let (m, k, n) = (12, 8, 16);
         let a = random::uniform::<f64>(m, k, 1);
         let b = random::uniform::<f64>(k, n, 2);
         let c0 = random::uniform::<f64>(m, n, 3);
         let mut expect = c0.clone();
-        gemm(&GemmConfig::naive(), 0.7, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.3, expect.as_mut());
+        gemm(
+            &GemmConfig::naive(),
+            0.7,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            0.3,
+            expect.as_mut(),
+        );
 
         for parallel_depth in [0usize, 1] {
             let mut cfg = base;

@@ -129,7 +129,8 @@ fn run_schedule<T: Scalar>(
         fmm(cfg, alpha, x.as_ref(), y.as_ref(), T::ZERO, c12.rb_mut(), rest, depth + 1); // C12 = αP6
 
         rsub_into(x.rb_mut(), a12); // X = S4 = A12 − S2
-        fmm(cfg, alpha, x.as_ref(), b22, T::ZERO, c11.rb_mut(), rest, depth + 1); // C11 = αP3
+        fmm(cfg, alpha, x.as_ref(), b22, T::ZERO, c11.rb_mut(), rest, depth + 1);
+        // C11 = αP3
     }
 
     // X re-viewed as m2×n2 to hold P1 through the final combinations.
@@ -174,7 +175,16 @@ mod tests {
         let mut ws = vec![0.0; crate::required_workspace(&cfg, m, k, n, true)];
         strassen1_beta_zero(&cfg, 2.0, a.as_ref(), b.as_ref(), c.as_mut(), &mut ws, 0);
         let mut expect = Matrix::<f64>::zeros(m, n);
-        gemm(&GemmConfig::naive(), 2.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, expect.as_mut());
+        gemm(
+            &GemmConfig::naive(),
+            2.0,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            0.0,
+            expect.as_mut(),
+        );
         norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-13, "strassen1 one level");
     }
 
@@ -186,16 +196,21 @@ mod tests {
         let b = random::uniform::<f64>(k, n, 4);
         let c0 = random::uniform::<f64>(m, n, 5);
         let mut c = c0.clone();
-        let need = crate::workspace::per_level_elements(
-            crate::workspace::ResolvedScheme::Strassen1General,
-            m,
-            k,
-            n,
-        );
+        let need =
+            crate::workspace::per_level_elements(crate::workspace::ResolvedScheme::Strassen1General, m, k, n);
         let mut ws = vec![0.0; need];
         strassen1_general(&cfg, 1.5, a.as_ref(), b.as_ref(), -2.0, c.as_mut(), &mut ws, 0);
         let mut expect = c0.clone();
-        gemm(&GemmConfig::naive(), 1.5, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), -2.0, expect.as_mut());
+        gemm(
+            &GemmConfig::naive(),
+            1.5,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            -2.0,
+            expect.as_mut(),
+        );
         norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-13, "strassen1 general");
     }
 }

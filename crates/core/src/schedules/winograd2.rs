@@ -96,8 +96,22 @@ mod tests {
             let mut ws = vec![0.0; crate::required_workspace(&cfg, m, k, n, false)];
             strassen2(&cfg, alpha, a.as_ref(), b.as_ref(), beta, c.as_mut(), &mut ws, 0);
             let mut expect = c0.clone();
-            gemm(&GemmConfig::naive(), alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, expect.as_mut());
-            matrix::norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-12, &format!("α={alpha} β={beta}"));
+            gemm(
+                &GemmConfig::naive(),
+                alpha,
+                Op::NoTrans,
+                a.as_ref(),
+                Op::NoTrans,
+                b.as_ref(),
+                beta,
+                expect.as_mut(),
+            );
+            matrix::norms::assert_allclose(
+                c.as_ref(),
+                expect.as_ref(),
+                1e-12,
+                &format!("α={alpha} β={beta}"),
+            );
         }
     }
 

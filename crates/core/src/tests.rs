@@ -92,14 +92,9 @@ fn odd_dimensions_dynamic_peeling() {
 #[test]
 fn odd_dimensions_peel_first() {
     let cfg = StrassenConfig::dgefmm().odd(OddHandling::DynamicPeelingFirst).cutoff(small_cutoff());
-    for &(m, k, n) in &[
-        (65usize, 64usize, 64usize),
-        (64, 65, 64),
-        (64, 64, 65),
-        (65, 65, 65),
-        (63, 31, 47),
-        (33, 65, 129),
-    ] {
+    for &(m, k, n) in
+        &[(65usize, 64usize, 64usize), (64, 65, 64), (64, 64, 65), (65, 65, 65), (63, 31, 47), (33, 65, 129)]
+    {
         for beta in [0.0, 1.5] {
             check(&cfg, 1.0, m, k, n, beta, &format!("peel-first {m}x{k}x{n} β={beta}"));
         }
@@ -155,9 +150,7 @@ fn rectangular_shapes_all_schemes() {
 fn transposed_operands() {
     let cfg = StrassenConfig::dgefmm().cutoff(small_cutoff());
     let (m, k, n) = (40, 56, 48);
-    for (op_a, op_b) in
-        [(Op::Trans, Op::NoTrans), (Op::NoTrans, Op::Trans), (Op::Trans, Op::Trans)]
-    {
+    for (op_a, op_b) in [(Op::Trans, Op::NoTrans), (Op::NoTrans, Op::Trans), (Op::Trans, Op::Trans)] {
         let (ar, ac) = if op_a == Op::NoTrans { (m, k) } else { (k, m) };
         let (br, bc) = if op_b == Op::NoTrans { (k, n) } else { (n, k) };
         let a = random::uniform::<f64>(ar, ac, 1);
@@ -215,8 +208,7 @@ fn max_depth_limits_recursion() {
 fn separate_general_case_criterion() {
     // Paper §4.2: "Our code allows user testing and specification of two
     // sets of parameters to handle both cases."
-    let cfg = StrassenConfig::with_square_cutoff(16)
-        .cutoff_general(CutoffCriterion::Simple { tau: 64 });
+    let cfg = StrassenConfig::with_square_cutoff(16).cutoff_general(CutoffCriterion::Simple { tau: 64 });
     // β = 0 recurses at order 64, β ≠ 0 does not (its τ is 64).
     assert!(required_workspace(&cfg, 64, 64, 64, true) > 0);
     assert_eq!(required_workspace(&cfg, 64, 64, 64, false), 0);
@@ -276,7 +268,16 @@ fn f32_path_works() {
     let mut c = Matrix::<f32>::zeros(48, 48);
     dgefmm(&cfg, 1.0f32, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
     let mut expect = Matrix::<f32>::zeros(48, 48);
-    gemm(&GemmConfig::blocked(), 1.0f32, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, expect.as_mut());
+    gemm(
+        &GemmConfig::blocked(),
+        1.0f32,
+        Op::NoTrans,
+        a.as_ref(),
+        Op::NoTrans,
+        b.as_ref(),
+        0.0,
+        expect.as_mut(),
+    );
     norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-4, "f32");
 }
 

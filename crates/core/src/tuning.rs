@@ -166,12 +166,7 @@ pub struct TunedParameters {
 impl TunedParameters {
     /// The hybrid criterion (eq. 15) these parameters define.
     pub fn criterion(&self) -> CutoffCriterion {
-        CutoffCriterion::Hybrid {
-            tau: self.tau,
-            tau_m: self.tau_m,
-            tau_k: self.tau_k,
-            tau_n: self.tau_n,
-        }
+        CutoffCriterion::Hybrid { tau: self.tau, tau_m: self.tau_m, tau_k: self.tau_k, tau_n: self.tau_n }
     }
 
     /// A full DGEFMM configuration using these parameters and `gemm`.

@@ -75,13 +75,7 @@ fn evenized(cfg: &StrassenConfig, m: usize, k: usize, n: usize) -> (usize, usize
 /// recursive sub-products (which all share, sequentially, the same tail
 /// of the arena — except [`Scheme::SevenTemp`] within `parallel_depth`,
 /// where the seven sub-products need *simultaneous* sub-arenas).
-pub fn required_workspace(
-    cfg: &StrassenConfig,
-    m: usize,
-    k: usize,
-    n: usize,
-    beta_zero: bool,
-) -> usize {
+pub fn required_workspace(cfg: &StrassenConfig, m: usize, k: usize, n: usize, beta_zero: bool) -> usize {
     required_at_depth(cfg, m, k, n, beta_zero, 0)
 }
 
@@ -127,8 +121,14 @@ fn required_at_depth(
     // dominates, but a `cutoff_general` override can let either class
     // recurse deeper — take the max.
     let sub = if scheme == ResolvedScheme::Strassen2 {
-        required_at_depth(cfg, m2, k2, n2, true, depth + 1)
-            .max(required_at_depth(cfg, m2, k2, n2, false, depth + 1))
+        required_at_depth(cfg, m2, k2, n2, true, depth + 1).max(required_at_depth(
+            cfg,
+            m2,
+            k2,
+            n2,
+            false,
+            depth + 1,
+        ))
     } else {
         required_at_depth(cfg, m2, k2, n2, true, depth + 1)
     };
@@ -165,11 +165,7 @@ pub fn padding_copy_elements(cfg: &StrassenConfig, m: usize, k: usize, n: usize)
                 return 0;
             }
             let unit = 1usize << d;
-            let (mp, kp, np) = (
-                m.next_multiple_of(unit),
-                k.next_multiple_of(unit),
-                n.next_multiple_of(unit),
-            );
+            let (mp, kp, np) = (m.next_multiple_of(unit), k.next_multiple_of(unit), n.next_multiple_of(unit));
             if (mp, kp, np) == (m, k, n) {
                 0
             } else {
@@ -186,13 +182,7 @@ pub fn static_padding_depth(cfg: &StrassenConfig, m: usize, k: usize, n: usize) 
 }
 
 /// [`static_padding_depth`] under the criterion for the given `β` class.
-pub fn static_padding_depth_for(
-    cfg: &StrassenConfig,
-    m: usize,
-    k: usize,
-    n: usize,
-    beta_zero: bool,
-) -> u32 {
+pub fn static_padding_depth_for(cfg: &StrassenConfig, m: usize, k: usize, n: usize, beta_zero: bool) -> u32 {
     let crit = cfg.criterion_for(beta_zero);
     let (mut a, mut b, mut c) = (m, k, n);
     let mut d = 0;
@@ -207,13 +197,7 @@ pub fn static_padding_depth_for(
 
 /// Total temporary elements (arena + padding copies) — the quantity
 /// Table 1 compares across implementations.
-pub fn total_temp_elements(
-    cfg: &StrassenConfig,
-    m: usize,
-    k: usize,
-    n: usize,
-    beta_zero: bool,
-) -> usize {
+pub fn total_temp_elements(cfg: &StrassenConfig, m: usize, k: usize, n: usize, beta_zero: bool) -> usize {
     required_workspace(cfg, m, k, n, beta_zero) + padding_copy_elements(cfg, m, k, n)
 }
 
@@ -256,6 +240,79 @@ impl<T: matrix::Scalar> Workspace<T> {
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.buf
     }
+}
+
+/// A grow-only, word-backed arena reused across [`crate::dgefmm`] calls.
+///
+/// The backing store is `u64` words reinterpreted as the element type on
+/// loan-out: any bit pattern is a valid `f32`/`f64`, the 8-byte alignment
+/// covers both, and every schedule writes its temporaries before reading
+/// them, so lending out stale contents is sound. One arena lives in a
+/// thread-local slot ([`with_tls_arena`]); after the first call at a
+/// given problem size, subsequent calls on the same thread perform **no
+/// heap allocation** on the Strassen path.
+#[derive(Debug, Default)]
+pub struct WorkspaceArena {
+    words: Vec<u64>,
+}
+
+impl WorkspaceArena {
+    /// An empty arena (no allocation until first use).
+    pub const fn new() -> Self {
+        Self { words: Vec::new() }
+    }
+
+    fn words_for<T>(len: usize) -> usize {
+        (len * std::mem::size_of::<T>()).div_ceil(std::mem::size_of::<u64>())
+    }
+
+    /// Elements of `T` the arena currently holds capacity for — the
+    /// number the Table 1 bound tests compare against.
+    pub fn capacity_elements<T: matrix::Scalar>(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>() / std::mem::size_of::<T>()
+    }
+
+    /// Borrow `len` elements of scratch, growing (exactly, never
+    /// doubling) if the arena is too small. Contents are unspecified.
+    pub fn slice_for<T: matrix::Scalar>(&mut self, len: usize) -> &mut [T] {
+        const {
+            assert!(std::mem::size_of::<T>() <= std::mem::size_of::<u64>());
+            assert!(std::mem::align_of::<T>() <= std::mem::align_of::<u64>());
+        }
+        let need = Self::words_for::<T>(len);
+        if self.words.len() < need {
+            self.words.reserve_exact(need - self.words.len());
+            self.words.resize(need, 0);
+        }
+        // SAFETY: the buffer holds at least `need` words; T fits a u64
+        // word in size and alignment (checked above) and accepts any bit
+        // pattern (Scalar is implemented for f32/f64 only).
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<T>(), len) }
+    }
+}
+
+thread_local! {
+    static TLS_ARENA: std::cell::Cell<WorkspaceArena> =
+        const { std::cell::Cell::new(WorkspaceArena::new()) };
+}
+
+/// Run `f` with `len` elements of scratch from this thread's arena. The
+/// take/put-back protocol makes reentrant calls safe (an inner call just
+/// sees an empty arena and allocates its own, which is then kept).
+pub(crate) fn with_tls_arena<T: matrix::Scalar, R>(len: usize, f: impl FnOnce(&mut [T]) -> R) -> R {
+    let mut arena = TLS_ARENA.with(std::cell::Cell::take);
+    let out = f(arena.slice_for::<T>(len));
+    TLS_ARENA.with(|slot| slot.set(arena));
+    out
+}
+
+/// Element capacity of this thread's `dgefmm` arena — test hook for the
+/// Table 1 bound and reuse guarantees.
+pub fn tls_arena_capacity_elements<T: matrix::Scalar>() -> usize {
+    let arena = TLS_ARENA.with(std::cell::Cell::take);
+    let cap = arena.capacity_elements::<T>();
+    TLS_ARENA.with(|slot| slot.set(arena));
+    cap
 }
 
 #[cfg(test)]
@@ -361,6 +418,35 @@ mod tests {
         let cfg = cfg_tau(8);
         let ws = Workspace::<f64>::for_problem(&cfg, 100, 100, 100, false);
         assert_eq!(ws.len(), required_workspace(&cfg, 100, 100, 100, false));
+    }
+
+    #[test]
+    fn arena_grows_exactly_and_reuses() {
+        let mut arena = WorkspaceArena::new();
+        assert_eq!(arena.capacity_elements::<f64>(), 0);
+        {
+            let s = arena.slice_for::<f64>(100);
+            assert_eq!(s.len(), 100);
+            s.fill(1.0);
+        }
+        assert_eq!(arena.capacity_elements::<f64>(), 100);
+        // A smaller request must not shrink or reallocate.
+        let _ = arena.slice_for::<f64>(10);
+        assert_eq!(arena.capacity_elements::<f64>(), 100);
+        // f32 sees twice the element capacity of the same words.
+        assert_eq!(arena.capacity_elements::<f32>(), 200);
+    }
+
+    #[test]
+    fn tls_arena_roundtrip_and_reentrancy() {
+        let outer = with_tls_arena::<f64, _>(64, |ws| {
+            ws.fill(2.0);
+            // Reentrant use sees a fresh arena, not the borrowed one.
+            with_tls_arena::<f64, _>(16, |inner| inner.fill(3.0));
+            ws.iter().sum::<f64>()
+        });
+        assert_eq!(outer, 128.0);
+        assert!(tls_arena_capacity_elements::<f64>() >= 16);
     }
 
     #[test]

@@ -132,11 +132,7 @@ fn projector_for_split(
     None
 }
 
-fn merge_sorted(
-    e1: EigenDecomposition,
-    e2: EigenDecomposition,
-    v_cols: Matrix<f64>,
-) -> EigenDecomposition {
+fn merge_sorted(e1: EigenDecomposition, e2: EigenDecomposition, v_cols: Matrix<f64>) -> EigenDecomposition {
     // v_cols pairs column j with the concatenated value list.
     let values_raw: Vec<f64> = e1.values.into_iter().chain(e2.values).collect();
     let n = values_raw.len();
@@ -206,9 +202,7 @@ fn solve_recursive(
 
         // Symmetrized diagonal blocks.
         let a1 = Matrix::from_fn(r, r, |i, j| 0.5 * (ap.at(i, j) + ap.at(j, i)));
-        let a2 = Matrix::from_fn(n - r, n - r, |i, j| {
-            0.5 * (ap.at(r + i, r + j) + ap.at(r + j, r + i))
-        });
+        let a2 = Matrix::from_fn(n - r, n - r, |i, j| 0.5 * (ap.at(r + i, r + j) + ap.at(r + j, r + i)));
 
         let e1 = solve_recursive(&a1, backend, opts, stats);
         let e2 = solve_recursive(&a2, backend, opts, stats);

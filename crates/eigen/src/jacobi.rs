@@ -21,9 +21,7 @@ impl EigenDecomposition {
     pub fn reconstruct(&self) -> Matrix<f64> {
         let n = self.values.len();
         let v = &self.vectors;
-        Matrix::from_fn(n, n, |i, j| {
-            (0..n).map(|p| v.at(i, p) * self.values[p] * v.at(j, p)).sum()
-        })
+        Matrix::from_fn(n, n, |i, j| (0..n).map(|p| v.at(i, p) * self.values[p] * v.at(j, p)).sum())
     }
 
     /// Largest residual column norm of `A V − V Λ`, a standard accuracy

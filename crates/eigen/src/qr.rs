@@ -45,18 +45,18 @@ pub fn qr_column_pivot(a: &Matrix<f64>) -> QrPivot {
     let mut perm: Vec<usize> = (0..n).collect();
 
     // Running squared column norms (updated, re-computed on cancellation).
-    let mut col_norms: Vec<f64> = (0..n)
-        .map(|j| (0..n).map(|i| r.at(i, j) * r.at(i, j)).sum())
-        .collect();
+    let mut col_norms: Vec<f64> = (0..n).map(|j| (0..n).map(|i| r.at(i, j) * r.at(i, j)).sum()).collect();
 
     let mut v = vec![0.0f64; n];
     for kcol in 0..n {
         // Pivot: bring the largest remaining column to position kcol.
-        let (pivot, _) = col_norms
-            .iter()
-            .enumerate()
-            .skip(kcol)
-            .fold((kcol, -1.0), |best, (j, &nsq)| if nsq > best.1 { (j, nsq) } else { best });
+        let (pivot, _) = col_norms.iter().enumerate().skip(kcol).fold((kcol, -1.0), |best, (j, &nsq)| {
+            if nsq > best.1 {
+                (j, nsq)
+            } else {
+                best
+            }
+        });
         if pivot != kcol {
             for i in 0..n {
                 let t = r.at(i, kcol);
@@ -128,8 +128,7 @@ mod tests {
         let n = a.nrows();
         let f = qr_column_pivot(a);
         // Q orthogonal.
-        let qtq =
-            Matrix::from_fn(n, n, |i, j| (0..n).map(|p| f.q.at(p, i) * f.q.at(p, j)).sum::<f64>());
+        let qtq = Matrix::from_fn(n, n, |i, j| (0..n).map(|p| f.q.at(p, i) * f.q.at(p, j)).sum::<f64>());
         norms::assert_allclose(qtq.as_ref(), Matrix::identity(n).as_ref(), 1e-12, "QᵀQ");
         // QR = A·P.
         let qr = Matrix::from_fn(n, n, |i, j| (0..n).map(|p| f.q.at(i, p) * f.r.at(p, j)).sum());

@@ -52,7 +52,8 @@ fn factor_unblocked<T: Scalar>(mut a: MatMut<'_, T>, col0: usize) -> Result<(), 
         for p in 0..j {
             d -= a.at(j, p) * a.at(j, p);
         }
-        if !(d > T::ZERO) || !d.is_finite() {
+        // `d <= 0` is false for NaN; the finiteness test catches it.
+        if d <= T::ZERO || !d.is_finite() {
             return Err(CholeskyError::NotPositiveDefinite(col0 + j));
         }
         let ljj = d.sqrt();
@@ -179,9 +180,7 @@ mod tests {
     }
 
     fn mul(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
-        Matrix::from_fn(a.nrows(), b.ncols(), |i, j| {
-            (0..a.ncols()).map(|p| a.at(i, p) * b.at(p, j)).sum()
-        })
+        Matrix::from_fn(a.nrows(), b.ncols(), |i, j| (0..a.ncols()).map(|p| a.at(i, p) * b.at(p, j)).sum())
     }
 
     #[test]
@@ -218,8 +217,7 @@ mod tests {
         let a = spd(80, 9);
         let fg = cholesky_factor(&a, 20, &GemmBackend::default()).unwrap();
         let fs =
-            cholesky_factor(&a, 20, &StrassenBackend::new(StrassenConfig::with_square_cutoff(16)))
-                .unwrap();
+            cholesky_factor(&a, 20, &StrassenBackend::new(StrassenConfig::with_square_cutoff(16))).unwrap();
         norms::assert_allclose(fg.l.as_ref(), fs.l.as_ref(), 1e-9, "backends");
     }
 

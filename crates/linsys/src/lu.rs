@@ -264,9 +264,7 @@ mod tests {
     }
 
     fn mul(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
-        Matrix::from_fn(a.nrows(), b.ncols(), |i, j| {
-            (0..a.ncols()).map(|p| a.at(i, p) * b.at(p, j)).sum()
-        })
+        Matrix::from_fn(a.nrows(), b.ncols(), |i, j| (0..a.ncols()).map(|p| a.at(i, p) * b.at(p, j)).sum())
     }
 
     #[test]

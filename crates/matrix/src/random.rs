@@ -16,13 +16,7 @@ pub fn uniform<T: Scalar>(nrows: usize, ncols: usize, seed: u64) -> Matrix<T> {
 }
 
 /// Uniform random matrix with entries in `[lo, hi)`.
-pub fn uniform_range<T: Scalar>(
-    nrows: usize,
-    ncols: usize,
-    lo: f64,
-    hi: f64,
-    seed: u64,
-) -> Matrix<T> {
+pub fn uniform_range<T: Scalar>(nrows: usize, ncols: usize, lo: f64, hi: f64, seed: u64) -> Matrix<T> {
     let mut rng = Rng::seed_from_u64(seed);
     let dist = Uniform::new(lo, hi);
     Matrix::from_fn(nrows, ncols, |_, _| T::from_f64(dist.sample(&mut rng)))
@@ -31,9 +25,7 @@ pub fn uniform_range<T: Scalar>(
 /// Random symmetric matrix (`A = (B + Bᵀ) / 2` with `B` uniform).
 pub fn symmetric<T: Scalar>(n: usize, seed: u64) -> Matrix<T> {
     let b = uniform::<T>(n, n, seed);
-    Matrix::from_fn(n, n, |i, j| {
-        T::from_f64((b.at(i, j).to_f64() + b.at(j, i).to_f64()) * 0.5)
-    })
+    Matrix::from_fn(n, n, |i, j| T::from_f64((b.at(i, j).to_f64() + b.at(j, i).to_f64()) * 0.5))
 }
 
 /// Random symmetric matrix with a *known spectrum*: `A = Q diag(evals) Qᵀ`
@@ -84,8 +76,7 @@ pub fn symmetric_with_spectrum<T: Scalar>(evals: &[f64], seed: u64) -> Matrix<T>
         // A <- A - 2 v wᵀ - 2 w vᵀ + 4 gamma v vᵀ
         for j in 0..n {
             for i in 0..n {
-                a[i + j * n] +=
-                    -2.0 * v[i] * w[j] - 2.0 * w[i] * v[j] + 4.0 * gamma * v[i] * v[j];
+                a[i + j * n] += -2.0 * v[i] * w[j] - 2.0 * w[i] * v[j] + 4.0 * gamma * v[i] * v[j];
             }
         }
     }

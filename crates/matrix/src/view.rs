@@ -155,7 +155,12 @@ impl<'a, T: Scalar> MatRef<'a, T> {
     /// Element `(i, j)` with bounds checking.
     #[inline(always)]
     pub fn at(&self, i: usize, j: usize) -> T {
-        assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds ({}x{})", self.nrows, self.ncols);
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "index ({i},{j}) out of bounds ({}x{})",
+            self.nrows,
+            self.ncols
+        );
         // SAFETY: just checked.
         unsafe { *self.get_unchecked(i, j) }
     }
@@ -299,12 +304,7 @@ impl<'a, T> MatMut<'a, T> {
         assert!(r <= self.nrows);
         let (m, n, ld, p) = (self.nrows, self.ncols, self.ld, self.ptr);
         // SAFETY: disjoint row ranges.
-        unsafe {
-            (
-                MatMut::from_raw_parts(p, r, n, ld),
-                MatMut::from_raw_parts(p.add(r), m - r, n, ld),
-            )
-        }
+        unsafe { (MatMut::from_raw_parts(p, r, n, ld), MatMut::from_raw_parts(p.add(r), m - r, n, ld)) }
     }
 
     /// Split into (left, right) disjoint mutable halves at column `c`.
@@ -313,12 +313,7 @@ impl<'a, T> MatMut<'a, T> {
         assert!(c <= self.ncols);
         let (m, n, ld, p) = (self.nrows, self.ncols, self.ld, self.ptr);
         // SAFETY: disjoint column ranges.
-        unsafe {
-            (
-                MatMut::from_raw_parts(p, m, c, ld),
-                MatMut::from_raw_parts(p.add(c * ld), m, n - c, ld),
-            )
-        }
+        unsafe { (MatMut::from_raw_parts(p, m, c, ld), MatMut::from_raw_parts(p.add(c * ld), m, n - c, ld)) }
     }
 }
 
@@ -332,7 +327,12 @@ impl<'a, T: Scalar> MatMut<'a, T> {
     /// Write element `(i, j)` with bounds checking.
     #[inline(always)]
     pub fn set(&mut self, i: usize, j: usize, v: T) {
-        assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds ({}x{})", self.nrows, self.ncols);
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "index ({i},{j}) out of bounds ({}x{})",
+            self.nrows,
+            self.ncols
+        );
         // SAFETY: just checked.
         unsafe {
             *self.get_unchecked_mut(i, j) = v;

@@ -76,7 +76,10 @@ impl TimeModel {
 /// `add_rate` from add-pass samples `(m, n, seconds)`.
 ///
 /// Returns `None` with fewer than two GEMM samples or one add sample.
-pub fn fit(gemm_samples: &[(usize, usize, usize, f64)], add_samples: &[(usize, usize, f64)]) -> Option<TimeModel> {
+pub fn fit(
+    gemm_samples: &[(usize, usize, usize, f64)],
+    add_samples: &[(usize, usize, f64)],
+) -> Option<TimeModel> {
     if gemm_samples.len() < 2 || add_samples.is_empty() {
         return None;
     }
@@ -96,8 +99,8 @@ pub fn fit(gemm_samples: &[(usize, usize, usize, f64)], add_samples: &[(usize, u
     let overhead = ((st - mul_rate * sx) / n).max(0.0);
 
     // add_rate: mean of t / (mn).
-    let add_rate = add_samples.iter().map(|&(m, nn, t)| t / (m * nn) as f64).sum::<f64>()
-        / add_samples.len() as f64;
+    let add_rate =
+        add_samples.iter().map(|&(m, nn, t)| t / (m * nn) as f64).sum::<f64>() / add_samples.len() as f64;
 
     Some(TimeModel { mul_rate: mul_rate.max(0.0), add_rate: add_rate.max(0.0), overhead })
 }
@@ -131,8 +134,7 @@ mod tests {
         let some = TimeModel { mul_rate: 1.0, add_rate: 1.0, overhead: 1e5 };
         // 7 sub-calls pay 7x overhead vs 1x: recursion needs bigger m.
         assert!(
-            some.predicted_square_crossover(4000).unwrap()
-                > none.predicted_square_crossover(4000).unwrap()
+            some.predicted_square_crossover(4000).unwrap() > none.predicted_square_crossover(4000).unwrap()
         );
     }
 

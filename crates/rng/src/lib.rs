@@ -131,8 +131,8 @@ impl Rng {
             quarter_round(&mut x, 2, 7, 8, 13);
             quarter_round(&mut x, 3, 4, 9, 14);
         }
-        for i in 0..16 {
-            self.buf[i] = x[i].wrapping_add(self.input[i]);
+        for (dst, (xi, inp)) in self.buf.iter_mut().zip(x.iter().zip(&self.input)) {
+            *dst = xi.wrapping_add(*inp);
         }
         // Advance the 64-bit counter (words 12, 13).
         let counter = (self.input[12] as u64 | ((self.input[13] as u64) << 32)).wrapping_add(1);
@@ -441,7 +441,7 @@ mod tests {
         let tiny = Uniform::new(1.0, 1.0 + f64::EPSILON * 4.0);
         for _ in 0..100 {
             let x = tiny.sample(&mut rng);
-            assert!(x >= 1.0 && x < 1.0 + f64::EPSILON * 4.0);
+            assert!((1.0..1.0 + f64::EPSILON * 4.0).contains(&x));
         }
     }
 

@@ -45,11 +45,8 @@ pub fn master_seed() -> u64 {
     match std::env::var("TESTKIT_SEED") {
         Ok(v) => {
             let v = v.trim();
-            let parsed = if let Some(hex) = v.strip_prefix("0x") {
-                u64::from_str_radix(hex, 16)
-            } else {
-                v.parse()
-            };
+            let parsed =
+                if let Some(hex) = v.strip_prefix("0x") { u64::from_str_radix(hex, 16) } else { v.parse() };
             parsed.unwrap_or_else(|_| panic!("TESTKIT_SEED is not an integer: {v:?}"))
         }
         Err(_) => DEFAULT_SEED,
@@ -253,10 +250,7 @@ pub fn assert_frob_close<T: Scalar>(got: MatRef<'_, T>, want: MatRef<'_, T>, tol
     assert_eq!(got.nrows(), want.nrows(), "assert_frob_close[{ctx}]: row mismatch");
     assert_eq!(got.ncols(), want.ncols(), "assert_frob_close[{ctx}]: col mismatch");
     let diff = norms::rel_diff(got, want);
-    assert!(
-        diff <= tol,
-        "assert_frob_close[{ctx}]: relative Frobenius diff {diff:.3e} > tol {tol:.3e}"
-    );
+    assert!(diff <= tol, "assert_frob_close[{ctx}]: relative Frobenius diff {diff:.3e} > tol {tol:.3e}");
 }
 
 #[cfg(test)]

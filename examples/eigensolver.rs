@@ -18,8 +18,7 @@ fn run_arm(label: &str, backend: &TimingBackend<impl MatMul>, a: &matrix::Matrix
     let t0 = Instant::now();
     let e = isda_eigen(a, backend, &opts);
     let total = t0.elapsed().as_secs_f64();
-    let worst =
-        e.values.iter().zip(truth).map(|(got, want)| (got - want).abs()).fold(0.0f64, f64::max);
+    let worst = e.values.iter().zip(truth).map(|(got, want)| (got - want).abs()).fold(0.0f64, f64::max);
     println!(
         "{label}: total {total:.3}s   MM {:.3}s in {} calls   worst eigenvalue error {worst:.2e}",
         backend.elapsed_seconds(),

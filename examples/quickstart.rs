@@ -19,7 +19,16 @@ fn main() {
 
     // The conventional answer (our from-scratch blocked DGEMM).
     let mut c_ref = c0.clone();
-    gemm(&GemmConfig::blocked(), alpha, Op::NoTrans, a.as_ref(), Op::Trans, bt.as_ref(), beta, c_ref.as_mut());
+    gemm(
+        &GemmConfig::blocked(),
+        alpha,
+        Op::NoTrans,
+        a.as_ref(),
+        Op::Trans,
+        bt.as_ref(),
+        beta,
+        c_ref.as_mut(),
+    );
 
     // The same call through DGEFMM: identical interface, Strassen inside.
     let cfg = StrassenConfig::with_square_cutoff(128);

@@ -43,8 +43,5 @@ fn main() {
     println!("  hybrid criterion (eq. 15) recurses : {}", !hybrid.should_stop(m, k, n));
 
     let t_simple = tuning::crossover_ratio(&gemm, m, k, n, reps);
-    println!(
-        "  measured one-level speedup on it    : {:.3}x (ratio DGEMM / one-level Strassen)",
-        t_simple
-    );
+    println!("  measured one-level speedup on it    : {:.3}x (ratio DGEMM / one-level Strassen)", t_simple);
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Quick before/after benchmark for the fused Strassen kernels.
+#
+# Runs the pinned bench_quick targets (square blocked GEMM + the default
+# DGEFMM Winograd schedule, classic vs. fused) at n ∈ {256, 512, 1024}
+# and writes BENCH_PR2.json at the repo root. Scale with BENCH_SAMPLES /
+# BENCH_WARMUP_MS / BENCH_MEASURE_MS; the defaults below keep the whole
+# run to a couple of minutes on one core.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export BENCH_SAMPLES="${BENCH_SAMPLES:-8}"
+export BENCH_WARMUP_MS="${BENCH_WARMUP_MS:-300}"
+export BENCH_MEASURE_MS="${BENCH_MEASURE_MS:-8000}"
+
+cargo run --release --offline -p strassen-bench --bin bench_quick

@@ -6,16 +6,22 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/4 offline release build =="
+echo "== 1/6 offline release build =="
 cargo build --release --offline
 
-echo "== 2/4 offline test suite =="
+echo "== 2/6 offline test suite =="
 cargo test -q --offline
 
-echo "== 3/4 bench targets compile (offline) =="
+echo "== 3/6 bench targets compile (offline) =="
 cargo build --release --offline -p strassen-bench --benches --bins
 
-echo "== 4/4 dependency audit: workspace-only graph =="
+echo "== 4/6 clippy (deny warnings) =="
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
+echo "== 5/6 rustfmt check =="
+cargo fmt --check
+
+echo "== 6/6 dependency audit: workspace-only graph =="
 # Every package in the resolved graph must live under this repository;
 # a single registry/git dependency would appear without the (path) suffix.
 tree_out="$(cargo tree --workspace --edges normal,build,dev --prefix none --offline)"

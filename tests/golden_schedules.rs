@@ -24,14 +24,8 @@ const SCHEDULES: [(&str, Variant, Scheme); 4] = [
 
 /// Fixed shapes: square even, square odd, and rectangular with every
 /// parity combination of (m, k, n).
-const SHAPES: [(usize, usize, usize); 6] = [
-    (64, 64, 64),
-    (63, 63, 63),
-    (48, 96, 32),
-    (37, 64, 51),
-    (96, 33, 48),
-    (51, 48, 33),
-];
+const SHAPES: [(usize, usize, usize); 6] =
+    [(64, 64, 64), (63, 63, 63), (48, 96, 32), (37, 64, 51), (96, 33, 48), (51, 48, 33)];
 
 const BETAS: [f64; 3] = [0.0, 1.0, -0.7];
 
@@ -50,20 +44,24 @@ fn check_cell(name: &str, variant: Variant, scheme: Scheme, m: usize, k: usize, 
     let c0 = random::uniform::<f64>(m, n, seed ^ 0x5A5A);
 
     let mut expect = c0.clone();
-    gemm(&GemmConfig::naive(), alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, expect.as_mut());
+    gemm(
+        &GemmConfig::naive(),
+        alpha,
+        Op::NoTrans,
+        a.as_ref(),
+        Op::NoTrans,
+        b.as_ref(),
+        beta,
+        expect.as_mut(),
+    );
 
-    let cfg = StrassenConfig::dgefmm()
-        .cutoff(CutoffCriterion::Simple { tau: 8 })
-        .variant(variant)
-        .scheme(scheme);
+    let cfg =
+        StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 8 }).variant(variant).scheme(scheme);
     let mut c = c0.clone();
     dgefmm(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
 
     let diff = norms::rel_diff(c.as_ref(), expect.as_ref());
-    assert!(
-        diff <= tol(m, k, n),
-        "{name} {m}x{k}x{n} β={beta}: rel diff {diff:.3e}"
-    );
+    assert!(diff <= tol(m, k, n), "{name} {m}x{k}x{n} β={beta}: rel diff {diff:.3e}");
 }
 
 #[test]

@@ -6,8 +6,7 @@ use eigen::backend::{GemmBackend, StrassenBackend, TimingBackend};
 use eigen::isda::{isda_eigen, IsdaOptions};
 use matrix::{norms, random, Matrix};
 use strassen::{
-    dgefmm, required_workspace, total_temp_elements, CutoffCriterion, OddHandling, Scheme,
-    StrassenConfig,
+    dgefmm, required_workspace, total_temp_elements, CutoffCriterion, OddHandling, Scheme, StrassenConfig,
 };
 
 /// DGEFMM inside the eigensolver gives the same spectrum as DGEMM inside
@@ -72,14 +71,21 @@ fn all_configurations_one_awkward_problem() {
     let c0 = random::uniform::<f64>(m, n, 7);
 
     let mut expect = c0.clone();
-    gemm(&GemmConfig::blocked(), alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, expect.as_mut());
+    gemm(
+        &GemmConfig::blocked(),
+        alpha,
+        Op::NoTrans,
+        a.as_ref(),
+        Op::NoTrans,
+        b.as_ref(),
+        beta,
+        expect.as_mut(),
+    );
 
     for odd in [OddHandling::DynamicPeeling, OddHandling::DynamicPadding, OddHandling::StaticPadding] {
         for scheme in [Scheme::Auto, Scheme::Strassen1, Scheme::Strassen2, Scheme::SevenTemp] {
-            let cfg = StrassenConfig::dgefmm()
-                .cutoff(CutoffCriterion::Simple { tau: 16 })
-                .odd(odd)
-                .scheme(scheme);
+            let cfg =
+                StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 16 }).odd(odd).scheme(scheme);
             let mut c = c0.clone();
             dgefmm(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
             norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-10, &format!("{odd:?}/{scheme:?}"));
@@ -111,7 +117,17 @@ fn comparators_numerically_consistent() {
     norms::assert_allclose(cs.as_ref(), expect.as_ref(), 1e-11, "sgemms");
 
     let mut ci = c0.clone();
-    dgemms::dgemms_with_update(16, g, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, ci.as_mut());
+    dgemms::dgemms_with_update(
+        16,
+        g,
+        alpha,
+        Op::NoTrans,
+        a.as_ref(),
+        Op::NoTrans,
+        b.as_ref(),
+        beta,
+        ci.as_mut(),
+    );
     norms::assert_allclose(ci.as_ref(), expect.as_ref(), 1e-11, "dgemms");
 }
 
@@ -153,6 +169,15 @@ fn f32_full_stack() {
     let mut c = Matrix::<f32>::zeros(50, 60);
     dgefmm(&cfg, 2.0f32, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
     let mut expect = Matrix::<f32>::zeros(50, 60);
-    gemm(&GemmConfig::blocked(), 2.0f32, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, expect.as_mut());
+    gemm(
+        &GemmConfig::blocked(),
+        2.0f32,
+        Op::NoTrans,
+        a.as_ref(),
+        Op::NoTrans,
+        b.as_ref(),
+        0.0,
+        expect.as_mut(),
+    );
     norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-4, "f32 stack");
 }

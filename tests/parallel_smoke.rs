@@ -25,9 +25,7 @@ fn seven_temp_dispatches_across_workers_at_1024() {
 
     let cfg = StrassenConfig {
         parallel_depth: 2,
-        ..StrassenConfig::dgefmm()
-            .scheme(Scheme::SevenTemp)
-            .cutoff(CutoffCriterion::Simple { tau: 256 })
+        ..StrassenConfig::dgefmm().scheme(Scheme::SevenTemp).cutoff(CutoffCriterion::Simple { tau: 256 })
     };
 
     let before = pool::worker_job_counts();

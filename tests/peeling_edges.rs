@@ -31,20 +31,23 @@ fn check_shape(odd: OddHandling, tau: usize, m: usize, k: usize, n: usize) {
     let c0 = random::uniform::<f64>(m, n, seed ^ 42);
 
     let mut expect = c0.clone();
-    gemm(&GemmConfig::naive(), alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, expect.as_mut());
+    gemm(
+        &GemmConfig::naive(),
+        alpha,
+        Op::NoTrans,
+        a.as_ref(),
+        Op::NoTrans,
+        b.as_ref(),
+        beta,
+        expect.as_mut(),
+    );
 
     for scheme in [Scheme::Auto, Scheme::Strassen1, Scheme::Strassen2, Scheme::SevenTemp] {
-        let cfg = StrassenConfig::dgefmm()
-            .cutoff(CutoffCriterion::Simple { tau })
-            .scheme(scheme)
-            .odd(odd);
+        let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau }).scheme(scheme).odd(odd);
         let mut c = c0.clone();
         dgefmm(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
         let diff = norms::rel_diff(c.as_ref(), expect.as_ref());
-        assert!(
-            diff <= tol(m, k, n),
-            "{odd:?} {scheme:?} {m}x{k}x{n} τ={tau}: rel diff {diff:.3e}"
-        );
+        assert!(diff <= tol(m, k, n), "{odd:?} {scheme:?} {m}x{k}x{n} τ={tau}: rel diff {diff:.3e}");
     }
 }
 

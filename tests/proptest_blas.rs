@@ -110,8 +110,7 @@ fn gemv_matches_gemm_column() {
 
         let expect = reference_gemm(alpha, op, &a, Op::NoTrans, &x, beta, &y0);
         let mut y = y0.clone();
-        gemv(alpha, op, a.as_ref(),
-             VecRef::from_col(x.as_ref(), 0), beta, VecMut::from_col(y.as_mut(), 0));
+        gemv(alpha, op, a.as_ref(), VecRef::from_col(x.as_ref(), 0), beta, VecMut::from_col(y.as_mut(), 0));
         assert!(norms::rel_diff(y.as_ref(), expect.as_ref()) < 1e-13);
     });
 }

@@ -9,9 +9,7 @@ use strassen::{GemmBackend, StrassenBackend, StrassenConfig};
 use testkit::{check, Gen};
 
 fn mul(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
-    Matrix::from_fn(a.nrows(), b.ncols(), |i, j| {
-        (0..a.ncols()).map(|p| a.at(i, p) * b.at(p, j)).sum()
-    })
+    Matrix::from_fn(a.nrows(), b.ncols(), |i, j| (0..a.ncols()).map(|p| a.at(i, p) * b.at(p, j)).sum())
 }
 
 /// `P A = L U` with unit-lower `L`, upper `U`, and `|L| ≤ 1`
@@ -112,7 +110,10 @@ fn rank_deficient_detected() {
             Err(LuError::Singular(_)) => {}
             Ok(f) => {
                 // Tiny pivot slipped through: determinant must be ~0.
-                assert!(f.determinant().abs() < 1e-6 * matrix::norms::frobenius(a.as_ref()).powi(n as i32).max(1.0));
+                assert!(
+                    f.determinant().abs()
+                        < 1e-6 * matrix::norms::frobenius(a.as_ref()).powi(n as i32).max(1.0)
+                );
             }
             Err(e) => panic!("unexpected error {e:?}"),
         }

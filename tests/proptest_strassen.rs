@@ -11,8 +11,7 @@ use matrix::{norms, random, Matrix};
 use strassen::{dgefmm, CutoffCriterion, OddHandling, Scheme, StrassenConfig, Variant};
 use testkit::{check, Gen};
 
-const SCHEMES: [Scheme; 4] =
-    [Scheme::Auto, Scheme::Strassen1, Scheme::Strassen2, Scheme::SevenTemp];
+const SCHEMES: [Scheme; 4] = [Scheme::Auto, Scheme::Strassen1, Scheme::Strassen2, Scheme::SevenTemp];
 
 const ODDS: [OddHandling; 4] = [
     OddHandling::DynamicPeeling,
@@ -50,7 +49,16 @@ fn dgefmm_matches_gemm() {
         let c0 = random::uniform::<f64>(m, n, seed ^ 0x1234);
 
         let mut expect = c0.clone();
-        gemm(&GemmConfig::blocked(), alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, expect.as_mut());
+        gemm(
+            &GemmConfig::blocked(),
+            alpha,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            beta,
+            expect.as_mut(),
+        );
 
         let cfg = StrassenConfig::dgefmm()
             .cutoff(CutoffCriterion::Simple { tau })
@@ -61,8 +69,10 @@ fn dgefmm_matches_gemm() {
         dgefmm(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
 
         let diff = norms::rel_diff(c.as_ref(), expect.as_ref());
-        assert!(diff <= tolerance(m, k, n),
-            "rel diff {diff:.3e} > tol ({m}x{k}x{n}, {scheme:?}, {odd:?}, {variant:?}, α={alpha}, β={beta})");
+        assert!(
+            diff <= tolerance(m, k, n),
+            "rel diff {diff:.3e} > tol ({m}x{k}x{n}, {scheme:?}, {odd:?}, {variant:?}, α={alpha}, β={beta})"
+        );
     });
 }
 
@@ -129,10 +139,7 @@ fn beta_zero_never_reads_c() {
         let a = random::uniform::<f64>(m, k, 3);
         let b = random::uniform::<f64>(k, n, 4);
         let mut c = Matrix::from_fn(m, n, |_, _| f64::NAN);
-        let cfg = StrassenConfig::dgefmm()
-            .cutoff(CutoffCriterion::Simple { tau: 6 })
-            .scheme(scheme)
-            .odd(odd);
+        let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 6 }).scheme(scheme).odd(odd);
         dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
         assert!(c.as_slice().iter().all(|x| x.is_finite()), "NaN leaked ({scheme:?}, {odd:?})");
     });

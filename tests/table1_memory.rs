@@ -13,7 +13,8 @@
 use blas::Op;
 use matrix::{random, Matrix};
 use strassen::{
-    dgefmm_with_workspace, required_workspace, CutoffCriterion, Scheme, StrassenConfig, Workspace,
+    dgefmm, dgefmm_with_workspace, required_workspace, tls_arena_capacity_elements, CutoffCriterion, Scheme,
+    StrassenConfig, Workspace,
 };
 
 fn strassen1(tau: usize) -> StrassenConfig {
@@ -52,10 +53,7 @@ fn strassen1_beta0_within_paper_bound() {
         for tau in [4, 8, 16] {
             let need = required_workspace(&strassen1(tau), m, k, n, true);
             let bound = (m * k.max(n) + k * n) as f64 / 3.0;
-            assert!(
-                (need as f64) <= bound,
-                "STRASSEN1 β=0 {m}x{k}x{n} τ={tau}: {need} > {bound:.1}"
-            );
+            assert!((need as f64) <= bound, "STRASSEN1 β=0 {m}x{k}x{n} τ={tau}: {need} > {bound:.1}");
         }
     }
 }
@@ -66,10 +64,7 @@ fn strassen2_general_within_paper_bound() {
         for tau in [4, 8, 16] {
             let need = required_workspace(&strassen2(tau), m, k, n, false);
             let bound = (m * k + k * n + m * n) as f64 / 3.0;
-            assert!(
-                (need as f64) <= bound,
-                "STRASSEN2 general {m}x{k}x{n} τ={tau}: {need} > {bound:.1}"
-            );
+            assert!((need as f64) <= bound, "STRASSEN2 general {m}x{k}x{n} τ={tau}: {need} > {bound:.1}");
         }
     }
 }
@@ -111,11 +106,47 @@ fn exact_arena_suffices_end_to_end() {
             let mut ws = Workspace::<f64>::for_problem(&cfg, m, k, n, beta == 0.0);
             let before = ws.len();
             dgefmm_with_workspace(
-                &cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut(),
+                &cfg,
+                1.0,
+                Op::NoTrans,
+                a.as_ref(),
+                Op::NoTrans,
+                b.as_ref(),
+                beta,
+                c.as_mut(),
                 &mut ws,
             );
             assert_eq!(ws.len(), before, "arena grew mid-run for {m}x{k}x{n}");
             assert!(c.as_slice().iter().all(|x| x.is_finite()));
+        }
+    }
+}
+
+/// The thread-local arena `dgefmm` actually allocates stays within the
+/// Table 1 bounds too. Each shape runs on a fresh thread so the arena
+/// capacity observed afterwards is exactly what that one call requested
+/// (no-transpose calls draw no staging, so capacity = schedule
+/// requirement).
+#[test]
+fn tls_arena_stays_within_paper_bounds() {
+    for (m, k, n) in [(96usize, 96usize, 96usize), (97, 65, 129), (128, 128, 128)] {
+        for (cfg, beta, bound) in [
+            (strassen1(8), 0.0, (m * k.max(n) + k * n) as f64 / 3.0),
+            (strassen2(8), 0.5, (m * k + k * n + m * n) as f64 / 3.0),
+        ] {
+            std::thread::spawn(move || {
+                let a = random::uniform::<f64>(m, k, 1);
+                let b = random::uniform::<f64>(k, n, 2);
+                let mut c = Matrix::<f64>::zeros(m, n);
+                dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+                let cap = tls_arena_capacity_elements::<f64>();
+                assert!(
+                    (cap as f64) <= bound,
+                    "arena for {m}x{k}x{n} β={beta}: {cap} elements > Table 1 bound {bound:.1}"
+                );
+            })
+            .join()
+            .unwrap();
         }
     }
 }
