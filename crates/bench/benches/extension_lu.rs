@@ -1,5 +1,5 @@
 //! Extension bench: Strassen-accelerated blocked LU (the dense-solve use
-//! case of the paper's reference [3]).
+//! case of the paper's reference \[3\]).
 
 use bench::micro::Harness;
 use bench::profiles::rs6000_like;

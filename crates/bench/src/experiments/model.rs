@@ -1,7 +1,7 @@
 //! Extension experiment: fit the companion-report-style execution-time
 //! model and check its crossover prediction against measurement.
 //!
-//! The paper defers to its technical report [14] for models that
+//! The paper defers to its technical report \[14\] for models that
 //! "more accurately predict performance parameters" than operation
 //! counts. This experiment closes that loop: time a handful of GEMMs and
 //! add passes, least-squares fit [`opcount::perf_model::TimeModel`]'s

@@ -21,6 +21,43 @@
 //! ```
 //!
 //! where `β_d` is optional (absent means pure accumulation, `β_d = 1`).
+//!
+//! # Example
+//!
+//! One fused call computes `P = (A1 + A2) · B` and scatters `+P` and `−P`
+//! into two destinations — the shape of a Winograd product feeding two
+//! `C` quadrants — without materializing `A1 + A2` or `P`:
+//!
+//! ```
+//! use blas::level2::Op;
+//! use blas::level3::fused::{gemm_fused, DestSpec, SumOperand};
+//! use blas::level3::{gemm, GemmConfig};
+//! use matrix::{norms, random, Matrix};
+//!
+//! let (m, k, n) = (24, 20, 28);
+//! let a1 = random::uniform::<f64>(m, k, 1);
+//! let a2 = random::uniform::<f64>(m, k, 2);
+//! let b = random::uniform::<f64>(k, n, 3);
+//! let cfg = GemmConfig::blocked();
+//!
+//! let mut c_plus = Matrix::zeros(m, n);
+//! let mut c_minus = Matrix::zeros(m, n);
+//! let a_sum = SumOperand::new(Op::NoTrans, &[(1.0, a1.as_ref()), (1.0, a2.as_ref())]);
+//! let b_sum = SumOperand::single(Op::NoTrans, b.as_ref());
+//! let mut dests =
+//!     [DestSpec::init(c_plus.as_mut(), 1.0, 0.0), DestSpec::init(c_minus.as_mut(), -1.0, 0.0)];
+//! gemm_fused(&cfg, 1.0, &a_sum, &b_sum, &mut dests);
+//!
+//! // Reference: materialize the sum, then a plain GEMM per destination.
+//! let mut a12 = Matrix::zeros(m, k);
+//! blas::add::add_into(a12.as_mut(), a1.as_ref(), a2.as_ref());
+//! let mut want = Matrix::zeros(m, n);
+//! gemm(&cfg, 1.0, Op::NoTrans, a12.as_ref(), Op::NoTrans, b.as_ref(), 0.0, want.as_mut());
+//! assert!(norms::rel_diff(c_plus.as_ref(), want.as_ref()) < 1e-13);
+//! let mut neg = Matrix::zeros(m, n);
+//! gemm(&cfg, -1.0, Op::NoTrans, a12.as_ref(), Op::NoTrans, b.as_ref(), 0.0, neg.as_mut());
+//! assert!(norms::rel_diff(c_minus.as_ref(), neg.as_ref()) < 1e-13);
+//! ```
 
 use super::blocked::panel_lens;
 #[cfg(test)]
@@ -243,8 +280,8 @@ fn pack_b_sum_nt<T: Scalar, const L: usize>(
 }
 
 /// Pack the `mb x kb` block of `op(Σ γ_t A_t)` starting at `(ic, pc)`
-/// into `buf`, in exactly the row-panel layout of
-/// [`pack_a`](super::blocked::pack_a).
+/// into `buf`, in exactly the row-panel layout the
+/// blocked kernel's private `pack_a` uses.
 pub fn pack_a_sum<T: Scalar>(
     a: &SumOperand<'_, T>,
     ic: usize,
@@ -283,8 +320,8 @@ pub fn pack_a_sum<T: Scalar>(
 }
 
 /// Pack the `kb x nb` block of `op(Σ γ_t B_t)` starting at `(pc, jc)`
-/// into `buf`, in exactly the column-panel layout of
-/// [`pack_b`](super::blocked::pack_b).
+/// into `buf`, in exactly the column-panel layout the
+/// blocked kernel's private `pack_b` uses.
 pub fn pack_b_sum<T: Scalar>(
     b: &SumOperand<'_, T>,
     pc: usize,

@@ -3,7 +3,7 @@
 //! Solves `op(A) X = α B` (left side) or `X op(A) = α B` (right side)
 //! in place in `B`, where `A` is triangular. This is the other Level 3
 //! workhorse of blocked LU/QR factorizations — the use case of the
-//! paper's reference [3] (Bailey, Lee & Simon: accelerating linear
+//! paper's reference \[3\] (Bailey, Lee & Simon: accelerating linear
 //! system solution with Strassen).
 
 use crate::level2::Op;

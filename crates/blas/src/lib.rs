@@ -7,9 +7,9 @@
 //! vendor BLAS is available here, so this crate provides those routines:
 //!
 //! * [`level1`] — `axpy`, `scal`, `copy`, `dot`, `nrm2`, `asum`, `iamax`;
-//! * [`level2`] — `gemv`, `ger`, and the [`Op`](level2::Op) transpose selector;
+//! * [`level2`] — `gemv`, `ger`, and the [`level2::Op`] transpose selector;
 //! * [`level3`] — `gemm` with three kernels (naive, cache-blocked+packed,
-//!   pool-parallel) selected via [`GemmConfig`](level3::GemmConfig);
+//!   pool-parallel) selected via [`level3::GemmConfig`];
 //! * [`add`] — the matrix add/subtract "G" kernels;
 //! * [`vector`] — strided vector views over rows/columns.
 //!

@@ -17,6 +17,29 @@ use std::cell::{Cell, RefCell};
 ///
 /// The default element type is `f64`, so `dyn MatMul` reads naturally in
 /// application code; the generic parameter keeps the `f32` path open.
+///
+/// # Example
+///
+/// The Table 6 "renaming" in miniature: the same application code runs
+/// conventional or Strassen multiplication depending on which backend it
+/// is handed.
+///
+/// ```
+/// use blas::Op;
+/// use matrix::{norms, random, Matrix};
+/// use strassen::{GemmBackend, MatMul, StrassenBackend, StrassenConfig};
+///
+/// fn gram(mul: &dyn MatMul) -> Matrix<f64> {
+///     let a = random::uniform::<f64>(40, 30, 1);
+///     let mut c = Matrix::zeros(40, 40);
+///     mul.gemm(1.0, Op::NoTrans, a.as_ref(), Op::Trans, a.as_ref(), 0.0, c.as_mut());
+///     c
+/// }
+///
+/// let dgemm = gram(&GemmBackend::default());
+/// let dgefmm = gram(&StrassenBackend::<f64>::new(StrassenConfig::with_square_cutoff(8)));
+/// assert!(norms::rel_diff(dgemm.as_ref(), dgefmm.as_ref()) < 1e-12);
+/// ```
 pub trait MatMul<T: Scalar = f64> {
     /// `C ← α op(A) op(B) + β C`.
     #[allow(clippy::too_many_arguments)]

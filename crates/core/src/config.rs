@@ -49,6 +49,24 @@ pub enum OddHandling {
 }
 
 /// Full configuration for [`crate::dgefmm`].
+///
+/// # Example
+///
+/// Start from the paper's tuned default and reshape it for an
+/// experiment — force the STRASSEN2 schedule, Higham's eq. (12) cutoff,
+/// and dynamic padding instead of peeling:
+///
+/// ```
+/// use strassen::{CutoffCriterion, OddHandling, Scheme, StrassenConfig, Variant};
+///
+/// let cfg = StrassenConfig::dgefmm()
+///     .scheme(Scheme::Strassen2)
+///     .cutoff(CutoffCriterion::HighamScaled { tau: 64 })
+///     .odd(OddHandling::DynamicPadding);
+/// assert_eq!(cfg.variant, Variant::Winograd);
+/// assert!(cfg.cutoff.should_stop(64, 64, 64)); // eq. (12) at square τ
+/// assert!(!cfg.cutoff.should_stop(65, 65, 65));
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct StrassenConfig {
     /// 2×2 construction.

@@ -45,19 +45,40 @@ impl CallCounts {
     }
 }
 
-/// Adds per split level for the variant: Winograd = 15, original = 18
-/// (counting the staged operand sums and result combinations).
+/// Elementwise add/subtract passes (`G` operations) one application of
+/// the schedule performs, exactly as the runtime executes it — the probe
+/// subsystem's traced counters must match these numbers pass for pass.
+/// Copy and `β`-scaling passes are *not* counted (they move or scale
+/// data without adding): the original schedule's negate-copy and the
+/// accumulation schedules' `C ← βC` pre-scale are tracked separately by
+/// [`crate::probe::Trace`].
 fn adds_per_level(variant: Variant, scheme: ResolvedScheme) -> u64 {
     match (variant, scheme) {
+        // 10 operand sums + 8 result accumulations (+1 negate-copy).
         (Variant::Original, _) => 18,
-        // STRASSEN1-general folds through 4 extra axpby passes.
+        // The 15 Winograd passes plus 4 axpby folds of the staged
+        // product quadrants into C.
         (Variant::Winograd, ResolvedScheme::Strassen1General) => 19,
+        // Figure 1 absorbs two of Winograd's U-sum adds into its
+        // multiply-accumulate children, leaving 8 operand + 6 result
+        // passes (+ the β pre-scale).
+        (Variant::Winograd, ResolvedScheme::Strassen2) => 14,
+        // The expanded schedule shares no U temporaries: 8 operand sums
+        // + 11 per-quadrant accumulations (+ the β pre-scale).
+        (Variant::Winograd, ResolvedScheme::SevenTemp) => 19,
+        // STRASSEN1 β=0: Winograd's 8 operand + 7 result passes.
         (Variant::Winograd, _) => 15,
     }
 }
 
 /// Compute the execution profile of `dgefmm(cfg, …)` on an `(m, k, n)`
 /// problem with the given `β` class.
+///
+/// The model mirrors the *classic* temp-based schedules; it does not
+/// account for the fused last-level kernels replacing a split with a
+/// flat plan. When comparing against a live [`crate::probe::Trace`]
+/// (as `tests/probe_crosscheck.rs` does), run with
+/// [`StrassenConfig::fused`]`(false)`.
 pub fn predict(cfg: &StrassenConfig, m: usize, k: usize, n: usize, beta_zero: bool) -> CallCounts {
     predict_at(cfg, m, k, n, beta_zero, 0)
 }
@@ -89,9 +110,15 @@ fn predict_at(
         let unit = 1usize << d;
         let (mp, kp, np) = (m.next_multiple_of(unit), k.next_multiple_of(unit), n.next_multiple_of(unit));
         let inner = StrassenConfig { odd: OddHandling::DynamicPadding, ..*cfg };
-        let mut c = predict_at(&inner, mp, kp, np, beta_zero, depth);
-        if (mp, kp, np) != (m, k, n) {
-            c.pad_copies += 1;
+        if (mp, kp, np) == (m, k, n) {
+            return predict_at(&inner, m, k, n, beta_zero, depth);
+        }
+        // The padded product runs β=0 into scratch, then writes back:
+        // an add pass when β ≠ 0 folds, a plain copy otherwise.
+        let mut c = predict_at(&inner, mp, kp, np, true, depth);
+        c.pad_copies += 1;
+        if !beta_zero {
+            c.add_passes += 1;
         }
         return c;
     }
@@ -118,10 +145,13 @@ fn predict_at(
             }
             OddHandling::DynamicPadding | OddHandling::StaticPadding => {
                 let (mp, kp, np) = (m + (m & 1), k + (k & 1), n + (n & 1));
-                // The padded product runs β=0 into scratch, then folds.
+                // The padded product runs β=0 into scratch, then writes
+                // back: an add pass when β ≠ 0, a plain copy otherwise.
                 let mut c = predict_at(cfg, mp, kp, np, true, depth);
                 c.pad_copies += 1;
-                c.add_passes += 1;
+                if !beta_zero {
+                    c.add_passes += 1;
+                }
                 return c;
             }
         }

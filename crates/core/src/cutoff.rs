@@ -14,6 +14,41 @@
 //! `Never`/`Threshold` variants exist for experiments (full recursion and
 //! depth studies).
 
+/// Why a recursion node became a conventional-GEMM leaf — the
+/// [`crate::probe`] subsystem's attribution of each leaf to the paper
+/// equation that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// A dimension fell below [`CutoffCriterion::HARD_FLOOR`].
+    HardFloor,
+    /// The [`crate::StrassenConfig::max_depth`] limit was reached before
+    /// any criterion fired.
+    MaxDepth,
+    /// The simple criterion, eq. (11): some dimension is ≤ `τ`.
+    Simple,
+    /// Higham's scaled criterion, eq. (12).
+    HighamScaled,
+    /// The theoretical op-count criterion, eq. (7).
+    TheoreticalOpCount,
+    /// The paper's hybrid criterion, eq. (15), declined to recurse.
+    Hybrid,
+}
+
+impl StopReason {
+    /// The paper cross-reference used in probe reports: the equation
+    /// number for criterion-driven stops, a plain label otherwise.
+    pub fn paper_label(self) -> &'static str {
+        match self {
+            StopReason::HardFloor => "hard floor",
+            StopReason::MaxDepth => "max depth",
+            StopReason::Simple => "eq. (11)",
+            StopReason::HighamScaled => "eq. (12)",
+            StopReason::TheoreticalOpCount => "eq. (7)",
+            StopReason::Hybrid => "eq. (15)",
+        }
+    }
+}
+
 /// A cutoff criterion: decides, at each recursion level, whether the
 /// remaining `(m, k, n)` product should run as a conventional GEMM.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -56,16 +91,28 @@ impl CutoffCriterion {
     /// `true` when the `(m, k, n)` product should be performed by the
     /// conventional algorithm instead of another level of recursion.
     pub fn should_stop(&self, m: usize, k: usize, n: usize) -> bool {
+        self.stop_reason(m, k, n).is_some()
+    }
+
+    /// Like [`CutoffCriterion::should_stop`], but says *which* condition
+    /// fired — `None` means the recursion proceeds. The probe subsystem
+    /// attributes every leaf GEMM to one of these reasons (never
+    /// [`StopReason::MaxDepth`], which only the dispatcher's depth limit
+    /// can produce).
+    pub fn stop_reason(&self, m: usize, k: usize, n: usize) -> Option<StopReason> {
         if m.min(k).min(n) < Self::HARD_FLOOR {
-            return true;
+            return Some(StopReason::HardFloor);
         }
         let (mf, kf, nf) = (m as f64, k as f64, n as f64);
         match *self {
-            CutoffCriterion::Simple { tau } => m <= tau || k <= tau || n <= tau,
-            CutoffCriterion::HighamScaled { tau } => {
-                mf * kf * nf <= tau as f64 * (nf * kf + mf * nf + mf * kf) / 3.0
+            CutoffCriterion::Simple { tau } => {
+                (m <= tau || k <= tau || n <= tau).then_some(StopReason::Simple)
             }
-            CutoffCriterion::TheoreticalOpCount => mf * kf * nf <= 4.0 * (mf * kf + kf * nf + mf * nf),
+            CutoffCriterion::HighamScaled { tau } => (mf * kf * nf
+                <= tau as f64 * (nf * kf + mf * nf + mf * kf) / 3.0)
+                .then_some(StopReason::HighamScaled),
+            CutoffCriterion::TheoreticalOpCount => (mf * kf * nf <= 4.0 * (mf * kf + kf * nf + mf * nf))
+                .then_some(StopReason::TheoreticalOpCount),
             CutoffCriterion::Hybrid { tau, tau_m, tau_k, tau_n } => {
                 let t = tau as f64;
                 // eq. (13) with asymmetric parameters.
@@ -77,9 +124,9 @@ impl CutoffCriterion {
                 // eq. (15): recurse iff (rect condition AND a dimension is
                 // large) OR all dimensions are large.
                 let recurse = (rect_recurse && any_large) || all_large;
-                !recurse
+                (!recurse).then_some(StopReason::Hybrid)
             }
-            CutoffCriterion::Never => false,
+            CutoffCriterion::Never => None,
         }
     }
 
@@ -168,6 +215,19 @@ mod tests {
         assert!(c.should_stop(2, 1000, 1000));
         assert!(c.should_stop(3, 3, 3));
         assert!(!c.should_stop(4, 4, 4));
+    }
+
+    #[test]
+    fn stop_reason_names_the_equation() {
+        assert_eq!(CutoffCriterion::Simple { tau: 64 }.stop_reason(64, 100, 100), Some(StopReason::Simple));
+        assert_eq!(CutoffCriterion::Simple { tau: 8 }.stop_reason(100, 100, 100), None);
+        assert_eq!(
+            CutoffCriterion::HighamScaled { tau: 64 }.stop_reason(64, 64, 64),
+            Some(StopReason::HighamScaled)
+        );
+        // The hard floor wins over every criterion, including Never.
+        assert_eq!(CutoffCriterion::Never.stop_reason(2, 10, 10), Some(StopReason::HardFloor));
+        assert_eq!(StopReason::Hybrid.paper_label(), "eq. (15)");
     }
 
     #[test]

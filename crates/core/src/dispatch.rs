@@ -1,14 +1,19 @@
 //! Recursion driver and the public DGEFMM entry points.
 
 use crate::config::{OddHandling, StrassenConfig};
-use crate::cutoff::CutoffCriterion;
+use crate::cutoff::{CutoffCriterion, StopReason};
 use crate::schedules::{fused, original, seven_temp, winograd1, winograd2};
-use crate::workspace::{required_workspace, resolve_scheme, with_tls_arena, ResolvedScheme, Workspace};
+use crate::trace;
+use crate::trace::add::axpby;
+use crate::workspace::{
+    required_workspace, resolve_scheme, tls_arena_capacity_elements, with_tls_arena, ResolvedScheme,
+    Workspace,
+};
 use crate::{pad, peel};
-use blas::add::axpby;
 use blas::level2::Op;
 use blas::level3::{gemm, GemmAlgo};
 use matrix::{MatMut, MatRef, Matrix, Scalar};
+use std::time::Instant;
 
 /// How many recursion levels (0, 1, or 2) to run through the fused
 /// add-pack / multi-destination kernels at this node.
@@ -97,9 +102,24 @@ pub(crate) fn fmm<T: Scalar>(
     debug_assert_eq!(b.nrows(), k);
     debug_assert_eq!(c.nrows(), m);
     debug_assert_eq!(c.ncols(), n);
+    let beta_zero = beta == T::ZERO;
+    // Records this node's workspace remainder (for the high-water mark)
+    // and pins the depth that add passes below attribute to. A no-op
+    // behind one thread-local read when no probe is installed.
+    let _trace_node = trace::node_guard(depth, ws.len());
 
-    if depth >= cfg.max_depth || cfg.criterion_for(beta == T::ZERO).should_stop(m, k, n) {
-        gemm(&cfg.gemm, alpha, Op::NoTrans, a, Op::NoTrans, b, beta, c);
+    if depth >= cfg.max_depth || cfg.criterion_for(beta_zero).should_stop(m, k, n) {
+        if trace::active() {
+            // Attribute the leaf to the criterion that fired (by paper
+            // equation number); only the depth limit can stop a node the
+            // criterion would have recursed.
+            let reason = cfg.criterion_for(beta_zero).stop_reason(m, k, n).unwrap_or(StopReason::MaxDepth);
+            let start = Instant::now();
+            gemm(&cfg.gemm, alpha, Op::NoTrans, a, Op::NoTrans, b, beta, c);
+            trace::leaf(depth, m, k, n, beta_zero, reason, start.elapsed().as_nanos() as u64);
+        } else {
+            gemm(&cfg.gemm, alpha, Op::NoTrans, a, Op::NoTrans, b, beta, c);
+        }
         return;
     }
 
@@ -111,19 +131,21 @@ pub(crate) fn fmm<T: Scalar>(
     // expanded per quadrant it needs 14 destination touches and up to
     // 4-term operand sums, while the original form needs 12 touches and
     // at most 2-term sums.
-    match fused_span(cfg, m, k, n, beta == T::ZERO, depth) {
+    match fused_span(cfg, m, k, n, beta_zero, depth) {
         FusedSpan::Two => {
+            trace::fused(depth, 2, m, k, n);
             fused::original_fused_two_level(cfg, alpha, a, b, beta, c);
             return;
         }
         FusedSpan::One => {
+            trace::fused(depth, 1, m, k, n);
             fused::original_fused(cfg, alpha, a, b, beta, c);
             return;
         }
         FusedSpan::No => {}
     }
 
-    let scheme = resolve_scheme(cfg, beta == T::ZERO);
+    let scheme = resolve_scheme(cfg, beta_zero);
     if scheme == ResolvedScheme::OriginalGeneral {
         // Stage D ← α A B with the β=0 original schedule, then fold.
         let (d_buf, rest) = ws.split_at_mut(m * n);
@@ -151,6 +173,7 @@ pub(crate) fn fmm<T: Scalar>(
         return;
     }
 
+    trace::split(depth, scheme, m, k, n);
     match scheme {
         ResolvedScheme::Strassen1BetaZero => winograd1::strassen1_beta_zero(cfg, alpha, a, b, c, ws, depth),
         ResolvedScheme::Strassen1General => {
@@ -191,6 +214,31 @@ fn materialize<'a: 't, 't, T: Scalar>(
 /// allocation on this path. Use [`dgefmm_with_workspace`] for an
 /// explicitly caller-managed arena instead.
 ///
+/// # Example
+///
+/// Full GEMM semantics — transposed operand, general `α` and `β` —
+/// checked against the conventional kernel:
+///
+/// ```
+/// use blas::level3::{gemm, GemmConfig};
+/// use blas::Op;
+/// use matrix::{norms, random};
+/// use strassen::{dgefmm, StrassenConfig};
+///
+/// let (m, k, n) = (70, 50, 66);
+/// let a = random::uniform::<f64>(m, k, 1);
+/// let bt = random::uniform::<f64>(n, k, 2); // B stored transposed
+/// let c0 = random::uniform::<f64>(m, n, 3);
+///
+/// let cfg = StrassenConfig::with_square_cutoff(16);
+/// let mut c = c0.clone();
+/// dgefmm(&cfg, 0.5, Op::NoTrans, a.as_ref(), Op::Trans, bt.as_ref(), 2.0, c.as_mut());
+///
+/// let mut want = c0.clone();
+/// gemm(&GemmConfig::naive(), 0.5, Op::NoTrans, a.as_ref(), Op::Trans, bt.as_ref(), 2.0, want.as_mut());
+/// assert!(norms::rel_diff(c.as_ref(), want.as_ref()) < 1e-12);
+/// ```
+///
 /// # Panics
 /// On dimension mismatches, like the BLAS `XERBLA` path.
 pub fn dgefmm<T: Scalar>(
@@ -212,13 +260,23 @@ pub fn dgefmm<T: Scalar>(
     let a_extra = if op_a == Op::Trans { m * ka } else { 0 };
     let b_extra = if op_b == Op::Trans { ka * n } else { 0 };
     let ws_elems = required_workspace(cfg, m, ka, n, beta == T::ZERO);
-    with_tls_arena::<T, _>(ws_elems + a_extra + b_extra, |arena| {
+    let call_timer = trace::active().then(Instant::now);
+    let staging_ns = with_tls_arena::<T, _>(ws_elems + a_extra + b_extra, |arena| {
         let (a_buf, rest) = arena.split_at_mut(a_extra);
         let (b_buf, ws) = rest.split_at_mut(b_extra);
+        let stage_timer = call_timer.map(|_| Instant::now());
         let a_eff = stage_transposed(op_a, a, a_buf);
         let b_eff = stage_transposed(op_b, b, b_buf);
+        let staging_ns = stage_timer.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        trace::call_start(m, ka, n, beta == T::ZERO, ws.len());
         fmm(cfg, alpha, a_eff, b_eff, beta, c, ws, 0);
+        staging_ns
     });
+    if let Some(timer) = call_timer {
+        // Emitted after the arena is back in thread-local storage, so the
+        // reported capacity includes any growth this call caused.
+        trace::call_end(timer.elapsed().as_nanos() as u64, staging_ns, tls_arena_capacity_elements::<T>());
+    }
 }
 
 /// Return `op(x)` as a plain view, writing the transposed copy into
@@ -254,13 +312,21 @@ pub fn dgefmm_with_workspace<T: Scalar>(
     assert_eq!(c.nrows(), m, "dgefmm: C has {} rows, expected {m}", c.nrows());
     assert_eq!(c.ncols(), n, "dgefmm: C has {} cols, expected {n}", c.ncols());
 
+    let call_timer = trace::active().then(Instant::now);
     let mut a_store = None;
     let mut b_store = None;
     let a_eff = materialize(op_a, a, &mut a_store);
     let b_eff = materialize(op_b, b, &mut b_store);
+    let staging_ns = call_timer.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
     ws.reserve_for(cfg, m, ka, n, beta == T::ZERO);
-    fmm(cfg, alpha, a_eff, b_eff, beta, c, ws.as_mut_slice(), 0);
+    let ws = ws.as_mut_slice();
+    trace::call_start(m, ka, n, beta == T::ZERO, ws.len());
+    let capacity = ws.len();
+    fmm(cfg, alpha, a_eff, b_eff, beta, c, ws, 0);
+    if let Some(timer) = call_timer {
+        trace::call_end(timer.elapsed().as_nanos() as u64, staging_ns, capacity);
+    }
 }
 
 /// Workspace elements [`dgefmm`] will draw for an `(m, k, n)` product —

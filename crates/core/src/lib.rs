@@ -43,16 +43,19 @@ pub mod cutoff;
 mod dispatch;
 mod pad;
 mod peel;
+pub mod probe;
 mod schedules;
+pub mod trace;
 pub mod tuning;
 pub mod workspace;
 
 pub use backend::{GemmBackend, MatMul, StrassenBackend, TimingBackend};
 pub use config::{OddHandling, Scheme, StrassenConfig, Variant};
-pub use cutoff::CutoffCriterion;
+pub use cutoff::{CutoffCriterion, StopReason};
 pub use dispatch::{
     criterion_tau, dgefmm, dgefmm_with_workspace, multiply, planned_depth, workspace_elements,
 };
+pub use probe::{NoopProbe, Probe, Trace, TraceProbe};
 pub use workspace::{
     required_workspace, tls_arena_capacity_elements, total_temp_elements, Workspace, WorkspaceArena,
 };

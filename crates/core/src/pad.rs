@@ -4,8 +4,9 @@
 
 use crate::config::{OddHandling, StrassenConfig};
 use crate::dispatch::fmm;
+use crate::trace;
+use crate::trace::add::axpby;
 use crate::workspace::static_padding_depth_for;
-use blas::add::axpby;
 use matrix::{MatMut, MatRef, Matrix, Scalar};
 
 /// Copy `src` into the top-left corner of a zero `rows x cols` matrix.
@@ -32,6 +33,7 @@ pub(crate) fn multiply_padded<T: Scalar>(
     let (mp, kp, np) = (m + (m & 1), k + (k & 1), n + (n & 1));
     debug_assert!((mp, kp, np) != (m, k, n), "pad called on even dims");
 
+    trace::pad_copy(depth, mp * kp + kp * np + mp * np);
     let ap = padded_copy(a, mp, kp);
     let bp = padded_copy(b, kp, np);
     // The padded product is computed with β = 0 into a scratch C, then
@@ -70,6 +72,7 @@ pub(crate) fn multiply_static_padded<T: Scalar>(
         fmm(&inner, alpha, a, b, beta, c, ws, depth);
         return;
     }
+    trace::pad_copy(depth, mp * kp + kp * np + mp * np);
     let ap = padded_copy(a, mp, kp);
     let bp = padded_copy(b, kp, np);
     let mut cp = Matrix::<T>::zeros(mp, np);

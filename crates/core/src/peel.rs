@@ -17,6 +17,8 @@
 
 use crate::config::StrassenConfig;
 use crate::dispatch::fmm;
+use crate::probe::FixupKind;
+use crate::trace;
 use blas::level1::dot;
 use blas::level2::{gemv, ger, Op};
 use blas::{VecMut, VecRef};
@@ -52,6 +54,7 @@ pub(crate) fn multiply_peeled<T: Scalar>(
         let a_col = VecRef::from_col(a.submatrix(0, k - 1, me, 1), 0);
         let b_row = VecRef::from_row(b.submatrix(k - 1, 0, 1, ne), 0);
         ger(alpha, a_col, b_row, c.submatrix_mut(0, 0, me, ne));
+        trace::peel(depth, FixupKind::Ger);
     }
 
     // Odd n: last column of C over the full inner dimension k.
@@ -59,6 +62,7 @@ pub(crate) fn multiply_peeled<T: Scalar>(
         let b_col = VecRef::from_col(b.submatrix(0, n - 1, k, 1), 0);
         let y = VecMut::from_col(c.submatrix_mut(0, n - 1, me, 1), 0);
         gemv(alpha, Op::NoTrans, a.submatrix(0, 0, me, k), b_col, beta, y);
+        trace::peel(depth, FixupKind::Gemv);
     }
 
     // Odd m: last row of C (first ne columns) over the full k.
@@ -66,6 +70,7 @@ pub(crate) fn multiply_peeled<T: Scalar>(
         let a_row = VecRef::from_row(a.submatrix(m - 1, 0, 1, k), 0);
         let y = VecMut::from_row(c.submatrix_mut(m - 1, 0, 1, ne), 0);
         gemv(alpha, Op::Trans, b.submatrix(0, 0, k, ne), a_row, beta, y);
+        trace::peel(depth, FixupKind::Gemv);
     }
 
     // Odd m and n: the corner element, a full-k dot product.
@@ -76,6 +81,7 @@ pub(crate) fn multiply_peeled<T: Scalar>(
         // β = 0 must not read (possibly garbage) C, per BLAS semantics.
         let v = if beta == T::ZERO { prod } else { prod + beta * c.at(m - 1, n - 1) };
         c.set(m - 1, n - 1, v);
+        trace::peel(depth, FixupKind::Dot);
     }
 }
 
@@ -113,6 +119,7 @@ pub(crate) fn multiply_peeled_first<T: Scalar>(
         let a_col = VecRef::from_col(a.submatrix(om, 0, me, 1), 0);
         let b_row = VecRef::from_row(b.submatrix(0, on, 1, ne), 0);
         ger(alpha, a_col, b_row, c.submatrix_mut(om, on, me, ne));
+        trace::peel(depth, FixupKind::Ger);
     }
 
     // Odd n: first column of C (rows om..) over the full k.
@@ -120,6 +127,7 @@ pub(crate) fn multiply_peeled_first<T: Scalar>(
         let b_col = VecRef::from_col(b.submatrix(0, 0, k, 1), 0);
         let y = VecMut::from_col(c.submatrix_mut(om, 0, me, 1), 0);
         gemv(alpha, Op::NoTrans, a.submatrix(om, 0, me, k), b_col, beta, y);
+        trace::peel(depth, FixupKind::Gemv);
     }
 
     // Odd m: first row of C (cols on..) over the full k.
@@ -127,6 +135,7 @@ pub(crate) fn multiply_peeled_first<T: Scalar>(
         let a_row = VecRef::from_row(a.submatrix(0, 0, 1, k), 0);
         let y = VecMut::from_row(c.submatrix_mut(0, on, 1, ne), 0);
         gemv(alpha, Op::Trans, b.submatrix(0, on, k, ne), a_row, beta, y);
+        trace::peel(depth, FixupKind::Gemv);
     }
 
     // Odd m and n: the (0, 0) corner.
@@ -136,5 +145,6 @@ pub(crate) fn multiply_peeled_first<T: Scalar>(
         let prod = alpha * dot(a_row, b_col);
         let v = if beta == T::ZERO { prod } else { prod + beta * c.at(0, 0) };
         c.set(0, 0, v);
+        trace::peel(depth, FixupKind::Dot);
     }
 }

@@ -1,0 +1,190 @@
+//! Render traces as the markdown tables EXPERIMENTS.md records.
+//!
+//! The Table 1 (temporary memory) and Table 4 (cutoff-criteria
+//! comparison) sections of EXPERIMENTS.md use fixed headers and row
+//! labels; this module owns those strings so `examples/trace_report.rs`
+//! can regenerate the sections from live [`Trace`]s and the document can
+//! never silently drift from the code. The per-level and phase tables
+//! render a single trace for ad-hoc inspection.
+
+use super::record::Trace;
+use std::fmt::Write as _;
+
+/// Header of EXPERIMENTS.md's Table 1 (memory as multiples of `m²`).
+pub const TABLE1_HEADER: &str =
+    "| implementation | β=0 paper | β=0 measured | β≠0 paper | β≠0 measured |\n|---|---|---|---|---|";
+
+/// One row of the Table 1 rendering: a label plus the four pre-formatted
+/// value cells (`β=0 paper`, `β=0 measured`, `β≠0 paper`, `β≠0 measured`).
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Implementation name, exactly as the EXPERIMENTS.md row spells it.
+    pub label: String,
+    /// The four value cells, already formatted (see [`ratio3`]).
+    pub cells: [String; 4],
+}
+
+/// Render Table 1 rows under [`TABLE1_HEADER`].
+pub fn table1_markdown(rows: &[Table1Row]) -> String {
+    let mut out = String::from(TABLE1_HEADER);
+    for row in rows {
+        let [a, b, c, d] = &row.cells;
+        let _ = write!(out, "\n| {} | {a} | {b} | {c} | {d} |", row.label);
+    }
+    out.push('\n');
+    out
+}
+
+/// Header of EXPERIMENTS.md's Table 4 (criteria-comparison time ratios).
+pub const TABLE4_HEADER: &str =
+    "| comparison | n | quartiles | average | paper (RS/6000) |\n|---|---|---|---|---|";
+
+/// One row of the Table 4 rendering.
+#[derive(Clone, Debug)]
+pub struct Table4Row {
+    /// Comparison label, e.g. `(15)/(11) simple`.
+    pub label: String,
+    /// Number of sampled problems behind the ratios.
+    pub samples: usize,
+    /// First quartile, median, third quartile of the time ratios.
+    pub quartiles: [f64; 3],
+    /// Mean of the time ratios.
+    pub average: f64,
+    /// The paper's RS/6000 average for the same comparison.
+    pub paper: String,
+}
+
+/// Render Table 4 rows under [`TABLE4_HEADER`].
+pub fn table4_markdown(rows: &[Table4Row]) -> String {
+    let mut out = String::from(TABLE4_HEADER);
+    for row in rows {
+        let [q1, q2, q3] = row.quartiles;
+        let _ = write!(
+            out,
+            "\n| {} | {} | {}; {}; {} | {} | {} |",
+            row.label,
+            row.samples,
+            ratio3(q1),
+            ratio3(q2),
+            ratio3(q3),
+            ratio3(row.average),
+            row.paper,
+        );
+    }
+    out.push('\n');
+    out
+}
+
+/// Format a ratio with three decimals, the convention of both tables.
+pub fn ratio3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// First quartile, median, third quartile of a sample (linear
+/// interpolation between order statistics; `samples` need not be sorted).
+///
+/// # Panics
+/// On an empty sample.
+pub fn quartiles(samples: &[f64]) -> [f64; 3] {
+    assert!(!samples.is_empty(), "quartiles of an empty sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quartile sample"));
+    let at = |q: f64| {
+        let pos = q * (sorted.len() - 1) as f64;
+        let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    };
+    [at(0.25), at(0.5), at(0.75)]
+}
+
+/// Per-level breakdown of one trace: structure, flops, fixups, and which
+/// cutoff criterion (by paper equation number) produced the leaves.
+pub fn per_level_markdown(trace: &Trace) -> String {
+    let mut out = String::from(
+        "| depth | splits | fused | leaf GEMMs | mul flops | add passes | add flops \
+         | copy/scale | GER | GEMV | dot | stopped by |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|---|",
+    );
+    for (depth, level) in trace.levels.iter().enumerate() {
+        let _ = write!(
+            out,
+            "\n| {depth} | {} | {} | {} | {} | {} | {} | {}/{} | {} | {} | {} | {} |",
+            level.splits,
+            level.fused_nodes,
+            level.leaf_gemms,
+            level.mul_flops,
+            level.add_passes,
+            level.add_flops,
+            level.copy_passes,
+            level.scale_passes,
+            level.ger_fixups,
+            level.gemv_fixups,
+            level.dot_fixups,
+            level.stops.summary(),
+        );
+    }
+    out.push('\n');
+    out
+}
+
+/// Phase timing of one trace: staging, leaf GEMMs, add passes, the
+/// remainder, and the total.
+pub fn phase_markdown(trace: &Trace) -> String {
+    let gemm_ns: u64 = trace.levels.iter().map(|l| l.gemm_ns).sum();
+    let add_ns: u64 = trace.levels.iter().map(|l| l.add_ns).sum();
+    let other_ns = trace.total_ns.saturating_sub(trace.staging_ns + gemm_ns + add_ns);
+    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    let mut out = String::from("| phase | time (ms) |\n|---|---|");
+    for (label, ns) in [
+        ("operand staging", trace.staging_ns),
+        ("leaf GEMMs", gemm_ns),
+        ("add passes", add_ns),
+        ("other (fixups, dispatch)", other_ns),
+        ("total", trace.total_ns),
+    ] {
+        let _ = write!(out, "\n| {label} | {} |", ms(ns));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_structure_matches_experiments_header() {
+        let rows = [Table1Row {
+            label: "**DGEFMM**".into(),
+            cells: ["**0.667**".into(), "**0.656**".into(), "**1.000**".into(), "**0.984**".into()],
+        }];
+        let md = table1_markdown(&rows);
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| implementation | β=0 paper | β=0 measured | β≠0 paper | β≠0 measured |");
+        assert_eq!(lines[1], "|---|---|---|---|---|");
+        assert_eq!(lines[2], "| **DGEFMM** | **0.667** | **0.656** | **1.000** | **0.984** |");
+    }
+
+    #[test]
+    fn table4_structure_matches_experiments_header() {
+        let rows = [Table4Row {
+            label: "(15)/(11) simple".into(),
+            samples: 10,
+            quartiles: [0.928, 0.963, 0.976],
+            average: 0.955,
+            paper: "0.953".into(),
+        }];
+        let md = table4_markdown(&rows);
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| comparison | n | quartiles | average | paper (RS/6000) |");
+        assert_eq!(lines[2], "| (15)/(11) simple | 10 | 0.928; 0.963; 0.976 | 0.955 | 0.953 |");
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        assert_eq!(quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]), [2.0, 3.0, 4.0]);
+        assert_eq!(quartiles(&[2.0, 1.0]), [1.25, 1.5, 1.75]);
+        assert_eq!(quartiles(&[7.0]), [7.0, 7.0, 7.0]);
+    }
+}

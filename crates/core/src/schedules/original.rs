@@ -20,7 +20,7 @@
 
 use crate::config::StrassenConfig;
 use crate::dispatch::fmm;
-use blas::add::{accum, accum_sub, add_into, axpby, sub_into};
+use crate::trace::add::{accum, accum_sub, add_into, axpby, sub_into};
 use matrix::{MatMut, MatRef, Scalar};
 
 /// `C ← α A B` (β = 0) via Strassen's original construction.

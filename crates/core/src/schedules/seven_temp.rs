@@ -12,8 +12,7 @@
 
 use crate::config::StrassenConfig;
 use crate::dispatch::fmm;
-use blas::add::{accum, accum_sub, add_into, sub_into};
-use blas::level3::scale_in_place;
+use crate::trace::add::{accum, accum_sub, add_into, scale_in_place, sub_into};
 use matrix::{MatMut, MatRef, Scalar};
 
 /// `C ← α A B + β C` with per-product temporaries; the seven products run

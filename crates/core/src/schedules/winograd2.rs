@@ -11,8 +11,9 @@
 
 use crate::config::StrassenConfig;
 use crate::dispatch::fmm;
-use blas::add::{accum, add_into_scaled, axpby, rsub_into, sub_into, sub_into_scaled};
-use blas::level3::scale_in_place;
+use crate::trace::add::{
+    accum, add_into_scaled, axpby, rsub_into, scale_in_place, sub_into, sub_into_scaled,
+};
 use matrix::{MatMut, Scalar};
 
 /// `C ← α A B + β C` with three workspace temporaries.

@@ -248,9 +248,9 @@ impl<T: matrix::Scalar> Workspace<T> {
 /// loan-out: any bit pattern is a valid `f32`/`f64`, the 8-byte alignment
 /// covers both, and every schedule writes its temporaries before reading
 /// them, so lending out stale contents is sound. One arena lives in a
-/// thread-local slot ([`with_tls_arena`]); after the first call at a
-/// given problem size, subsequent calls on the same thread perform **no
-/// heap allocation** on the Strassen path.
+/// thread-local slot (inspect it with [`tls_arena_capacity_elements`]);
+/// after the first call at a given problem size, subsequent calls on the
+/// same thread perform **no heap allocation** on the Strassen path.
 #[derive(Debug, Default)]
 pub struct WorkspaceArena {
     words: Vec<u64>,

@@ -3,7 +3,7 @@
 //! pluggable [`strassen::MatMul`] seam.
 //!
 //! This reproduces the use case of the SC '96 Strassen paper's reference
-//! [3] — Bailey, Lee & Simon, *Using Strassen's Algorithm to Accelerate
+//! \[3\] — Bailey, Lee & Simon, *Using Strassen's Algorithm to Accelerate
 //! the Solution of Linear Systems* — on top of this workspace's DGEFMM:
 //! the O(n³) work of a dense solve concentrates in the GEMM-shaped
 //! trailing updates, so swapping DGEMM for DGEFMM accelerates the whole

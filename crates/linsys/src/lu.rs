@@ -6,7 +6,7 @@
 //! submatrix. That update is a GEMM — which is where Strassen enters.
 //! The GEMM fraction of the flops approaches 100% as `n/nb` grows, which
 //! is exactly why Bailey, Lee & Simon (the Strassen paper's reference
-//! [3]) used Strassen to accelerate dense linear solves.
+//! \[3\]) used Strassen to accelerate dense linear solves.
 
 use blas::level3::{trsm, Diag, Side, Uplo};
 use blas::Op;

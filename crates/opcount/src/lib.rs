@@ -14,7 +14,7 @@
 //!   14.3%, 38.2%, …);
 //! * [`memory`] — the Table-1 temporary-storage formulas;
 //! * [`perf_model`] — execution-time models (after the companion report
-//!   [14]) that explain why measured cutoffs are ~10-20x the theoretical 12.
+//!   \[14\]) that explain why measured cutoffs are ~10-20x the theoretical 12.
 //!
 //! # Example
 //!

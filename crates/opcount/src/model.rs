@@ -3,7 +3,7 @@
 //! The paper's Section 2 works in a pure *operation count* model:
 //! `M(m,k,n) = 2mkn − mn` for a standard multiply (mkn multiplications
 //! plus `mkn − mn` additions) and `G(m,n) = mn` for a matrix add or
-//! subtract. Its companion report [14] generalizes to models where
+//! subtract. Its companion report \[14\] generalizes to models where
 //! additions and multiplications have different unit costs; we provide
 //! both behind one trait.
 

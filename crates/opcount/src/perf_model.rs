@@ -1,4 +1,4 @@
-//! Execution-time models (after the paper's companion report [14]).
+//! Execution-time models (after the paper's companion report \[14\]).
 //!
 //! The pure operation-count model predicts a square cutoff of 12;
 //! measured cutoffs are an order of magnitude larger because the O(n²)

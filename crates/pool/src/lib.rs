@@ -272,6 +272,21 @@ impl<'scope> Scope<'scope> {
 /// here — but only after every task of the scope has finished, so
 /// borrowed data is never observed by a still-running task after an
 /// unwind.
+///
+/// # Example
+///
+/// Spawned tasks may write disjoint borrows of the caller's stack —
+/// the shape of the seven-multiply Strassen fan-out:
+///
+/// ```
+/// let mut parts = [0u64; 4];
+/// pool::scope(|s| {
+///     for (i, p) in parts.iter_mut().enumerate() {
+///         s.spawn(move || *p = (i as u64 + 1) * 10);
+///     }
+/// });
+/// assert_eq!(parts, [10, 20, 30, 40]);
+/// ```
 pub fn scope<'scope, F, R>(f: F) -> R
 where
     F: FnOnce(&Scope<'scope>) -> R,

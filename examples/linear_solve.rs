@@ -1,5 +1,5 @@
 //! Strassen-accelerated dense linear solve (the use case of the paper's
-//! reference [3], Bailey, Lee & Simon): blocked LU with partial pivoting
+//! reference \[3\], Bailey, Lee & Simon): blocked LU with partial pivoting
 //! whose trailing updates run through DGEMM or DGEFMM.
 //!
 //! ```sh

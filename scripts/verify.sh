@@ -6,22 +6,31 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/6 offline release build =="
+echo "== 1/8 offline release build =="
 cargo build --release --offline
 
-echo "== 2/6 offline test suite =="
+echo "== 2/8 offline test suite =="
 cargo test -q --offline
 
-echo "== 3/6 bench targets compile (offline) =="
+echo "== 3/8 bench targets compile (offline) =="
 cargo build --release --offline -p strassen-bench --benches --bins
 
-echo "== 4/6 clippy (deny warnings) =="
+echo "== 4/8 clippy (deny warnings) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
-echo "== 5/6 rustfmt check =="
+echo "== 5/8 rustfmt check =="
 cargo fmt --check
 
-echo "== 6/6 dependency audit: workspace-only graph =="
+echo "== 6/8 rustdoc (deny warnings) =="
+# cargo doc reuses cached rustdoc output even when RUSTDOCFLAGS would now
+# fail it; touch the crate roots so every crate is re-documented.
+touch crates/*/src/lib.rs src/lib.rs
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+
+echo "== 7/8 doc-tests =="
+cargo test --doc --workspace -q --offline
+
+echo "== 8/8 dependency audit: workspace-only graph =="
 # Every package in the resolved graph must live under this repository;
 # a single registry/git dependency would appear without the (path) suffix.
 tree_out="$(cargo tree --workspace --edges normal,build,dev --prefix none --offline)"

@@ -9,7 +9,7 @@
 use blas::level3::{gemm, GemmConfig};
 use blas::Op;
 use matrix::{norms, random};
-use strassen::{dgefmm, CutoffCriterion, OddHandling, Scheme, StrassenConfig};
+use strassen::{dgefmm, trace, CutoffCriterion, OddHandling, Scheme, StrassenConfig, Trace};
 
 const ODDS: [OddHandling; 4] = [
     OddHandling::DynamicPeeling,
@@ -114,5 +114,84 @@ fn odd_at_every_level() {
     for odd in ODDS {
         check_shape(odd, 6, 97, 97, 97); // 97 → 48 → 24 → 12 → 6 with peels
         check_shape(odd, 6, 95, 97, 99);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Probe-counted fixup structure (paper eq. (9)).
+// ---------------------------------------------------------------------
+
+/// Run a traced multiply under dynamic peeling, classic schedules.
+fn traced_peel(odd: OddHandling, tau: usize, m: usize, k: usize, n: usize) -> Trace {
+    let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau }).odd(odd).fused(false);
+    let a = random::uniform::<f64>(m, k, 5);
+    let b = random::uniform::<f64>(k, n, 6);
+    let mut c = matrix::Matrix::<f64>::zeros(m, n);
+    let (_, tr) = trace::capture(|| {
+        dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+    });
+    tr
+}
+
+/// An all-odd `(m, k, n)` peels exactly once per eq. (9): one rank-one
+/// `GER` update (odd k), two `GEMV` products (odd m and odd n), and one
+/// corner dot — never more, whatever the peel flavor.
+#[test]
+fn all_odd_is_one_ger_two_gemv() {
+    for odd in [OddHandling::DynamicPeeling, OddHandling::DynamicPeelingFirst] {
+        let tr = traced_peel(odd, 8, 17, 17, 17);
+        assert_eq!(tr.ger_calls(), 1, "{odd:?}");
+        assert_eq!(tr.gemv_calls(), 2, "{odd:?}");
+        assert_eq!(tr.dot_calls(), 1, "{odd:?}");
+        // All fixups happen at the level that peeled (the root here).
+        assert_eq!(tr.levels[0].ger_fixups, 1);
+        assert_eq!(tr.levels[0].gemv_fixups, 2);
+    }
+}
+
+/// Mixed parity: each odd dimension contributes exactly its own fixup —
+/// `GER` for odd k, one `GEMV` per odd m or n, a dot only when both m
+/// and n are odd. Even dimensions contribute nothing.
+#[test]
+fn mixed_parity_fixup_census() {
+    let t = 8;
+    for dm in [0usize, 1] {
+        for dk in [0usize, 1] {
+            for dn in [0usize, 1] {
+                let (m, k, n) = (2 * t + dm, 2 * t + dk, 2 * t + dn);
+                let tr = traced_peel(OddHandling::DynamicPeeling, t, m, k, n);
+                assert_eq!(tr.ger_calls(), dk as u64, "{m}x{k}x{n}");
+                assert_eq!(tr.gemv_calls(), (dm + dn) as u64, "{m}x{k}x{n}");
+                assert_eq!(tr.dot_calls(), (dm * dn) as u64, "{m}x{k}x{n}");
+            }
+        }
+    }
+}
+
+/// Odd sizes reappearing below the root peel again at that level: 35³
+/// peels to a 34³ core whose 17³ quadrants each peel once more. Depth 0
+/// carries one fixup set; depth 1 carries seven (one per child product).
+#[test]
+fn multi_level_peel_counts_per_level() {
+    let tr = traced_peel(OddHandling::DynamicPeeling, 8, 35, 35, 35);
+    assert_eq!(tr.levels[0].ger_fixups, 1);
+    assert_eq!(tr.levels[0].gemv_fixups, 2);
+    assert_eq!(tr.levels[0].dot_fixups, 1);
+    assert_eq!(tr.levels[1].ger_fixups, 7);
+    assert_eq!(tr.levels[1].gemv_fixups, 14);
+    assert_eq!(tr.levels[1].dot_fixups, 7);
+    assert_eq!(tr.ger_calls(), 8);
+    assert_eq!(tr.gemv_calls(), 16);
+    assert_eq!(tr.dot_calls(), 8);
+}
+
+/// Padding strategies perform no fixups at all — their cost shows up as
+/// padded multiplies instead.
+#[test]
+fn padding_has_no_fixups() {
+    for odd in [OddHandling::DynamicPadding, OddHandling::StaticPadding] {
+        let tr = traced_peel(odd, 8, 17, 17, 17);
+        assert_eq!(tr.ger_calls() + tr.gemv_calls() + tr.dot_calls(), 0, "{odd:?}");
+        assert!(tr.pad_copies() >= 1, "{odd:?}");
     }
 }
