@@ -1,112 +1,5 @@
-//! Summary statistics in the paper's Table 4 format: range, quartiles,
-//! average.
+//! Summary statistics in the paper's Table 4 format — re-exported from
+//! the shared [`stats`] crate so the bench harness, the experiments
+//! runner, and `strassen::tuning` all compute a statistic the same way.
 
-/// Range / quartile / average summary of a sample.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Summary {
-    /// Smallest observation.
-    pub min: f64,
-    /// First quartile (25th percentile).
-    pub q1: f64,
-    /// Median.
-    pub median: f64,
-    /// Third quartile (75th percentile).
-    pub q3: f64,
-    /// Largest observation.
-    pub max: f64,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Number of observations.
-    pub n: usize,
-}
-
-/// Linear-interpolation percentile of a sorted slice (`p` in `[0, 1]`).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    let n = sorted.len();
-    if n == 1 {
-        return sorted[0];
-    }
-    let idx = p * (n - 1) as f64;
-    let lo = idx.floor() as usize;
-    let hi = idx.ceil() as usize;
-    let frac = idx - lo as f64;
-    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-}
-
-/// Summarize a non-empty sample.
-///
-/// # Panics
-/// On an empty sample or NaN observations.
-pub fn summarize(values: &[f64]) -> Summary {
-    assert!(!values.is_empty(), "summarize: empty sample");
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("summarize: NaN observation"));
-    Summary {
-        min: sorted[0],
-        q1: percentile(&sorted, 0.25),
-        median: percentile(&sorted, 0.50),
-        q3: percentile(&sorted, 0.75),
-        max: sorted[sorted.len() - 1],
-        mean: values.iter().sum::<f64>() / values.len() as f64,
-        n: values.len(),
-    }
-}
-
-impl Summary {
-    /// The paper's Table 4 row format:
-    /// `range  quartiles  average` for a ratio sample.
-    pub fn paper_row(&self) -> String {
-        format!(
-            "{:.4}-{:.4}  {:.4};{:.4};{:.4}  {:.4}",
-            self.min, self.max, self.q1, self.median, self.q3, self.mean
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn single_value() {
-        let s = summarize(&[2.0]);
-        assert_eq!(s.min, 2.0);
-        assert_eq!(s.median, 2.0);
-        assert_eq!(s.max, 2.0);
-        assert_eq!(s.mean, 2.0);
-        assert_eq!(s.n, 1);
-    }
-
-    #[test]
-    fn known_quartiles() {
-        // 1..=5: median 3, q1 2, q3 4.
-        let s = summarize(&[5.0, 1.0, 4.0, 2.0, 3.0]);
-        assert_eq!(s.q1, 2.0);
-        assert_eq!(s.median, 3.0);
-        assert_eq!(s.q3, 4.0);
-        assert_eq!(s.mean, 3.0);
-    }
-
-    #[test]
-    fn interpolated_quartiles() {
-        // 1..=4: q1 = 1.75, median = 2.5, q3 = 3.25.
-        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
-        assert!((s.q1 - 1.75).abs() < 1e-12);
-        assert!((s.median - 2.5).abs() < 1e-12);
-        assert!((s.q3 - 3.25).abs() < 1e-12);
-    }
-
-    #[test]
-    fn row_renders() {
-        let s = summarize(&[0.9, 1.0, 1.1]);
-        let row = s.paper_row();
-        assert!(row.contains("0.9000-1.1000"));
-        assert!(row.contains("1.0000"));
-    }
-
-    #[test]
-    #[should_panic(expected = "empty sample")]
-    fn empty_panics() {
-        summarize(&[]);
-    }
-}
+pub use stats::{mad, median, quartiles, summarize, Summary};

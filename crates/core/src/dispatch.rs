@@ -133,13 +133,15 @@ pub(crate) fn fmm<T: Scalar>(
     // at most 2-term sums.
     match fused_span(cfg, m, k, n, beta_zero, depth) {
         FusedSpan::Two => {
-            trace::fused(depth, 2, m, k, n);
+            let t = trace::span_timer();
             fused::original_fused_two_level(cfg, alpha, a, b, beta, c);
+            trace::fused(depth, 2, m, k, n, trace::span_ns(t));
             return;
         }
         FusedSpan::One => {
-            trace::fused(depth, 1, m, k, n);
+            let t = trace::span_timer();
             fused::original_fused(cfg, alpha, a, b, beta, c);
+            trace::fused(depth, 1, m, k, n, trace::span_ns(t));
             return;
         }
         FusedSpan::No => {}

@@ -55,7 +55,7 @@ pub use cutoff::{CutoffCriterion, StopReason};
 pub use dispatch::{
     criterion_tau, dgefmm, dgefmm_with_workspace, multiply, planned_depth, workspace_elements,
 };
-pub use probe::{NoopProbe, Probe, Trace, TraceProbe};
+pub use probe::{NoopProbe, Phase, Probe, Profile, TimedProbe, Trace, TraceProbe};
 pub use workspace::{
     required_workspace, tls_arena_capacity_elements, total_temp_elements, Workspace, WorkspaceArena,
 };

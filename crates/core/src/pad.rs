@@ -33,9 +33,10 @@ pub(crate) fn multiply_padded<T: Scalar>(
     let (mp, kp, np) = (m + (m & 1), k + (k & 1), n + (n & 1));
     debug_assert!((mp, kp, np) != (m, k, n), "pad called on even dims");
 
-    trace::pad_copy(depth, mp * kp + kp * np + mp * np);
+    let t = trace::span_timer();
     let ap = padded_copy(a, mp, kp);
     let bp = padded_copy(b, kp, np);
+    trace::pad_copy(depth, mp * kp + kp * np + mp * np, trace::span_ns(t));
     // The padded product is computed with β = 0 into a scratch C, then
     // folded into the real C; this keeps the padded rows/columns from
     // ever contaminating caller data.
@@ -72,9 +73,10 @@ pub(crate) fn multiply_static_padded<T: Scalar>(
         fmm(&inner, alpha, a, b, beta, c, ws, depth);
         return;
     }
-    trace::pad_copy(depth, mp * kp + kp * np + mp * np);
+    let t = trace::span_timer();
     let ap = padded_copy(a, mp, kp);
     let bp = padded_copy(b, kp, np);
+    trace::pad_copy(depth, mp * kp + kp * np + mp * np, trace::span_ns(t));
     let mut cp = Matrix::<T>::zeros(mp, np);
     fmm(&inner, alpha, ap.as_ref(), bp.as_ref(), T::ZERO, cp.as_mut(), ws, depth);
     axpby(T::ONE, cp.as_ref().submatrix(0, 0, m, n), beta, c.rb_mut());

@@ -53,35 +53,39 @@ pub(crate) fn multiply_peeled<T: Scalar>(
     if ke != k {
         let a_col = VecRef::from_col(a.submatrix(0, k - 1, me, 1), 0);
         let b_row = VecRef::from_row(b.submatrix(k - 1, 0, 1, ne), 0);
+        let t = trace::span_timer();
         ger(alpha, a_col, b_row, c.submatrix_mut(0, 0, me, ne));
-        trace::peel(depth, FixupKind::Ger);
+        trace::peel(depth, FixupKind::Ger, trace::span_ns(t));
     }
 
     // Odd n: last column of C over the full inner dimension k.
     if ne != n {
         let b_col = VecRef::from_col(b.submatrix(0, n - 1, k, 1), 0);
         let y = VecMut::from_col(c.submatrix_mut(0, n - 1, me, 1), 0);
+        let t = trace::span_timer();
         gemv(alpha, Op::NoTrans, a.submatrix(0, 0, me, k), b_col, beta, y);
-        trace::peel(depth, FixupKind::Gemv);
+        trace::peel(depth, FixupKind::Gemv, trace::span_ns(t));
     }
 
     // Odd m: last row of C (first ne columns) over the full k.
     if me != m {
         let a_row = VecRef::from_row(a.submatrix(m - 1, 0, 1, k), 0);
         let y = VecMut::from_row(c.submatrix_mut(m - 1, 0, 1, ne), 0);
+        let t = trace::span_timer();
         gemv(alpha, Op::Trans, b.submatrix(0, 0, k, ne), a_row, beta, y);
-        trace::peel(depth, FixupKind::Gemv);
+        trace::peel(depth, FixupKind::Gemv, trace::span_ns(t));
     }
 
     // Odd m and n: the corner element, a full-k dot product.
     if me != m && ne != n {
         let a_row = VecRef::from_row(a.submatrix(m - 1, 0, 1, k), 0);
         let b_col = VecRef::from_col(b.submatrix(0, n - 1, k, 1), 0);
+        let t = trace::span_timer();
         let prod = alpha * dot(a_row, b_col);
         // β = 0 must not read (possibly garbage) C, per BLAS semantics.
         let v = if beta == T::ZERO { prod } else { prod + beta * c.at(m - 1, n - 1) };
         c.set(m - 1, n - 1, v);
-        trace::peel(depth, FixupKind::Dot);
+        trace::peel(depth, FixupKind::Dot, trace::span_ns(t));
     }
 }
 
@@ -118,33 +122,37 @@ pub(crate) fn multiply_peeled_first<T: Scalar>(
     if ok == 1 {
         let a_col = VecRef::from_col(a.submatrix(om, 0, me, 1), 0);
         let b_row = VecRef::from_row(b.submatrix(0, on, 1, ne), 0);
+        let t = trace::span_timer();
         ger(alpha, a_col, b_row, c.submatrix_mut(om, on, me, ne));
-        trace::peel(depth, FixupKind::Ger);
+        trace::peel(depth, FixupKind::Ger, trace::span_ns(t));
     }
 
     // Odd n: first column of C (rows om..) over the full k.
     if on == 1 {
         let b_col = VecRef::from_col(b.submatrix(0, 0, k, 1), 0);
         let y = VecMut::from_col(c.submatrix_mut(om, 0, me, 1), 0);
+        let t = trace::span_timer();
         gemv(alpha, Op::NoTrans, a.submatrix(om, 0, me, k), b_col, beta, y);
-        trace::peel(depth, FixupKind::Gemv);
+        trace::peel(depth, FixupKind::Gemv, trace::span_ns(t));
     }
 
     // Odd m: first row of C (cols on..) over the full k.
     if om == 1 {
         let a_row = VecRef::from_row(a.submatrix(0, 0, 1, k), 0);
         let y = VecMut::from_row(c.submatrix_mut(0, on, 1, ne), 0);
+        let t = trace::span_timer();
         gemv(alpha, Op::Trans, b.submatrix(0, on, k, ne), a_row, beta, y);
-        trace::peel(depth, FixupKind::Gemv);
+        trace::peel(depth, FixupKind::Gemv, trace::span_ns(t));
     }
 
     // Odd m and n: the (0, 0) corner.
     if om == 1 && on == 1 {
         let a_row = VecRef::from_row(a.submatrix(0, 0, 1, k), 0);
         let b_col = VecRef::from_col(b.submatrix(0, 0, k, 1), 0);
+        let t = trace::span_timer();
         let prod = alpha * dot(a_row, b_col);
         let v = if beta == T::ZERO { prod } else { prod + beta * c.at(0, 0) };
         c.set(0, 0, v);
-        trace::peel(depth, FixupKind::Dot);
+        trace::peel(depth, FixupKind::Dot, trace::span_ns(t));
     }
 }

@@ -1,0 +1,421 @@
+//! Hand-rolled JSON export for traces, profiles, and pool telemetry.
+//!
+//! The workspace is hermetic — no serde — so this module carries a small
+//! streaming [`JsonWriter`] (comma placement, string escaping, nesting)
+//! and the exporters that render [`Trace`], [`Profile`], and
+//! [`pool::PoolStats`] into one versioned document. The schema is stable
+//! and versioned: every top-level document carries `"schema": 1`, and any
+//! breaking change to key names or nesting must bump that number.
+//! `tests/profile_json.rs` pins the layout with an in-tree checker.
+//!
+//! # Schema 1 (top-level document, [`report_json`])
+//!
+//! ```text
+//! {
+//!   "schema": 1,
+//!   "kind": "strassen_profile_report",
+//!   "trace":   { calls, total_ns, staging_ns, ws_root, ws_high_water,
+//!                arena_capacity, max_depth, mul_flops, add_flops,
+//!                total_flops, levels: [ per-depth counters … ] },
+//!   "profile": { total_ns, staging_ns, attributed_ns, other_ns,
+//!                model_flops, spans_dropped,
+//!                phases: [ { phase, spans, ns, flops, gflops? } … ],
+//!                levels: [ { depth, phases: [ … ] } … ] },
+//!   "pool":    { workers: [ { jobs, own_pops, steals, busy_ns, parks } … ],
+//!                helper_pops, wake_notifies, total_jobs, total_busy_ns }   // optional
+//! }
+//! ```
+//!
+//! All numbers are finite by construction: integers render as decimal
+//! integers and [`JsonWriter::value_f64`] rejects NaN/infinity outright
+//! rather than emitting tokens JSON cannot represent.
+
+use super::{LevelStats, Phase, Profile, StopCounts, Trace};
+use std::fmt::Write as _;
+
+/// Minimal streaming JSON writer: tracks container nesting and comma
+/// placement so exporters only state structure.
+///
+/// ```
+/// use strassen::probe::json::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("name");
+/// w.value_str("τ sweep");
+/// w.key("sizes");
+/// w.begin_array();
+/// w.value_u64(256);
+/// w.value_u64(512);
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name":"τ sweep","sizes":[256,512]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// One entry per open container: `true` until its first item lands.
+    first: Vec<bool>,
+    /// A key was just written; the next value needs no separator.
+    after_key: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Comma bookkeeping ahead of a value (or a key, which is a "value
+    /// position" for separation purposes inside an object).
+    fn sep(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+        } else if let Some(first) = self.first.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.buf.push(',');
+            }
+        }
+    }
+
+    /// Open an object (`{`) in value position.
+    pub fn begin_object(&mut self) {
+        self.sep();
+        self.buf.push('{');
+        self.first.push(true);
+    }
+
+    /// Close the innermost object.
+    pub fn end_object(&mut self) {
+        self.first.pop();
+        self.buf.push('}');
+    }
+
+    /// Open an array (`[`) in value position.
+    pub fn begin_array(&mut self) {
+        self.sep();
+        self.buf.push('[');
+        self.first.push(true);
+    }
+
+    /// Close the innermost array.
+    pub fn end_array(&mut self) {
+        self.first.pop();
+        self.buf.push(']');
+    }
+
+    /// Write an object key; the next write is its value.
+    pub fn key(&mut self, name: &str) {
+        self.sep();
+        self.write_escaped(name);
+        self.buf.push(':');
+        self.after_key = true;
+    }
+
+    /// Write a string value (escaped).
+    pub fn value_str(&mut self, s: &str) {
+        self.sep();
+        self.write_escaped(s);
+    }
+
+    /// Write an unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.sep();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Write a (possibly > 64-bit) flop-count value. JSON has no integer
+    /// width limit; readers that parse into f64 lose precision beyond
+    /// 2⁵³, which the flop counts of any benchmarkable size stay under.
+    pub fn value_u128(&mut self, v: u128) {
+        self.sep();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Write a float value.
+    ///
+    /// # Panics
+    ///
+    /// On NaN or infinity — JSON has no token for them, and the schema
+    /// contract is that every number in a report is finite.
+    pub fn value_f64(&mut self, v: f64) {
+        assert!(v.is_finite(), "JSON schema forbids non-finite numbers, got {v}");
+        self.sep();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Write a boolean value.
+    pub fn value_bool(&mut self, v: bool) {
+        self.sep();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Splice a pre-rendered JSON fragment in value position. The caller
+    /// vouches that `json` is one complete, valid JSON value — the writer
+    /// only handles the surrounding separators.
+    pub fn value_raw(&mut self, json: &str) {
+        self.sep();
+        self.buf.push_str(json);
+    }
+
+    /// Finish and return the document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.buf, "\\u{:04x}", c as u32);
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+}
+
+/// Convenience for `key` + `value_u64`.
+fn field_u64(w: &mut JsonWriter, key: &str, v: u64) {
+    w.key(key);
+    w.value_u64(v);
+}
+
+/// Convenience for `key` + `value_u128`.
+fn field_u128(w: &mut JsonWriter, key: &str, v: u128) {
+    w.key(key);
+    w.value_u128(v);
+}
+
+fn write_stops(w: &mut JsonWriter, stops: &StopCounts) {
+    w.begin_object();
+    field_u64(w, "hard_floor", stops.hard_floor);
+    field_u64(w, "max_depth", stops.max_depth);
+    field_u64(w, "simple", stops.simple);
+    field_u64(w, "higham", stops.higham);
+    field_u64(w, "theoretical", stops.theoretical);
+    field_u64(w, "hybrid", stops.hybrid);
+    w.end_object();
+}
+
+fn write_level_stats(w: &mut JsonWriter, depth: usize, level: &LevelStats) {
+    w.begin_object();
+    field_u64(w, "depth", depth as u64);
+    field_u64(w, "splits", level.splits);
+    field_u64(w, "fused_nodes", level.fused_nodes);
+    field_u64(w, "leaf_gemms", level.leaf_gemms);
+    field_u128(w, "mul_flops", level.mul_flops);
+    field_u64(w, "add_passes", level.add_passes);
+    field_u128(w, "add_flops", level.add_flops);
+    field_u64(w, "copy_passes", level.copy_passes);
+    field_u64(w, "scale_passes", level.scale_passes);
+    field_u64(w, "ger_fixups", level.ger_fixups);
+    field_u64(w, "gemv_fixups", level.gemv_fixups);
+    field_u64(w, "dot_fixups", level.dot_fixups);
+    field_u64(w, "pad_multiplies", level.pad_multiplies);
+    field_u64(w, "pad_elems", level.pad_elems);
+    field_u64(w, "gemm_ns", level.gemm_ns);
+    field_u64(w, "add_ns", level.add_ns);
+    field_u64(w, "fused_ns", level.fused_ns);
+    field_u64(w, "peel_ns", level.peel_ns);
+    field_u64(w, "pad_ns", level.pad_ns);
+    w.key("stops");
+    write_stops(w, &level.stops);
+    w.end_object();
+}
+
+/// Write a [`Trace`] as an object in value position.
+pub fn write_trace(w: &mut JsonWriter, trace: &Trace) {
+    w.begin_object();
+    field_u64(w, "calls", trace.calls);
+    field_u64(w, "total_ns", trace.total_ns);
+    field_u64(w, "staging_ns", trace.staging_ns);
+    field_u64(w, "ws_root", trace.ws_root as u64);
+    field_u64(w, "ws_high_water", trace.ws_high_water as u64);
+    field_u64(w, "arena_capacity", trace.arena_capacity as u64);
+    field_u64(w, "max_depth", trace.max_depth() as u64);
+    field_u128(w, "mul_flops", trace.mul_flops());
+    field_u128(w, "add_flops", trace.add_flops());
+    field_u128(w, "total_flops", trace.total_flops());
+    w.key("levels");
+    w.begin_array();
+    for (depth, level) in trace.levels.iter().enumerate() {
+        write_level_stats(w, depth, level);
+    }
+    w.end_array();
+    w.end_object();
+}
+
+/// Write a [`Profile`] as an object in value position (the embedded
+/// trace is *not* repeated here — [`report_json`] places it alongside).
+pub fn write_profile(w: &mut JsonWriter, profile: &Profile) {
+    w.begin_object();
+    field_u64(w, "total_ns", profile.trace.total_ns);
+    field_u64(w, "staging_ns", profile.trace.staging_ns);
+    field_u64(w, "attributed_ns", profile.attributed_ns());
+    field_u64(w, "other_ns", profile.other_ns());
+    field_u128(w, "model_flops", profile.model_flops());
+    field_u64(w, "spans_dropped", profile.spans_dropped);
+    w.key("phases");
+    w.begin_array();
+    for phase in Phase::ALL {
+        let agg = profile.phase_total(phase);
+        w.begin_object();
+        w.key("phase");
+        w.value_str(phase.label());
+        field_u64(w, "spans", agg.count);
+        field_u64(w, "ns", agg.ns);
+        field_u128(w, "flops", agg.flops);
+        if let Some(gflops) = profile.phase_gflops(phase) {
+            w.key("gflops");
+            w.value_f64(gflops);
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.key("levels");
+    w.begin_array();
+    for (depth, level) in profile.levels.iter().enumerate() {
+        w.begin_object();
+        field_u64(w, "depth", depth as u64);
+        w.key("phases");
+        w.begin_array();
+        for phase in Phase::ALL {
+            let agg = level.phase(phase);
+            if agg.count == 0 {
+                continue; // sparse: most phases are empty at most depths
+            }
+            w.begin_object();
+            w.key("phase");
+            w.value_str(phase.label());
+            field_u64(w, "spans", agg.count);
+            field_u64(w, "ns", agg.ns);
+            field_u128(w, "flops", agg.flops);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+/// Write a [`pool::PoolStats`] snapshot as an object in value position.
+pub fn write_pool_stats(w: &mut JsonWriter, stats: &pool::PoolStats) {
+    w.begin_object();
+    w.key("workers");
+    w.begin_array();
+    for worker in &stats.workers {
+        w.begin_object();
+        field_u64(w, "jobs", worker.jobs);
+        field_u64(w, "own_pops", worker.own_pops);
+        field_u64(w, "steals", worker.steals);
+        field_u64(w, "busy_ns", worker.busy_ns);
+        field_u64(w, "parks", worker.parks);
+        w.end_object();
+    }
+    w.end_array();
+    field_u64(w, "helper_pops", stats.helper_pops);
+    field_u64(w, "wake_notifies", stats.wake_notifies);
+    field_u64(w, "total_jobs", stats.total_jobs());
+    field_u64(w, "total_busy_ns", stats.total_busy_ns());
+    w.end_object();
+}
+
+/// Render a [`Trace`] alone as a standalone JSON document.
+pub fn trace_json(trace: &Trace) -> String {
+    let mut w = JsonWriter::new();
+    write_trace(&mut w, trace);
+    w.finish()
+}
+
+/// Render the combined schema-1 report: trace, profile, and (when
+/// telemetry was gathered) a pool-stats delta, under a versioned
+/// envelope. This is the document `examples/profile_report.rs` writes
+/// and `scripts/verify.sh` validates.
+pub fn report_json(profile: &Profile, pool: Option<&pool::PoolStats>) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    field_u64(&mut w, "schema", 1);
+    w.key("kind");
+    w.value_str("strassen_profile_report");
+    w.key("trace");
+    write_trace(&mut w, &profile.trace);
+    w.key("profile");
+    write_profile(&mut w, profile);
+    if let Some(stats) = pool {
+        w.key("pool");
+        write_pool_stats(&mut w, stats);
+    }
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_places_commas_and_nesting() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.value_u64(1);
+        w.key("b");
+        w.begin_array();
+        w.value_f64(0.5);
+        w.begin_object();
+        w.key("c");
+        w.value_bool(true);
+        w.end_object();
+        w.end_array();
+        w.key("d");
+        w.value_raw("[1,2]");
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":[0.5,{"c":true}],"d":[1,2]}"#);
+    }
+
+    #[test]
+    fn writer_escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.value_str("q\"\\\n\u{1}τ");
+        assert_eq!(w.finish(), "\"q\\\"\\\\\\n\\u0001\u{03c4}\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn writer_rejects_nan() {
+        let mut w = JsonWriter::new();
+        w.value_f64(f64::NAN);
+    }
+
+    #[test]
+    fn empty_containers_render() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("xs");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"xs":[]}"#);
+    }
+
+    #[test]
+    fn report_has_versioned_envelope() {
+        let profile = Profile::default();
+        let json = report_json(&profile, None);
+        assert!(json.starts_with(r#"{"schema":1,"kind":"strassen_profile_report""#));
+        assert!(json.contains(r#""trace":{"#));
+        assert!(json.contains(r#""profile":{"#));
+        assert!(!json.contains("pool"));
+    }
+}

@@ -55,10 +55,13 @@
 //! [`crate::StrassenConfig::fused`]`(false)` when comparing against the
 //! analytic model, which describes the classic schedules.
 
+pub mod json;
 mod record;
 pub mod report;
+mod timed;
 
 pub use record::{LevelStats, StopCounts, Trace, TraceProbe};
+pub use timed::{LevelProfile, Phase, PhaseAgg, Profile, Span, TimedProbe};
 
 use crate::cutoff::StopReason;
 use crate::workspace::ResolvedScheme;
@@ -146,6 +149,9 @@ pub struct FusedEvent {
     pub k: usize,
     /// Node output columns.
     pub n: usize,
+    /// Wall time of the fused node (packing and write-back included) in
+    /// nanoseconds.
+    pub ns: u64,
 }
 
 /// Classification of an elementwise pass over a matrix.
@@ -192,6 +198,8 @@ pub struct PeelEvent {
     pub depth: usize,
     /// The fixup kernel.
     pub kind: FixupKind,
+    /// Wall time of the fixup kernel in nanoseconds.
+    pub ns: u64,
 }
 
 /// One padded multiply: operands copied into zero-padded scratch, the
@@ -202,6 +210,9 @@ pub struct PadEvent {
     pub depth: usize,
     /// Elements of padded scratch allocated (`m̂k̂ + k̂n̂ + m̂n̂`).
     pub elems: usize,
+    /// Nanoseconds spent staging the zero-padded operand copies (the
+    /// valid-region copy back to `C` is a separately traced pass).
+    pub ns: u64,
 }
 
 /// Observer of the DGEFMM recursion.

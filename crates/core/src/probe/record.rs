@@ -100,6 +100,12 @@ pub struct LevelStats {
     pub gemm_ns: u64,
     /// Nanoseconds spent in add/copy/scale passes at this depth.
     pub add_ns: u64,
+    /// Nanoseconds spent in fused add-pack nodes at this depth.
+    pub fused_ns: u64,
+    /// Nanoseconds spent in dynamic-peeling fixup kernels at this depth.
+    pub peel_ns: u64,
+    /// Nanoseconds spent staging zero-padded operand copies at this depth.
+    pub pad_ns: u64,
 }
 
 /// A complete aggregated trace of one or more DGEFMM calls.
@@ -274,7 +280,9 @@ impl Probe for TraceProbe {
     }
 
     fn fused(&mut self, ev: &FusedEvent) {
-        self.trace.level_mut(ev.depth).fused_nodes += 1;
+        let level = self.trace.level_mut(ev.depth);
+        level.fused_nodes += 1;
+        level.fused_ns += ev.ns;
     }
 
     fn add_pass(&mut self, ev: &AddPassEvent) {
@@ -292,6 +300,7 @@ impl Probe for TraceProbe {
 
     fn peel_fixup(&mut self, ev: &PeelEvent) {
         let level = self.trace.level_mut(ev.depth);
+        level.peel_ns += ev.ns;
         match ev.kind {
             FixupKind::Ger => level.ger_fixups += 1,
             FixupKind::Gemv => level.gemv_fixups += 1,
@@ -303,5 +312,6 @@ impl Probe for TraceProbe {
         let level = self.trace.level_mut(ev.depth);
         level.pad_multiplies += 1;
         level.pad_elems += ev.elems as u64;
+        level.pad_ns += ev.ns;
     }
 }

@@ -80,23 +80,7 @@ pub fn ratio3(x: f64) -> String {
     format!("{x:.3}")
 }
 
-/// First quartile, median, third quartile of a sample (linear
-/// interpolation between order statistics; `samples` need not be sorted).
-///
-/// # Panics
-/// On an empty sample.
-pub fn quartiles(samples: &[f64]) -> [f64; 3] {
-    assert!(!samples.is_empty(), "quartiles of an empty sample");
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quartile sample"));
-    let at = |q: f64| {
-        let pos = q * (sorted.len() - 1) as f64;
-        let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
-        let frac = pos - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-    };
-    [at(0.25), at(0.5), at(0.75)]
-}
+pub use stats::quartiles;
 
 /// Per-level breakdown of one trace: structure, flops, fixups, and which
 /// cutoff criterion (by paper equation number) produced the leaves.
@@ -179,12 +163,5 @@ mod tests {
         let lines: Vec<&str> = md.lines().collect();
         assert_eq!(lines[0], "| comparison | n | quartiles | average | paper (RS/6000) |");
         assert_eq!(lines[2], "| (15)/(11) simple | 10 | 0.928; 0.963; 0.976 | 0.955 | 0.953 |");
-    }
-
-    #[test]
-    fn quartiles_interpolate() {
-        assert_eq!(quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]), [2.0, 3.0, 4.0]);
-        assert_eq!(quartiles(&[2.0, 1.0]), [1.25, 1.5, 1.75]);
-        assert_eq!(quartiles(&[7.0]), [7.0, 7.0, 7.0]);
     }
 }

@@ -21,7 +21,7 @@
 use crate::cutoff::StopReason;
 use crate::probe::{
     AddPassEvent, CallEnd, CallStart, FixupKind, FusedEvent, LeafEvent, PadEvent, PassKind, PeelEvent, Probe,
-    SplitEvent, Trace, TraceProbe,
+    Profile, SplitEvent, TimedProbe, Trace, TraceProbe,
 };
 use crate::workspace::ResolvedScheme;
 use std::cell::{Cell, RefCell};
@@ -77,6 +77,38 @@ pub fn with_probe<P: Probe, R>(probe: P, f: impl FnOnce() -> R) -> (R, P) {
 pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Trace) {
     let (out, probe) = with_probe(TraceProbe::new(), f);
     (out, probe.into_trace())
+}
+
+/// Run `f` with a [`TimedProbe`] installed and return its result plus
+/// the aggregated wall-clock [`Profile`].
+///
+/// ```
+/// use strassen::{trace, CutoffCriterion, StrassenConfig};
+/// use matrix::random;
+///
+/// let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 16 }).fused(false);
+/// let a = random::uniform::<f64>(64, 64, 1);
+/// let b = random::uniform::<f64>(64, 64, 2);
+/// let (_c, profile) = trace::profile(|| {
+///     let mut c = matrix::Matrix::zeros(64, 64);
+///     strassen::dgefmm(
+///         &cfg,
+///         1.0,
+///         blas::Op::NoTrans,
+///         a.as_ref(),
+///         blas::Op::NoTrans,
+///         b.as_ref(),
+///         0.0,
+///         c.as_mut(),
+///     );
+///     c
+/// });
+/// // The profile's flop accounting agrees with the exact trace.
+/// assert_eq!(profile.model_flops(), profile.trace.total_flops());
+/// ```
+pub fn profile<R>(f: impl FnOnce() -> R) -> (R, Profile) {
+    let (out, probe) = with_probe(TimedProbe::new(), f);
+    (out, probe.into_profile())
 }
 
 /// Deliver an event to the installed probe, if any.
@@ -153,25 +185,36 @@ pub(crate) fn leaf(depth: usize, m: usize, k: usize, n: usize, beta_zero: bool, 
     emit(|p| p.leaf(&LeafEvent { depth, m, k, n, beta_zero, reason, ns }));
 }
 
-pub(crate) fn fused(depth: usize, levels: u8, m: usize, k: usize, n: usize) {
+pub(crate) fn fused(depth: usize, levels: u8, m: usize, k: usize, n: usize, ns: u64) {
     if !active() {
         return;
     }
-    emit(|p| p.fused(&FusedEvent { depth, levels, m, k, n }));
+    emit(|p| p.fused(&FusedEvent { depth, levels, m, k, n, ns }));
 }
 
-pub(crate) fn peel(depth: usize, kind: FixupKind) {
+pub(crate) fn peel(depth: usize, kind: FixupKind, ns: u64) {
     if !active() {
         return;
     }
-    emit(|p| p.peel_fixup(&PeelEvent { depth, kind }));
+    emit(|p| p.peel_fixup(&PeelEvent { depth, kind, ns }));
 }
 
-pub(crate) fn pad_copy(depth: usize, elems: usize) {
+pub(crate) fn pad_copy(depth: usize, elems: usize, ns: u64) {
     if !active() {
         return;
     }
-    emit(|p| p.pad_copy(&PadEvent { depth, elems }));
+    emit(|p| p.pad_copy(&PadEvent { depth, elems, ns }));
+}
+
+/// Start a span timer only when a probe is installed (timing an event
+/// nobody observes would be pure overhead).
+pub(crate) fn span_timer() -> Option<Instant> {
+    active().then(Instant::now)
+}
+
+/// Nanoseconds since `t`, or 0 for the probe-off `None` case.
+pub(crate) fn span_ns(t: Option<Instant>) -> u64 {
+    t.map_or(0, |t| t.elapsed().as_nanos() as u64)
 }
 
 /// Traced drop-ins for the elementwise kernels the schedules use.

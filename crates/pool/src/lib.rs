@@ -48,6 +48,18 @@ struct Shared {
     deques: Vec<Mutex<VecDeque<Job>>>,
     /// Tasks executed per worker, for observability and tests.
     executed: Vec<AtomicU64>,
+    /// Nanoseconds each worker spent *running* jobs (not waiting).
+    busy_ns: Vec<AtomicU64>,
+    /// Jobs each worker popped from its own deque (LIFO, cache-warm).
+    own_pops: Vec<AtomicU64>,
+    /// Jobs each worker stole from another worker's deque.
+    steals: Vec<AtomicU64>,
+    /// Times each worker went to sleep on the wake condvar.
+    parks: Vec<AtomicU64>,
+    /// Jobs popped by helping non-worker threads (scope owners).
+    helper_pops: AtomicU64,
+    /// Wake notifications issued by `push` (one per queued job).
+    wake_notifies: AtomicU64,
     /// Tasks queued but not yet popped, across all deques.
     queued: AtomicUsize,
     /// Round-robin push cursor.
@@ -62,13 +74,17 @@ impl Shared {
         let i = self.next.fetch_add(1, Ordering::Relaxed) % self.deques.len();
         self.queued.fetch_add(1, Ordering::Release);
         self.deques[i].lock().unwrap().push_back(job);
+        self.wake_notifies.fetch_add(1, Ordering::Relaxed);
         let _guard = self.sleep.lock().unwrap();
         self.wake.notify_all();
     }
 
     /// Pop for worker `me`: own deque from the back, then steal from the
     /// front of the others. `me == usize::MAX` marks a helping
-    /// non-worker thread (steals only, round-robin from 0).
+    /// non-worker thread (steals only, round-robin from 0). Each
+    /// successful pop is attributed to exactly one of the `own_pops` /
+    /// `steals` / `helper_pops` counters, which is what makes the
+    /// `own_pops + steals == executed` telemetry invariant hold.
     fn pop(&self, me: usize) -> Option<Job> {
         if self.queued.load(Ordering::Acquire) == 0 {
             return None;
@@ -77,6 +93,7 @@ impl Shared {
         if me < n {
             if let Some(job) = self.deques[me].lock().unwrap().pop_back() {
                 self.queued.fetch_sub(1, Ordering::Release);
+                self.own_pops[me].fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -87,6 +104,11 @@ impl Shared {
             }
             if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
                 self.queued.fetch_sub(1, Ordering::Release);
+                if me < n {
+                    self.steals[me].fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.helper_pops.fetch_add(1, Ordering::Relaxed);
+                }
                 return Some(job);
             }
         }
@@ -104,6 +126,12 @@ impl Pool {
         let shared = Arc::new(Shared {
             deques: (0..nthreads).map(|_| Mutex::new(VecDeque::new())).collect(),
             executed: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
+            busy_ns: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
+            own_pops: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
+            steals: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
+            parks: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
+            helper_pops: AtomicU64::new(0),
+            wake_notifies: AtomicU64::new(0),
             queued: AtomicUsize::new(0),
             next: AtomicUsize::new(0),
             sleep: Mutex::new(()),
@@ -128,11 +156,14 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
                 // The job wrapper (built in `Scope::spawn`) already
                 // catches user panics; a panic reaching here would be a
                 // pool bug, and even then the worker must survive.
+                let start = std::time::Instant::now();
                 let _ = catch_unwind(AssertUnwindSafe(job));
+                shared.busy_ns[me].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
             None => {
                 let guard = shared.sleep.lock().unwrap();
                 if shared.queued.load(Ordering::Acquire) == 0 {
+                    shared.parks[me].fetch_add(1, Ordering::Relaxed);
                     // Timeout bounds the cost of any lost wakeup race.
                     let _ = shared.wake.wait_timeout(guard, Duration::from_millis(50));
                 }
@@ -185,6 +216,120 @@ pub fn current_num_threads() -> usize {
 /// what the parallel-dispatch smoke tests assert.
 pub fn worker_job_counts() -> Vec<u64> {
     global().shared.executed.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+}
+
+/// Telemetry snapshot for one pool worker (see [`PoolStats`]).
+///
+/// All counters are cumulative since pool start and only ever grow, so
+/// two snapshots bracket a region: `after.jobs - before.jobs` is the
+/// work that region dispatched. Every executed job was obtained by
+/// exactly one pop, giving the invariant `own_pops + steals == jobs`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker executed.
+    pub jobs: u64,
+    /// Jobs popped from the worker's own deque (LIFO, cache-warm).
+    pub own_pops: u64,
+    /// Jobs stolen from another worker's deque (FIFO, oldest first).
+    pub steals: u64,
+    /// Nanoseconds spent running jobs (excludes idle/steal-search time).
+    pub busy_ns: u64,
+    /// Times the worker parked on the wake condvar (queue was empty).
+    pub parks: u64,
+}
+
+/// Utilization telemetry for the whole pool: a per-worker breakdown plus
+/// the pool-wide counters that have no single owner.
+///
+/// Taken with [`pool_stats`]; subtract two snapshots with
+/// [`PoolStats::since`] to attribute counts to a region of interest.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+    /// Jobs executed inline by *helping* scope owners (threads waiting in
+    /// [`scope`] that picked up queued work instead of blocking). These
+    /// jobs appear in no worker's counters.
+    pub helper_pops: u64,
+    /// Wake notifications issued by spawns (one per queued job).
+    pub wake_notifies: u64,
+}
+
+impl PoolStats {
+    /// Jobs executed by pool workers (excludes [`PoolStats::helper_pops`]).
+    pub fn total_jobs(&self) -> u64 {
+        self.workers.iter().map(|w| w.jobs).sum()
+    }
+
+    /// Total nanoseconds pool workers spent running jobs.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_ns).sum()
+    }
+
+    /// Fraction of `wall_ns × workers` the pool spent busy — the
+    /// parallel-region utilization figure the profile reports. Returns 0
+    /// for an empty pool or a zero-length wall interval.
+    pub fn utilization(&self, wall_ns: u64) -> f64 {
+        let capacity = wall_ns.saturating_mul(self.workers.len() as u64);
+        if capacity == 0 {
+            return 0.0;
+        }
+        self.total_busy_ns() as f64 / capacity as f64
+    }
+
+    /// Counter-wise difference `self − earlier`, saturating at zero —
+    /// the activity between two snapshots. Workers present in `self` but
+    /// not in `earlier` (never the case for one process, where the pool
+    /// size is fixed) are returned unchanged.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        let workers = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let e = earlier.workers.get(i).copied().unwrap_or_default();
+                WorkerStats {
+                    jobs: w.jobs.saturating_sub(e.jobs),
+                    own_pops: w.own_pops.saturating_sub(e.own_pops),
+                    steals: w.steals.saturating_sub(e.steals),
+                    busy_ns: w.busy_ns.saturating_sub(e.busy_ns),
+                    parks: w.parks.saturating_sub(e.parks),
+                }
+            })
+            .collect();
+        PoolStats {
+            workers,
+            helper_pops: self.helper_pops.saturating_sub(earlier.helper_pops),
+            wake_notifies: self.wake_notifies.saturating_sub(earlier.wake_notifies),
+        }
+    }
+}
+
+/// Snapshot the pool's telemetry counters (starts the pool on first
+/// call).
+///
+/// The counters are read with relaxed ordering while workers may still be
+/// running: a snapshot taken mid-flight can observe a job in `jobs`
+/// before its `busy_ns` lands. Snapshots taken while the caller's own
+/// scopes are quiescent (after [`scope`] returned) are exact for the jobs
+/// those scopes spawned, because `scope` does not return until every
+/// spawned job has completed.
+pub fn pool_stats() -> PoolStats {
+    let shared = &global().shared;
+    let workers = (0..shared.deques.len())
+        .map(|i| WorkerStats {
+            jobs: shared.executed[i].load(Ordering::Relaxed),
+            own_pops: shared.own_pops[i].load(Ordering::Relaxed),
+            steals: shared.steals[i].load(Ordering::Relaxed),
+            busy_ns: shared.busy_ns[i].load(Ordering::Relaxed),
+            parks: shared.parks[i].load(Ordering::Relaxed),
+        })
+        .collect();
+    PoolStats {
+        workers,
+        helper_pops: shared.helper_pops.load(Ordering::Relaxed),
+        wake_notifies: shared.wake_notifies.load(Ordering::Relaxed),
+    }
 }
 
 struct ScopeState {
@@ -445,6 +590,69 @@ mod tests {
         let after = worker_job_counts();
         let active = before.iter().zip(&after).filter(|(b, a)| a > b).count();
         assert!(active >= 2, "only {active} of {} workers ran tasks", after.len());
+    }
+
+    #[test]
+    fn stats_account_for_every_job() {
+        init();
+        let before = pool_stats();
+        for _ in 0..4 {
+            scope(|s| {
+                for _ in 0..32 {
+                    s.spawn(|| {
+                        std::hint::black_box((0..50_000).sum::<u64>());
+                    });
+                }
+            });
+        }
+        // Concurrent tests may hold the pool mid-increment; retry until a
+        // consistent snapshot appears (immediate when quiescent).
+        let mut after = pool_stats();
+        for _ in 0..100 {
+            if after.workers.iter().all(|w| w.own_pops + w.steals == w.jobs) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            after = pool_stats();
+        }
+        let delta = after.since(&before);
+        // Every job this test spawned ran on a worker or a helper.
+        assert_eq!(delta.total_jobs() + delta.helper_pops, 4 * 32);
+        // One wake notification per push.
+        assert!(delta.wake_notifies >= 4 * 32);
+        // Attribution: each executed job came from exactly one pop kind.
+        for (i, w) in after.workers.iter().enumerate() {
+            assert_eq!(w.own_pops + w.steals, w.jobs, "worker {i}: pops must equal jobs");
+        }
+        // Busy time is monotonic and consistent with the legacy counter.
+        for (w_after, w_before) in after.workers.iter().zip(&before.workers) {
+            assert!(w_after.busy_ns >= w_before.busy_ns);
+            assert!(w_after.jobs >= w_before.jobs);
+        }
+        assert_eq!(
+            worker_job_counts(),
+            pool_stats().workers.iter().map(|w| w.jobs).collect::<Vec<_>>(),
+            "pool_stats and worker_job_counts must agree"
+        );
+    }
+
+    #[test]
+    fn stats_since_and_utilization() {
+        // Pure snapshot arithmetic — no pool interaction.
+        let w = |jobs, busy_ns| WorkerStats { jobs, own_pops: jobs, steals: 0, busy_ns, parks: 0 };
+        let before = PoolStats { workers: vec![w(2, 100), w(1, 50)], helper_pops: 1, wake_notifies: 4 };
+        let after = PoolStats { workers: vec![w(5, 400), w(1, 50)], helper_pops: 2, wake_notifies: 9 };
+        let d = after.since(&before);
+        assert_eq!(d.workers[0], w(3, 300));
+        assert_eq!(d.workers[1], w(0, 0));
+        assert_eq!(d.helper_pops, 1);
+        assert_eq!(d.wake_notifies, 5);
+        assert_eq!(d.total_jobs(), 3);
+        assert_eq!(d.total_busy_ns(), 300);
+        // 300 busy ns over 2 workers × 1000 ns wall = 15%.
+        assert!((d.utilization(1000) - 0.15).abs() < 1e-12);
+        assert_eq!(PoolStats::default().utilization(1000), 0.0);
+        assert_eq!(d.utilization(0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Minimal JSON reader for golden-schema tests.
+//!
+//! The workspace's exporters hand-roll their JSON (no serde), so the
+//! test suite needs an independent reader to validate them — one that
+//! shares no code with the writer, or a balanced-brace bug could hide on
+//! both sides. This is a strict recursive-descent parser over the JSON
+//! grammar: the whole input must be one value, every number must parse
+//! to a *finite* `f64` (the schema contract), and no extensions (NaN,
+//! comments, trailing commas) are accepted.
+//!
+//! Numbers keep their raw text: flop counts are exact integers that can
+//! exceed an `f64`'s 2⁵³ integer range, and a golden test comparing them
+//! against a `u128` closed form must not round through a double.
+//!
+//! ```
+//! use testkit::json::Json;
+//!
+//! let doc = Json::parse(r#"{"schema":1,"phases":[{"ns":42}]}"#).unwrap();
+//! assert_eq!(doc.get("schema").unwrap().as_u64(), Some(1));
+//! assert_eq!(doc.get("phases").unwrap().at(0).unwrap().get("ns").unwrap().as_u64(), Some(42));
+//! ```
+
+/// One parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw text (always a valid, finite JSON
+    /// number — validated at parse time).
+    Num(String),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in document order (duplicate keys are rejected).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse `input` as exactly one JSON document.
+    ///
+    /// Errors carry a byte offset and a short reason.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element of an array by index.
+    pub fn at(&self, index: usize) -> Option<&Json> {
+        match self {
+            Json::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn items(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` (always finite), if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u128` — exact for flop counts beyond the `f64`
+    /// integer range.
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Follow a `.`-separated path of object keys and `[i]` indexes,
+    /// e.g. `"profile.phases[0].ns"`.
+    pub fn path(&self, path: &str) -> Option<&Json> {
+        let mut node = self;
+        for part in path.split('.') {
+            let (key, indexes) = match part.find('[') {
+                Some(b) => (&part[..b], &part[b..]),
+                None => (part, ""),
+            };
+            if !key.is_empty() {
+                node = node.get(key)?;
+            }
+            for idx in indexes.split_terminator(']') {
+                node = node.at(idx.strip_prefix('[')?.parse().ok()?)?;
+            }
+        }
+        Some(node)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("expected a value at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?} at byte {}", self.pos));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            // Surrogates are rejected rather than paired:
+                            // no exporter in this workspace emits them.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(format!("surrogate \\u escape at byte {}", self.pos))?,
+                            );
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control character at byte {}", self.pos));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so the
+                    // encoding is already valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).expect("input was a str");
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let from = p.pos;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+            p.pos > from
+        };
+        // Integer part: one digit, or a non-zero digit followed by more.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                digits(self);
+            }
+            _ => return Err(format!("bad number at byte {start}")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(format!("bad fraction at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(format!("bad exponent at byte {start}"));
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        let parsed: f64 = raw.parse().map_err(|_| format!("unparseable number {raw:?}"))?;
+        if !parsed.is_finite() {
+            return Err(format!("non-finite number {raw:?} at byte {start}"));
+        }
+        Ok(Json::Num(raw.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc =
+            Json::parse(r#" {"a": [1, 2.5, -3e2], "b": {"c": "x\nτ", "d": null}, "e": true} "#).unwrap();
+        assert_eq!(doc.path("a[2]").unwrap().as_f64(), Some(-300.0));
+        assert_eq!(doc.path("b.c").unwrap().as_str(), Some("x\nτ"));
+        assert_eq!(doc.path("b.d"), Some(&Json::Null));
+        assert_eq!(doc.path("e"), Some(&Json::Bool(true)));
+        assert_eq!(doc.path("missing"), None);
+    }
+
+    #[test]
+    fn large_integers_stay_exact() {
+        let big = (1u128 << 90).to_string();
+        let doc = Json::parse(&format!("{{\"flops\":{big}}}")).unwrap();
+        assert_eq!(doc.get("flops").unwrap().as_u128(), Some(1u128 << 90));
+        assert_eq!(doc.get("flops").unwrap().as_u64(), None, "out of u64 range");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":1,}",
+            "{\"a\" 1}",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "{\"a\":1}{",
+            "{\"a\":1,\"a\":2}",
+            "1e999",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn path_handles_bare_indexes_and_chains() {
+        let doc = Json::parse(r#"[[1,2],[3,4]]"#).unwrap();
+        assert_eq!(doc.path("[1][0]").unwrap().as_u64(), Some(3));
+    }
+}

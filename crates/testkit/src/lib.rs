@@ -33,6 +33,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use matrix::{norms, MatRef, Scalar};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 

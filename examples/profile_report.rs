@@ -1,0 +1,242 @@
+//! Render the wall-clock profiling layer's full report from live runs.
+//!
+//! ```sh
+//! cargo run --release --example profile_report            # full sizes
+//! cargo run --release --example profile_report -- --quick # CI-sized
+//! ```
+//!
+//! One invocation produces, from a single live profiled multiply plus a
+//! parallel telemetry run and a cutoff-tuning sweep:
+//!
+//! * the per-level × per-phase wall-time table and the phase summary
+//!   with effective GFLOP/s (stdout, markdown);
+//! * `results/profile_report.json` — the versioned schema-1 document
+//!   combining trace, profile, pool-stats delta, and tuning report;
+//! * `results/profile_report.folded` — folded stacks for flamegraph
+//!   tooling (`flamegraph.pl`, inferno, speedscope).
+//!
+//! The example is also an executable cross-check: the profile's flop
+//! accounting must equal the paper's eq. (4) closed form *exactly*, and
+//! the emitted JSON is re-parsed with `testkit::json` (an independent
+//! strict parser) before the success marker is printed — which is what
+//! lets `scripts/verify.sh` drive it as a verification step.
+
+use blas::Op;
+use matrix::{random, Matrix};
+use opcount::recurrence::winograd_square;
+use strassen::probe::json::{self, JsonWriter};
+use strassen::tuning::{tune_report, TuningReport};
+use strassen::{dgefmm, trace, CutoffCriterion, Profile, Scheme, StrassenConfig};
+use testkit::json::Json;
+
+/// Sizing knobs: `--quick` keeps every stage CI-sized.
+struct Params {
+    /// Order of the profiled square multiply (a power of two times τ).
+    profile_n: usize,
+    /// Recursion depth that order implies at τ = 32.
+    depth: u32,
+    /// Order of the parallel pool-telemetry run.
+    pool_n: usize,
+    /// Square-sweep sizes for the tuning report.
+    square_sizes: Vec<usize>,
+    /// Rectangular-sweep sizes.
+    rect_sizes: Vec<usize>,
+    /// Fixed value of the two non-swept dimensions.
+    rect_fixed: usize,
+    /// Timed reps per tuning arm.
+    reps: usize,
+}
+
+impl Params {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Params {
+                profile_n: 256,
+                depth: 3,
+                pool_n: 512,
+                square_sizes: vec![16, 24, 32],
+                rect_sizes: vec![16, 24],
+                rect_fixed: 64,
+                reps: 2,
+            }
+        } else {
+            Params {
+                profile_n: 512,
+                depth: 4,
+                pool_n: 1024,
+                square_sizes: vec![32, 48, 64, 96, 128],
+                rect_sizes: vec![32, 48, 64],
+                rect_fixed: 256,
+                reps: 3,
+            }
+        }
+    }
+}
+
+/// Stage 1: one profiled classic-schedule multiply, flop-checked against
+/// the eq. (4) closed form.
+fn profiled_multiply(p: &Params) -> Profile {
+    let n = p.profile_n;
+    let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 32 }).fused(false);
+    let a = random::uniform::<f64>(n, n, 101);
+    let b = random::uniform::<f64>(n, n, 102);
+    let (_, profile) = trace::profile(|| {
+        let mut c = Matrix::<f64>::zeros(n, n);
+        dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        c
+    });
+
+    let analytic = winograd_square(p.depth, 32);
+    assert_eq!(profile.model_flops(), analytic, "profiled flops must equal eq. (4) at d={}, m0=32", p.depth);
+    assert_eq!(profile.model_flops(), profile.trace.total_flops(), "profile and trace accounting differ");
+
+    println!("## Profiled {n}³ multiply — τ = 32, classic schedules\n");
+    println!(
+        "model flops: {} (= eq. (4) closed form, exact)  wall: {:.3} ms  effective: {:.3} GFLOP/s\n",
+        profile.model_flops(),
+        profile.trace.total_ns as f64 / 1e6,
+        profile.model_flops() as f64 / profile.trace.total_ns.max(1) as f64,
+    );
+    println!("### Wall time per level and phase (ms)\n");
+    println!("{}", profile.per_level_markdown());
+    println!("### Phase summary\n");
+    println!("{}", profile.phase_markdown());
+    profile
+}
+
+/// Stage 2: a parallel seven-temp run, reported as a pool-stats delta.
+fn pool_telemetry(p: &Params) -> pool::PoolStats {
+    let n = p.pool_n;
+    let cfg = StrassenConfig {
+        parallel_depth: 2,
+        ..StrassenConfig::dgefmm().scheme(Scheme::SevenTemp).cutoff(CutoffCriterion::Simple { tau: 128 })
+    };
+    let a = random::uniform::<f64>(n, n, 201);
+    let b = random::uniform::<f64>(n, n, 202);
+    let mut c = Matrix::<f64>::zeros(n, n);
+
+    let before = pool::pool_stats();
+    let t0 = std::time::Instant::now();
+    dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let delta = pool::pool_stats().since(&before);
+
+    println!("## Pool telemetry — parallel {n}³ seven-temp run, {} workers\n", delta.workers.len());
+    println!("| worker | jobs | own pops | steals | busy (ms) | parks |\n|---|---|---|---|---|---|");
+    for (i, w) in delta.workers.iter().enumerate() {
+        println!(
+            "| {i} | {} | {} | {} | {:.3} | {} |",
+            w.jobs,
+            w.own_pops,
+            w.steals,
+            w.busy_ns as f64 / 1e6,
+            w.parks
+        );
+    }
+    println!(
+        "\njobs: {} (+{} run by helping scope owners)  wakeups: {}  utilization: {:.1}% of {} workers\n",
+        delta.total_jobs(),
+        delta.helper_pops,
+        delta.wake_notifies,
+        100.0 * delta.utilization(wall_ns) / delta.workers.len().max(1) as f64,
+        delta.workers.len(),
+    );
+    delta
+}
+
+/// Stage 3: the Section 3.4 sweeps under the profiler.
+fn tuning(p: &Params) -> TuningReport {
+    let report = tune_report(
+        &blas::level3::GemmConfig::blocked(),
+        &p.square_sizes,
+        &p.rect_sizes,
+        p.rect_fixed,
+        p.reps,
+    );
+    println!("## Telemetry-driven cutoff tuning (reps = {})\n", report.reps);
+    println!(
+        "tuned parameters: τ = {}, τm = {}, τk = {}, τn = {}\n",
+        report.params.tau, report.params.tau_m, report.params.tau_k, report.params.tau_n
+    );
+    println!("| sweep | size | ratio | GEMM (ms ± MAD) | Strassen (ms ± MAD) | add share | leaf GFLOP/s |");
+    println!("|---|---|---|---|---|---|---|");
+    for sweep in [&report.square, &report.rect_m, &report.rect_k, &report.rect_n] {
+        for pt in &sweep.points {
+            println!(
+                "| {} | {} | {:.3} | {:.3} ± {:.3} | {:.3} ± {:.3} | {:.1}% | {} |",
+                sweep.dim,
+                pt.size,
+                pt.ratio,
+                pt.gemm_s * 1e3,
+                pt.gemm_mad_s * 1e3,
+                pt.strassen_s * 1e3,
+                pt.strassen_mad_s * 1e3,
+                100.0 * pt.add_share,
+                pt.gemm_leaf_gflops.map_or("—".into(), |g| format!("{g:.3}")),
+            );
+        }
+    }
+    println!();
+    report
+}
+
+/// Compose the combined schema-1 document with the tuning report under
+/// its own key.
+fn combined_json(profile: &Profile, delta: &pool::PoolStats, tuning: &TuningReport) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.value_u64(1);
+    w.key("kind");
+    w.value_str("strassen_profile_report");
+    w.key("trace");
+    json::write_trace(&mut w, &profile.trace);
+    w.key("profile");
+    json::write_profile(&mut w, profile);
+    w.key("pool");
+    json::write_pool_stats(&mut w, delta);
+    w.key("tuning");
+    tuning.write_json(&mut w);
+    w.end_object();
+    w.finish()
+}
+
+/// Re-parse the emitted document with the independent `testkit` parser
+/// and spot-check the schema before declaring success.
+fn validate(json_doc: &str, profile: &Profile) {
+    let doc = Json::parse(json_doc).expect("emitted JSON must parse cleanly with finite numbers");
+    assert_eq!(doc.path("schema").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.path("kind").unwrap().as_str(), Some("strassen_profile_report"));
+    assert_eq!(
+        doc.path("profile.model_flops").unwrap().as_u128(),
+        Some(profile.model_flops()),
+        "serialized flops drifted from the in-memory profile"
+    );
+    assert_eq!(doc.path("profile.model_flops").unwrap(), doc.path("trace.total_flops").unwrap());
+    for section in ["trace.levels", "profile.phases", "pool.workers", "tuning.sweeps"] {
+        assert!(doc.path(section).unwrap().items().is_some(), "missing section {section}");
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let p = Params::new(quick);
+
+    let profile = profiled_multiply(&p);
+    let delta = pool_telemetry(&p);
+    let tuning_report = tuning(&p);
+
+    let json_doc = combined_json(&profile, &delta, &tuning_report);
+    validate(&json_doc, &profile);
+
+    let folded = profile.folded_stacks();
+    let folded_sum: u64 = folded.lines().map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap()).sum();
+    assert_eq!(folded_sum, profile.trace.total_ns, "folded stacks must partition the wall time");
+
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/profile_report.json", &json_doc).expect("write JSON report");
+    std::fs::write("results/profile_report.folded", &folded).expect("write folded stacks");
+    println!("wrote results/profile_report.json ({} bytes, schema 1, re-parsed OK)", json_doc.len());
+    println!("wrote results/profile_report.folded ({} stack lines)", folded.lines().count());
+    println!("PROFILE REPORT OK");
+}

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Quick before/after benchmark for the fused Strassen kernels.
+# Quick before/after benchmark for the fused Strassen kernels and the
+# probe/profiling overhead guards.
 #
 # Runs the pinned bench_quick targets (square blocked GEMM + the default
-# DGEFMM Winograd schedule, classic vs. fused) at n ∈ {256, 512, 1024}
-# and writes BENCH_PR2.json at the repo root. Scale with BENCH_SAMPLES /
-# BENCH_WARMUP_MS / BENCH_MEASURE_MS; the defaults below keep the whole
-# run to a couple of minutes on one core.
+# DGEFMM Winograd schedule, classic vs. fused, plus noop- and timed-probe
+# variants) at n ∈ {256, 512, 1024} and writes BENCH_PR4.json at the repo
+# root, guarding noop-probe overhead ≤ 1% and timed-probe overhead ≤ 5%
+# at n = 512. Scale with BENCH_SAMPLES / BENCH_WARMUP_MS /
+# BENCH_MEASURE_MS; the defaults below keep the whole run to a couple of
+# minutes on one core. BENCH_NO_GUARD=1 demotes guard failures to
+# warnings on noisy hosts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

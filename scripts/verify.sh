@@ -6,31 +6,40 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/8 offline release build =="
+echo "== 1/9 offline release build =="
 cargo build --release --offline
 
-echo "== 2/8 offline test suite =="
+echo "== 2/9 offline test suite =="
 cargo test -q --offline
 
-echo "== 3/8 bench targets compile (offline) =="
+echo "== 3/9 bench targets compile (offline) =="
 cargo build --release --offline -p strassen-bench --benches --bins
 
-echo "== 4/8 clippy (deny warnings) =="
+echo "== 4/9 clippy (deny warnings) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
-echo "== 5/8 rustfmt check =="
+echo "== 5/9 rustfmt check =="
 cargo fmt --check
 
-echo "== 6/8 rustdoc (deny warnings) =="
+echo "== 6/9 rustdoc (deny warnings) =="
 # cargo doc reuses cached rustdoc output even when RUSTDOCFLAGS would now
 # fail it; touch the crate roots so every crate is re-documented.
 touch crates/*/src/lib.rs src/lib.rs
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 
-echo "== 7/8 doc-tests =="
+echo "== 7/9 doc-tests =="
 cargo test --doc --workspace -q --offline
 
-echo "== 8/8 dependency audit: workspace-only graph =="
+echo "== 8/9 profile report (live run + schema validation) =="
+# One live profiled run: flop totals are asserted against the eq. (4)
+# closed form inside the example, and the emitted JSON is re-parsed with
+# the independent testkit parser before the OK marker prints.
+cargo run --release --offline --example profile_report -- --quick | tail -n 3
+grep -q '"schema":1' results/profile_report.json
+grep -q '^dgefmm' results/profile_report.folded
+echo "profile_report artifacts validated"
+
+echo "== 9/9 dependency audit: workspace-only graph =="
 # Every package in the resolved graph must live under this repository;
 # a single registry/git dependency would appear without the (path) suffix.
 tree_out="$(cargo tree --workspace --edges normal,build,dev --prefix none --offline)"

@@ -47,6 +47,66 @@ fn seven_temp_dispatches_across_workers_at_1024() {
     assert!(diff < 1e-10, "parallel result diverged: rel diff {diff:.3e}");
 }
 
+/// PoolStats telemetry invariants over a real n = 1024 parallel run.
+///
+/// The counters are updated at different sites (pops in the deques, job
+/// counts and busy time in the worker loop), so a snapshot taken while a
+/// *concurrent* test in this binary is mid-flight can transiently
+/// disagree with itself. The assertions therefore poll until the pool
+/// quiesces into a consistent snapshot instead of demanding one
+/// immediately.
+#[test]
+fn pool_stats_invariants_at_1024() {
+    let _ = pool::set_num_threads(4);
+    assert!(pool::current_num_threads() > 1);
+
+    let n = 1024;
+    let a = random::uniform::<f64>(n, n, 51);
+    let b = random::uniform::<f64>(n, n, 52);
+    let mut c = Matrix::<f64>::zeros(n, n);
+
+    let cfg = StrassenConfig {
+        parallel_depth: 2,
+        ..StrassenConfig::dgefmm().scheme(Scheme::SevenTemp).cutoff(CutoffCriterion::Simple { tau: 256 })
+    };
+
+    let before = pool::pool_stats();
+    dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+
+    let mut consistent = None;
+    for _ in 0..100 {
+        let now = pool::pool_stats();
+        let settled = now.workers.iter().all(|w| w.own_pops + w.steals == w.jobs)
+            && now.workers.iter().map(|w| w.jobs).collect::<Vec<_>>() == pool::worker_job_counts()
+            && pool::pool_stats().total_jobs() == now.total_jobs();
+        if settled {
+            consistent = Some(now);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let after = consistent.expect("pool never quiesced into a consistent stats snapshot");
+
+    // Monotonicity: cumulative counters only grow.
+    assert!(after.total_jobs() > before.total_jobs(), "the run must have executed pool jobs");
+    assert!(after.total_busy_ns() > before.total_busy_ns(), "executed jobs must accrue busy time");
+    for (b, a) in before.workers.iter().zip(&after.workers) {
+        assert!(a.jobs >= b.jobs && a.busy_ns >= b.busy_ns && a.parks >= b.parks);
+    }
+
+    // Every executed job was popped exactly once: own LIFO pop or steal.
+    let delta = after.since(&before);
+    for (i, w) in delta.workers.iter().enumerate() {
+        assert_eq!(w.own_pops + w.steals, w.jobs, "worker {i}: pops must partition jobs exactly");
+    }
+    let active = delta.workers.iter().filter(|w| w.jobs > 0).count();
+    assert!(active > 1, "fan-out must reach more than one worker: {:?}", delta.workers);
+
+    // Utilization over any positive wall window is a sane fraction.
+    let util = delta.utilization(delta.total_busy_ns().max(1));
+    assert!(util > 0.0 && util <= after.workers.len() as f64);
+}
+
 #[test]
 fn parallel_gemm_backend_uses_pool() {
     // May lose the init race to the other test; either way the pool has

@@ -1,0 +1,123 @@
+//! Golden-schema tests for the profiling layer's JSON export.
+//!
+//! The exporters hand-roll their JSON, so these tests validate them with
+//! `testkit::json` — an independent strict parser that shares no code
+//! with the writer. Beyond well-formedness (balanced structure, finite
+//! numbers — the parser rejects anything else), the tests pin the
+//! schema-1 key layout and the cross-layer invariants: the profile's
+//! independently accumulated flops must equal the trace's exact count
+//! *and* the analytic closed form, and the folded-stacks lines must sum
+//! to the call's total wall time.
+
+use blas::Op;
+use matrix::{random, Matrix};
+use opcount::recurrence::winograd_square;
+use strassen::cutoff::CutoffCriterion;
+use strassen::probe::json;
+use strassen::{dgefmm, trace, Phase, Profile, StrassenConfig};
+use testkit::json::Json;
+
+/// 256³, τ=32, classic schedules: three recursion levels, 343 leaves —
+/// the same shape `probe_crosscheck` pins against eq. (4).
+fn profiled_256() -> Profile {
+    let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 32 }).fused(false);
+    let a = random::uniform::<f64>(256, 256, 11);
+    let b = random::uniform::<f64>(256, 256, 22);
+    let (_, profile) = trace::profile(|| {
+        let mut c = Matrix::<f64>::zeros(256, 256);
+        dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        c
+    });
+    profile
+}
+
+#[test]
+fn profile_flops_match_trace_and_closed_form() {
+    let profile = profiled_256();
+    // Two independent accumulations of the same event stream…
+    assert_eq!(profile.model_flops(), profile.trace.total_flops());
+    // …and both equal the eq. (4) closed form for d=3, m0=32.
+    assert_eq!(profile.model_flops(), winograd_square(3, 32));
+    // Wall time is attributed: the leaves and add passes were measured.
+    assert!(profile.phase_total(Phase::GemmLeaf).ns > 0);
+    assert_eq!(profile.phase_total(Phase::GemmLeaf).count, 343);
+    assert!(profile.phase_total(Phase::Add).ns > 0);
+    assert!(profile.attributed_ns() <= profile.trace.total_ns);
+    assert!(profile.phase_gflops(Phase::GemmLeaf).is_some());
+}
+
+#[test]
+fn report_json_matches_schema_1() {
+    let profile = profiled_256();
+    let doc = Json::parse(&json::report_json(&profile, Some(&pool::pool_stats())))
+        .expect("report must be valid JSON with finite numbers");
+
+    // Versioned envelope.
+    assert_eq!(doc.path("schema").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.path("kind").unwrap().as_str(), Some("strassen_profile_report"));
+
+    // Trace section: key presence and exact flop totals.
+    for key in ["calls", "total_ns", "staging_ns", "ws_root", "ws_high_water", "max_depth", "levels"] {
+        assert!(doc.path(&format!("trace.{key}")).is_some(), "missing trace.{key}");
+    }
+    assert_eq!(doc.path("trace.total_flops").unwrap().as_u128(), Some(winograd_square(3, 32)));
+    assert_eq!(doc.path("trace.levels[3].leaf_gemms").unwrap().as_u64(), Some(343));
+
+    // Profile section: the JSON's model_flops equals the trace's count —
+    // the golden invariant, checked through the serialized form.
+    assert_eq!(doc.path("profile.model_flops").unwrap(), doc.path("trace.total_flops").unwrap());
+    let phases = doc.path("profile.phases").unwrap().items().unwrap();
+    assert_eq!(phases.len(), 7, "one entry per phase, present even when empty");
+    let labels: Vec<&str> = phases.iter().map(|p| p.get("phase").unwrap().as_str().unwrap()).collect();
+    assert_eq!(
+        labels,
+        ["gemm_leaf", "add_pass", "copy_pass", "scale_pass", "fused_pack", "peel_fixup", "pad_copy"]
+    );
+    for p in phases {
+        for key in ["spans", "ns", "flops"] {
+            assert!(p.get(key).is_some(), "phase entry missing {key}");
+        }
+    }
+    assert!(doc.path("profile.phases[0].gflops").unwrap().as_f64().unwrap() > 0.0);
+
+    // Pool section rides along when a snapshot is supplied.
+    assert!(doc.path("pool.workers").unwrap().items().is_some());
+    for key in ["helper_pops", "wake_notifies", "total_jobs", "total_busy_ns"] {
+        assert!(doc.path(&format!("pool.{key}")).is_some(), "missing pool.{key}");
+    }
+}
+
+#[test]
+fn folded_stacks_cover_total_wall_time() {
+    let profile = profiled_256();
+    let folded = profile.folded_stacks();
+    let mut sum = 0u64;
+    let mut saw_leaf_at_depth3 = false;
+    for line in folded.lines() {
+        let (frames, count) = line.rsplit_once(' ').expect("each line is `frames count`");
+        assert!(frames.starts_with("dgefmm"), "stacks are rooted at dgefmm: {line}");
+        assert!(!frames.contains(' '), "frames must not contain spaces: {line}");
+        sum += count.parse::<u64>().expect("count is a plain integer");
+        saw_leaf_at_depth3 |= frames == "dgefmm;L0;L1;L2;L3;gemm_leaf";
+    }
+    assert_eq!(sum, profile.trace.total_ns, "folded lines must partition the call's wall time");
+    assert!(saw_leaf_at_depth3, "343 leaves live at depth 3:\n{folded}");
+}
+
+#[test]
+fn tuning_report_json_is_valid_and_finite() {
+    let report = strassen::tuning::tune_report(&blas::level3::GemmConfig::blocked(), &[16, 24], &[16], 32, 1);
+    let doc = Json::parse(&report.to_json()).expect("tuning report must be valid JSON");
+    assert_eq!(doc.path("schema").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.path("kind").unwrap().as_str(), Some("strassen_tuning_report"));
+    for key in ["tau", "tau_m", "tau_k", "tau_n"] {
+        assert!(doc.path(&format!("params.{key}")).unwrap().as_u64().is_some());
+    }
+    let sweeps = doc.path("sweeps").unwrap().items().unwrap();
+    assert_eq!(sweeps.len(), 4);
+    assert_eq!(sweeps[0].get("dim").unwrap().as_str(), Some("square"));
+    let point = sweeps[0].get("points").unwrap().at(0).unwrap();
+    for key in ["size", "ratio", "gemm_s", "gemm_mad_s", "strassen_s", "strassen_mad_s", "add_share"] {
+        assert!(point.get(key).unwrap().as_f64().is_some(), "point missing finite {key}");
+    }
+}
