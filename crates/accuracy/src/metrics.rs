@@ -1,0 +1,120 @@
+//! Error metrics between a computed product and the oracle reference.
+//!
+//! Three views of the same difference, because they fail differently:
+//!
+//! * **normwise** relative error is what Higham's Strassen bounds
+//!   control — Strassen-type algorithms satisfy normwise bounds only;
+//! * **componentwise** relative error is what classic GEMM satisfies
+//!   (`|Ĉ−C| ≤ k·u·|A||B|` elementwise) but Strassen provably does
+//!   *not* — small entries produced by cancellation across sub-blocks
+//!   can be wildly wrong relatively while tiny absolutely. We report it
+//!   but never assert it for Strassen paths;
+//! * **max ulp distance** is the scale-free view the exactness tests
+//!   use (0 ulps on integer data, a handful for the oracle itself).
+
+use matrix::{norms, MatRef};
+
+/// Summary of the difference between a computed matrix and a reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorReport {
+    /// `max|ĉ−c| / (‖A-side scale‖)` — here `max|ĉ−c| / max(1, max|c|)`,
+    /// matching [`norms::rel_diff`]. This is the quantity the Higham
+    /// bounds of [`crate::bound`] control.
+    pub normwise: f64,
+    /// `max_ij |ĉ_ij − c_ij| / |c_ij|` over entries with
+    /// `|c_ij| > tiny` (entries below the cutoff are skipped: a
+    /// cancelled-to-noise reference entry has no meaningful relative
+    /// error). Informational for Strassen paths.
+    pub componentwise: f64,
+    /// Largest ulp distance over all entries (`u64::MAX` if any pair
+    /// differs in sign or either is non-finite).
+    pub max_ulps: u64,
+    /// Largest absolute difference, for context in failure messages.
+    pub max_abs_diff: f64,
+}
+
+impl ErrorReport {
+    /// One-line rendering for fuzzer output and reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "normwise {:.3e}, componentwise {:.3e}, max {} ulps, max |diff| {:.3e}",
+            self.normwise, self.componentwise, self.max_ulps, self.max_abs_diff
+        )
+    }
+}
+
+/// Entries of the reference smaller than this (relative to its max
+/// entry) are excluded from the componentwise ratio.
+const COMPONENTWISE_FLOOR: f64 = 1e-8;
+
+/// Compare `computed` against `reference` (usually the oracle) and
+/// produce an [`ErrorReport`]. Shapes must match.
+pub fn compare(computed: MatRef<'_, f64>, reference: MatRef<'_, f64>) -> ErrorReport {
+    assert_eq!(computed.nrows(), reference.nrows(), "compare: row mismatch");
+    assert_eq!(computed.ncols(), reference.ncols(), "compare: col mismatch");
+    let tiny = COMPONENTWISE_FLOOR * norms::max_abs(reference).max(f64::MIN_POSITIVE);
+    let mut componentwise = 0.0f64;
+    for j in 0..reference.ncols() {
+        for i in 0..reference.nrows() {
+            let r = reference.at(i, j);
+            if r.abs() > tiny {
+                componentwise = componentwise.max((computed.at(i, j) - r).abs() / r.abs());
+            }
+        }
+    }
+    ErrorReport {
+        normwise: norms::rel_diff(computed, reference),
+        componentwise,
+        max_ulps: testkit::max_ulp_diff_mat(computed, reference),
+        max_abs_diff: norms::max_abs_diff(computed, reference),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::Matrix;
+
+    #[test]
+    fn identical_matrices_report_zero() {
+        let a = matrix::random::uniform::<f64>(5, 7, 42);
+        let r = compare(a.as_ref(), a.as_ref());
+        assert_eq!(r.normwise, 0.0);
+        assert_eq!(r.componentwise, 0.0);
+        assert_eq!(r.max_ulps, 0);
+        assert_eq!(r.max_abs_diff, 0.0);
+    }
+
+    #[test]
+    fn single_ulp_perturbation_is_measured() {
+        let a = Matrix::from_fn(3, 3, |i, j| 1.0 + (i * 3 + j) as f64);
+        let mut b = a.clone();
+        let bumped = f64::from_bits(b.at(2, 2).to_bits() + 1);
+        b.set(2, 2, bumped);
+        let r = compare(b.as_ref(), a.as_ref());
+        assert_eq!(r.max_ulps, 1);
+        assert!(r.normwise > 0.0 && r.normwise < 1e-15);
+        assert!(r.componentwise > 0.0 && r.componentwise < 1e-15);
+    }
+
+    #[test]
+    fn componentwise_skips_cancelled_entries() {
+        // Reference entry ~1e-20 against max entry 1.0 sits far below the
+        // floor: a large *relative* miss there must not dominate.
+        let reference = Matrix::from_row_major(1, 2, &[1.0, 1e-20]);
+        let computed = Matrix::from_row_major(1, 2, &[1.0, 5e-20]);
+        let r = compare(computed.as_ref(), reference.as_ref());
+        assert_eq!(r.componentwise, 0.0);
+        assert!(r.normwise < 1e-15);
+    }
+
+    #[test]
+    fn componentwise_catches_small_entry_blowup_above_floor() {
+        let reference = Matrix::from_row_major(1, 2, &[1.0, 1e-3]);
+        let computed = Matrix::from_row_major(1, 2, &[1.0, 2e-3]);
+        let r = compare(computed.as_ref(), reference.as_ref());
+        assert!((r.componentwise - 1.0).abs() < 1e-12, "got {}", r.componentwise);
+        // ...while the normwise view barely notices.
+        assert!(r.normwise < 2e-3);
+    }
+}

@@ -14,6 +14,11 @@ pub enum Variant {
     Original,
 }
 
+impl Variant {
+    /// Every variant, for config-space sweeps and the differential fuzzer.
+    pub const ALL: [Variant; 2] = [Variant::Winograd, Variant::Original];
+}
+
 /// Which computation schedule carries out the recursion.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scheme {
@@ -31,6 +36,12 @@ pub enum Scheme {
     SevenTemp,
 }
 
+impl Scheme {
+    /// Every schedule, for config-space sweeps and the differential
+    /// fuzzer.
+    pub const ALL: [Scheme; 4] = [Scheme::Auto, Scheme::Strassen1, Scheme::Strassen2, Scheme::SevenTemp];
+}
+
 /// How odd dimensions are made even at each recursion level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OddHandling {
@@ -46,6 +57,17 @@ pub enum OddHandling {
     DynamicPadding,
     /// Strassen's suggestion: pad once, up front, so every level is even.
     StaticPadding,
+}
+
+impl OddHandling {
+    /// Every odd-dimension strategy, for config-space sweeps and the
+    /// differential fuzzer.
+    pub const ALL: [OddHandling; 4] = [
+        OddHandling::DynamicPeeling,
+        OddHandling::DynamicPeelingFirst,
+        OddHandling::DynamicPadding,
+        OddHandling::StaticPadding,
+    ];
 }
 
 /// Full configuration for [`crate::dgefmm`].

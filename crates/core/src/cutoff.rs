@@ -130,6 +130,22 @@ impl CutoffCriterion {
         }
     }
 
+    /// The four runtime criteria the paper studies, instantiated with the
+    /// square cutoff `tau` where they take one (rectangular hybrid
+    /// parameters default to `τ/2`, the shape
+    /// [`crate::StrassenConfig::with_square_cutoff`] uses). This is the
+    /// enumeration surface for config-space sweeps and the differential
+    /// fuzzer: eqs. (10)/(11), (12), (7), and (15).
+    pub fn paper_suite(tau: usize) -> [CutoffCriterion; 4] {
+        let rect = (tau / 2).max(Self::HARD_FLOOR);
+        [
+            CutoffCriterion::Simple { tau },
+            CutoffCriterion::HighamScaled { tau },
+            CutoffCriterion::TheoreticalOpCount,
+            CutoffCriterion::Hybrid { tau, tau_m: rect, tau_k: rect, tau_n: rect },
+        ]
+    }
+
     /// Recursion depth this criterion yields on a square order-`m`
     /// product (halving, ignoring odd-size effects — matches the model
     /// analysis, not necessarily the runtime peel path).
@@ -228,6 +244,22 @@ mod tests {
         // The hard floor wins over every criterion, including Never.
         assert_eq!(CutoffCriterion::Never.stop_reason(2, 10, 10), Some(StopReason::HardFloor));
         assert_eq!(StopReason::Hybrid.paper_label(), "eq. (15)");
+    }
+
+    #[test]
+    fn paper_suite_enumerates_all_four_equations() {
+        let suite = CutoffCriterion::paper_suite(64);
+        assert_eq!(suite.len(), 4);
+        assert_eq!(suite[0].stop_reason(64, 100, 100), Some(StopReason::Simple));
+        assert_eq!(suite[1].stop_reason(64, 64, 64), Some(StopReason::HighamScaled));
+        assert_eq!(suite[2].stop_reason(12, 12, 12), Some(StopReason::TheoreticalOpCount));
+        assert_eq!(suite[3].stop_reason(64, 64, 64), Some(StopReason::Hybrid));
+        // Hybrid rectangular parameters respect the hard floor.
+        if let CutoffCriterion::Hybrid { tau_m, .. } = CutoffCriterion::paper_suite(4)[3] {
+            assert_eq!(tau_m, CutoffCriterion::HARD_FLOOR);
+        } else {
+            unreachable!();
+        }
     }
 
     #[test]

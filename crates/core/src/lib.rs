@@ -57,7 +57,8 @@ pub use dispatch::{
 };
 pub use probe::{NoopProbe, Phase, Probe, Profile, TimedProbe, Trace, TraceProbe};
 pub use workspace::{
-    required_workspace, tls_arena_capacity_elements, total_temp_elements, Workspace, WorkspaceArena,
+    required_workspace, resolve_scheme, tls_arena_capacity_elements, total_temp_elements, ResolvedScheme,
+    Workspace, WorkspaceArena,
 };
 
 #[cfg(test)]

@@ -100,6 +100,18 @@ impl Gen {
         self.usize_in(lo, hi + 1)
     }
 
+    /// Uniform *odd* `usize` in `[lo, hi)` (width size-scaled toward the
+    /// smallest odd value ≥ `lo`). The differential fuzzer uses this to
+    /// force dynamic-peeling/padding paths while keeping shrinking
+    /// meaningful: a shrunken case is still odd.
+    pub fn odd_usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        let lo_odd = lo | 1;
+        assert!(lo_odd < hi, "odd_usize_in: no odd value in [{lo}, {hi})");
+        // Draw the odd index, then map back: lo_odd + 2·i.
+        let slots = (hi - lo_odd).div_ceil(2);
+        lo_odd + 2 * self.usize_in(0, slots)
+    }
+
     /// Uniform `u64` in `[lo, hi)` (width size-scaled toward `lo`).
     pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "u64_in: empty range [{lo}, {hi})");
@@ -141,6 +153,18 @@ impl Gen {
     }
 }
 
+/// Case budget from an environment variable (decimal), or `default`.
+///
+/// The fuzzer reads `FUZZ_ITERS` through this so CI can pin a fixed
+/// budget (`scripts/verify.sh` runs 256 cases) while local runs scale it
+/// up for soak testing.
+pub fn cases_from_env(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| panic!("{var} is not an integer: {v:?}")),
+        Err(_) => default,
+    }
+}
+
 /// Shrink sizes tried after a failure, smallest first.
 const SHRINK_SIZES: [f64; 7] = [0.0, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75];
 
@@ -172,7 +196,8 @@ where
                 "[testkit] property '{name}' failed at case {case}/{cases} \
                  (master seed {master:#x}, case seed {case_seed:#x}, shrunk to size {size})\n\
                  cause: {}\n\
-                 replay: TESTKIT_SEED={master:#x} cargo test",
+                 replay: TESTKIT_SEED={master:#x} cargo test, \
+                 or testkit::replay({case_seed:#x}, {size:?}, prop)",
                 payload_message(&payload),
             );
         }
@@ -187,6 +212,20 @@ where
     if let Err(p) = run_case(&prop, case_seed, size) {
         resume_unwind(p);
     }
+}
+
+/// Recover `(case_seed, shrunk_size)` from a [`check`] failure report, so
+/// a harness that caught the panic can machine-replay the minimal
+/// reproducer with [`replay`]. Returns `None` for panics that did not
+/// come from this harness.
+pub fn parse_failure(report: &str) -> Option<(u64, f64)> {
+    let seed_at = report.find("case seed 0x")? + "case seed 0x".len();
+    let seed_hex: String = report[seed_at..].chars().take_while(char::is_ascii_hexdigit).collect();
+    let seed = u64::from_str_radix(&seed_hex, 16).ok()?;
+    let size_at = report.find("shrunk to size ")? + "shrunk to size ".len();
+    let size_str: String =
+        report[size_at..].chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+    Some((seed, size_str.parse().ok()?))
 }
 
 fn run_case<F>(prop: &F, case_seed: u64, size: f64) -> Result<(), Box<dyn std::any::Any + Send>>
@@ -225,6 +264,20 @@ pub fn ulp_diff(a: f64, b: f64) -> u64 {
     }
     let d = (key(a) - key(b)).unsigned_abs();
     u64::try_from(d).unwrap_or(u64::MAX)
+}
+
+/// Largest [`ulp_diff`] over all entries of two same-shaped `f64`
+/// matrices — the max-ulp distance metric the accuracy oracle reports.
+pub fn max_ulp_diff_mat(a: MatRef<'_, f64>, b: MatRef<'_, f64>) -> u64 {
+    assert_eq!(a.nrows(), b.nrows(), "max_ulp_diff_mat: row mismatch");
+    assert_eq!(a.ncols(), b.ncols(), "max_ulp_diff_mat: col mismatch");
+    let mut worst = 0u64;
+    for j in 0..a.ncols() {
+        for (x, y) in a.col(j).iter().zip(b.col(j)) {
+            worst = worst.max(ulp_diff(*x, *y));
+        }
+    }
+    worst
 }
 
 /// Assert two scalars are within `max_ulps` representable values of each
@@ -349,6 +402,61 @@ mod tests {
         }
         assert_eq!(seen, [true; 3]);
         assert_eq!(seen_bool, [true; 2]);
+    }
+
+    #[test]
+    fn odd_draws_are_odd_and_in_range() {
+        for &size in &[0.0, 0.4, 1.0] {
+            let mut g = Gen::new(31, size);
+            for _ in 0..300 {
+                let x = g.odd_usize_in(4, 40);
+                assert!(x % 2 == 1 && (5..40).contains(&x), "{x}");
+                // Degenerate one-slot range.
+                assert_eq!(g.odd_usize_in(7, 8), 7);
+            }
+        }
+        // At size 0 the draw collapses to the smallest odd value.
+        let mut g = Gen::new(31, 0.0);
+        assert_eq!(g.odd_usize_in(4, 40), 5);
+    }
+
+    #[test]
+    fn failure_report_round_trips_through_parse_failure() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("parse_me", 20, |g| {
+                let n = g.usize_in(1, 100);
+                assert!(n < 3, "n = {n}");
+            });
+        }));
+        let msg = payload_message(&result.unwrap_err());
+        let (seed, size) = parse_failure(&msg).expect("report must be parseable");
+        // The recovered coordinates replay to the same failure.
+        let replayed = catch_unwind(AssertUnwindSafe(|| {
+            replay(seed, size, |g| {
+                let n = g.usize_in(1, 100);
+                assert!(n < 3, "n = {n}");
+            });
+        }));
+        assert!(replayed.is_err(), "parsed (seed, size) must reproduce the failure");
+        assert_eq!(parse_failure("some unrelated panic"), None);
+    }
+
+    #[test]
+    fn cases_from_env_reads_override() {
+        assert_eq!(cases_from_env("TESTKIT_NO_SUCH_VAR", 64), 64);
+        std::env::set_var("TESTKIT_CASES_TEST_VAR", "17");
+        assert_eq!(cases_from_env("TESTKIT_CASES_TEST_VAR", 64), 17);
+        std::env::remove_var("TESTKIT_CASES_TEST_VAR");
+    }
+
+    #[test]
+    fn matrix_ulp_metric() {
+        use matrix::Matrix;
+        let a = Matrix::<f64>::identity(3);
+        let mut b = a.clone();
+        assert_eq!(max_ulp_diff_mat(a.as_ref(), b.as_ref()), 0);
+        b.set(2, 2, f64::from_bits(1.0f64.to_bits() + 3));
+        assert_eq!(max_ulp_diff_mat(a.as_ref(), b.as_ref()), 3);
     }
 
     #[test]

@@ -17,4 +17,17 @@ export BENCH_SAMPLES="${BENCH_SAMPLES:-8}"
 export BENCH_WARMUP_MS="${BENCH_WARMUP_MS:-300}"
 export BENCH_MEASURE_MS="${BENCH_MEASURE_MS:-8000}"
 
+# Oracle-linkage audit: the compensated accuracy oracle is a test-only
+# reference — it must never appear in the normal dependency graph of the
+# hot path (the bench harness, the root crate, or the strassen kernels).
+# `-e normal` excludes dev-dependencies, which is exactly the boundary
+# the audit enforces.
+for pkg in strassen-bench strassen-repro strassen; do
+    if cargo tree -p "$pkg" -e normal --prefix none --offline | grep -q "strassen-accuracy"; then
+        echo "ERROR: $pkg links the accuracy oracle into its normal (hot-path) graph" >&2
+        exit 1
+    fi
+done
+echo "oracle audit: accuracy crate absent from all hot-path dependency graphs"
+
 cargo run --release --offline -p strassen-bench --bin bench_quick

@@ -6,31 +6,31 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/9 offline release build =="
+echo "== 1/10 offline release build =="
 cargo build --release --offline
 
-echo "== 2/9 offline test suite =="
+echo "== 2/10 offline test suite =="
 cargo test -q --offline
 
-echo "== 3/9 bench targets compile (offline) =="
+echo "== 3/10 bench targets compile (offline) =="
 cargo build --release --offline -p strassen-bench --benches --bins
 
-echo "== 4/9 clippy (deny warnings) =="
+echo "== 4/10 clippy (deny warnings) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
-echo "== 5/9 rustfmt check =="
+echo "== 5/10 rustfmt check =="
 cargo fmt --check
 
-echo "== 6/9 rustdoc (deny warnings) =="
+echo "== 6/10 rustdoc (deny warnings) =="
 # cargo doc reuses cached rustdoc output even when RUSTDOCFLAGS would now
 # fail it; touch the crate roots so every crate is re-documented.
 touch crates/*/src/lib.rs src/lib.rs
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 
-echo "== 7/9 doc-tests =="
+echo "== 7/10 doc-tests =="
 cargo test --doc --workspace -q --offline
 
-echo "== 8/9 profile report (live run + schema validation) =="
+echo "== 8/10 profile report (live run + schema validation) =="
 # One live profiled run: flop totals are asserted against the eq. (4)
 # closed form inside the example, and the emitted JSON is re-parsed with
 # the independent testkit parser before the OK marker prints.
@@ -39,7 +39,18 @@ grep -q '"schema":1' results/profile_report.json
 grep -q '^dgefmm' results/profile_report.folded
 echo "profile_report artifacts validated"
 
-echo "== 9/9 dependency audit: workspace-only graph =="
+echo "== 9/10 differential fuzz campaign (pinned 256 cases) =="
+# The config-space fuzzer: 256 cases at a pinned master seed, every case
+# a full random DGEFMM configuration (shape incl. odd/prime, α/β,
+# transposes, variant, schedule, odd-handling, cutoff criterion,
+# parallel_depth, fused, probe) checked against the compensated oracle
+# under the Higham envelope. Deterministic: a failure here reproduces
+# bit-for-bit with the reported (case seed, size) pair.
+FUZZ_ITERS=256 TESTKIT_SEED=0xD1CE5EED \
+    cargo test -q --offline --test fuzz_differential differential_fuzz_campaign
+echo "fuzz campaign: 256/256 cases within the theoretical envelope"
+
+echo "== 10/10 dependency audit: workspace-only graph =="
 # Every package in the resolved graph must live under this repository;
 # a single registry/git dependency would appear without the (path) suffix.
 tree_out="$(cargo tree --workspace --edges normal,build,dev --prefix none --offline)"

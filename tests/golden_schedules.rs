@@ -10,7 +10,10 @@
 use blas::level3::{gemm, GemmConfig};
 use blas::Op;
 use matrix::{norms, random, Matrix};
-use strassen::{dgefmm, CutoffCriterion, Scheme, StrassenConfig, Variant};
+use strassen::probe::SplitEvent;
+use strassen::{
+    dgefmm, resolve_scheme, trace, CutoffCriterion, Probe, ResolvedScheme, Scheme, StrassenConfig, Variant,
+};
 
 /// The four named schedules of the paper's code: Strassen's original
 /// construction, the two Winograd-variant memory schedules (STRASSEN1 /
@@ -120,4 +123,85 @@ fn deep_recursion_mixed_parity() {
     for (name, variant, scheme) in SCHEDULES {
         check_cell(name, variant, scheme, 100, 100, 100, -0.7);
     }
+}
+
+// ---------------------------------------------------------------------
+// Table 1, last row: the DGEFMM schedule-selection policy, observed
+// through the probe's split events rather than inferred from memory use.
+// ---------------------------------------------------------------------
+
+/// A probe that records the resolved schedule of every recursion split.
+#[derive(Default)]
+struct SchemeRecorder {
+    splits: Vec<(usize, ResolvedScheme)>,
+}
+
+impl Probe for SchemeRecorder {
+    fn split(&mut self, ev: &SplitEvent) {
+        self.splits.push((ev.depth, ev.scheme));
+    }
+}
+
+/// Run an Auto-schedule multiply under the recorder and return the
+/// splits it observed. Fusion is off so every recursion node reports as
+/// a split (fused nodes bypass the temp-based schedules).
+fn recorded_splits(beta: f64) -> Vec<(usize, ResolvedScheme)> {
+    let n = 64;
+    let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 16 }).fused(false);
+    assert_eq!(cfg.scheme, Scheme::Auto, "the policy under test is the Auto default");
+    let a = random::uniform::<f64>(n, n, 71);
+    let b = random::uniform::<f64>(n, n, 72);
+    let mut c = random::uniform::<f64>(n, n, 73);
+    let (_, probe) = trace::with_probe(SchemeRecorder::default(), || {
+        dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+    });
+    probe.splits
+}
+
+/// Paper Table 1, last row: DGEFMM uses STRASSEN1 when `β = 0` and
+/// STRASSEN2 when `β ≠ 0`. Both branches, asserted on the actual split
+/// events of the recursion (64 → 32 → 16 gives 1 root + 7 depth-1
+/// splits).
+#[test]
+fn table1_auto_policy_selects_strassen1_then_strassen2() {
+    let beta_zero = recorded_splits(0.0);
+    assert_eq!(beta_zero.len(), 8, "two recursion levels: 1 + 7 splits");
+    assert!(
+        beta_zero.iter().all(|&(_, s)| s == ResolvedScheme::Strassen1BetaZero),
+        "β = 0 must run STRASSEN1 at every node: {beta_zero:?}"
+    );
+
+    for beta in [1.0, -0.7] {
+        let general = recorded_splits(beta);
+        assert_eq!(general.len(), 8);
+        assert_eq!(general[0], (0, ResolvedScheme::Strassen2), "β = {beta} root must run STRASSEN2");
+        // The policy is per call: STRASSEN2's sub-products that compute
+        // into fresh temporaries are themselves β = 0 calls and re-resolve
+        // to STRASSEN1, while its accumulating products stay STRASSEN2.
+        // Both must appear, and nothing outside the Auto policy ever does.
+        let depth1: Vec<_> = general[1..].iter().map(|&(_, s)| s).collect();
+        assert!(depth1.contains(&ResolvedScheme::Strassen2), "β = {beta}: {general:?}");
+        assert!(depth1.contains(&ResolvedScheme::Strassen1BetaZero), "β = {beta}: {general:?}");
+        assert!(
+            depth1.iter().all(|s| matches!(s, ResolvedScheme::Strassen2 | ResolvedScheme::Strassen1BetaZero)),
+            "β = {beta}: only the two Auto resolutions may appear: {general:?}"
+        );
+    }
+
+    // The policy is also what `resolve_scheme` promises statically.
+    let cfg = StrassenConfig::dgefmm();
+    assert_eq!(resolve_scheme(&cfg, true), ResolvedScheme::Strassen1BetaZero);
+    assert_eq!(resolve_scheme(&cfg, false), ResolvedScheme::Strassen2);
+}
+
+/// The recursion inherits the root's resolution: STRASSEN1's recursive
+/// sub-products run with β-classes of their own, and the probe sees the
+/// schedule actually applied at each node — depth-1 nodes under a
+/// β = 0 root stay in the β = 0 class for STRASSEN1's products.
+#[test]
+fn beta_zero_recursion_stays_beta_zero() {
+    let splits = recorded_splits(0.0);
+    let depth1: Vec<_> = splits.iter().filter(|&&(d, _)| d == 1).collect();
+    assert_eq!(depth1.len(), 7);
+    assert!(depth1.iter().all(|&&(_, s)| s == ResolvedScheme::Strassen1BetaZero));
 }

@@ -126,3 +126,64 @@ fn parallel_gemm_backend_uses_pool() {
     gemm(&GemmConfig::blocked(), 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, expect.as_mut());
     assert!(norms::rel_diff(c.as_ref(), expect.as_ref()) < 1e-12);
 }
+
+// ---------------------------------------------------------------------
+// Bitwise determinism of the parallel path.
+// ---------------------------------------------------------------------
+
+fn seven_temp_run(n: usize, parallel_depth: usize, fused: bool, seed: u64) -> Matrix<f64> {
+    let cfg = StrassenConfig {
+        parallel_depth,
+        ..StrassenConfig::dgefmm()
+            .scheme(Scheme::SevenTemp)
+            .cutoff(CutoffCriterion::Simple { tau: 64 })
+            .fused(fused)
+    };
+    let a = random::uniform::<f64>(n, n, seed);
+    let b = random::uniform::<f64>(n, n, seed ^ 0xB0B);
+    let mut c = random::uniform::<f64>(n, n, seed ^ 0xACE);
+    dgefmm(&cfg, 1.25, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), -0.5, c.as_mut());
+    c
+}
+
+/// Run-to-run determinism: at a fixed seed, `dgefmm` is bitwise
+/// identical across repeated runs for every `parallel_depth` — the
+/// seven-temporary fan-out writes each product into its own temporary,
+/// so work-stealing order can never reorder a floating-point reduction.
+#[test]
+fn seven_temp_is_bitwise_deterministic_run_to_run() {
+    let _ = pool::set_num_threads(4);
+    for parallel_depth in [0usize, 1, 2] {
+        let first = seven_temp_run(256, parallel_depth, true, 0xD57);
+        for rerun in 0..2 {
+            let again = seven_temp_run(256, parallel_depth, true, 0xD57);
+            assert!(
+                first.as_slice() == again.as_slice(),
+                "parallel_depth={parallel_depth} rerun {rerun}: results differ bitwise \
+                 (max {} ulps)",
+                testkit::max_ulp_diff_mat(first.as_ref(), again.as_ref())
+            );
+        }
+    }
+}
+
+/// Serial-vs-parallel determinism: with the fused kernels disabled the
+/// serial (`parallel_depth = 0`) and parallel (`1`, `2`) executions run
+/// the *same* arithmetic in the same order per element, so the results
+/// are bitwise identical — not merely close. (Fusion must be off for
+/// this comparison: the fused path declines to flatten nodes that are
+/// still inside the parallel fan-out region, so `parallel_depth`
+/// changes *which* kernels run when fusion is on.)
+#[test]
+fn seven_temp_serial_vs_parallel_bitwise_identical() {
+    let _ = pool::set_num_threads(4);
+    let serial = seven_temp_run(256, 0, false, 0x5E7);
+    for parallel_depth in [1usize, 2] {
+        let parallel = seven_temp_run(256, parallel_depth, false, 0x5E7);
+        assert!(
+            serial.as_slice() == parallel.as_slice(),
+            "serial vs parallel_depth={parallel_depth}: results differ bitwise (max {} ulps)",
+            testkit::max_ulp_diff_mat(serial.as_ref(), parallel.as_ref())
+        );
+    }
+}

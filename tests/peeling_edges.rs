@@ -195,3 +195,52 @@ fn padding_has_no_fixups() {
         assert!(tr.pad_copies() >= 1, "{odd:?}");
     }
 }
+
+// ---------------------------------------------------------------------
+// Cutoff-boundary parity sweep against the compensated oracle.
+// ---------------------------------------------------------------------
+
+/// All 27 combinations of (m, k, n) drawn from {τ−1, τ, τ+1} — the sizes
+/// where "stop", "boundary", and "recurse then peel" meet — crossed with
+/// all four transpose combinations and every odd-handling strategy,
+/// checked against the compensated oracle with the theoretical tolerance
+/// instead of a hand-tuned epsilon. τ+1 is odd, so the recursing cell of
+/// each combination peels (or pads) exactly at the boundary.
+#[test]
+fn cutoff_boundary_parity_and_transposes_vs_oracle() {
+    let tau = 8;
+    let sizes = [tau - 1, tau, tau + 1];
+    let (alpha, beta) = (0.9, -0.3);
+    for odd in ODDS {
+        for &m in &sizes {
+            for &k in &sizes {
+                for &n in &sizes {
+                    for (ta, tb) in [(false, false), (true, false), (false, true), (true, true)] {
+                        let op_a = if ta { Op::Trans } else { Op::NoTrans };
+                        let op_b = if tb { Op::Trans } else { Op::NoTrans };
+                        let (ar, ac) = if ta { (k, m) } else { (m, k) };
+                        let (br, bc) = if tb { (n, k) } else { (k, n) };
+                        let seed = (m * 41 + k * 13 + n * 7 + ta as usize * 3 + tb as usize) as u64;
+                        let a = random::uniform::<f64>(ar, ac, seed);
+                        let b = random::uniform::<f64>(br, bc, seed ^ 0x77);
+                        let c0 = random::uniform::<f64>(m, n, seed ^ 0xEE);
+
+                        let mut want = c0.clone();
+                        accuracy::gemm_oracle(alpha, op_a, a.as_ref(), op_b, b.as_ref(), beta, want.as_mut());
+
+                        let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau }).odd(odd);
+                        let mut c = c0.clone();
+                        dgefmm(&cfg, alpha, op_a, a.as_ref(), op_b, b.as_ref(), beta, c.as_mut());
+
+                        let diff = norms::rel_diff(c.as_ref(), want.as_ref());
+                        let tol = accuracy::tolerance_for(m, k, n);
+                        assert!(
+                            diff <= tol,
+                            "{odd:?} {m}x{k}x{n} ta={ta} tb={tb}: rel diff {diff:.3e} > tol {tol:.3e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

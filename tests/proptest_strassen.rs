@@ -1,35 +1,18 @@
 //! Property-based tests: DGEFMM ≡ conventional GEMM over random shapes,
 //! scalars, schedules, and odd-handling strategies, with the error
-//! bounded by a Strassen-style stability envelope.
+//! bounded by the shared theoretical envelope
+//! (`accuracy::tolerance_for`, the Higham constant at full recursion)
+//! instead of a per-file hand-tuned epsilon.
 //!
 //! Runs on the in-tree `testkit` harness (deterministic, seed via
 //! `TESTKIT_SEED`).
 
+use accuracy::tolerance_for as tolerance;
 use blas::level3::{gemm, GemmConfig};
 use blas::Op;
 use matrix::{norms, random, Matrix};
 use strassen::{dgefmm, CutoffCriterion, OddHandling, Scheme, StrassenConfig, Variant};
 use testkit::{check, Gen};
-
-const SCHEMES: [Scheme; 4] = [Scheme::Auto, Scheme::Strassen1, Scheme::Strassen2, Scheme::SevenTemp];
-
-const ODDS: [OddHandling; 4] = [
-    OddHandling::DynamicPeeling,
-    OddHandling::DynamicPeelingFirst,
-    OddHandling::DynamicPadding,
-    OddHandling::StaticPadding,
-];
-
-const VARIANTS: [Variant; 2] = [Variant::Winograd, Variant::Original];
-
-/// Stability envelope: Higham-style bound scaled loosely. Winograd's
-/// variant satisfies `‖Ĉ − C‖ ≤ c·f(n)·ε·‖A‖‖B‖` with `f` polynomial in
-/// the recursion depth; a generous constant keeps the test robust while
-/// still catching any algebraic error (which would be O(1), not O(ε)).
-fn tolerance(m: usize, k: usize, n: usize) -> f64 {
-    let dim = m.max(k).max(n) as f64;
-    1e3 * dim * dim * f64::EPSILON
-}
 
 #[test]
 fn dgefmm_matches_gemm() {
@@ -40,9 +23,9 @@ fn dgefmm_matches_gemm() {
         let alpha = g.f64_in(-2.0, 2.0);
         let beta = g.f64_in(-2.0, 2.0);
         let tau = g.usize_in(4, 24);
-        let scheme = g.pick(&SCHEMES);
-        let odd = g.pick(&ODDS);
-        let variant = g.pick(&VARIANTS);
+        let scheme = g.pick(&Scheme::ALL);
+        let odd = g.pick(&OddHandling::ALL);
+        let variant = g.pick(&Variant::ALL);
         let seed = g.seed();
         let a = random::uniform::<f64>(m, k, seed);
         let b = random::uniform::<f64>(k, n, seed ^ 0xabcd);
@@ -114,7 +97,7 @@ fn workspace_claim_is_sufficient() {
         let n = g.usize_in(4, 120);
         let tau = g.usize_in(4, 16);
         let beta_zero = g.bool();
-        let scheme = g.pick(&SCHEMES);
+        let scheme = g.pick(&Scheme::ALL);
         let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau }).scheme(scheme);
         let a = random::uniform::<f64>(m, k, 1);
         let b = random::uniform::<f64>(k, n, 2);
@@ -134,8 +117,8 @@ fn beta_zero_never_reads_c() {
         let m = g.usize_in(1, 60);
         let k = g.usize_in(1, 60);
         let n = g.usize_in(1, 60);
-        let scheme = g.pick(&SCHEMES);
-        let odd = g.pick(&ODDS);
+        let scheme = g.pick(&Scheme::ALL);
+        let odd = g.pick(&OddHandling::ALL);
         let a = random::uniform::<f64>(m, k, 3);
         let b = random::uniform::<f64>(k, n, 4);
         let mut c = Matrix::from_fn(m, n, |_, _| f64::NAN);
@@ -152,7 +135,7 @@ fn beta_zero_never_reads_c() {
 fn identity_times_b_close() {
     check("identity_times_b_close", 48, |g: &mut Gen| {
         let n = g.usize_in(2, 64);
-        let scheme = g.pick(&SCHEMES);
+        let scheme = g.pick(&Scheme::ALL);
         let i = Matrix::<f64>::identity(n);
         let b = random::uniform::<f64>(n, n, g.seed());
         let mut c = Matrix::<f64>::zeros(n, n);
