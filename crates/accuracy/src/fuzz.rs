@@ -6,7 +6,10 @@
 //! space — shape (including odd and near-floor dimensions), `α`/`β`
 //! classes, transposes, variant, schedule, odd-dimension handling,
 //! cutoff criterion (the paper's eqs. 10/11, 12, 7, 15 plus `Never`),
-//! `parallel_depth`, fused kernels, probe installed or not — runs
+//! `parallel_depth`, fused kernels (one- and two-level flattening
+//! through the shared-panel executor), the base GEMM's cache-blocking
+//! class ([`BlockingClass`]: auto/tiny/prime/huge), probe installed or
+//! not — runs
 //! [`strassen::dgefmm`] on seeded data, recomputes the product with
 //! [`crate::oracle::gemm_oracle`], and asserts the measured error sits
 //! inside [`crate::bound::gemm_bound`].
@@ -19,6 +22,7 @@
 
 use crate::bound::{gemm_bound, BoundSchedule};
 use crate::metrics::{compare, ErrorReport};
+use blas::level3::{GemmConfig, MR, NR};
 use blas::Op;
 use matrix::{norms, random};
 use strassen::{dgefmm, trace, CutoffCriterion, OddHandling, Scheme, StrassenConfig, Variant};
@@ -28,6 +32,43 @@ use testkit::Gen;
 /// levels at the smallest cutoff; small enough that the Θ(mkn) oracle
 /// keeps a 256-case campaign in seconds.
 const MAX_DIM: usize = 80;
+
+/// Which `(mc, kc, nc)` cache-blocking class the base GEMM runs under.
+/// The 5-loop kernel clamps any triple to a correct one, so every class
+/// must be numerically indistinguishable — this axis is what checks
+/// that claim across the whole configuration space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockingClass {
+    /// The machine-derived profile ([`GemmConfig::auto`], the DGEFMM
+    /// default).
+    Auto,
+    /// All parameters below the register tile (`< MR`/`NR`): every
+    /// cache block degenerates to a single micro-panel.
+    Tiny,
+    /// Primes near the register tile: nothing divides anything, so all
+    /// three loops run with remainders everywhere.
+    Prime,
+    /// All parameters larger than any fuzzed dimension: the clamp layer
+    /// must shrink them to the problem and the 5-loop nest collapses to
+    /// a single cache block.
+    Huge,
+}
+
+impl BlockingClass {
+    /// Every class, for the coverage self-test.
+    pub const ALL: [BlockingClass; 4] =
+        [BlockingClass::Auto, BlockingClass::Tiny, BlockingClass::Prime, BlockingClass::Huge];
+
+    /// The concrete [`GemmConfig`] this class runs under.
+    pub fn config(self) -> GemmConfig {
+        match self {
+            BlockingClass::Auto => GemmConfig::auto(),
+            BlockingClass::Tiny => GemmConfig { mc: MR - 1, kc: 3, nc: NR - 1, ..GemmConfig::blocked() },
+            BlockingClass::Prime => GemmConfig { mc: 37, kc: 13, nc: 31, ..GemmConfig::blocked() },
+            BlockingClass::Huge => GemmConfig { mc: 4096, kc: 4096, nc: 4096, ..GemmConfig::blocked() },
+        }
+    }
+}
 
 /// One fully drawn configuration-space point.
 #[derive(Clone, Copy, Debug)]
@@ -59,6 +100,12 @@ pub struct FuzzCase {
     pub parallel_depth: usize,
     /// Fused last-level kernels on/off.
     pub fused: bool,
+    /// Levels the fused path flattens at once (1 or 2; 2 runs the
+    /// 49-product composed schedule through the shared-panel executor).
+    pub fused_levels: u8,
+    /// Cache-blocking class for the base GEMM (and, through it, the
+    /// packed-panel fused executor).
+    pub blocking: BlockingClass,
     /// Whether a recording probe is installed during the call — the
     /// observability layer must never perturb the numerics.
     pub probe: bool,
@@ -121,6 +168,8 @@ impl FuzzCase {
             criterion,
             parallel_depth: g.usize_in_incl(0, 2),
             fused: g.bool(),
+            fused_levels: if g.bool() { 2 } else { 1 },
+            blocking: g.pick(&BlockingClass::ALL),
             probe: g.bool(),
             data_seed: g.seed(),
         }
@@ -136,6 +185,8 @@ impl FuzzCase {
                 .odd(self.odd)
                 .cutoff(self.criterion)
                 .fused(self.fused)
+                .fused_levels(self.fused_levels)
+                .gemm(self.blocking.config())
         }
     }
 
@@ -235,6 +286,8 @@ mod tests {
         let mut odds = std::collections::HashSet::new();
         let mut criteria = std::collections::HashSet::new();
         let mut depths = std::collections::HashSet::new();
+        let mut blockings = std::collections::HashSet::new();
+        let mut levels = std::collections::HashSet::new();
         let mut odd_dims = false;
         let mut beta_zero = false;
         let mut beta_nonzero = false;
@@ -246,6 +299,8 @@ mod tests {
             odds.insert(format!("{:?}", c.odd));
             criteria.insert(std::mem::discriminant(&c.criterion));
             depths.insert(c.parallel_depth);
+            blockings.insert(format!("{:?}", c.blocking));
+            levels.insert(c.fused_levels);
             odd_dims |= c.m % 2 == 1 && c.k % 2 == 1;
             beta_zero |= c.beta == 0.0;
             beta_nonzero |= c.beta != 0.0;
@@ -256,6 +311,8 @@ mod tests {
         assert_eq!(odds.len(), 4);
         assert_eq!(criteria.len(), 5, "all four paper criteria plus Never");
         assert_eq!(depths.len(), 3);
+        assert_eq!(blockings.len(), 4, "auto, tiny, prime, and huge blocking");
+        assert_eq!(levels.len(), 2, "one- and two-level fused flattening");
         assert!(odd_dims && beta_zero && beta_nonzero);
     }
 

@@ -1,15 +1,29 @@
-//! Cache-blocked, packing GEMM kernel (BLIS-style loop nest).
+//! Cache-blocked, packing GEMM kernel (BLIS/Goto 5-loop nest).
 //!
-//! Loop structure, outermost first: `jc` over `NC`-wide column panels of
-//! `op(B)`, `pc` over `KC`-deep rank panels (packing `op(B)` once), `ic`
-//! over `MC`-tall row panels (packing `op(A)` once), then an `MR x NR`
-//! register-tiled micro-kernel (see [`super::kernel`]). Packing also
-//! absorbs the transpose, so `op = Trans` costs nothing extra in the
-//! inner loops — which is how the vendor DGEMMs the paper built on
-//! behave. Packed panels live in a per-thread reusable buffer
-//! ([`super::packbuf`]), so steady-state calls allocate nothing.
+//! Loop structure, outermost first: `jc` over `nc`-wide column panels of
+//! `op(B)` (L3), `pc` over `kc`-deep rank panels packing `op(B)` once
+//! per `(jc, pc)` (L1-sized micro-panels), `ic` over `mc`-tall row
+//! panels packing `op(A)` once per `(pc, ic)` (L2-resident), then the
+//! macro-kernel sweeps `MR x NR` register tiles over the packed panels —
+//! in adjacent *pairs* of row panels on AVX-512 parts (see
+//! [`super::kernel`]). Packing also absorbs the transpose, so
+//! `op = Trans` costs nothing extra in the inner loops — which is how
+//! the vendor DGEMMs the paper built on behave.
+//!
+//! `β` is folded into the first `pc` block's tile write-back instead of
+//! a standalone pre-sweep: `β = 0` becomes a pure store (no read of
+//! `C`), and a general `β` costs one fused scale-accumulate pass — one
+//! full sweep of `C` saved either way. The fold preserves bitwise
+//! results against the pre-sweep formulation because the same scalar
+//! operations run in the same order per element.
+//!
+//! Blocking parameters come from [`super::GemmConfig`] (see
+//! [`super::params`] for the machine-derived defaults) and are clamped
+//! to the problem shape, so small multiplies lease proportionally small
+//! pack buffers ([`super::packbuf`]) and steady-state calls allocate
+//! nothing.
 
-use super::kernel::{microkernel, AccTile, MR, NR};
+use super::kernel::{microkernel, microkernel_x2, AccTile, MR, NR};
 use super::packbuf::with_pack_bufs;
 use super::{check_gemm_dims, scale_c, GemmConfig};
 use crate::level2::Op;
@@ -90,11 +104,66 @@ pub(crate) fn pack_b<T: Scalar>(
     }
 }
 
+/// Scatter one accumulator tile into `C` at `(i0, j0)`.
+///
+/// `beta = None` accumulates; `Some(0)` is a pure store (no read of the
+/// destination); any other `Some(b)` fuses the scale into the write. The
+/// scalar sequences match the classic pre-sweep formulation bitwise:
+/// `Some(b)` computes `b·d + α·v` exactly as `scale` + `+=` did, and
+/// `Some(1)`/`None` skip the (exact) multiply by one.
+#[inline(always)]
+pub(crate) fn write_tile<T: Scalar>(
+    c: &mut MatMut<'_, T>,
+    i0: usize,
+    j0: usize,
+    rows: usize,
+    cols: usize,
+    alpha: T,
+    beta: Option<T>,
+    acc: &AccTile<T>,
+) {
+    let ld = c.ld();
+    // Hoist the destination base pointer: at leaf-sized `kb` the
+    // per-column slice checks of safe indexing cost as much as the
+    // micro-kernel itself.
+    let base = c.as_mut_ptr();
+    for (cc, acc_col) in acc.iter().enumerate().take(cols) {
+        // SAFETY: rows i0..i0+rows of column j0+cc are in bounds by
+        // construction of the blocking.
+        let cseg = unsafe { core::slice::from_raw_parts_mut(base.add((j0 + cc) * ld + i0), rows) };
+        match beta {
+            None => {
+                for (d, &v) in cseg.iter_mut().zip(acc_col) {
+                    *d += alpha * v;
+                }
+            }
+            Some(b) if b == T::ZERO => {
+                for (d, &v) in cseg.iter_mut().zip(acc_col) {
+                    *d = alpha * v;
+                }
+            }
+            Some(b) if b == T::ONE => {
+                for (d, &v) in cseg.iter_mut().zip(acc_col) {
+                    *d += alpha * v;
+                }
+            }
+            Some(b) => {
+                for (d, &v) in cseg.iter_mut().zip(acc_col) {
+                    *d = b * *d + alpha * v;
+                }
+            }
+        }
+    }
+}
+
 /// Inner macro-kernel: multiply one packed `mb x kb` A-block by one packed
-/// `kb x nb` B-panel, accumulating `alpha * product` into the
-/// corresponding region of `C`.
+/// `kb x nb` B-panel into the corresponding region of `C`, walking the
+/// A-row panels in pairs so AVX-512 parts run the fused `2·MR x NR`
+/// micro-kernel. `beta` carries the first-`pc`-block fold (see
+/// [`write_tile`]); pass `None` on later rank updates.
 pub(crate) fn macrokernel<T: Scalar>(
     alpha: T,
+    beta: Option<T>,
     mb: usize,
     kb: usize,
     nb: usize,
@@ -110,31 +179,53 @@ pub(crate) fn macrokernel<T: Scalar>(
         let col0 = qn * NR;
         let cols = NR.min(nb - col0);
         let pb = &packed_b[qn * NR * kb..(qn + 1) * NR * kb];
-        for qm in 0..mpanels {
-            let row0 = qm * MR;
-            let rows = MR.min(mb - row0);
+        let mut qm = 0;
+        while qm + 2 <= mpanels {
+            let pa0 = &packed_a[qm * MR * kb..(qm + 1) * MR * kb];
+            let pa1 = &packed_a[(qm + 1) * MR * kb..(qm + 2) * MR * kb];
+            let mut acc0: AccTile<T> = [[T::ZERO; MR]; NR];
+            let mut acc1: AccTile<T> = [[T::ZERO; MR]; NR];
+            microkernel_x2(kb, pa0, pa1, pb, &mut acc0, &mut acc1);
+            let rows0 = MR.min(mb - qm * MR);
+            let rows1 = MR.min(mb - (qm + 1) * MR);
+            write_tile(c, ic + qm * MR, jc + col0, rows0, cols, alpha, beta, &acc0);
+            write_tile(c, ic + (qm + 1) * MR, jc + col0, rows1, cols, alpha, beta, &acc1);
+            qm += 2;
+        }
+        if qm < mpanels {
             let pa = &packed_a[qm * MR * kb..(qm + 1) * MR * kb];
             let mut acc: AccTile<T> = [[T::ZERO; MR]; NR];
             microkernel(kb, pa, pb, &mut acc);
-            // Write-back of the valid part of the tile.
-            for (cc, acc_col) in acc.iter().enumerate().take(cols) {
-                let j = jc + col0 + cc;
-                for (r, &v) in acc_col.iter().enumerate().take(rows) {
-                    let i = ic + row0 + r;
-                    // SAFETY: i < m, j < n by construction of the blocking.
-                    unsafe {
-                        *c.get_unchecked_mut(i, j) += alpha * v;
-                    }
-                }
-            }
+            let rows = MR.min(mb - qm * MR);
+            write_tile(c, ic + qm * MR, jc + col0, rows, cols, alpha, beta, &acc);
         }
     }
+}
+
+/// Blocking parameters clamped to the problem shape: `mc`/`nc` to the
+/// dimension rounded up to a whole micro-tile, `kc` to `k`. Degenerate
+/// configured values (zero, below a micro-tile) are raised to the legal
+/// floor, so *any* `(mc, kc, nc)` triple produces a correct multiply.
+pub(crate) fn clamp_blocking(cfg: &GemmConfig, m: usize, k: usize, n: usize) -> (usize, usize, usize) {
+    let mc = cfg.mc.max(MR).min(m.next_multiple_of(MR).max(MR));
+    let kc = cfg.kc.max(1).min(k.max(1));
+    let nc = cfg.nc.max(NR).min(n.next_multiple_of(NR).max(NR));
+    (mc, kc, nc)
 }
 
 /// Packed-panel lengths for one `(mc, kc, nc)` blocking — shared with the
 /// parallel and fused drivers.
 pub(crate) fn panel_lens(mc: usize, kc: usize, nc: usize) -> (usize, usize) {
     (mc.div_ceil(MR) * MR * kc, nc.div_ceil(NR) * NR * kc)
+}
+
+/// Pack-buffer requirement (in elements of the destination type) of one
+/// [`gemm_blocked`] call at shape `m x k x n`: `(A-panel, B-panel)`
+/// lengths after problem clamping. Exposed for the Table-1 memory
+/// accounting tests.
+pub fn gemm_pack_elements(cfg: &GemmConfig, m: usize, k: usize, n: usize) -> (usize, usize) {
+    let (mc, kc, nc) = clamp_blocking(cfg, m, k, n);
+    panel_lens(mc, kc, nc)
 }
 
 /// `C ← α op(A) op(B) + β C` with cache blocking and packing.
@@ -149,14 +240,12 @@ pub fn gemm_blocked<T: Scalar>(
     mut c: MatMut<'_, T>,
 ) {
     let (m, k, n) = check_gemm_dims(op_a, &a, op_b, &b, &c);
-    scale_c(beta, &mut c);
     if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
+        // Degenerate product: only the β scaling remains.
+        scale_c(beta, &mut c);
         return;
     }
-    let mc = cfg.mc.max(MR);
-    let kc = cfg.kc.max(1);
-    let nc = cfg.nc.max(NR);
-
+    let (mc, kc, nc) = clamp_blocking(cfg, m, k, n);
     let (a_len, b_len) = panel_lens(mc, kc, nc);
     with_pack_bufs::<T, _>(a_len, b_len, |packed_a, packed_b| {
         for jc in (0..n).step_by(nc) {
@@ -164,10 +253,12 @@ pub fn gemm_blocked<T: Scalar>(
             for pc in (0..k).step_by(kc) {
                 let kb = kc.min(k - pc);
                 pack_b(op_b, &b, pc, jc, kb, nb, packed_b);
+                // The first rank update of each C region applies β.
+                let beta_eff = if pc == 0 { Some(beta) } else { None };
                 for ic in (0..m).step_by(mc) {
                     let mb = mc.min(m - ic);
                     pack_a(op_a, &a, ic, pc, mb, kb, packed_a);
-                    macrokernel(alpha, mb, kb, nb, packed_a, packed_b, &mut c, ic, jc);
+                    macrokernel(alpha, beta_eff, mb, kb, nb, packed_a, packed_b, &mut c, ic, jc);
                 }
             }
         }
@@ -226,6 +317,45 @@ mod tests {
             super::super::gemm_naive(1.3, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.7, c1.as_mut());
             gemm_blocked(&cfg, 1.3, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.7, c2.as_mut());
             matrix::norms::assert_allclose(c1.as_ref(), c2.as_ref(), 1e-13, &format!("{m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn matches_classic_bitwise() {
+        // The 5-loop rewrite (β fold, paired panels, clamped blocking) is
+        // a pure reorganization: identical scalar operation sequences per
+        // element, so the result must equal the preserved classic kernel
+        // bit for bit.
+        let cfg = GemmConfig::blocked();
+        for &(m, k, n) in &[(40usize, 33usize, 50usize), (129, 64, 96)] {
+            for beta in [0.0, 1.0, 0.5] {
+                let a = random::uniform::<f64>(m, k, 20);
+                // op_b = Trans, so B is stored n x k.
+                let b = random::uniform::<f64>(n, k, 21);
+                let c0 = random::uniform::<f64>(m, n, 22);
+                let mut c_new = c0.clone();
+                let mut c_old = c0.clone();
+                gemm_blocked(&cfg, 1.2, Op::NoTrans, a.as_ref(), Op::Trans, b.as_ref(), beta, c_new.as_mut());
+                super::super::gemm_blocked_classic(
+                    &cfg,
+                    1.2,
+                    Op::NoTrans,
+                    a.as_ref(),
+                    Op::Trans,
+                    b.as_ref(),
+                    beta,
+                    c_old.as_mut(),
+                );
+                for j in 0..n {
+                    for i in 0..m {
+                        assert_eq!(
+                            c_new.at(i, j).to_bits(),
+                            c_old.at(i, j).to_bits(),
+                            "({i},{j}) {m}x{k}x{n} β={beta}"
+                        );
+                    }
+                }
+            }
         }
     }
 }

@@ -59,11 +59,9 @@
 //! assert!(norms::rel_diff(c_minus.as_ref(), neg.as_ref()) < 1e-13);
 //! ```
 
-use super::blocked::panel_lens;
-#[cfg(test)]
-use super::blocked::{pack_a, pack_b};
-use super::kernel::{microkernel, AccTile, MR, NR};
-use super::packbuf::with_pack_bufs;
+use super::blocked::{clamp_blocking, pack_a, pack_b, panel_lens};
+use super::kernel::{microkernel, microkernel_x2, AccTile, MR, NR};
+use super::packbuf::{with_pack_bufs, with_pack_slab};
 use super::{scale_c, GemmConfig};
 use crate::level2::Op;
 use matrix::{MatMut, MatRef, Scalar};
@@ -366,6 +364,49 @@ pub fn pack_b_sum<T: Scalar>(
 /// becomes a pure streaming store (no pre-sweep, no read of `C`) and a
 /// general β costs one fused read-scale-accumulate pass instead of a
 /// separate scale sweep plus a read-modify-write pass.
+fn scatter_tile<T: Scalar>(
+    dests: &mut [DestSpec<'_, T>],
+    coeffs: &[T],
+    acc: &AccTile<T>,
+    i0: usize,
+    j0: usize,
+    rows: usize,
+    cols: usize,
+    first_k: bool,
+) {
+    for (dest, &coeff) in dests.iter_mut().zip(coeffs) {
+        let beta = if first_k { dest.beta } else { None };
+        let ld = dest.c.ld();
+        // Hoist the destination base pointer: at leaf-sized `kb`
+        // the per-column slice checks of safe indexing cost as
+        // much as the micro-kernel itself.
+        let base = dest.c.as_mut_ptr();
+        for (cc, acc_col) in acc.iter().enumerate().take(cols) {
+            // SAFETY: rows i0..i0+rows of column j0+cc are in
+            // bounds by construction of the blocking, and `dests`
+            // holds exclusive borrows of disjoint matrices.
+            let cseg = unsafe { core::slice::from_raw_parts_mut(base.add((j0 + cc) * ld + i0), rows) };
+            match beta {
+                Some(b) if b == T::ZERO => {
+                    for (d, &v) in cseg.iter_mut().zip(acc_col) {
+                        *d = coeff * v;
+                    }
+                }
+                Some(b) => {
+                    for (d, &v) in cseg.iter_mut().zip(acc_col) {
+                        *d = b * *d + coeff * v;
+                    }
+                }
+                None => {
+                    for (d, &v) in cseg.iter_mut().zip(acc_col) {
+                        *d += coeff * v;
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn macrokernel_multi<T: Scalar>(
     mb: usize,
     kb: usize,
@@ -384,46 +425,27 @@ fn macrokernel_multi<T: Scalar>(
         let col0 = qn * NR;
         let cols = NR.min(nb - col0);
         let pb = &packed_b[qn * NR * kb..(qn + 1) * NR * kb];
-        for qm in 0..mpanels {
-            let row0 = qm * MR;
-            let rows = MR.min(mb - row0);
+        // A-row panels in pairs, so AVX-512 parts run the fused
+        // 2·MR x NR micro-kernel (see `super::kernel::microkernel_x2`).
+        let mut qm = 0;
+        while qm + 2 <= mpanels {
+            let pa0 = &packed_a[qm * MR * kb..(qm + 1) * MR * kb];
+            let pa1 = &packed_a[(qm + 1) * MR * kb..(qm + 2) * MR * kb];
+            let mut acc0: AccTile<T> = [[T::ZERO; MR]; NR];
+            let mut acc1: AccTile<T> = [[T::ZERO; MR]; NR];
+            microkernel_x2(kb, pa0, pa1, pb, &mut acc0, &mut acc1);
+            let rows0 = MR.min(mb - qm * MR);
+            let rows1 = MR.min(mb - (qm + 1) * MR);
+            scatter_tile(dests, coeffs, &acc0, ic + qm * MR, jc + col0, rows0, cols, first_k);
+            scatter_tile(dests, coeffs, &acc1, ic + (qm + 1) * MR, jc + col0, rows1, cols, first_k);
+            qm += 2;
+        }
+        if qm < mpanels {
             let pa = &packed_a[qm * MR * kb..(qm + 1) * MR * kb];
             let mut acc: AccTile<T> = [[T::ZERO; MR]; NR];
             microkernel(kb, pa, pb, &mut acc);
-            let i0 = ic + row0;
-            for (dest, &coeff) in dests.iter_mut().zip(coeffs) {
-                let beta = if first_k { dest.beta } else { None };
-                let ld = dest.c.ld();
-                // Hoist the destination base pointer: at leaf-sized `kb`
-                // the per-column slice checks of safe indexing cost as
-                // much as the micro-kernel itself.
-                let base = dest.c.as_mut_ptr();
-                for (cc, acc_col) in acc.iter().enumerate().take(cols) {
-                    // SAFETY: rows i0..i0+rows of column jc+col0+cc are in
-                    // bounds by construction of the blocking, and `dests`
-                    // holds exclusive borrows of disjoint matrices.
-                    let cseg = unsafe {
-                        core::slice::from_raw_parts_mut(base.add((jc + col0 + cc) * ld + i0), rows)
-                    };
-                    match beta {
-                        Some(b) if b == T::ZERO => {
-                            for (d, &v) in cseg.iter_mut().zip(acc_col) {
-                                *d = coeff * v;
-                            }
-                        }
-                        Some(b) => {
-                            for (d, &v) in cseg.iter_mut().zip(acc_col) {
-                                *d = b * *d + coeff * v;
-                            }
-                        }
-                        None => {
-                            for (d, &v) in cseg.iter_mut().zip(acc_col) {
-                                *d += coeff * v;
-                            }
-                        }
-                    }
-                }
-            }
+            let rows = MR.min(mb - qm * MR);
+            scatter_tile(dests, coeffs, &acc, ic + qm * MR, jc + col0, rows, cols, first_k);
         }
     }
 }
@@ -474,9 +496,7 @@ pub fn gemm_fused<T: Scalar>(
         *slot = alpha * dest.delta;
     }
 
-    let mc = cfg.mc.max(MR);
-    let kc = cfg.kc.max(1);
-    let nc = cfg.nc.max(NR);
+    let (mc, kc, nc) = clamp_blocking(cfg, m, k, n);
     let (a_len, b_len) = panel_lens(mc, kc, nc);
     with_pack_bufs::<T, _>(a_len, b_len, |packed_a, packed_b| {
         for jc in (0..n).step_by(nc) {
@@ -499,6 +519,298 @@ pub fn gemm_fused<T: Scalar>(
                         jc,
                         pc == 0,
                     );
+                }
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Whole-level fused executor: every sub-product of one Strassen
+// recursion level through a single 5-loop nest with shared packed
+// panels.
+
+/// Largest supported block grid (`g ≤ 4`, i.e. up to two flattened
+/// Strassen levels — 4 x 4 quarter-blocks).
+pub const MAX_GRID: usize = 4;
+const MAX_GRID_BLOCKS: usize = MAX_GRID * MAX_GRID;
+
+/// Up to [`MAX_TERMS`] signed block references `(γ, q)` over a `g x g`
+/// partition, `q = block_row · g + block_col` flattened. Coefficients are
+/// small integers (`±1` in every Strassen-family schedule).
+#[derive(Clone, Copy, Debug)]
+pub struct BlockTerms {
+    /// `(γ, flat block index)` entries; slots at `len..` are ignored.
+    pub t: [(i8, u8); MAX_TERMS],
+    /// Number of live entries (`1..=MAX_TERMS`).
+    pub len: u8,
+}
+
+impl BlockTerms {
+    /// A single-term reference `γ · X_q`.
+    pub const fn single(gamma: i8, q: u8) -> Self {
+        BlockTerms { t: [(gamma, q), (0, 0), (0, 0), (0, 0)], len: 1 }
+    }
+
+    /// Build from a slice of `(γ, q)` terms.
+    ///
+    /// # Panics
+    /// If `terms` is empty or longer than [`MAX_TERMS`].
+    pub fn new(terms: &[(i8, u8)]) -> Self {
+        assert!(
+            !terms.is_empty() && terms.len() <= MAX_TERMS,
+            "BlockTerms: need 1..={MAX_TERMS} terms, got {}",
+            terms.len()
+        );
+        let mut t = [(0i8, 0u8); MAX_TERMS];
+        t[..terms.len()].copy_from_slice(terms);
+        BlockTerms { t, len: terms.len() as u8 }
+    }
+
+    /// Live `(γ, q)` entries.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (i8, u8)> + '_ {
+        self.t[..self.len as usize].iter().copied()
+    }
+}
+
+/// One fused sub-product `(Σ γ A_q)(Σ γ B_q) → Σ δ C_q` of a block
+/// schedule, all operands addressed over the same `g x g` partition.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockProduct {
+    /// A-operand terms.
+    pub a: BlockTerms,
+    /// B-operand terms.
+    pub b: BlockTerms,
+    /// Destination blocks with their δ coefficients.
+    pub c: BlockTerms,
+}
+
+/// Pack-slab requirement (elements of `T`) of one [`gemm_fused_level`]
+/// call at shape `m x k x n` over a `g x g` grid: one slot per grid block
+/// of A and of B plus one combination buffer each, all at the
+/// problem-clamped panel sizes. Exposed for the Table-1 memory
+/// accounting tests.
+pub fn fused_level_pack_elements(cfg: &GemmConfig, m: usize, k: usize, n: usize, g: usize) -> usize {
+    let (bm, bk, bn) = (m / g, k / g, n / g);
+    let (mc, kc, nc) = clamp_blocking(cfg, bm, bk, bn);
+    let (a_len, b_len) = panel_lens(mc, kc, nc);
+    (g * g + 1) * (a_len + b_len)
+}
+
+/// `dst ← Σ_t γ_t · slots[q_t]`, reusing the unrolled AXPY core of the
+/// packing fast paths. Packed layouts are position-identical across
+/// slots (same `(mb, kb)` or `(kb, nb)`), and packing is linear in its
+/// source — `pack(Σ γ X) = Σ γ pack(X)`, zero padding included — so
+/// combining after packing equals packing the combination.
+fn combine_packed<T: Scalar>(dst: &mut [T], terms: &BlockTerms, slots: &[T], slot_len: usize) {
+    let lt = terms.len as usize;
+    let mut srcs = [&[] as &[T]; MAX_TERMS];
+    let mut gammas = [T::ZERO; MAX_TERMS];
+    for t in 0..lt {
+        let (gm, q) = terms.t[t];
+        let base = q as usize * slot_len;
+        srcs[t] = &slots[base..base + dst.len()];
+        gammas[t] = T::from_f64(gm as f64);
+    }
+    match lt {
+        1 => fill_sum_rows(dst, &[srcs[0]], &[gammas[0]]),
+        2 => fill_sum_rows(dst, &[srcs[0], srcs[1]], &[gammas[0], gammas[1]]),
+        3 => fill_sum_rows(dst, &[srcs[0], srcs[1], srcs[2]], &[gammas[0], gammas[1], gammas[2]]),
+        _ => fill_sum_rows(dst, &srcs, &gammas),
+    }
+}
+
+/// Execute a whole fused block schedule — e.g. one Strassen recursion
+/// level — through a single 5-loop nest with **shared packed panels**:
+///
+/// ```text
+/// for jc (nc-wide slices of every C/B block column range)
+///   for pc (kc-deep rank slices)            B-block panels packed once,
+///     for ic (mc-tall slices)               A-block panels packed once,
+///       for each product: combine γ-weighted packed panels, multiply,
+///                         scatter into its δ-weighted C blocks
+/// ```
+///
+/// Compared to one [`gemm_fused`] call per product (which re-packs its
+/// operand sums from scratch), every grid block of `A` and `B` is packed
+/// **once per cache block** and reused by all products that reference
+/// it — for Strassen's 7-product schedule that cuts B-packing traffic
+/// from 12 quadrant passes to 4 and A-packing from 12 to 4, and operand
+/// sums become cheap linear combinations of already-packed panels.
+///
+/// Semantics, for each product `p` in order:
+/// `C_q ← α δ_q (Σ γ A_blk)(Σ γ B_blk) + [β C_q]` where `β` applies on
+/// the first product that touches block `q` (BLAS semantics: `β = 0`
+/// overwrites without reading). Blocks no product touches are scaled by
+/// `β` directly.
+///
+/// All of `m`, `k`, `n` must be divisible by `g`.
+///
+/// # Panics
+/// On dimension mismatch, `g` out of `1..=`[`MAX_GRID`], indices outside
+/// the grid, malformed term counts, or a product listing the same
+/// destination block twice.
+pub fn gemm_fused_level<T: Scalar>(
+    cfg: &GemmConfig,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+    products: &[BlockProduct],
+    g: usize,
+) {
+    assert!((1..=MAX_GRID).contains(&g), "gemm_fused_level: grid {g} outside 1..={MAX_GRID}");
+    let (m, k) = (a.nrows(), a.ncols());
+    let n = b.ncols();
+    assert_eq!(b.nrows(), k, "gemm_fused_level: inner dimensions disagree");
+    assert!(
+        c.nrows() == m && c.ncols() == n,
+        "gemm_fused_level: destination is {}x{}, expected {m}x{n}",
+        c.nrows(),
+        c.ncols()
+    );
+    assert!(
+        m % g == 0 && k % g == 0 && n % g == 0,
+        "gemm_fused_level: {m}x{k}x{n} not divisible by grid {g}"
+    );
+    let g2 = g * g;
+    for p in products {
+        for terms in [&p.a, &p.b, &p.c] {
+            let lt = terms.len as usize;
+            assert!((1..=MAX_TERMS).contains(&lt), "gemm_fused_level: term count {lt}");
+            assert!(terms.iter().all(|(_, q)| (q as usize) < g2), "block index outside grid");
+        }
+        let lc = p.c.len as usize;
+        assert!(lc <= MAX_DESTS, "gemm_fused_level: {lc} destinations");
+        for i in 0..lc {
+            for j in i + 1..lc {
+                assert_ne!(p.c.t[i].1, p.c.t[j].1, "product lists destination block twice");
+            }
+        }
+    }
+    let (bm, bk, bn) = (m / g, k / g, n / g);
+
+    // First product touching each C block — that touch carries β.
+    let mut first_touch = [usize::MAX; MAX_GRID_BLOCKS];
+    for (pi, p) in products.iter().enumerate() {
+        for (_, q) in p.c.iter() {
+            if first_touch[q as usize] == usize::MAX {
+                first_touch[q as usize] = pi;
+            }
+        }
+    }
+
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 || products.is_empty() {
+        scale_c(beta, &mut c);
+        return;
+    }
+    // Blocks outside the schedule still owe their β scaling.
+    for (q, &first) in first_touch.iter().enumerate().take(g2) {
+        if first == usize::MAX {
+            scale_c(beta, &mut c.submatrix_mut((q / g) * bm, (q % g) * bn, bm, bn));
+        }
+    }
+
+    let (mc, kc, nc) = clamp_blocking(cfg, bm, bk, bn);
+    let (a_len, b_len) = panel_lens(mc, kc, nc);
+    let ld = c.ld();
+    let cbase = c.as_mut_ptr();
+
+    with_pack_slab::<T, _>((g2 + 1) * (a_len + b_len), |slab| {
+        // Slab layout: one pack slot per grid block plus one combination
+        // buffer, for A then B.
+        let (a_region, b_region) = slab.split_at_mut((g2 + 1) * a_len);
+        let (a_slots, comb_a) = a_region.split_at_mut(g2 * a_len);
+        let (b_slots, comb_b) = b_region.split_at_mut(g2 * b_len);
+
+        for jc in (0..bn).step_by(nc) {
+            let nb = nc.min(bn - jc);
+            for pc in (0..bk).step_by(kc) {
+                let kb = kc.min(bk - pc);
+                // Which block slots hold current data for this cache block.
+                let mut b_valid = [false; MAX_GRID_BLOCKS];
+                let b_used = nb.div_ceil(NR) * NR * kb;
+                for ic in (0..bm).step_by(mc) {
+                    let mb = mc.min(bm - ic);
+                    let mut a_valid = [false; MAX_GRID_BLOCKS];
+                    let a_used = mb.div_ceil(MR) * MR * kb;
+                    for (pi, p) in products.iter().enumerate() {
+                        // Lazily pack the grid blocks this product needs;
+                        // later products reuse them.
+                        for (_, q) in p.a.iter() {
+                            let q = q as usize;
+                            if !a_valid[q] {
+                                let blk = a.submatrix((q / g) * bm, (q % g) * bk, bm, bk);
+                                let slot = &mut a_slots[q * a_len..q * a_len + a_used];
+                                pack_a(Op::NoTrans, &blk, ic, pc, mb, kb, slot);
+                                a_valid[q] = true;
+                            }
+                        }
+                        for (_, q) in p.b.iter() {
+                            let q = q as usize;
+                            if !b_valid[q] {
+                                let blk = b.submatrix((q / g) * bk, (q % g) * bn, bk, bn);
+                                let slot = &mut b_slots[q * b_len..q * b_len + b_used];
+                                pack_b(Op::NoTrans, &blk, pc, jc, kb, nb, slot);
+                                b_valid[q] = true;
+                            }
+                        }
+                        // Operand sums as combinations of packed panels; a
+                        // bare `+X_q` term borrows the slot directly.
+                        let pa: &[T] = if p.a.len == 1 && p.a.t[0].0 == 1 {
+                            let q = p.a.t[0].1 as usize;
+                            &a_slots[q * a_len..q * a_len + a_used]
+                        } else {
+                            combine_packed(&mut comb_a[..a_used], &p.a, a_slots, a_len);
+                            &comb_a[..a_used]
+                        };
+                        let pb: &[T] = if p.b.len == 1 && p.b.t[0].0 == 1 {
+                            let q = p.b.t[0].1 as usize;
+                            &b_slots[q * b_len..q * b_len + b_used]
+                        } else {
+                            combine_packed(&mut comb_b[..b_used], &p.b, b_slots, b_len);
+                            &comb_b[..b_used]
+                        };
+
+                        let mut coeffs = [T::ZERO; MAX_DESTS];
+                        for (slot, (dl, _)) in coeffs.iter_mut().zip(p.c.iter()) {
+                            *slot = alpha * T::from_f64(dl as f64);
+                        }
+                        let mk = |t: usize| {
+                            let (dl, q) = p.c.t[t];
+                            let q = q as usize;
+                            // SAFETY: grid blocks are disjoint, a product
+                            // never lists the same block twice (checked
+                            // above), and the parent view `c` is dormant
+                            // while the block views are live.
+                            let view = unsafe {
+                                MatMut::from_raw_parts(
+                                    cbase.add((q / g) * bm + (q % g) * bn * ld),
+                                    bm,
+                                    bn,
+                                    ld,
+                                )
+                            };
+                            let delta = T::from_f64(dl as f64);
+                            if pc == 0 && first_touch[q] == pi {
+                                DestSpec::init(view, delta, beta)
+                            } else {
+                                DestSpec::update(view, delta)
+                            }
+                        };
+                        let lc = p.c.len as usize;
+                        let run = |dests: &mut [DestSpec<'_, T>]| {
+                            macrokernel_multi(mb, kb, nb, pa, pb, dests, &coeffs[..lc], ic, jc, true);
+                        };
+                        match lc {
+                            1 => run(&mut [mk(0)]),
+                            2 => run(&mut [mk(0), mk(1)]),
+                            3 => run(&mut [mk(0), mk(1), mk(2)]),
+                            _ => run(&mut [mk(0), mk(1), mk(2), mk(3)]),
+                        }
+                    }
                 }
             }
         }
@@ -637,5 +949,172 @@ mod tests {
         let x0 = Matrix::<f64>::zeros(3, 3);
         let x1 = Matrix::<f64>::zeros(3, 4);
         let _ = SumOperand::new(Op::NoTrans, &[(1.0, x0.as_ref()), (1.0, x1.as_ref())]);
+    }
+
+    /// Strassen's 1969 seven-product table over flat 2x2 block indices
+    /// (q = row·2 + col).
+    fn strassen_table() -> [BlockProduct; 7] {
+        let t = BlockTerms::new;
+        [
+            BlockProduct { a: t(&[(1, 0), (1, 3)]), b: t(&[(1, 0), (1, 3)]), c: t(&[(1, 0), (1, 3)]) },
+            BlockProduct { a: t(&[(1, 2), (1, 3)]), b: t(&[(1, 0)]), c: t(&[(1, 2), (-1, 3)]) },
+            BlockProduct { a: t(&[(1, 0)]), b: t(&[(1, 1), (-1, 3)]), c: t(&[(1, 1), (1, 3)]) },
+            BlockProduct { a: t(&[(1, 3)]), b: t(&[(1, 2), (-1, 0)]), c: t(&[(1, 0), (1, 2)]) },
+            BlockProduct { a: t(&[(1, 0), (1, 1)]), b: t(&[(1, 3)]), c: t(&[(-1, 0), (1, 1)]) },
+            BlockProduct { a: t(&[(1, 2), (-1, 0)]), b: t(&[(1, 0), (1, 1)]), c: t(&[(1, 3)]) },
+            BlockProduct { a: t(&[(1, 1), (-1, 3)]), b: t(&[(1, 2), (1, 3)]), c: t(&[(1, 0)]) },
+        ]
+    }
+
+    #[test]
+    fn fused_level_runs_one_strassen_level() {
+        // Odd-ish blocking so every tail path is exercised, β grid.
+        let cfg = GemmConfig { mc: 16, kc: 12, nc: 20, ..GemmConfig::blocked() };
+        let table = strassen_table();
+        for &(m, k, n) in &[(8usize, 8usize, 8usize), (26, 18, 34), (64, 32, 48)] {
+            for beta in [0.0, 1.0, -0.7] {
+                let a = random::uniform::<f64>(m, k, 31);
+                let b = random::uniform::<f64>(k, n, 32);
+                let c0 = random::uniform::<f64>(m, n, 33);
+                let mut got = c0.clone();
+                gemm_fused_level(&cfg, 1.1, a.as_ref(), b.as_ref(), beta, got.as_mut(), &table, 2);
+                let mut want = c0.clone();
+                super::super::gemm_naive(
+                    1.1,
+                    Op::NoTrans,
+                    a.as_ref(),
+                    Op::NoTrans,
+                    b.as_ref(),
+                    beta,
+                    want.as_mut(),
+                );
+                let diff = matrix::norms::rel_diff(got.as_ref(), want.as_ref());
+                assert!(diff < 1e-12, "{m}x{k}x{n} β={beta}: rel diff {diff:.3e}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_level_grid_one_is_plain_gemm() {
+        let cfg = GemmConfig::blocked();
+        let (m, k, n) = (20, 12, 16);
+        let a = random::uniform::<f64>(m, k, 41);
+        let b = random::uniform::<f64>(k, n, 42);
+        let c0 = random::uniform::<f64>(m, n, 43);
+        let mut got = c0.clone();
+        let table = [BlockProduct {
+            a: BlockTerms::single(1, 0),
+            b: BlockTerms::single(1, 0),
+            c: BlockTerms::single(1, 0),
+        }];
+        gemm_fused_level(&cfg, 0.8, a.as_ref(), b.as_ref(), 0.3, got.as_mut(), &table, 1);
+        let mut want = c0.clone();
+        super::super::gemm_blocked(
+            &cfg,
+            0.8,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            0.3,
+            want.as_mut(),
+        );
+        matrix::norms::assert_allclose(got.as_ref(), want.as_ref(), 1e-13, "grid 1");
+    }
+
+    #[test]
+    fn fused_level_scales_untouched_blocks_by_beta() {
+        // A one-product schedule touching only C block 0: the other three
+        // blocks must still see β.
+        let cfg = GemmConfig::blocked();
+        let a = random::uniform::<f64>(8, 8, 51);
+        let b = random::uniform::<f64>(8, 8, 52);
+        let mut c = Matrix::from_fn(8, 8, |_, _| 2.0);
+        let table = [BlockProduct {
+            a: BlockTerms::single(1, 0),
+            b: BlockTerms::single(1, 0),
+            c: BlockTerms::single(1, 0),
+        }];
+        gemm_fused_level(&cfg, 1.0, a.as_ref(), b.as_ref(), 0.5, c.as_mut(), &table, 2);
+        // Block (1,1) untouched by the product: pure β scaling.
+        assert_eq!(c.at(7, 7), 1.0);
+        assert_eq!(c.at(0, 7), 1.0);
+        assert_eq!(c.at(7, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination block twice")]
+    fn duplicate_destination_blocks_panic() {
+        let cfg = GemmConfig::blocked();
+        let a = Matrix::<f64>::zeros(4, 4);
+        let b = Matrix::<f64>::zeros(4, 4);
+        let mut c = Matrix::<f64>::zeros(4, 4);
+        let table = [BlockProduct {
+            a: BlockTerms::single(1, 0),
+            b: BlockTerms::single(1, 0),
+            c: BlockTerms::new(&[(1, 0), (-1, 0)]),
+        }];
+        gemm_fused_level(&cfg, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut(), &table, 2);
+    }
+
+    #[test]
+    fn fused_level_matches_per_product_fused_calls() {
+        // The shared-panel executor must agree with running each product
+        // as its own gemm_fused call (the pre-level formulation) — the
+        // combination of packed panels is numerically the packing of the
+        // combination because both use the same γ-ordered mul_add chain.
+        let cfg = GemmConfig { mc: 16, kc: 12, nc: 20, ..GemmConfig::blocked() };
+        let table = strassen_table();
+        let (m, k, n) = (26, 18, 34);
+        let (bm, bk, bn) = (m / 2, k / 2, n / 2);
+        let a = random::uniform::<f64>(m, k, 61);
+        let b = random::uniform::<f64>(k, n, 62);
+        let c0 = random::uniform::<f64>(m, n, 63);
+        let beta = -0.3;
+
+        let mut got = c0.clone();
+        gemm_fused_level(&cfg, 1.1, a.as_ref(), b.as_ref(), beta, got.as_mut(), &table, 2);
+
+        let mut want = c0.clone();
+        let mut seen = [false; 4];
+        fn terms<'s>(
+            bt: &BlockTerms,
+            src: matrix::MatRef<'s, f64>,
+            rdim: usize,
+            cdim: usize,
+        ) -> Vec<(f64, matrix::MatRef<'s, f64>)> {
+            bt.iter()
+                .map(|(gm, q)| {
+                    let (r, cc) = (q as usize / 2, q as usize % 2);
+                    (gm as f64, src.submatrix(r * rdim, cc * cdim, rdim, cdim))
+                })
+                .collect()
+        }
+        for p in &table {
+            let sa = SumOperand::new(Op::NoTrans, &terms(&p.a, a.as_ref(), bm, bk));
+            let sb = SumOperand::new(Op::NoTrans, &terms(&p.b, b.as_ref(), bk, bn));
+            let ld = want.as_mut().ld();
+            let base = want.as_mut().as_mut_ptr();
+            let mut mk = |t: usize| {
+                let (dl, q) = p.c.t[t];
+                let q = q as usize;
+                let view = unsafe {
+                    matrix::MatMut::from_raw_parts(base.add((q / 2) * bm + (q % 2) * bn * ld), bm, bn, ld)
+                };
+                let first = !seen[q];
+                seen[q] = true;
+                if first {
+                    DestSpec::init(view, dl as f64, beta)
+                } else {
+                    DestSpec::update(view, dl as f64)
+                }
+            };
+            match p.c.len {
+                1 => gemm_fused(&cfg, 1.1, &sa, &sb, &mut [mk(0)]),
+                _ => gemm_fused(&cfg, 1.1, &sa, &sb, &mut [mk(0), mk(1)]),
+            }
+        }
+        let diff = matrix::norms::rel_diff(got.as_ref(), want.as_ref());
+        assert!(diff < 1e-13, "rel diff {diff:.3e}");
     }
 }

@@ -7,21 +7,26 @@
 //! three machines (see DESIGN.md §2).
 
 mod blocked;
+mod classic;
 pub mod fused;
 mod kernel;
 mod naive;
 mod packbuf;
 mod parallel;
+pub mod params;
 pub mod symm;
 pub mod syrk;
 pub mod trsm;
 
-pub use blocked::gemm_blocked;
-pub use fused::{gemm_fused, DestSpec, SumOperand};
-pub use kernel::{MR, NR};
+pub use blocked::{gemm_blocked, gemm_pack_elements};
+pub use classic::gemm_blocked_classic;
+pub use fused::{fused_level_pack_elements, MAX_DESTS, MAX_GRID, MAX_TERMS};
+pub use fused::{gemm_fused, gemm_fused_level, BlockProduct, BlockTerms, DestSpec, SumOperand};
+pub use kernel::{kernel_class, KernelClass, MR, NR};
 pub use naive::gemm_naive;
 pub use packbuf::pack_buf_capacity_words;
 pub use parallel::gemm_parallel;
+pub use params::{BlockingParams, CacheInfo};
 pub use symm::symm;
 pub use syrk::{symmetrize_from, syrk, Uplo};
 pub use trsm::{trsm, Diag, Side};
@@ -68,6 +73,15 @@ impl GemmConfig {
     /// Parallel blocked kernel with default block sizes.
     pub const fn parallel() -> Self {
         Self { algo: GemmAlgo::BlockedParallel, mc: 128, kc: 256, nc: 512 }
+    }
+
+    /// Blocked kernel with `(mc, kc, nc)` derived from this machine's
+    /// cache hierarchy (sysfs probe with fallbacks, cached per process) —
+    /// see [`params::BlockingParams`]. This is what
+    /// `StrassenConfig::dgefmm` uses.
+    pub fn auto() -> Self {
+        let p = params::BlockingParams::auto_f64();
+        Self { algo: GemmAlgo::Blocked, mc: p.mc, kc: p.kc, nc: p.nc }
     }
 }
 

@@ -1,7 +1,8 @@
 //! Thread-local scratch for the packed GEMM panels.
 //!
-//! Every blocked kernel invocation needs two packed panels (`mc x kc` of
-//! `A`, `kc x nc` of `B`). Allocating them per call puts a `vec!` on the
+//! Every blocked kernel invocation needs packed panels (`mc x kc` of
+//! `A`, `kc x nc` of `B`; the fused level executor leases a whole slab of
+//! quadrant panels). Allocating them per call puts a `vec!` on the
 //! Strassen hot path — seven leaf GEMMs per recursion level. This module
 //! keeps one grow-only buffer per thread and lends slices out of it, so
 //! after warm-up a conventional multiply performs no heap allocation.
@@ -10,6 +11,14 @@
 //! pattern is a valid `f32`/`f64`, `align_of::<u64>() == 8` covers both,
 //! and the packing routines overwrite every element they later read, so
 //! handing out stale contents is sound.
+//!
+//! Leased slices start on a **64-byte boundary** ([`PACK_ALIGN`]): the
+//! packed-`A` row panels advance in `MR`-element steps (64 bytes for
+//! `f64`), so an aligned base keeps every vector load of the AVX-512 and
+//! AVX2 micro-kernels within one cache line. The buffer over-allocates by
+//! at most [`PACK_ALIGN`] bytes of slack to reach the boundary, and grows
+//! with `reserve_exact` so its capacity equals the high-water requirement
+//! (the Table-1 accounting tests rely on that exactness).
 
 use matrix::Scalar;
 use std::cell::Cell;
@@ -18,14 +27,40 @@ thread_local! {
     static PACK_BUF: Cell<Vec<u64>> = const { Cell::new(Vec::new()) };
 }
 
-fn words_for<T>(len: usize) -> usize {
+/// Alignment (bytes) of every leased pack slice.
+pub(crate) const PACK_ALIGN: usize = 64;
+const ALIGN_WORDS: usize = PACK_ALIGN / std::mem::size_of::<u64>();
+
+/// `u64` words needed to store `len` elements of `T`.
+pub(crate) fn words_for<T>(len: usize) -> usize {
     (len * std::mem::size_of::<T>()).div_ceil(std::mem::size_of::<u64>())
 }
 
+/// Run `f` over an aligned word region of length `need` carved from this
+/// thread's reusable buffer.
+fn with_words<R>(need: usize, f: impl FnOnce(&mut [u64]) -> R) -> R {
+    let mut words = PACK_BUF.with(Cell::take);
+    let total = need + ALIGN_WORDS;
+    if words.len() < total {
+        if words.capacity() < total {
+            // Exact growth: capacity == high-water requirement, so the
+            // accounting tests can bound it analytically.
+            words.reserve_exact(total - words.len());
+        }
+        words.resize(total, 0);
+    }
+    let off = words.as_ptr().align_offset(PACK_ALIGN);
+    debug_assert!(off < ALIGN_WORDS, "u64 heap buffer must reach 64B alignment within 7 words");
+    let out = f(&mut words[off..off + need]);
+    PACK_BUF.with(|slot| slot.set(words));
+    out
+}
+
 /// Run `f` with two scratch slices of `a_len` and `b_len` elements carved
-/// from this thread's reusable pack buffer. Contents are unspecified on
-/// entry. Reentrant calls (e.g. a test harness multiplying inside a
-/// callback) simply allocate a fresh buffer for the inner call.
+/// from this thread's reusable pack buffer; the `A` slice starts 64-byte
+/// aligned. Contents are unspecified on entry. Reentrant calls (e.g. a
+/// test harness multiplying inside a callback) simply allocate a fresh
+/// buffer for the inner call.
 pub(crate) fn with_pack_bufs<T: Scalar, R>(
     a_len: usize,
     b_len: usize,
@@ -35,24 +70,36 @@ pub(crate) fn with_pack_bufs<T: Scalar, R>(
         assert!(std::mem::size_of::<T>() <= std::mem::size_of::<u64>());
         assert!(std::mem::align_of::<T>() <= std::mem::align_of::<u64>());
     }
-    let mut words = PACK_BUF.with(Cell::take);
-    let need = words_for::<T>(a_len) + words_for::<T>(b_len);
-    if words.len() < need {
-        words.resize(need, 0);
+    let wa = words_for::<T>(a_len);
+    with_words(wa + words_for::<T>(b_len), |words| {
+        // SAFETY: the region holds enough words for both slices; T's size
+        // and align fit in a u64 word (checked above) and T accepts any
+        // bit pattern (Scalar is implemented for f32/f64 only).
+        let (w_a, w_b) = words.split_at_mut(wa);
+        let pa = unsafe { std::slice::from_raw_parts_mut(w_a.as_mut_ptr().cast::<T>(), a_len) };
+        let pb = unsafe { std::slice::from_raw_parts_mut(w_b.as_mut_ptr().cast::<T>(), b_len) };
+        f(pa, pb)
+    })
+}
+
+/// Run `f` with one scratch slab of `len` elements (64-byte aligned) from
+/// the same thread-local buffer — the fused level executor carves its
+/// quadrant panels out of this.
+pub(crate) fn with_pack_slab<T: Scalar, R>(len: usize, f: impl FnOnce(&mut [T]) -> R) -> R {
+    const {
+        assert!(std::mem::size_of::<T>() <= std::mem::size_of::<u64>());
+        assert!(std::mem::align_of::<T>() <= std::mem::align_of::<u64>());
     }
-    // SAFETY: the buffer holds at least `need` u64 words; T's size and
-    // align fit in a u64 word (checked above) and T accepts any bit
-    // pattern (Scalar is implemented for f32/f64 only).
-    let (wa, wb) = words.split_at_mut(words_for::<T>(a_len));
-    let pa = unsafe { std::slice::from_raw_parts_mut(wa.as_mut_ptr().cast::<T>(), a_len) };
-    let pb = unsafe { std::slice::from_raw_parts_mut(wb.as_mut_ptr().cast::<T>(), b_len) };
-    let out = f(pa, pb);
-    PACK_BUF.with(|slot| slot.set(words));
-    out
+    with_words(words_for::<T>(len), |words| {
+        // SAFETY: as in `with_pack_bufs`.
+        let slab = unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<T>(), len) };
+        f(slab)
+    })
 }
 
 /// Capacity (in `u64` words) of this thread's pack buffer — test hook for
-/// the no-allocation-after-warm-up guarantee.
+/// the no-allocation-after-warm-up guarantee and the Table-1 pack-buffer
+/// accounting. Includes the ≤ 64-byte (`PACK_ALIGN`) alignment slack.
 pub fn pack_buf_capacity_words() -> usize {
     let words = PACK_BUF.with(Cell::take);
     let cap = words.capacity();
@@ -77,6 +124,19 @@ mod tests {
     }
 
     #[test]
+    fn leased_slices_are_64_byte_aligned() {
+        with_pack_bufs::<f64, _>(64, 64, |a, _| {
+            assert_eq!(a.as_ptr() as usize % PACK_ALIGN, 0);
+        });
+        with_pack_slab::<f64, _>(128, |slab| {
+            assert_eq!(slab.as_ptr() as usize % PACK_ALIGN, 0);
+        });
+        with_pack_bufs::<f32, _>(32, 32, |a, _| {
+            assert_eq!(a.as_ptr() as usize % PACK_ALIGN, 0);
+        });
+    }
+
+    #[test]
     fn buffer_is_reused_not_regrown() {
         with_pack_bufs::<f64, _>(1024, 1024, |_, _| {});
         let cap = pack_buf_capacity_words();
@@ -85,8 +145,23 @@ mod tests {
                 a[0] = 1.0;
                 b[0] = 2.0;
             });
+            with_pack_slab::<f64, _>(2000, |s| s[0] = 3.0);
         }
         assert_eq!(pack_buf_capacity_words(), cap);
+    }
+
+    #[test]
+    fn capacity_tracks_the_exact_requirement() {
+        // reserve_exact growth: capacity == requested words + alignment
+        // slack, no doubling.
+        std::thread::spawn(|| {
+            with_pack_slab::<f64, _>(1000, |_| {});
+            assert_eq!(pack_buf_capacity_words(), 1000 + ALIGN_WORDS);
+            with_pack_slab::<f64, _>(3000, |_| {});
+            assert_eq!(pack_buf_capacity_words(), 3000 + ALIGN_WORDS);
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub fn gemm_parallel<T: Scalar>(
     mut c: MatMut<'_, T>,
 ) {
     let (m, k, n) = check_gemm_dims(op_a, &a, op_b, &b, &c);
-    let mc = cfg.mc.max(MR);
-    let kc = cfg.kc.max(1);
+    let mc = cfg.mc.max(MR).min(m.next_multiple_of(MR).max(MR));
+    let kc = cfg.kc.max(1).min(k.max(1));
     // Panel width: split n so every pool worker gets some columns, but
     // never below the micro-tile width.
     let threads = pool::current_num_threads().max(1);
@@ -41,8 +41,9 @@ pub fn gemm_parallel<T: Scalar>(
         return gemm_blocked(cfg, alpha, op_a, a, op_b, b, beta, c);
     }
 
-    scale_c(beta, &mut c);
     if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
+        // Degenerate product: only the β scaling remains.
+        scale_c(beta, &mut c);
         return;
     }
 
@@ -67,11 +68,15 @@ pub fn gemm_parallel<T: Scalar>(
                     for pc in (0..k).step_by(kc) {
                         let kb = kc.min(k - pc);
                         pack_b(op_b, &b, pc, jc, kb, nb, packed_b);
+                        // Each worker owns its panel of C outright, so the
+                        // first rank update applies β — no pre-sweep, no
+                        // cross-worker coordination.
+                        let beta_eff = if pc == 0 { Some(beta) } else { None };
                         for ic in (0..m).step_by(mc) {
                             let mb = mc.min(m - ic);
                             pack_a(op_a, &a, ic, pc, mb, kb, packed_a);
                             // cpanel's column 0 is global column jc, so pass jc=0.
-                            macrokernel(alpha, mb, kb, nb, packed_a, packed_b, &mut cpanel, ic, 0);
+                            macrokernel(alpha, beta_eff, mb, kb, nb, packed_a, packed_b, &mut cpanel, ic, 0);
                         }
                     }
                 });

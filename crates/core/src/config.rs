@@ -142,7 +142,9 @@ impl StrassenConfig {
             odd: OddHandling::DynamicPeeling,
             cutoff: CutoffCriterion::Hybrid { tau: 64, tau_m: 32, tau_k: 32, tau_n: 32 },
             cutoff_general: None,
-            gemm: GemmConfig::blocked(),
+            // Machine-derived (mc, kc, nc): sysfs cache probe with sane
+            // fallbacks, resolved once per process.
+            gemm: GemmConfig::auto(),
             parallel_depth: 0,
             max_depth: usize::MAX,
             fused: true,

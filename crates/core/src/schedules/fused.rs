@@ -13,6 +13,10 @@
 //! writes `C` anyway). The schedules below therefore use **zero
 //! temporaries and zero standalone add passes** — 7 fused GEMM calls
 //! replace 7 GEMMs + 15 (Winograd) or 18 (original) quadrant sweeps.
+//! The table-driven schedules go one step further: the whole table runs
+//! through [`blas::level3::gemm_fused_level`], a single 5-loop nest that
+//! packs every operand quadrant **once per cache block** and shares the
+//! packed panels across all sub-products of the level.
 //!
 //! `β` is folded into the first product that touches each quadrant
 //! (`DestSpec::init`, BLAS semantics: `β = 0` overwrites without
@@ -20,7 +24,7 @@
 
 use crate::config::StrassenConfig;
 use blas::level2::Op;
-use blas::level3::{gemm_fused, DestSpec, SumOperand};
+use blas::level3::{gemm_fused, gemm_fused_level, BlockProduct, BlockTerms, DestSpec, SumOperand};
 use matrix::{MatMut, MatRef, Scalar};
 
 /// One level of the Winograd variant (7 multiplies), fully fused.
@@ -248,71 +252,47 @@ const ORIGINAL_X2: [Prod; 49] = {
     out
 };
 
-/// Execute a fused block schedule over the `g × g` partition: one
-/// [`gemm_fused`] call per table entry. β rides on the first product that
-/// touches each destination block ([`DestSpec::init`]); later touches
-/// accumulate. All dimensions must be divisible by `g`.
+/// Convert a `(coefficient, (row, col))` term list into the kernel's
+/// flat-index [`BlockTerms`] over a `g × g` grid.
+fn to_block_terms(t: &Terms, g: usize) -> BlockTerms {
+    let mut out = [(0i8, 0u8); 4];
+    for (dst, &(gm, (r, q))) in out[..t.len as usize].iter_mut().zip(&t.t[..t.len as usize]) {
+        *dst = (gm, r * g as u8 + q);
+    }
+    BlockTerms { t: out, len: t.len }
+}
+
+/// Execute a fused block schedule over the `g × g` partition via
+/// [`gemm_fused_level`]: the whole table runs through a single 5-loop
+/// nest in which every grid block of `A` and `B` is packed **once per
+/// cache block** and reused by all products referencing it — B-panel
+/// packing drops from one pass per operand term to one pass per block.
+/// β rides on the first product that touches each destination block;
+/// later touches accumulate. All dimensions must be divisible by `g`.
 fn run_table<T: Scalar>(
     cfg: &StrassenConfig,
     alpha: T,
     a: MatRef<'_, T>,
     b: MatRef<'_, T>,
     beta: T,
-    mut c: MatMut<'_, T>,
+    c: MatMut<'_, T>,
     table: &[Prod],
     g: usize,
 ) {
-    let (m, k) = (a.nrows(), a.ncols());
-    let n = b.ncols();
-    debug_assert!(m % g == 0 && k % g == 0 && n % g == 0);
-    let (mb, kb, nb) = (m / g, k / g, n / g);
-    let ld = c.ld();
-    let base = c.as_mut_ptr();
-    let sign = |s: i8| if s >= 0 { T::ONE } else { -T::ONE };
-    let a_blk = |q: (u8, u8)| a.submatrix(q.0 as usize * mb, q.1 as usize * kb, mb, kb);
-    let b_blk = |q: (u8, u8)| b.submatrix(q.0 as usize * kb, q.1 as usize * nb, kb, nb);
-    // SAFETY: the grid blocks are disjoint, one product never lists the
-    // same destination twice, and the parent view `c` is dormant while
-    // the block views are live.
-    let c_blk = |q: (u8, u8)| unsafe {
-        MatMut::from_raw_parts(base.add(q.0 as usize * mb + q.1 as usize * nb * ld), mb, nb, ld)
-    };
-
-    let mut seen = [[false; 4]; 4];
-    for p in table {
-        let mut ta = [(T::ONE, a); 4];
-        let la = p.a.len as usize;
-        for (dst, src) in ta[..la].iter_mut().zip(&p.a.t[..la]) {
-            *dst = (sign(src.0), a_blk(src.1));
-        }
-        let mut tb = [(T::ONE, b); 4];
-        let lb = p.b.len as usize;
-        for (dst, src) in tb[..lb].iter_mut().zip(&p.b.t[..lb]) {
-            *dst = (sign(src.0), b_blk(src.1));
-        }
-        let sa = SumOperand::new(Op::NoTrans, &ta[..la]);
-        let sb = SumOperand::new(Op::NoTrans, &tb[..lb]);
-        let mut mk = |d: &(i8, (u8, u8))| {
-            let (r, q) = (d.1 .0 as usize, d.1 .1 as usize);
-            let first = !seen[r][q];
-            seen[r][q] = true;
-            if first {
-                DestSpec::init(c_blk(d.1), sign(d.0), beta)
-            } else {
-                DestSpec::update(c_blk(d.1), sign(d.0))
-            }
+    debug_assert!(table.len() <= 49);
+    let mut products = [BlockProduct {
+        a: BlockTerms::single(1, 0),
+        b: BlockTerms::single(1, 0),
+        c: BlockTerms::single(1, 0),
+    }; 49];
+    for (dst, p) in products.iter_mut().zip(table) {
+        *dst = BlockProduct {
+            a: to_block_terms(&p.a, g),
+            b: to_block_terms(&p.b, g),
+            c: to_block_terms(&p.c, g),
         };
-        let gc = &cfg.gemm;
-        match &p.c.t[..p.c.len as usize] {
-            [d0] => gemm_fused(gc, alpha, &sa, &sb, &mut [mk(d0)]),
-            [d0, d1] => gemm_fused(gc, alpha, &sa, &sb, &mut [mk(d0), mk(d1)]),
-            [d0, d1, d2] => gemm_fused(gc, alpha, &sa, &sb, &mut [mk(d0), mk(d1), mk(d2)]),
-            [d0, d1, d2, d3] => gemm_fused(gc, alpha, &sa, &sb, &mut [mk(d0), mk(d1), mk(d2), mk(d3)]),
-            _ => unreachable!("fused schedules carry 1–4 destinations"),
-        }
     }
-    // Every block must have received its β application.
-    debug_assert!(seen.iter().take(g).all(|row| row[..g].iter().all(|&s| s)));
+    gemm_fused_level(&cfg.gemm, alpha, a, b, beta, c, &products[..table.len()], g);
 }
 
 /// One level of Strassen's original 1969 construction (7 multiplies),

@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Quick before/after benchmark for the fused Strassen kernels and the
-# probe/profiling overhead guards.
+# Quick regression benchmark for the 5-loop GEMM rebuild and the tuned
+# DGEFMM pipeline (PR 6).
 #
-# Runs the pinned bench_quick targets (square blocked GEMM + the default
-# DGEFMM Winograd schedule, classic vs. fused, plus noop- and timed-probe
-# variants) at n ∈ {256, 512, 1024} and writes BENCH_PR4.json at the repo
-# root, guarding noop-probe overhead ≤ 1% and timed-probe overhead ≤ 5%
-# at n = 512. Scale with BENCH_SAMPLES / BENCH_WARMUP_MS /
-# BENCH_MEASURE_MS; the defaults below keep the whole run to a couple of
-# minutes on one core. BENCH_NO_GUARD=1 demotes guard failures to
-# warnings on noisy hosts.
+# Runs the pinned bench_quick targets — the BLIS-style 5-loop
+# `gemm_blocked`, the preserved pre-PR6 `gemm_blocked_classic` baseline,
+# and DGEFMM under this run's retuned eq.-(15) cutoff parameters — at
+# n ∈ {256, 512, 1024, 2048, 4096} after a crossover sweep that retunes
+# (τ, τm, τk, τn), and writes BENCH_PR6.json at the repo root with the
+# machine profile and full tuning report embedded. Guards: the 5-loop
+# kernel must not lose to the classic formulation at n ≤ 1024, tuned
+# DGEFMM ≥ 1.0× the classic GEMM at n = 2048, and the probe A/B ratios
+# at n = 512 stay under their noise-allowed ceilings (noop ≤ 10%,
+# timed ≤ 15%; the contract targets are 1% / 5% and the raw ratios are
+# recorded in the JSON). Scale with BENCH_SAMPLES / BENCH_WARMUP_MS /
+# BENCH_MEASURE_MS; BENCH_NO_GUARD=1 demotes guard failures to
+# warnings on noisy hosts; BENCH_SMOKE=1 runs the fast functional pass
+# (small sizes, token sweep, no guards, BENCH_PR6.smoke.json) CI uses.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

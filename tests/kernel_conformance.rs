@@ -1,0 +1,385 @@
+//! Conformance suite for the 5-loop GEMM substrate (PR 6).
+//!
+//! Four layers of checks, all judged against the EFT-compensated
+//! oracle under the Higham envelope (`accuracy::tolerance_for`) rather
+//! than hand-tuned epsilons:
+//!
+//! 1. **Edge grid** — every `(mr-tail × nr-tail × kc-tail)` combination
+//!    of the register tiling and the pc loop, with cache blocks small
+//!    enough that every loop of the 5-loop nest wraps at least once.
+//! 2. **Packed panels** — the public sum packers (layout-identical to
+//!    the blocked kernel's private `pack_a`/`pack_b`) against an
+//!    index-formula reference, including transposes, multi-term sums,
+//!    and exact zero padding.
+//! 3. **α/β and transpose grid** — the full scalar/op product space,
+//!    including `β = 0` clearing NaN without reading `C`, and the
+//!    bitwise pin of the 5-loop kernel against the classic
+//!    formulation it replaced.
+//! 4. **Blocking-parameter robustness** — testkit-driven degenerate
+//!    `(mc, kc, nc)` triples (below `MR`/`NR`, primes, larger than the
+//!    matrix) must be oracle-correct for both `gemm_blocked` and the
+//!    shared-panel `gemm_fused_level` executor.
+
+use accuracy::{gemm_oracle, tolerance_for};
+use blas::level3::fused::{pack_a_sum, pack_b_sum, SumOperand};
+use blas::level3::{
+    gemm_blocked, gemm_blocked_classic, gemm_fused_level, BlockProduct, BlockTerms, GemmConfig, MR, NR,
+};
+use blas::Op;
+use matrix::{norms, random, Matrix};
+use testkit::{check, Gen};
+
+/// A blocked config whose cache blocks are all tiny multiples of the
+/// register tile, so `m`, `k`, `n` in the low tens already wrap every
+/// loop of the jc/pc/ic nest and exercise every remainder path.
+fn tiny_cfg() -> GemmConfig {
+    GemmConfig { mc: 2 * MR, kc: 8, nc: 2 * NR, ..GemmConfig::blocked() }
+}
+
+fn oracle_gemm(
+    alpha: f64,
+    op_a: Op,
+    a: &Matrix<f64>,
+    op_b: Op,
+    b: &Matrix<f64>,
+    beta: f64,
+    c0: &Matrix<f64>,
+) -> Matrix<f64> {
+    let mut want = c0.clone();
+    gemm_oracle(alpha, op_a, a.as_ref(), op_b, b.as_ref(), beta, want.as_mut());
+    want
+}
+
+// ---------------------------------------------------------------------
+// 1. Exhaustive register-tile / panel-depth edge grid.
+// ---------------------------------------------------------------------
+
+/// Every combination of mr-tail (`m mod MR`), nr-tail (`n mod NR`) and
+/// kc-tail (`k` around the panel depth) against the oracle. With
+/// `tiny_cfg` (mc = 2·MR, kc = 8, nc = 2·NR) each shape also wraps the
+/// jc, pc, and ic loops, so macro-kernel edge tiles meet packed-panel
+/// remainders in every configuration.
+#[test]
+fn edge_grid_matches_oracle() {
+    let cfg = tiny_cfg();
+    let (alpha, beta) = (1.1, -0.4);
+    for mt in 0..MR {
+        let m = 2 * MR + mt + if mt == 0 { MR } else { 0 };
+        for nt in 0..NR {
+            let n = 2 * NR + nt + if nt == 0 { NR } else { 0 };
+            for k in [1, cfg.kc - 1, cfg.kc, cfg.kc + 1, 2 * cfg.kc + 3] {
+                let seed = (m * 1_000_000 + n * 1_000 + k) as u64;
+                let a = random::uniform::<f64>(m, k, seed);
+                let b = random::uniform::<f64>(k, n, seed ^ 0xB);
+                let c0 = random::uniform::<f64>(m, n, seed ^ 0xC);
+                let want = oracle_gemm(alpha, Op::NoTrans, &a, Op::NoTrans, &b, beta, &c0);
+                let mut c = c0.clone();
+                gemm_blocked(&cfg, alpha, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+                let diff = norms::rel_diff(c.as_ref(), want.as_ref());
+                let tol = tolerance_for(m, k, n);
+                assert!(diff < tol, "{m}x{k}x{n}: rel diff {diff:.3e} > tol {tol:.3e}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Packed-panel contents against an index-formula reference.
+// ---------------------------------------------------------------------
+
+/// Reference packer for an A block: element `(r, kk)` of row-panel `q`
+/// lives at `q·MR·kb + kk·MR + r`; rows past `mb` are exact zeros.
+fn reference_pack_a(get: impl Fn(usize, usize) -> f64, mb: usize, kb: usize) -> Vec<f64> {
+    let panels = mb.div_ceil(MR);
+    let mut buf = vec![0.0; panels * MR * kb];
+    for q in 0..panels {
+        for kk in 0..kb {
+            for r in 0..MR.min(mb - q * MR) {
+                buf[q * MR * kb + kk * MR + r] = get(q * MR + r, kk);
+            }
+        }
+    }
+    buf
+}
+
+/// Reference packer for a B block: element `(kk, cc)` of column-panel
+/// `q` lives at `q·NR·kb + kk·NR + cc`; columns past `nb` are zeros.
+fn reference_pack_b(get: impl Fn(usize, usize) -> f64, kb: usize, nb: usize) -> Vec<f64> {
+    let panels = nb.div_ceil(NR);
+    let mut buf = vec![0.0; panels * NR * kb];
+    for q in 0..panels {
+        for kk in 0..kb {
+            for cc in 0..NR.min(nb - q * NR) {
+                buf[q * NR * kb + kk * NR + cc] = get(kk, q * NR + cc);
+            }
+        }
+    }
+    buf
+}
+
+fn assert_buf_close(got: &[f64], want: &[f64], terms: usize, what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    // Single-term packing is a pure copy — bitwise. Sums tolerate the
+    // AXPY accumulation order (≤ MAX_TERMS products of [-2, 2) data).
+    let tol = if terms == 1 { 0.0 } else { 4.0 * terms as f64 * f64::EPSILON };
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        assert!((g - w).abs() <= tol * w.abs().max(1.0), "{what}[{i}]: {g} vs {w}");
+    }
+}
+
+#[test]
+fn packed_a_panels_match_reference() {
+    // mb = 19 leaves a 3-row tail in the last of three MR-panels.
+    let (mb, kb) = (2 * MR + 3, 11);
+    let (ic, pc) = (MR, 2);
+    let x = random::uniform::<f64>(ic + mb + 2, pc + kb + 2, 40);
+    let y = random::uniform::<f64>(ic + mb + 2, pc + kb + 2, 41);
+
+    let single = SumOperand::new(Op::NoTrans, &[(1.0, x.as_ref())]);
+    let mut got = vec![f64::NAN; mb.div_ceil(MR) * MR * kb];
+    pack_a_sum(&single, ic, pc, mb, kb, &mut got);
+    let want = reference_pack_a(|r, kk| x.at(ic + r, pc + kk), mb, kb);
+    assert_buf_close(&got, &want, 1, "pack_a single");
+
+    let sum = SumOperand::new(Op::NoTrans, &[(1.0, x.as_ref()), (-1.0, y.as_ref())]);
+    pack_a_sum(&sum, ic, pc, mb, kb, &mut got);
+    let want = reference_pack_a(|r, kk| x.at(ic + r, pc + kk) - y.at(ic + r, pc + kk), mb, kb);
+    assert_buf_close(&got, &want, 2, "pack_a sum");
+
+    // Transposed operand: the packer reads op(X) = Xᵀ, so source index
+    // (row, col) swaps. Storage is (cols of op) x (rows of op).
+    let xt = random::uniform::<f64>(pc + kb + 2, ic + mb + 2, 42);
+    let tr = SumOperand::new(Op::Trans, &[(1.0, xt.as_ref())]);
+    pack_a_sum(&tr, ic, pc, mb, kb, &mut got);
+    let want = reference_pack_a(|r, kk| xt.at(pc + kk, ic + r), mb, kb);
+    assert_buf_close(&got, &want, 1, "pack_a trans");
+}
+
+#[test]
+fn packed_b_panels_match_reference() {
+    // nb = 15 leaves a 3-column tail in the last of three NR-panels.
+    let (kb, nb) = (9, 2 * NR + 3);
+    let (pc, jc) = (3, NR);
+    let x = random::uniform::<f64>(pc + kb + 2, jc + nb + 2, 50);
+    let y = random::uniform::<f64>(pc + kb + 2, jc + nb + 2, 51);
+
+    let single = SumOperand::new(Op::NoTrans, &[(1.0, x.as_ref())]);
+    let mut got = vec![f64::NAN; nb.div_ceil(NR) * NR * kb];
+    pack_b_sum(&single, pc, jc, kb, nb, &mut got);
+    let want = reference_pack_b(|kk, cc| x.at(pc + kk, jc + cc), kb, nb);
+    assert_buf_close(&got, &want, 1, "pack_b single");
+
+    let sum = SumOperand::new(Op::NoTrans, &[(1.0, x.as_ref()), (1.0, y.as_ref())]);
+    pack_b_sum(&sum, pc, jc, kb, nb, &mut got);
+    let want = reference_pack_b(|kk, cc| x.at(pc + kk, jc + cc) + y.at(pc + kk, jc + cc), kb, nb);
+    assert_buf_close(&got, &want, 2, "pack_b sum");
+
+    let xt = random::uniform::<f64>(jc + nb + 2, pc + kb + 2, 52);
+    let tr = SumOperand::new(Op::Trans, &[(1.0, xt.as_ref())]);
+    pack_b_sum(&tr, pc, jc, kb, nb, &mut got);
+    let want = reference_pack_b(|kk, cc| xt.at(jc + cc, pc + kk), kb, nb);
+    assert_buf_close(&got, &want, 1, "pack_b trans");
+}
+
+#[test]
+fn packed_panel_padding_is_exact_zero() {
+    // One panel, one live row/column: everything else must be 0.0 (not
+    // merely small) — the micro-kernel multiplies padding by live data.
+    let x = random::uniform::<f64>(4, 4, 60);
+    let a = SumOperand::new(Op::NoTrans, &[(2.0, x.as_ref())]);
+    let mut buf = vec![f64::NAN; MR * 3];
+    pack_a_sum(&a, 0, 0, 1, 3, &mut buf);
+    for kk in 0..3 {
+        for r in 1..MR {
+            assert_eq!(buf[kk * MR + r], 0.0, "pack_a pad at kk={kk} r={r}");
+        }
+    }
+    let b = SumOperand::new(Op::NoTrans, &[(2.0, x.as_ref())]);
+    let mut buf = vec![f64::NAN; NR * 3];
+    pack_b_sum(&b, 0, 0, 3, 1, &mut buf);
+    for kk in 0..3 {
+        for cc in 1..NR {
+            assert_eq!(buf[kk * NR + cc], 0.0, "pack_b pad at kk={kk} cc={cc}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. α/β and transpose grid; classic bitwise pin.
+// ---------------------------------------------------------------------
+
+/// The full (α, β, opA, opB) product space on odd dimensions against
+/// the oracle, including the three special β values the write-back
+/// folds differently (0 → pure store, 1 → accumulate, else → fused
+/// read-scale-accumulate).
+#[test]
+fn alpha_beta_transpose_grid_matches_oracle() {
+    let cfg = tiny_cfg();
+    let (m, k, n) = (21, 17, 19);
+    for op_a in [Op::NoTrans, Op::Trans] {
+        for op_b in [Op::NoTrans, Op::Trans] {
+            let (ar, ac) = if op_a == Op::Trans { (k, m) } else { (m, k) };
+            let (br, bc) = if op_b == Op::Trans { (n, k) } else { (k, n) };
+            let a = random::uniform::<f64>(ar, ac, 70);
+            let b = random::uniform::<f64>(br, bc, 71);
+            let c0 = random::uniform::<f64>(m, n, 72);
+            for alpha in [0.0, 1.0, -1.0, 0.75] {
+                for beta in [0.0, 1.0, -1.0, 0.3] {
+                    let want = oracle_gemm(alpha, op_a, &a, op_b, &b, beta, &c0);
+                    let mut c = c0.clone();
+                    gemm_blocked(&cfg, alpha, op_a, a.as_ref(), op_b, b.as_ref(), beta, c.as_mut());
+                    let diff = norms::rel_diff(c.as_ref(), want.as_ref());
+                    let tol = tolerance_for(m, k, n);
+                    assert!(diff < tol, "α={alpha} β={beta} {op_a:?}/{op_b:?}: {diff:.3e} > {tol:.3e}");
+                }
+            }
+        }
+    }
+}
+
+/// `β = 0` must overwrite without reading `C`: a NaN-poisoned
+/// destination comes out finite and correct.
+#[test]
+fn beta_zero_clears_nan_destination() {
+    let cfg = tiny_cfg();
+    let (m, k, n) = (MR + 1, 5, NR + 1);
+    let a = random::uniform::<f64>(m, k, 80);
+    let b = random::uniform::<f64>(k, n, 81);
+    let want = oracle_gemm(0.5, Op::NoTrans, &a, Op::NoTrans, &b, 0.0, &Matrix::zeros(m, n));
+    let mut c = Matrix::from_fn(m, n, |_, _| f64::NAN);
+    gemm_blocked(&cfg, 0.5, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+    for j in 0..n {
+        for i in 0..m {
+            assert!(c.at(i, j).is_finite(), "NaN survived at ({i},{j})");
+        }
+    }
+    assert!(norms::rel_diff(c.as_ref(), want.as_ref()) < tolerance_for(m, k, n));
+}
+
+/// The 5-loop kernel is a pure reassociation-free restructuring of the
+/// classic formulation: identical packed layouts, identical micro-kernel
+/// dispatch, β folded without changing the scale-then-accumulate
+/// arithmetic. The results must agree **bitwise**, for every β class
+/// and transpose, at sizes that wrap every loop of both nests.
+#[test]
+fn five_loop_gemm_matches_classic_bitwise() {
+    for cfg in [tiny_cfg(), GemmConfig::blocked(), GemmConfig::auto()] {
+        for (m, k, n) in [(97, 65, 83), (129, 64, 96)] {
+            for (op_a, op_b) in
+                [(Op::NoTrans, Op::NoTrans), (Op::Trans, Op::NoTrans), (Op::NoTrans, Op::Trans)]
+            {
+                let (ar, ac) = if op_a == Op::Trans { (k, m) } else { (m, k) };
+                let (br, bc) = if op_b == Op::Trans { (n, k) } else { (k, n) };
+                let a = random::uniform::<f64>(ar, ac, 90);
+                let b = random::uniform::<f64>(br, bc, 91);
+                let c0 = random::uniform::<f64>(m, n, 92);
+                for beta in [0.0, 1.0, -0.6] {
+                    let mut new = c0.clone();
+                    gemm_blocked(&cfg, 1.2, op_a, a.as_ref(), op_b, b.as_ref(), beta, new.as_mut());
+                    let mut old = c0.clone();
+                    gemm_blocked_classic(&cfg, 1.2, op_a, a.as_ref(), op_b, b.as_ref(), beta, old.as_mut());
+                    for j in 0..n {
+                        for i in 0..m {
+                            assert_eq!(
+                                new.at(i, j).to_bits(),
+                                old.at(i, j).to_bits(),
+                                "({i},{j}) β={beta} {op_a:?}/{op_b:?} cfg={cfg:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. Blocking-parameter robustness properties.
+// ---------------------------------------------------------------------
+
+/// Draw a deliberately hostile blocking parameter: zero, below the
+/// register tile, prime, just-off a multiple, or far larger than any
+/// matrix in the test. The clamp layer must make all of them correct.
+fn degenerate_dim(g: &mut Gen) -> usize {
+    g.pick(&[0, 1, 2, 3, 5, 7, 13, 31, 37, 63, 65, 101, 1 << 14])
+}
+
+#[test]
+fn degenerate_blocking_is_oracle_correct() {
+    check("degenerate_blocking_is_oracle_correct", 96, |g: &mut Gen| {
+        let cfg = GemmConfig {
+            mc: degenerate_dim(g),
+            kc: degenerate_dim(g),
+            nc: degenerate_dim(g),
+            ..GemmConfig::blocked()
+        };
+        let m = g.usize_in(1, 70);
+        let k = g.usize_in(1, 70);
+        let n = g.usize_in(1, 70);
+        let alpha = g.f64_in(-2.0, 2.0);
+        let beta = g.pick(&[0.0, 1.0, -0.8]);
+        let op_a = if g.bool() { Op::Trans } else { Op::NoTrans };
+        let op_b = if g.bool() { Op::Trans } else { Op::NoTrans };
+        let seed = g.seed();
+        let (ar, ac) = if op_a == Op::Trans { (k, m) } else { (m, k) };
+        let (br, bc) = if op_b == Op::Trans { (n, k) } else { (k, n) };
+        let a = random::uniform::<f64>(ar, ac, seed);
+        let b = random::uniform::<f64>(br, bc, seed ^ 5);
+        let c0 = random::uniform::<f64>(m, n, seed ^ 6);
+        let want = oracle_gemm(alpha, op_a, &a, op_b, &b, beta, &c0);
+        let mut c = c0.clone();
+        gemm_blocked(&cfg, alpha, op_a, a.as_ref(), op_b, b.as_ref(), beta, c.as_mut());
+        let diff = norms::rel_diff(c.as_ref(), want.as_ref());
+        let tol = tolerance_for(m, k, n);
+        assert!(diff < tol, "mc={} kc={} nc={} {m}x{k}x{n}: {diff:.3e} > {tol:.3e}", cfg.mc, cfg.kc, cfg.nc);
+    });
+}
+
+/// Strassen's 1969 seven-product table over a 2×2 grid, flat block
+/// indices `q = row·2 + col`.
+fn strassen_products() -> [BlockProduct; 7] {
+    let p = |a: &[(i8, u8)], b: &[(i8, u8)], c: &[(i8, u8)]| BlockProduct {
+        a: BlockTerms::new(a),
+        b: BlockTerms::new(b),
+        c: BlockTerms::new(c),
+    };
+    [
+        p(&[(1, 0), (1, 3)], &[(1, 0), (1, 3)], &[(1, 0), (1, 3)]),
+        p(&[(1, 2), (1, 3)], &[(1, 0)], &[(1, 2), (-1, 3)]),
+        p(&[(1, 0)], &[(1, 1), (-1, 3)], &[(1, 1), (1, 3)]),
+        p(&[(1, 3)], &[(1, 2), (-1, 0)], &[(1, 0), (1, 2)]),
+        p(&[(1, 0), (1, 1)], &[(1, 3)], &[(-1, 0), (1, 1)]),
+        p(&[(1, 2), (-1, 0)], &[(1, 0), (1, 1)], &[(1, 3)]),
+        p(&[(1, 1), (-1, 3)], &[(1, 2), (1, 3)], &[(1, 0)]),
+    ]
+}
+
+/// The shared-panel fused-level executor under the same hostile
+/// blocking parameters: one full Strassen level against the oracle at
+/// the *recursive* (one-level Winograd-family) tolerance.
+#[test]
+fn degenerate_blocking_fused_level_is_oracle_correct() {
+    check("degenerate_blocking_fused_level", 48, |g: &mut Gen| {
+        let cfg = GemmConfig {
+            mc: degenerate_dim(g),
+            kc: degenerate_dim(g),
+            nc: degenerate_dim(g),
+            ..GemmConfig::blocked()
+        };
+        let m = 2 * g.usize_in(1, 24);
+        let k = 2 * g.usize_in(1, 24);
+        let n = 2 * g.usize_in(1, 24);
+        let alpha = g.f64_in(-2.0, 2.0);
+        let beta = g.pick(&[0.0, 1.0, -0.8]);
+        let seed = g.seed();
+        let a = random::uniform::<f64>(m, k, seed);
+        let b = random::uniform::<f64>(k, n, seed ^ 7);
+        let c0 = random::uniform::<f64>(m, n, seed ^ 8);
+        let want = oracle_gemm(alpha, Op::NoTrans, &a, Op::NoTrans, &b, beta, &c0);
+        let mut c = c0.clone();
+        gemm_fused_level(&cfg, alpha, a.as_ref(), b.as_ref(), beta, c.as_mut(), &strassen_products(), 2);
+        let diff = norms::rel_diff(c.as_ref(), want.as_ref());
+        let tol = tolerance_for(m, k, n);
+        assert!(diff < tol, "mc={} kc={} nc={} {m}x{k}x{n}: {diff:.3e} > {tol:.3e}", cfg.mc, cfg.kc, cfg.nc);
+    });
+}

@@ -9,7 +9,18 @@
 //! - STRASSEN2, any β:   (m·k + k·n + m·n) / 3
 //!
 //! Any schedule change that silently grows a temporary breaks these.
+//!
+//! Since PR 6 the 5-loop GEMM and the shared-panel fused executor lease
+//! their packed panels from a thread-local grow-only buffer; the second
+//! half of this file pins that buffer's capacity to the analytic
+//! requirement ([`gemm_pack_elements`] / [`fused_level_pack_elements`])
+//! exactly — the packing layer must stay outside the Table 1 arena and
+//! must not over-allocate.
 
+use blas::level3::{
+    fused_level_pack_elements, gemm_blocked, gemm_fused_level, gemm_pack_elements, pack_buf_capacity_words,
+    BlockProduct, BlockTerms, GemmConfig,
+};
 use blas::Op;
 use matrix::{random, Matrix};
 use strassen::{
@@ -162,4 +173,115 @@ fn requirement_monotone_in_size() {
         assert!(need >= prev, "requirement shrank from {prev} to {need} at {s}");
         prev = need;
     }
+}
+
+// ---------------------------------------------------------------------
+// Packed-panel buffer accounting (PR 6).
+// ---------------------------------------------------------------------
+
+/// Alignment slack of the thread-local pack buffer: leased slices start
+/// on a 64-byte boundary, so the buffer over-allocates by at most
+/// `64 / size_of::<u64>()` words (see `blas::level3` packbuf docs; its
+/// unit tests pin the same constant).
+const PACK_SLACK_WORDS: usize = 8;
+
+/// Strassen's 1969 table over a 2×2 grid (flat indices `row·2 + col`),
+/// for driving the shared-panel executor directly.
+fn strassen_products() -> [BlockProduct; 7] {
+    let p = |a: &[(i8, u8)], b: &[(i8, u8)], c: &[(i8, u8)]| BlockProduct {
+        a: BlockTerms::new(a),
+        b: BlockTerms::new(b),
+        c: BlockTerms::new(c),
+    };
+    [
+        p(&[(1, 0), (1, 3)], &[(1, 0), (1, 3)], &[(1, 0), (1, 3)]),
+        p(&[(1, 2), (1, 3)], &[(1, 0)], &[(1, 2), (-1, 3)]),
+        p(&[(1, 0)], &[(1, 1), (-1, 3)], &[(1, 1), (1, 3)]),
+        p(&[(1, 3)], &[(1, 2), (-1, 0)], &[(1, 0), (1, 2)]),
+        p(&[(1, 0), (1, 1)], &[(1, 3)], &[(-1, 0), (1, 1)]),
+        p(&[(1, 2), (-1, 0)], &[(1, 0), (1, 1)], &[(1, 3)]),
+        p(&[(1, 1), (-1, 3)], &[(1, 2), (1, 3)], &[(1, 0)]),
+    ]
+}
+
+/// A plain 5-loop GEMM's pack buffer holds exactly one A panel plus one
+/// B panel at the problem-clamped blocking — capacity equals the
+/// analytic requirement plus alignment slack, for comfortable and for
+/// degenerate blocking parameters alike (f64: one element per word).
+#[test]
+fn gemm_pack_buffer_capacity_is_exact() {
+    for cfg in [
+        GemmConfig::blocked(),
+        GemmConfig { mc: 3, kc: 5, nc: 7, ..GemmConfig::blocked() },
+        GemmConfig { mc: 4096, kc: 4096, nc: 4096, ..GemmConfig::blocked() },
+    ] {
+        for (m, k, n) in [(64, 48, 80), (129, 65, 97), (7, 3, 5)] {
+            std::thread::spawn(move || {
+                let a = random::uniform::<f64>(m, k, 1);
+                let b = random::uniform::<f64>(k, n, 2);
+                let mut c = Matrix::<f64>::zeros(m, n);
+                gemm_blocked(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+                let (a_len, b_len) = gemm_pack_elements(&cfg, m, k, n);
+                assert_eq!(
+                    pack_buf_capacity_words(),
+                    a_len + b_len + PACK_SLACK_WORDS,
+                    "{m}x{k}x{n} mc={} kc={} nc={}",
+                    cfg.mc,
+                    cfg.kc,
+                    cfg.nc
+                );
+            })
+            .join()
+            .unwrap();
+        }
+    }
+}
+
+/// The fused-level executor's slab — one slot per grid block of A and B
+/// plus one combination buffer each — is likewise accounted exactly.
+#[test]
+fn fused_level_pack_slab_capacity_is_exact() {
+    for (m, k, n) in [(64usize, 64usize, 64usize), (26, 18, 34), (96, 32, 48)] {
+        std::thread::spawn(move || {
+            let cfg = GemmConfig::blocked();
+            let a = random::uniform::<f64>(m, k, 3);
+            let b = random::uniform::<f64>(k, n, 4);
+            let mut c = Matrix::<f64>::zeros(m, n);
+            gemm_fused_level(&cfg, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut(), &strassen_products(), 2);
+            assert_eq!(
+                pack_buf_capacity_words(),
+                fused_level_pack_elements(&cfg, m, k, n, 2) + PACK_SLACK_WORDS,
+                "{m}x{k}x{n}"
+            );
+        })
+        .join()
+        .unwrap();
+    }
+}
+
+/// A full DGEFMM through the packed-panel fused path allocates no more
+/// pack scratch than the top fused level's analytic requirement (inner
+/// leaf GEMMs and smaller levels lease strictly smaller regions), and a
+/// second identical call does not grow the buffer — the steady-state
+/// zero-allocation guarantee extends to the packing layer.
+#[test]
+fn dgefmm_pack_footprint_bounded_and_reused() {
+    std::thread::spawn(|| {
+        let cfg = StrassenConfig::with_square_cutoff(16).variant(strassen::Variant::Original).max_depth(1);
+        let (m, k, n) = (64, 64, 64);
+        let a = random::uniform::<f64>(m, k, 5);
+        let b = random::uniform::<f64>(k, n, 6);
+        let mut c = Matrix::<f64>::zeros(m, n);
+        dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        let warm = pack_buf_capacity_words();
+        assert_eq!(
+            warm,
+            fused_level_pack_elements(&cfg.gemm, m, k, n, 2) + PACK_SLACK_WORDS,
+            "fused level slab is the high-water pack requirement"
+        );
+        dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        assert_eq!(pack_buf_capacity_words(), warm, "pack buffer grew on a warm call");
+    })
+    .join()
+    .unwrap();
 }
