@@ -6,9 +6,11 @@
 //! space — shape (including odd and near-floor dimensions), `α`/`β`
 //! classes, transposes, variant, schedule, odd-dimension handling,
 //! cutoff criterion (the paper's eqs. 10/11, 12, 7, 15 plus `Never`),
-//! `parallel_depth`, fused kernels (one- and two-level flattening
-//! through the shared-panel executor), the base GEMM's cache-blocking
-//! class ([`BlockingClass`]: auto/tiny/prime/huge), probe installed or
+//! `parallel_depth` (0–3), the parallel scheduler (task DAG vs legacy
+//! fan-out) and its in-flight width cap, a serial vs pool-parallel leaf
+//! GEMM, fused kernels (one- and two-level flattening through the
+//! shared-panel executor), the base GEMM's cache-blocking class
+//! ([`BlockingClass`]: auto/tiny/prime/huge), probe installed or
 //! not — runs
 //! [`strassen::dgefmm`] on seeded data, recomputes the product with
 //! [`crate::oracle::gemm_oracle`], and asserts the measured error sits
@@ -22,10 +24,10 @@
 
 use crate::bound::{gemm_bound, BoundSchedule};
 use crate::metrics::{compare, ErrorReport};
-use blas::level3::{GemmConfig, MR, NR};
+use blas::level3::{GemmAlgo, GemmConfig, MR, NR};
 use blas::Op;
 use matrix::{norms, random};
-use strassen::{dgefmm, trace, CutoffCriterion, OddHandling, Scheme, StrassenConfig, Variant};
+use strassen::{dgefmm, trace, CutoffCriterion, OddHandling, Scheduler, Scheme, StrassenConfig, Variant};
 use testkit::Gen;
 
 /// Largest dimension the fuzzer draws. Big enough for three recursion
@@ -98,6 +100,16 @@ pub struct FuzzCase {
     pub criterion: CutoffCriterion,
     /// Task-parallel recursion levels (effective with `SevenTemp`).
     pub parallel_depth: usize,
+    /// Which executor carries the parallel levels (DAG vs legacy
+    /// fan-out) — must never change results.
+    pub scheduler: Scheduler,
+    /// In-flight node cap for the DAG executor (1, 2, 4, or unbounded);
+    /// another results-invariant axis.
+    pub parallel_width: usize,
+    /// Run the leaf GEMMs through the pool-parallel 5-loop nest instead
+    /// of the serial blocked kernel (bitwise-identical by contract, so
+    /// the error envelope is unchanged).
+    pub parallel_gemm: bool,
     /// Fused last-level kernels on/off.
     pub fused: bool,
     /// Levels the fused path flattens at once (1 or 2; 2 runs the
@@ -166,7 +178,10 @@ impl FuzzCase {
             scheme: g.pick(&Scheme::ALL),
             odd: g.pick(&OddHandling::ALL),
             criterion,
-            parallel_depth: g.usize_in_incl(0, 2),
+            parallel_depth: g.usize_in_incl(0, 3),
+            scheduler: g.pick(&Scheduler::ALL),
+            parallel_width: g.pick(&[1usize, 2, 4, usize::MAX]),
+            parallel_gemm: g.bool(),
             fused: g.bool(),
             fused_levels: if g.bool() { 2 } else { 1 },
             blocking: g.pick(&BlockingClass::ALL),
@@ -177,6 +192,10 @@ impl FuzzCase {
 
     /// The [`StrassenConfig`] this case runs under.
     pub fn config(&self) -> StrassenConfig {
+        let mut gemm = self.blocking.config();
+        if self.parallel_gemm {
+            gemm.algo = GemmAlgo::BlockedParallel;
+        }
         StrassenConfig {
             parallel_depth: self.parallel_depth,
             ..StrassenConfig::dgefmm()
@@ -186,7 +205,9 @@ impl FuzzCase {
                 .cutoff(self.criterion)
                 .fused(self.fused)
                 .fused_levels(self.fused_levels)
-                .gemm(self.blocking.config())
+                .scheduler(self.scheduler)
+                .parallel_width(self.parallel_width)
+                .gemm(gemm)
         }
     }
 
@@ -286,11 +307,15 @@ mod tests {
         let mut odds = std::collections::HashSet::new();
         let mut criteria = std::collections::HashSet::new();
         let mut depths = std::collections::HashSet::new();
+        let mut schedulers = std::collections::HashSet::new();
+        let mut widths = std::collections::HashSet::new();
         let mut blockings = std::collections::HashSet::new();
         let mut levels = std::collections::HashSet::new();
         let mut odd_dims = false;
         let mut beta_zero = false;
         let mut beta_nonzero = false;
+        let mut parallel_leaf = false;
+        let mut serial_leaf = false;
         let mut g = Gen::new(0xFEED_FACE, 1.0);
         for _ in 0..300 {
             let c = FuzzCase::draw(&mut g);
@@ -299,21 +324,28 @@ mod tests {
             odds.insert(format!("{:?}", c.odd));
             criteria.insert(std::mem::discriminant(&c.criterion));
             depths.insert(c.parallel_depth);
+            schedulers.insert(format!("{:?}", c.scheduler));
+            widths.insert(c.parallel_width);
             blockings.insert(format!("{:?}", c.blocking));
             levels.insert(c.fused_levels);
             odd_dims |= c.m % 2 == 1 && c.k % 2 == 1;
             beta_zero |= c.beta == 0.0;
             beta_nonzero |= c.beta != 0.0;
+            parallel_leaf |= c.parallel_gemm;
+            serial_leaf |= !c.parallel_gemm;
             assert!(c.m >= CutoffCriterion::HARD_FLOOR && c.m <= MAX_DIM);
         }
         assert_eq!(variants.len(), 2);
         assert_eq!(schemes.len(), 4);
         assert_eq!(odds.len(), 4);
         assert_eq!(criteria.len(), 5, "all four paper criteria plus Never");
-        assert_eq!(depths.len(), 3);
+        assert_eq!(depths.len(), 4, "parallel_depth 0 through 3");
+        assert_eq!(schedulers.len(), 2, "task DAG and legacy fan-out");
+        assert_eq!(widths.len(), 4, "width caps 1, 2, 4, and unbounded");
         assert_eq!(blockings.len(), 4, "auto, tiny, prime, and huge blocking");
         assert_eq!(levels.len(), 2, "one- and two-level fused flattening");
         assert!(odd_dims && beta_zero && beta_nonzero);
+        assert!(parallel_leaf && serial_leaf, "both leaf-GEMM backends drawn");
     }
 
     #[test]

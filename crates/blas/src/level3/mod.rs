@@ -83,6 +83,16 @@ impl GemmConfig {
         let p = params::BlockingParams::auto_f64();
         Self { algo: GemmAlgo::Blocked, mc: p.mc, kc: p.kc, nc: p.nc }
     }
+
+    /// [`GemmConfig::auto`] with the pool-parallel kernel: same
+    /// machine-derived `(mc, kc, nc)` — and therefore bitwise-identical
+    /// results, since the parallel nest only re-partitions the serial
+    /// loop order (see [`gemm_parallel`]) — but the jc/ic loops fan out
+    /// over the worker pool. This is what
+    /// `StrassenConfig::dgefmm_parallel` uses for its leaf products.
+    pub fn auto_parallel() -> Self {
+        Self { algo: GemmAlgo::BlockedParallel, ..Self::auto() }
+    }
 }
 
 impl Default for GemmConfig {

@@ -42,6 +42,31 @@ impl Scheme {
     pub const ALL: [Scheme; 4] = [Scheme::Auto, Scheme::Strassen1, Scheme::Strassen2, Scheme::SevenTemp];
 }
 
+/// How the parallel levels of [`Scheme::SevenTemp`] are executed on the
+/// thread pool. Both schedulers run the *same* canonical node bodies in
+/// a dependency-respecting order, so results are bitwise identical; the
+/// choice only affects how much ready work the pool can see at once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Explicit task DAG per recursion level (`pool::dag`): pre-add,
+    /// product, and post-add nodes with the schedule table's real data
+    /// dependencies as edges. Products become ready as their operands
+    /// land (no level barrier before the multiplies), post-adds overlap
+    /// still-running products, and nested levels' DAG nodes coexist in
+    /// the worker deques — work-stealing across recursion levels.
+    TaskDag,
+    /// PR-5-era fan-out: run all pre-adds serially, spawn the seven
+    /// products as one scope, join, then run all post-adds serially.
+    /// Kept as the differential-fuzzer baseline and an ablation point.
+    FanOut,
+}
+
+impl Scheduler {
+    /// Every scheduler, for config-space sweeps and the differential
+    /// fuzzer.
+    pub const ALL: [Scheduler; 2] = [Scheduler::TaskDag, Scheduler::FanOut];
+}
+
 /// How odd dimensions are made even at each recursion level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OddHandling {
@@ -110,6 +135,16 @@ pub struct StrassenConfig {
     /// Recursion levels whose seven products may run as parallel tasks
     /// (only effective with [`Scheme::SevenTemp`]); 0 disables.
     pub parallel_depth: usize,
+    /// Which executor carries the parallel levels (only effective with
+    /// [`Scheme::SevenTemp`] and `parallel_depth > 0`). Never changes
+    /// results — see [`Scheduler`].
+    pub scheduler: Scheduler,
+    /// Cap on simultaneously in-flight DAG nodes per parallel level
+    /// (`usize::MAX` = unbounded, the default; only effective with
+    /// [`Scheduler::TaskDag`]). `1` serializes the DAG into its
+    /// deterministic lowest-index-first topological order — a fuzzer and
+    /// determinism-test axis, not a performance knob.
+    pub parallel_width: usize,
     /// Hard limit on recursion depth, regardless of the cutoff criterion
     /// (`usize::MAX` = unlimited). The empirical tuning procedure uses
     /// `max_depth = 1` to time "exactly one level of recursion" against
@@ -146,9 +181,30 @@ impl StrassenConfig {
             // fallbacks, resolved once per process.
             gemm: GemmConfig::auto(),
             parallel_depth: 0,
+            scheduler: Scheduler::TaskDag,
+            parallel_width: usize::MAX,
             max_depth: usize::MAX,
             fused: true,
             fused_levels: 1,
+        }
+    }
+
+    /// The tuned default reshaped for full-machine execution: the
+    /// seven-temporary parallel schedule, task-DAG scheduling over the
+    /// top two recursion levels (49 leaf products — enough independent
+    /// tasks for any core count this code targets), and parallel leaf
+    /// GEMMs so the nested jc×ic loop parallelism can soak up workers
+    /// the Strassen level leaves idle.
+    ///
+    /// Pool sizing is orthogonal: call [`pool::set_num_threads`] (or set
+    /// `STRASSEN_THREADS`) before first use; the default is the probed
+    /// physical-core count ([`pool::machine_threads`]).
+    pub fn dgefmm_parallel() -> Self {
+        Self {
+            scheme: Scheme::SevenTemp,
+            parallel_depth: 2,
+            gemm: GemmConfig::auto_parallel(),
+            ..Self::dgefmm()
         }
     }
 
@@ -224,6 +280,26 @@ impl StrassenConfig {
         self
     }
 
+    /// Set how many recursion levels fan out as parallel tasks (0
+    /// disables parallel scheduling; only effective with
+    /// [`Scheme::SevenTemp`]).
+    pub fn parallel_depth(mut self, depth: usize) -> Self {
+        self.parallel_depth = depth;
+        self
+    }
+
+    /// Replace the parallel-level executor.
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Cap in-flight DAG nodes per parallel level (clamped to ≥ 1).
+    pub fn parallel_width(mut self, width: usize) -> Self {
+        self.parallel_width = width.max(1);
+        self
+    }
+
     /// Set how many levels the fused path may flatten (clamped to 1–2).
     pub fn fused_levels(mut self, levels: u8) -> Self {
         self.fused_levels = levels.clamp(1, 2);
@@ -271,6 +347,19 @@ mod tests {
         assert!(!c.criterion_for(false).should_stop(201, 201, 201));
         assert!(c.criterion_for(false).should_stop(150, 150, 150));
         assert!(!c.criterion_for(true).should_stop(150, 150, 150));
+    }
+
+    #[test]
+    fn parallel_preset_and_builders() {
+        let c = StrassenConfig::dgefmm_parallel();
+        assert_eq!(c.scheme, Scheme::SevenTemp);
+        assert_eq!(c.parallel_depth, 2);
+        assert_eq!(c.scheduler, Scheduler::TaskDag);
+        assert_eq!(c.parallel_width, usize::MAX);
+        let c = c.scheduler(Scheduler::FanOut).parallel_width(0).parallel_depth(1);
+        assert_eq!(c.scheduler, Scheduler::FanOut);
+        assert_eq!(c.parallel_width, 1, "width clamps to >= 1");
+        assert_eq!(c.parallel_depth, 1);
     }
 
     #[test]

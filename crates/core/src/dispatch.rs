@@ -32,23 +32,16 @@ enum FusedSpan {
 /// once more (again for both β classes, and with dimensions divisible by
 /// 4 so no peel/pad intervenes): the 49 grandchild products then run as
 /// one flat two-level schedule, eliminating the outer level's temp
-/// traffic as well. SevenTemp levels inside `parallel_depth` keep the
-/// task-parallel schedule instead.
-fn fused_span(
-    cfg: &StrassenConfig,
-    m: usize,
-    k: usize,
-    n: usize,
-    beta_zero: bool,
-    depth: usize,
-) -> FusedSpan {
+/// traffic as well. The decision is a pure function of `cfg` and the
+/// problem shape — deliberately independent of `parallel_depth`, so a
+/// parallel run selects exactly the kernels its serial twin would and
+/// serial ≡ parallel stays bitwise (a fused leaf reached *inside* a
+/// parallel region simply runs inside its product task).
+fn fused_span(cfg: &StrassenConfig, m: usize, k: usize, n: usize, depth: usize) -> FusedSpan {
     if !cfg.fused || cfg.gemm.algo != GemmAlgo::Blocked {
         return FusedSpan::No;
     }
     if m % 2 != 0 || k % 2 != 0 || n % 2 != 0 || m == 0 || k == 0 || n == 0 {
-        return FusedSpan::No;
-    }
-    if resolve_scheme(cfg, beta_zero) == ResolvedScheme::SevenTemp && depth < cfg.parallel_depth {
         return FusedSpan::No;
     }
     let stop_both = |mm: usize, kk: usize, nn: usize| {
@@ -67,14 +60,10 @@ fn fused_span(
     // is a leaf.
     let recurse_both =
         !cfg.criterion_for(true).should_stop(m2, k2, n2) && !cfg.criterion_for(false).should_stop(m2, k2, n2);
-    let child_parallel = (resolve_scheme(cfg, true) == ResolvedScheme::SevenTemp
-        || resolve_scheme(cfg, false) == ResolvedScheme::SevenTemp)
-        && depth + 1 < cfg.parallel_depth;
     if m % 4 == 0
         && k % 4 == 0
         && n % 4 == 0
         && recurse_both
-        && !child_parallel
         && (depth + 2 >= cfg.max_depth || stop_both(m / 4, k / 4, n / 4))
     {
         return FusedSpan::Two;
@@ -131,7 +120,7 @@ pub(crate) fn fmm<T: Scalar>(
     // expanded per quadrant it needs 14 destination touches and up to
     // 4-term operand sums, while the original form needs 12 touches and
     // at most 2-term sums.
-    match fused_span(cfg, m, k, n, beta_zero, depth) {
+    match fused_span(cfg, m, k, n, depth) {
         FusedSpan::Two => {
             let t = trace::span_timer();
             fused::original_fused_two_level(cfg, alpha, a, b, beta, c);

@@ -1,0 +1,416 @@
+//! Explicit task-DAG execution on the global worker pool.
+//!
+//! [`DagBuilder`] collects nodes — closures plus the indices of the
+//! nodes they depend on — and [`DagBuilder::run`] executes them on the
+//! pool with every real dependency edge honored: a node is queued the
+//! instant its last predecessor finishes, from *inside* that
+//! predecessor's completing task, so ready work from different depths of
+//! a nested computation coexists in the worker deques and is
+//! work-stolen freely. This replaces level-at-a-time spawn-and-join
+//! (where a whole recursion level must drain before the next is even
+//! visible to the pool) for the Strassen scheduler.
+//!
+//! Properties the Strassen caller relies on:
+//!
+//! - **Forward edges only.** A node may depend only on nodes declared
+//!   before it, so a `DagBuilder` graph is acyclic by construction and
+//!   needs no cycle detection.
+//! - **Index-ordered dispatch.** Among simultaneously-ready nodes the
+//!   lowest index is queued first, and a `width` cap bounds how many
+//!   nodes are in flight at once. With `width == 1` the DAG executes
+//!   nodes one at a time in a deterministic topological order (declaration
+//!   order filtered by readiness). Numerical determinism does *not*
+//!   depend on this — each node's floating-point work is internally
+//!   sequential and the edges order every conflicting pair — but a
+//!   deterministic narrow schedule is what makes `parallel_width` a
+//!   meaningful fuzzer axis.
+//! - **Affinity hints.** A node may carry a worker hint (see
+//!   [`crate::Scope::spawn_at`]); stable hints keep a recursion slot's
+//!   task returning to the worker whose thread-local buffers served that
+//!   slot last time. Hints never affect correctness — any worker may
+//!   steal the job.
+//! - **Panic poisoning.** If a node panics, its successors never run,
+//!   the remaining in-flight nodes finish, and the panic is re-thrown
+//!   from [`DagBuilder::run`] on the calling thread (first panic wins,
+//!   as for [`crate::scope`]).
+//!
+//! ```
+//! use pool::dag::DagBuilder;
+//! use std::sync::atomic::{AtomicU32, Ordering};
+//!
+//! let acc = AtomicU32::new(1);
+//! let mut dag = DagBuilder::new();
+//! let double = dag.node(None, &[], || {
+//!     acc.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |x| Some(x * 2)).unwrap();
+//! });
+//! // Runs strictly after `double`: observes 2, never 1.
+//! dag.node(None, &[double], || {
+//!     acc.fetch_add(10, Ordering::SeqCst);
+//! });
+//! dag.run(usize::MAX);
+//! assert_eq!(acc.load(Ordering::SeqCst), 12);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::{Job, Scope};
+
+/// One declared node: its erased body, affinity hint, and forward edges.
+struct NodeSpec<'a> {
+    body: Box<dyn FnOnce() + Send + 'a>,
+    hint: Option<usize>,
+    deps: Vec<usize>,
+}
+
+/// Builder for a task DAG over the global pool. See the [module
+/// docs](self) for the execution contract.
+#[derive(Default)]
+pub struct DagBuilder<'a> {
+    nodes: Vec<NodeSpec<'a>>,
+}
+
+/// Shared execution state. Bodies are lifetime-erased to `'static`
+/// ([`Job`]) under the same contract as [`Scope::spawn`]: `run` does not
+/// return until every body has either executed or been dropped.
+struct DagState {
+    bodies: Vec<Mutex<Option<Job>>>,
+    hints: Vec<Option<usize>>,
+    /// Successor lists (forward edges reversed).
+    succs: Vec<Vec<usize>>,
+    /// Unmet-dependency counters, one per node.
+    pending: Vec<AtomicUsize>,
+    sched: Mutex<SchedState>,
+    /// In-flight cap (≥ 1).
+    width: usize,
+}
+
+struct SchedState {
+    /// Ready-but-not-queued nodes, lowest index first.
+    ready: BinaryHeap<Reverse<usize>>,
+    /// Nodes queued on the pool and not yet completed.
+    in_flight: usize,
+}
+
+impl<'a> DagBuilder<'a> {
+    /// An empty DAG.
+    pub fn new() -> Self {
+        DagBuilder { nodes: Vec::new() }
+    }
+
+    /// Number of nodes declared so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Declare a node and return its index. `deps` are indices of
+    /// previously declared nodes that must complete before this one
+    /// starts (duplicates allowed, counted once); `hint` is an optional
+    /// worker-affinity hint. Panics if a dependency index is not a
+    /// previously declared node — edges must point backwards, which is
+    /// what keeps the graph acyclic by construction.
+    pub fn node<F>(&mut self, hint: Option<usize>, deps: &[usize], f: F) -> usize
+    where
+        F: FnOnce() + Send + 'a,
+    {
+        let idx = self.nodes.len();
+        let mut deps_vec: Vec<usize> = deps.to_vec();
+        deps_vec.sort_unstable();
+        deps_vec.dedup();
+        for &d in &deps_vec {
+            assert!(d < idx, "dag node {idx} depends on not-yet-declared node {d}");
+        }
+        self.nodes.push(NodeSpec { body: Box::new(f), hint, deps: deps_vec });
+        idx
+    }
+
+    /// Execute the DAG on the pool and wait for completion. At most
+    /// `width` nodes are in flight at once (`0` and `usize::MAX` both
+    /// mean "unbounded"); among ready nodes the lowest index is queued
+    /// first. Re-throws the first node panic after quiescing.
+    pub fn run(self, width: usize) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        let n = self.nodes.len();
+        let mut bodies = Vec::with_capacity(n);
+        let mut hints = Vec::with_capacity(n);
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pending = Vec::with_capacity(n);
+        for (idx, spec) in self.nodes.into_iter().enumerate() {
+            // SAFETY: only the lifetime is erased. `run` blocks in
+            // `crate::scope` until every queued node body has run and
+            // been dropped, and `state` (holding the never-queued bodies
+            // of a poisoned run) is dropped before `run` returns, so no
+            // `'a` borrow outlives the caller's frame.
+            let body: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(spec.body) };
+            bodies.push(Mutex::new(Some(body)));
+            hints.push(spec.hint);
+            pending.push(AtomicUsize::new(spec.deps.len()));
+            for &d in &spec.deps {
+                succs[d].push(idx);
+            }
+        }
+        let state = DagState {
+            bodies,
+            hints,
+            succs,
+            pending,
+            sched: Mutex::new(SchedState { ready: BinaryHeap::new(), in_flight: 0 }),
+            width: if width == 0 { usize::MAX } else { width },
+        };
+        crate::scope(|s| {
+            let seed = {
+                let mut sched = state.sched.lock().unwrap();
+                for idx in 0..n {
+                    if state.pending[idx].load(Ordering::Relaxed) == 0 {
+                        sched.ready.push(Reverse(idx));
+                    }
+                }
+                drain_ready(&mut sched, state.width)
+            };
+            for idx in seed {
+                spawn_node(s, &state, idx);
+            }
+        });
+        // `state` drops here: bodies of nodes poisoned by a predecessor
+        // panic are released before `run` returns (the scope above
+        // re-threw the panic already in that case, so this line is
+        // reached only on clean completion — the drop in the unwind path
+        // happens as `run`'s frame unwinds, equally before return).
+    }
+}
+
+/// Pop ready nodes (lowest index first) until the in-flight cap is hit.
+fn drain_ready(sched: &mut SchedState, width: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    while sched.in_flight < width {
+        match sched.ready.pop() {
+            Some(Reverse(idx)) => {
+                sched.in_flight += 1;
+                out.push(idx);
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Queue node `idx` on the pool. On completion the task retires itself,
+/// marks its successors ready, and queues the next batch — this is the
+/// "spawn from inside the finishing task" step that lets ready work
+/// surface without any thread blocking at a level barrier.
+fn spawn_node<'s>(scope: &Scope<'s>, state: &'s DagState, idx: usize) {
+    let hint = state.hints[idx];
+    let alias = scope.alias();
+    let task = move || {
+        let body = state.bodies[idx].lock().unwrap().take().expect("dag node queued twice");
+        body();
+        // A panic above skips this: successors stay pending (poisoned),
+        // in_flight never retires, and `scope` re-throws after the
+        // remaining in-flight nodes finish.
+        let next = {
+            let mut sched = state.sched.lock().unwrap();
+            sched.in_flight -= 1;
+            for &succ in &state.succs[idx] {
+                if state.pending[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    sched.ready.push(Reverse(succ));
+                }
+            }
+            drain_ready(&mut sched, state.width)
+        };
+        for next_idx in next {
+            spawn_node(&alias, state, next_idx);
+        }
+    };
+    match hint {
+        Some(h) => scope.spawn_at(h, task),
+        None => scope.spawn(task),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicU64;
+
+    fn init() {
+        let _ = crate::set_num_threads(4);
+    }
+
+    /// Append-only execution log for order assertions.
+    #[derive(Default)]
+    struct Log(Mutex<Vec<usize>>);
+
+    impl Log {
+        fn mark(&self, idx: usize) {
+            self.0.lock().unwrap().push(idx);
+        }
+        fn order(&self) -> Vec<usize> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+
+    #[test]
+    fn empty_dag_is_a_noop() {
+        init();
+        DagBuilder::new().run(4);
+        DagBuilder::new().run(0);
+    }
+
+    #[test]
+    fn all_nodes_run_exactly_once() {
+        init();
+        let count = AtomicU64::new(0);
+        let mut dag = DagBuilder::new();
+        let mut prev: Vec<usize> = Vec::new();
+        for layer in 0..5 {
+            let mut cur = Vec::new();
+            for k in 0..7 {
+                let deps = if layer == 0 { Vec::new() } else { prev.clone() };
+                cur.push(dag.node(Some(k), &deps, || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            prev = cur;
+        }
+        dag.run(usize::MAX);
+        assert_eq!(count.load(Ordering::Relaxed), 35);
+    }
+
+    #[test]
+    fn dependencies_order_execution() {
+        init();
+        // Diamond: 0 → {1, 2} → 3, plus an independent 4.
+        for width in [1, 2, usize::MAX] {
+            let log = Log::default();
+            let mut dag = DagBuilder::new();
+            let a = dag.node(None, &[], || log.mark(0));
+            let b = dag.node(None, &[a], || log.mark(1));
+            let c = dag.node(None, &[a], || log.mark(2));
+            dag.node(None, &[b, c], || log.mark(3));
+            dag.node(None, &[], || log.mark(4));
+            dag.run(width);
+            let order = log.order();
+            assert_eq!(order.len(), 5, "width {width}");
+            let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
+            assert!(pos(0) < pos(1) && pos(0) < pos(2), "width {width}: {order:?}");
+            assert!(pos(3) > pos(1) && pos(3) > pos(2), "width {width}: {order:?}");
+        }
+    }
+
+    #[test]
+    fn width_one_is_deterministic_declaration_order() {
+        init();
+        // All-independent nodes at width 1 must run exactly in index
+        // order: the ready heap is seeded with every node and drained
+        // lowest-first, one at a time.
+        for _ in 0..3 {
+            let log = Log::default();
+            let mut dag = DagBuilder::new();
+            for i in 0..12 {
+                let log = &log;
+                dag.node(Some(i % 4), &[], move || log.mark(i));
+            }
+            dag.run(1);
+            assert_eq!(log.order(), (0..12).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn width_caps_in_flight_nodes() {
+        init();
+        let in_flight = AtomicU64::new(0);
+        let high_water = AtomicU64::new(0);
+        let mut dag = DagBuilder::new();
+        for _ in 0..32 {
+            dag.node(None, &[], || {
+                let cur = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                high_water.fetch_max(cur, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        dag.run(2);
+        let hw = high_water.load(Ordering::SeqCst);
+        assert!(hw <= 2, "width 2 exceeded: {hw} nodes in flight");
+        assert!(hw >= 1);
+    }
+
+    #[test]
+    fn node_panic_poisons_successors_and_propagates() {
+        init();
+        let ran_sibling = AtomicU64::new(0);
+        let ran_successor = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut dag = DagBuilder::new();
+            let bad = dag.node(None, &[], || panic!("dag node boom"));
+            dag.node(None, &[bad], || {
+                ran_successor.fetch_add(1, Ordering::Relaxed);
+            });
+            dag.node(None, &[], || {
+                ran_sibling.fetch_add(1, Ordering::Relaxed);
+            });
+            dag.run(usize::MAX);
+        }));
+        assert!(result.is_err(), "run must re-throw the node panic");
+        assert_eq!(ran_successor.load(Ordering::Relaxed), 0, "successor of panicked node ran");
+        assert_eq!(ran_sibling.load(Ordering::Relaxed), 1, "independent sibling was dropped");
+        // Pool still serviceable afterwards.
+        let ok = AtomicU64::new(0);
+        let mut dag = DagBuilder::new();
+        dag.node(None, &[], || {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        dag.run(1);
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not-yet-declared")]
+    fn forward_edges_are_rejected() {
+        let mut dag = DagBuilder::new();
+        dag.node(None, &[3], || {});
+    }
+
+    #[test]
+    fn nested_dags_do_not_deadlock() {
+        init();
+        let total = AtomicU64::new(0);
+        let mut outer = DagBuilder::new();
+        for slot in 0..4 {
+            outer.node(Some(slot), &[], || {
+                let mut inner = DagBuilder::new();
+                let first = inner.node(None, &[], || {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+                inner.node(None, &[first], || {
+                    total.fetch_add(10, Ordering::Relaxed);
+                });
+                inner.run(usize::MAX);
+            });
+        }
+        outer.run(usize::MAX);
+        assert_eq!(total.load(Ordering::Relaxed), 44);
+    }
+
+    #[test]
+    fn borrows_of_caller_locals_are_allowed() {
+        init();
+        let mut parts = [0u64; 7];
+        let mut dag = DagBuilder::new();
+        for (i, p) in parts.iter_mut().enumerate() {
+            dag.node(Some(i), &[], move || *p = (i as u64 + 1) * 10);
+        }
+        dag.run(usize::MAX);
+        assert_eq!(parts, [10, 20, 30, 40, 50, 60, 70]);
+    }
+}

@@ -1,34 +1,53 @@
-//! Scoped work-stealing thread pool.
+//! Scoped work-stealing thread pool and task-DAG executor.
 //!
 //! The in-tree replacement for the `rayon` subset this workspace uses:
 //! a global pool of workers, a [`scope`] primitive whose spawned closures
-//! may borrow from the enclosing stack frame, and a two-way [`join`].
-//! That is exactly what the seven-multiply Strassen fan-out
-//! (`strassen::schedules::seven_temp`) and the column-panel parallel GEMM
-//! (`blas::level3::gemm_parallel`) need — coarse, long-running tasks
-//! handed to a small fixed set of workers.
+//! may borrow from the enclosing stack frame, a two-way [`join`], and a
+//! dependency-graph executor ([`dag::DagBuilder`]) that runs an explicit
+//! task DAG on the same workers. The DAG executor is what the Strassen
+//! scheduler (`strassen::schedules::seven_temp`) uses to express each
+//! recursion level as pre-add / product / post-add nodes whose edges are
+//! the real data dependencies, so independent work from *different*
+//! recursion levels coexists in the worker deques and is stolen freely,
+//! instead of the old level-at-a-time spawn-and-join barrier.
 //!
 //! Design:
 //!
-//! - One deque per worker; spawns are distributed round-robin and idle
-//!   workers steal from the back of their own deque (LIFO, cache-warm)
-//!   or the front of a victim's (FIFO, oldest first).
+//! - One deque per worker; plain spawns are distributed round-robin,
+//!   [`Scope::spawn_at`] pins a task to a specific worker's deque
+//!   (affinity hint — the worker keeps its thread-local pack buffers and
+//!   arena slices warm for the slot it served last level). Idle workers
+//!   pop from the back of their own deque (LIFO, cache-warm) or steal
+//!   from the front of a victim's (FIFO, oldest first), so a hint is a
+//!   preference, never a constraint: hinted work is still stolen when
+//!   its preferred worker is busy.
 //! - The thread that opens a [`scope`] *helps*: while waiting for its
 //!   spawned tasks it executes queued tasks itself. This keeps a
-//!   single-threaded pool deadlock-free under nested scopes (recursion
-//!   with `parallel_depth > 1`) and means the caller is never idle while
-//!   work is queued.
+//!   single-threaded pool deadlock-free under nested scopes (DAG product
+//!   nodes recurse into deeper DAGs) and means the caller is never idle
+//!   while work is queued.
 //! - Thread count is config-driven: [`set_num_threads`] before first
-//!   use, else the `STRASSEN_NUM_THREADS` environment variable, else
-//!   the machine's available parallelism.
+//!   use, else the `STRASSEN_THREADS` environment variable (legacy alias
+//!   `STRASSEN_NUM_THREADS`), else [`machine_threads`] — the number of
+//!   distinct *physical* cores probed from
+//!   `/sys/devices/system/cpu/cpu*/topology`, because the GEMM kernels
+//!   saturate a core's FMA pipes and gain nothing from SMT siblings.
+//!   Once the pool is running, [`set_num_threads`] reports the
+//!   mismatch as a typed error instead of failing silently.
 //! - Panics inside a spawned task are caught, the scope finishes its
 //!   remaining tasks, and the first panic is re-thrown from [`scope`]
-//!   on the spawning thread — the same contract as `rayon::scope`.
+//!   on the spawning thread — the same contract as `rayon::scope`. A
+//!   panicking DAG node poisons its successors (they never run) and the
+//!   panic surfaces from [`dag::DagBuilder::run`].
 //!
-//! Per-worker executed-task counters ([`worker_job_counts`]) make the
-//! "did the parallel path really fan out?" question testable.
+//! Per-worker telemetry ([`pool_stats`], [`worker_job_counts`]) makes
+//! "did the parallel path really fan out, and were the workers busy?"
+//! testable — the bench harness turns [`PoolStats::utilization`] into a
+//! gate.
 
 #![warn(missing_docs)]
+
+pub mod dag;
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -44,7 +63,8 @@ use std::time::Duration;
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Shared {
-    /// One deque per worker; `Scope::spawn` pushes round-robin.
+    /// One deque per worker; `Scope::spawn` pushes round-robin,
+    /// `Scope::spawn_at` pushes to the hinted worker's deque.
     deques: Vec<Mutex<VecDeque<Job>>>,
     /// Tasks executed per worker, for observability and tests.
     executed: Vec<AtomicU64>,
@@ -71,7 +91,13 @@ struct Shared {
 
 impl Shared {
     fn push(&self, job: Job) {
-        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.deques.len();
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        self.push_at(i, job);
+    }
+
+    /// Queue `job` on deque `i % nworkers` and wake sleepers.
+    fn push_at(&self, i: usize, job: Job) {
+        let i = i % self.deques.len();
         self.queued.fetch_add(1, Ordering::Release);
         self.deques[i].lock().unwrap().push_back(job);
         self.wake_notifies.fetch_add(1, Ordering::Relaxed);
@@ -176,13 +202,51 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
 static REQUESTED: AtomicUsize = AtomicUsize::new(0);
 static POOL: OnceLock<Pool> = OnceLock::new();
 
-fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("STRASSEN_NUM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+/// Distinct physical cores on this machine, probed from
+/// `/sys/devices/system/cpu/cpu*/topology/{physical_package_id,core_id}`.
+///
+/// SMT siblings share FMA pipes and L1/L2, so the dense kernels gain
+/// nothing from running two workers per core — this is the pool's
+/// default size. Falls back to `available_parallelism` (which counts
+/// hardware *threads*) when sysfs is absent or unreadable, and to 1 as a
+/// last resort.
+pub fn machine_threads() -> usize {
+    physical_core_count().or_else(|| std::thread::available_parallelism().ok().map(|n| n.get())).unwrap_or(1)
+}
+
+fn physical_core_count() -> Option<usize> {
+    let mut cores = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir("/sys/devices/system/cpu").ok()?.flatten() {
+        let name = entry.file_name();
+        let Some(rest) = name.to_str().and_then(|s| s.strip_prefix("cpu")) else { continue };
+        if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        let topo = entry.path().join("topology");
+        let read_id = |file: &str| -> Option<i64> {
+            std::fs::read_to_string(topo.join(file)).ok()?.trim().parse().ok()
+        };
+        // Offline CPUs have no topology directory; skip them.
+        if let (Some(pkg), Some(core)) = (read_id("physical_package_id"), read_id("core_id")) {
+            cores.insert((pkg, core));
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    if cores.is_empty() {
+        None
+    } else {
+        Some(cores.len())
+    }
+}
+
+fn default_threads() -> usize {
+    for var in ["STRASSEN_THREADS", "STRASSEN_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    machine_threads()
 }
 
 fn global() -> &'static Pool {
@@ -193,15 +257,57 @@ fn global() -> &'static Pool {
     })
 }
 
-/// Request `n` workers for the global pool. Only effective before the
-/// pool's first use; returns `false` (and changes nothing) once the pool
-/// is running. `n` is clamped to at least 1.
-pub fn set_num_threads(n: usize) -> bool {
-    if POOL.get().is_some() {
-        return false;
+/// Error from [`set_num_threads`]: the global pool is already running
+/// with a different worker count, which cannot be changed in-process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolAlreadyRunning {
+    /// Worker count the pool is actually running with.
+    pub running: usize,
+    /// Worker count the rejected call asked for.
+    pub requested: usize,
+}
+
+impl std::fmt::Display for PoolAlreadyRunning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "thread pool already running with {} worker(s); cannot resize to {} — \
+             call set_num_threads before the pool's first use, or set STRASSEN_THREADS",
+            self.running, self.requested
+        )
     }
-    REQUESTED.store(n.max(1), Ordering::Relaxed);
-    POOL.get().is_none()
+}
+
+impl std::error::Error for PoolAlreadyRunning {}
+
+/// Request `n` workers for the global pool (clamped to at least 1).
+///
+/// Effective only before the pool's first use. Once the pool is running
+/// the worker count is fixed for the process: a call that asks for the
+/// count the pool already has succeeds (idempotent), any other count
+/// returns [`PoolAlreadyRunning`] carrying both counts so callers can
+/// report the mismatch instead of silently computing with the wrong
+/// parallelism. Entry points that care (`bench_quick`, the examples) set
+/// the thread count up front, before touching any parallel path.
+pub fn set_num_threads(n: usize) -> Result<(), PoolAlreadyRunning> {
+    let n = n.max(1);
+    let check = |pool: &Pool| {
+        if pool.nthreads == n {
+            Ok(())
+        } else {
+            Err(PoolAlreadyRunning { running: pool.nthreads, requested: n })
+        }
+    };
+    if let Some(pool) = POOL.get() {
+        return check(pool);
+    }
+    REQUESTED.store(n, Ordering::Relaxed);
+    // A racing first use may have started the pool between the check and
+    // the store; re-validate so the result is truthful.
+    match POOL.get() {
+        None => Ok(()),
+        Some(pool) => check(pool),
+    }
 }
 
 /// Number of worker threads in the pool (starts the pool on first call).
@@ -267,8 +373,9 @@ impl PoolStats {
     }
 
     /// Fraction of `wall_ns × workers` the pool spent busy — the
-    /// parallel-region utilization figure the profile reports. Returns 0
-    /// for an empty pool or a zero-length wall interval.
+    /// parallel-region utilization figure the profile reports and the
+    /// bench harness gates on. Returns 0 for an empty pool or a
+    /// zero-length wall interval.
     pub fn utilization(&self, wall_ns: u64) -> f64 {
         let capacity = wall_ns.saturating_mul(self.workers.len() as u64);
         if capacity == 0 {
@@ -361,10 +468,30 @@ pub struct Scope<'scope> {
 }
 
 impl<'scope> Scope<'scope> {
-    /// Queue `f` on the pool. It may borrow anything that outlives the
-    /// enclosing [`scope`] call; [`scope`] does not return until every
-    /// spawned task has finished.
+    /// Queue `f` on the pool, round-robin across worker deques. It may
+    /// borrow anything that outlives the enclosing [`scope`] call;
+    /// [`scope`] does not return until every spawned task has finished.
     pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.spawn_job(None, f);
+    }
+
+    /// Queue `f` with an affinity hint: the job lands on worker
+    /// `hint % nworkers`'s deque instead of the round-robin slot, so a
+    /// stable hint (e.g. a Strassen arena-slot index) keeps returning to
+    /// the worker whose thread-local pack buffers and workspace arena
+    /// are already sized and cache-warm for it. The hint is advisory —
+    /// any idle worker (or helping scope owner) may still steal the job.
+    pub fn spawn_at<F>(&self, hint: usize, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.spawn_job(Some(hint), f);
+    }
+
+    fn spawn_job<F>(&self, hint: Option<usize>, f: F)
     where
         F: FnOnce() + Send + 'scope,
     {
@@ -386,7 +513,17 @@ impl<'scope> Scope<'scope> {
         // it points into is gone — the same argument as
         // `std::thread::scope`, enforced dynamically by the counter.
         let job: Job = unsafe { std::mem::transmute(job) };
-        global().shared.push(job);
+        match hint {
+            Some(i) => global().shared.push_at(i, job),
+            None => global().shared.push(job),
+        }
+    }
+
+    /// A second handle onto this scope's completion state, for crate
+    /// internals (the DAG executor) that must spawn follow-up tasks
+    /// *from inside* a running task, where no `&Scope` is in reach.
+    fn alias(&self) -> Scope<'scope> {
+        Scope { state: Arc::clone(&self.state), _marker: PhantomData }
     }
 
     /// Wait for every task in this scope, helping with queued work
@@ -509,6 +646,26 @@ mod tests {
         scope(|s| {
             for (i, chunk) in v.chunks_mut(8).enumerate() {
                 s.spawn(move || {
+                    for x in chunk {
+                        *x = i as u32 + 1;
+                    }
+                });
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 8) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn spawn_at_runs_and_borrows_like_spawn() {
+        init();
+        let mut v = [0u32; 32];
+        scope(|s| {
+            for (i, chunk) in v.chunks_mut(8).enumerate() {
+                // Pin every chunk to the same worker: correctness must
+                // not depend on where a hinted job lands.
+                s.spawn_at(2, move || {
                     for x in chunk {
                         *x = i as u32 + 1;
                     }
@@ -656,10 +813,21 @@ mod tests {
     }
 
     #[test]
-    fn thread_count_is_positive() {
+    fn thread_count_is_positive_and_resize_is_reported() {
         init();
         assert!(current_num_threads() >= 1);
-        // Once running, reconfiguration is refused.
-        assert!(!set_num_threads(16));
+        let n = current_num_threads();
+        // Asking for the running count is idempotent…
+        assert_eq!(set_num_threads(n), Ok(()));
+        // …while a mismatch is a typed, displayable error.
+        let err = set_num_threads(n + 12).unwrap_err();
+        assert_eq!(err, PoolAlreadyRunning { running: n, requested: n + 12 });
+        assert!(err.to_string().contains("already running"));
+        assert_eq!(current_num_threads(), n, "rejected resize must not change the pool");
+    }
+
+    #[test]
+    fn machine_threads_is_positive() {
+        assert!(machine_threads() >= 1);
     }
 }

@@ -1,21 +1,24 @@
 #!/usr/bin/env bash
-# Quick regression benchmark for the 5-loop GEMM rebuild and the tuned
-# DGEFMM pipeline (PR 6).
+# Quick regression benchmark for the tuned DGEFMM pipeline and the
+# serial-vs-parallel headline (PR 7).
 #
-# Runs the pinned bench_quick targets — the BLIS-style 5-loop
-# `gemm_blocked`, the preserved pre-PR6 `gemm_blocked_classic` baseline,
-# and DGEFMM under this run's retuned eq.-(15) cutoff parameters — at
+# Pins the pool's worker count up front (STRASSEN_THREADS override,
+# else one worker per detected physical core), runs the pinned
+# bench_quick targets — the BLIS-style 5-loop `gemm_blocked`, serial
+# DGEFMM under this run's retuned eq.-(15) cutoff parameters, and
+# parallel DGEFMM (task-DAG scheduler + pool-parallel leaf GEMM) — at
 # n ∈ {256, 512, 1024, 2048, 4096} after a crossover sweep that retunes
-# (τ, τm, τk, τn), and writes BENCH_PR6.json at the repo root with the
-# machine profile and full tuning report embedded. Guards: the 5-loop
-# kernel must not lose to the classic formulation at n ≤ 1024, tuned
-# DGEFMM ≥ 1.0× the classic GEMM at n = 2048, and the probe A/B ratios
-# at n = 512 stay under their noise-allowed ceilings (noop ≤ 10%,
-# timed ≤ 15%; the contract targets are 1% / 5% and the raw ratios are
-# recorded in the JSON). Scale with BENCH_SAMPLES / BENCH_WARMUP_MS /
-# BENCH_MEASURE_MS; BENCH_NO_GUARD=1 demotes guard failures to
-# warnings on noisy hosts; BENCH_SMOKE=1 runs the fast functional pass
-# (small sizes, token sweep, no guards, BENCH_PR6.smoke.json) CI uses.
+# (τ, τm, τk, τn), then measures the serial-vs-parallel headline with
+# pool utilization telemetry and writes BENCH_PR7.json at the repo root
+# with the machine profile and full tuning report embedded. Gates:
+# parallel ≥ 2.5× serial at the largest size (enforced at ≥ 4 physical
+# cores), pool utilization ≥ 80% (enforced at ≥ 2 physical cores with
+# workers ≤ cores; recorded and loudly waived elsewhere), and the probe
+# A/B ratios at n = 512 stay under their noise-allowed ceilings
+# (noop ≤ 10%, timed ≤ 15%). Scale with BENCH_SAMPLES /
+# BENCH_WARMUP_MS / BENCH_MEASURE_MS; BENCH_NO_GUARD=1 demotes gate
+# failures to warnings on noisy hosts; BENCH_SMOKE=1 runs the fast
+# functional pass (small sizes, no gates, BENCH_PR7.smoke.json) CI uses.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -3,20 +3,37 @@
 //! not degenerate to sequential execution on the calling thread.
 //!
 //! Runs as its own test binary so this file owns pool initialization:
-//! `set_num_threads(4)` before any pool use pins the worker count even
-//! on single-CPU machines.
+//! every test pins the worker count through [`pinned_workers`] before
+//! any pool use, so the count is well-defined even on single-CPU
+//! machines and under the verify.sh thread matrix.
 
 use blas::level3::{gemm, GemmConfig};
 use blas::Op;
 use matrix::{norms, random, Matrix};
-use strassen::{dgefmm, CutoffCriterion, Scheme, StrassenConfig};
+use strassen::{dgefmm, CutoffCriterion, Scheduler, Scheme, StrassenConfig};
+
+/// Pin the pool's worker count before its first use and return the
+/// count actually running. An explicit `set_num_threads` beats the
+/// `STRASSEN_THREADS` override (the request is staged before the env
+/// default is consulted), so this helper defers to the env when it is
+/// set — that is what lets the verify.sh matrix genuinely run this
+/// suite at 1, 2 and 4 workers. Without the override it requests 4 so
+/// work-stealing is exercised even on single-core machines. Every test
+/// in this binary goes through here, so whichever wins the init race
+/// pins the same count.
+fn pinned_workers() -> usize {
+    let n = std::env::var("STRASSEN_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
+    let _ = pool::set_num_threads(n);
+    pool::current_num_threads()
+}
 
 #[test]
 fn seven_temp_dispatches_across_workers_at_1024() {
-    // Whichever test in this binary runs first wins the init race; both
-    // request 4 workers, so the count is 4 either way.
-    let _ = pool::set_num_threads(4);
-    assert_eq!(pool::current_num_threads(), 4);
+    let workers = pinned_workers();
 
     let n = 1024;
     let a = random::uniform::<f64>(n, n, 41);
@@ -32,12 +49,16 @@ fn seven_temp_dispatches_across_workers_at_1024() {
     dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
     let after = pool::worker_job_counts();
 
-    let active = before.iter().zip(&after).filter(|(b, a)| a > b).count();
-    assert!(
-        active > 1,
-        "parallel Strassen used {active} of {} workers (counts {before:?} -> {after:?})",
-        after.len()
-    );
+    // With a single pinned worker the helping scope owner may legally
+    // run everything inline, so fan-out is only asserted at >1 workers.
+    if workers > 1 {
+        let active = before.iter().zip(&after).filter(|(b, a)| a > b).count();
+        assert!(
+            active > 1,
+            "parallel Strassen used {active} of {} workers (counts {before:?} -> {after:?})",
+            after.len()
+        );
+    }
 
     // The fan-out must also be *correct*: compare against the blocked
     // sequential kernel.
@@ -57,8 +78,13 @@ fn seven_temp_dispatches_across_workers_at_1024() {
 /// immediately.
 #[test]
 fn pool_stats_invariants_at_1024() {
-    let _ = pool::set_num_threads(4);
-    assert!(pool::current_num_threads() > 1);
+    let workers = pinned_workers();
+    if workers < 2 {
+        // Helper-only execution: the scope owner may pop every task
+        // inline, so none of the worker-side telemetry is guaranteed.
+        eprintln!("pool pinned to {workers} worker(s); skipping fan-out telemetry assertions");
+        return;
+    }
 
     let n = 1024;
     let a = random::uniform::<f64>(n, n, 51);
@@ -109,9 +135,7 @@ fn pool_stats_invariants_at_1024() {
 
 #[test]
 fn parallel_gemm_backend_uses_pool() {
-    // May lose the init race to the other test; either way the pool has
-    // 4 workers because both request 4.
-    let _ = pool::set_num_threads(4);
+    let workers = pinned_workers();
     let n = 512;
     let a = random::uniform::<f64>(n, n, 7);
     let b = random::uniform::<f64>(n, n, 8);
@@ -120,7 +144,10 @@ fn parallel_gemm_backend_uses_pool() {
     let before: u64 = pool::worker_job_counts().iter().sum();
     gemm(&GemmConfig::parallel(), 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
     let after: u64 = pool::worker_job_counts().iter().sum();
-    assert!(after > before, "pool-parallel GEMM queued no tasks on the pool");
+    // At one worker the helping scope owner may run every panel inline.
+    if workers > 1 {
+        assert!(after > before, "pool-parallel GEMM queued no tasks on the pool");
+    }
 
     let mut expect = Matrix::<f64>::zeros(n, n);
     gemm(&GemmConfig::blocked(), 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, expect.as_mut());
@@ -131,13 +158,22 @@ fn parallel_gemm_backend_uses_pool() {
 // Bitwise determinism of the parallel path.
 // ---------------------------------------------------------------------
 
-fn seven_temp_run(n: usize, parallel_depth: usize, fused: bool, seed: u64) -> Matrix<f64> {
+fn seven_temp_run(
+    n: usize,
+    parallel_depth: usize,
+    scheduler: Scheduler,
+    width: usize,
+    fused: bool,
+    seed: u64,
+) -> Matrix<f64> {
     let cfg = StrassenConfig {
         parallel_depth,
         ..StrassenConfig::dgefmm()
             .scheme(Scheme::SevenTemp)
-            .cutoff(CutoffCriterion::Simple { tau: 64 })
+            .cutoff(CutoffCriterion::Simple { tau: 32 })
             .fused(fused)
+            .scheduler(scheduler)
+            .parallel_width(width)
     };
     let a = random::uniform::<f64>(n, n, seed);
     let b = random::uniform::<f64>(n, n, seed ^ 0xB0B);
@@ -147,43 +183,57 @@ fn seven_temp_run(n: usize, parallel_depth: usize, fused: bool, seed: u64) -> Ma
 }
 
 /// Run-to-run determinism: at a fixed seed, `dgefmm` is bitwise
-/// identical across repeated runs for every `parallel_depth` — the
-/// seven-temporary fan-out writes each product into its own temporary,
-/// so work-stealing order can never reorder a floating-point reduction.
+/// identical across repeated runs for every `parallel_depth` — every
+/// pair of DAG nodes touching the same data is ordered by a dependency
+/// edge, so work-stealing order can never reorder a floating-point
+/// reduction.
 #[test]
 fn seven_temp_is_bitwise_deterministic_run_to_run() {
-    let _ = pool::set_num_threads(4);
-    for parallel_depth in [0usize, 1, 2] {
-        let first = seven_temp_run(256, parallel_depth, true, 0xD57);
-        for rerun in 0..2 {
-            let again = seven_temp_run(256, parallel_depth, true, 0xD57);
-            assert!(
-                first.as_slice() == again.as_slice(),
-                "parallel_depth={parallel_depth} rerun {rerun}: results differ bitwise \
-                 (max {} ulps)",
-                testkit::max_ulp_diff_mat(first.as_ref(), again.as_ref())
-            );
+    let _ = pinned_workers();
+    for scheduler in Scheduler::ALL {
+        for parallel_depth in [0usize, 1, 2, 3] {
+            let first = seven_temp_run(256, parallel_depth, scheduler, usize::MAX, true, 0xD57);
+            for rerun in 0..2 {
+                let again = seven_temp_run(256, parallel_depth, scheduler, usize::MAX, true, 0xD57);
+                assert!(
+                    first.as_slice() == again.as_slice(),
+                    "{scheduler:?} parallel_depth={parallel_depth} rerun {rerun}: results \
+                     differ bitwise (max {} ulps)",
+                    testkit::max_ulp_diff_mat(first.as_ref(), again.as_ref())
+                );
+            }
         }
     }
 }
 
-/// Serial-vs-parallel determinism: with the fused kernels disabled the
-/// serial (`parallel_depth = 0`) and parallel (`1`, `2`) executions run
-/// the *same* arithmetic in the same order per element, so the results
-/// are bitwise identical — not merely close. (Fusion must be off for
-/// this comparison: the fused path declines to flatten nodes that are
-/// still inside the parallel fan-out region, so `parallel_depth`
-/// changes *which* kernels run when fusion is on.)
+/// Serial-vs-parallel determinism, the full PR-7 matrix: for both fused
+/// settings, every scheduler × parallel_depth (0–3) × parallel_width
+/// ({1, 2, 4, ∞}) execution runs the *same* arithmetic in the same order
+/// per element as the serial run, so the results are bitwise identical —
+/// not merely close. Fused kernels stay on the table because kernel
+/// selection (`fused_span`) is deliberately independent of
+/// `parallel_depth`: a fused leaf inside a parallel region runs inside
+/// its product task instead of changing the plan. Real thread counts
+/// {1, 2, 4} ride the `STRASSEN_THREADS` matrix in verify.sh; the width
+/// axis exercises in-flight caps (width 1 is strict topological order)
+/// independently of pool size.
 #[test]
 fn seven_temp_serial_vs_parallel_bitwise_identical() {
-    let _ = pool::set_num_threads(4);
-    let serial = seven_temp_run(256, 0, false, 0x5E7);
-    for parallel_depth in [1usize, 2] {
-        let parallel = seven_temp_run(256, parallel_depth, false, 0x5E7);
-        assert!(
-            serial.as_slice() == parallel.as_slice(),
-            "serial vs parallel_depth={parallel_depth}: results differ bitwise (max {} ulps)",
-            testkit::max_ulp_diff_mat(serial.as_ref(), parallel.as_ref())
-        );
+    let _ = pinned_workers();
+    for fused in [false, true] {
+        let serial = seven_temp_run(256, 0, Scheduler::TaskDag, usize::MAX, fused, 0x5E7);
+        for scheduler in Scheduler::ALL {
+            for parallel_depth in [1usize, 2, 3] {
+                for width in [1usize, 2, 4, usize::MAX] {
+                    let parallel = seven_temp_run(256, parallel_depth, scheduler, width, fused, 0x5E7);
+                    assert!(
+                        serial.as_slice() == parallel.as_slice(),
+                        "serial vs {scheduler:?} depth={parallel_depth} width={width} \
+                         fused={fused}: results differ bitwise (max {} ulps)",
+                        testkit::max_ulp_diff_mat(serial.as_ref(), parallel.as_ref())
+                    );
+                }
+            }
+        }
     }
 }
