@@ -4,7 +4,10 @@
 //!
 //! One fuzz case draws *every* independent axis of the configuration
 //! space — shape (including odd and near-floor dimensions), `α`/`β`
-//! classes, transposes, variant, schedule, odd-dimension handling,
+//! classes, transposes, variant, schedule (all six, including the BDPZ
+//! two-temp and in-place pair), ⟨m,k,n⟩ base-case family (the five
+//! compiled coefficient tables, exercising strip-peel and family-padded
+//! residues), odd-dimension handling,
 //! cutoff criterion (the paper's eqs. 10/11, 12, 7, 15 plus `Never`),
 //! `parallel_depth` (0–3), the parallel scheduler (task DAG vs legacy
 //! fan-out) and its in-flight width cap, a serial vs pool-parallel leaf
@@ -22,12 +25,14 @@
 //! campaign and `FUZZ_ITERS` sets the budget (see `scripts/verify.sh`,
 //! which runs 256 pinned cases in CI).
 
-use crate::bound::{gemm_bound, BoundSchedule};
+use crate::bound::{gemm_bound, schedule_slack, BoundSchedule};
 use crate::metrics::{compare, ErrorReport};
 use blas::level3::{GemmAlgo, GemmConfig, MR, NR};
 use blas::Op;
 use matrix::{norms, random};
-use strassen::{dgefmm, trace, CutoffCriterion, OddHandling, Scheduler, Scheme, StrassenConfig, Variant};
+use strassen::{
+    dgefmm, trace, CutoffCriterion, Family, OddHandling, Scheduler, Scheme, StrassenConfig, Variant,
+};
 use testkit::Gen;
 
 /// Largest dimension the fuzzer draws. Big enough for three recursion
@@ -92,8 +97,14 @@ pub struct FuzzCase {
     pub trans_b: bool,
     /// 2×2 construction.
     pub variant: Variant,
-    /// Computation schedule.
+    /// Computation schedule (the six [`Scheme`]s, including the BDPZ
+    /// two-temp and in-place pair).
     pub scheme: Scheme,
+    /// ⟨m,k,n⟩ base-case family. Non-`F222` draws route through the
+    /// compiled coefficient-table executor with strip-peel or padded
+    /// residue handling, and their envelope comes from the table's own
+    /// stability quantity ([`BoundSchedule::for_config`]).
+    pub family: Family,
     /// Odd-dimension strategy.
     pub odd: OddHandling,
     /// Cutoff criterion (paper suite at a drawn `τ`, or `Never`).
@@ -176,6 +187,7 @@ impl FuzzCase {
             trans_b: g.bool(),
             variant: g.pick(&Variant::ALL),
             scheme: g.pick(&Scheme::ALL),
+            family: g.pick(&Family::ALL),
             odd: g.pick(&OddHandling::ALL),
             criterion,
             parallel_depth: g.usize_in_incl(0, 3),
@@ -201,6 +213,7 @@ impl FuzzCase {
             ..StrassenConfig::dgefmm()
                 .variant(self.variant)
                 .scheme(self.scheme)
+                .family(self.family)
                 .odd(self.odd)
                 .cutoff(self.criterion)
                 .fused(self.fused)
@@ -252,18 +265,19 @@ impl FuzzCase {
         );
 
         let report = compare(c.as_ref(), reference.as_ref());
-        let bound = gemm_bound(
-            self.m,
-            self.k,
-            self.n,
-            &self.criterion,
-            BoundSchedule::for_variant(self.variant),
-            self.alpha,
-            norms::max_abs(a.as_ref()),
-            norms::max_abs(b.as_ref()),
-            self.beta,
-            norms::max_abs(c0.as_ref()),
-        );
+        let bound = schedule_slack(self.scheme)
+            * gemm_bound(
+                self.m,
+                self.k,
+                self.n,
+                &self.criterion,
+                BoundSchedule::for_config(self.variant, self.family),
+                self.alpha,
+                norms::max_abs(a.as_ref()),
+                norms::max_abs(b.as_ref()),
+                self.beta,
+                norms::max_abs(c0.as_ref()),
+            );
         FuzzOutcome { report, bound, within_bound: report.max_abs_diff <= bound }
     }
 
@@ -304,6 +318,7 @@ mod tests {
         // the fuzzer's claim to "≥ 5 config dimensions" is this test.
         let mut variants = std::collections::HashSet::new();
         let mut schemes = std::collections::HashSet::new();
+        let mut families = std::collections::HashSet::new();
         let mut odds = std::collections::HashSet::new();
         let mut criteria = std::collections::HashSet::new();
         let mut depths = std::collections::HashSet::new();
@@ -321,6 +336,7 @@ mod tests {
             let c = FuzzCase::draw(&mut g);
             variants.insert(format!("{:?}", c.variant));
             schemes.insert(format!("{:?}", c.scheme));
+            families.insert(format!("{:?}", c.family));
             odds.insert(format!("{:?}", c.odd));
             criteria.insert(std::mem::discriminant(&c.criterion));
             depths.insert(c.parallel_depth);
@@ -336,7 +352,8 @@ mod tests {
             assert!(c.m >= CutoffCriterion::HARD_FLOOR && c.m <= MAX_DIM);
         }
         assert_eq!(variants.len(), 2);
-        assert_eq!(schemes.len(), 4);
+        assert_eq!(schemes.len(), 6, "Auto/Strassen1/Strassen2/SevenTemp plus the BDPZ pair");
+        assert_eq!(families.len(), 5, "all five compiled coefficient-table families");
         assert_eq!(odds.len(), 4);
         assert_eq!(criteria.len(), 5, "all four paper criteria plus Never");
         assert_eq!(depths.len(), 4, "parallel_depth 0 through 3");

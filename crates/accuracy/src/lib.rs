@@ -37,7 +37,8 @@ pub mod metrics;
 pub mod oracle;
 
 pub use bound::{
-    classic_tolerance, gemm_bound, sum_tolerance, theoretical_bound, tolerance_for, BoundSchedule,
+    classic_tolerance, gemm_bound, schedule_slack, sum_tolerance, theoretical_bound, tolerance_for,
+    BoundSchedule,
 };
 pub use fuzz::{fuzz_budget, run_differential_fuzz, BlockingClass, FuzzCase, FuzzOutcome};
 pub use metrics::{compare, ErrorReport};

@@ -13,6 +13,7 @@
 use crate::config::{OddHandling, Scheduler, Scheme, StrassenConfig, Variant};
 use crate::cutoff::CutoffCriterion;
 use crate::dispatch::dgefmm;
+use crate::fastmm::Family;
 use blas::add::axpby;
 use blas::level2::Op;
 use blas::level3::GemmConfig;
@@ -22,6 +23,7 @@ use matrix::{MatMut, MatRef, Matrix, Scalar};
 pub fn dgemmw_config(tau: usize, gemm: GemmConfig) -> StrassenConfig {
     StrassenConfig {
         variant: Variant::Winograd,
+        family: Family::F222,
         scheme: Scheme::Strassen1,
         odd: OddHandling::DynamicPadding,
         cutoff: CutoffCriterion::Simple { tau },

@@ -9,6 +9,7 @@
 use crate::config::{OddHandling, Scheduler, Scheme, StrassenConfig, Variant};
 use crate::cutoff::CutoffCriterion;
 use crate::dispatch::dgefmm;
+use crate::fastmm::Family;
 use blas::level2::Op;
 use blas::level3::GemmConfig;
 use matrix::{MatMut, MatRef, Scalar};
@@ -17,6 +18,7 @@ use matrix::{MatMut, MatRef, Scalar};
 pub fn sgemms_config(tau: usize, gemm: GemmConfig) -> StrassenConfig {
     StrassenConfig {
         variant: Variant::Original,
+        family: Family::F222,
         scheme: Scheme::Auto,
         odd: OddHandling::DynamicPadding,
         cutoff: CutoffCriterion::Simple { tau },

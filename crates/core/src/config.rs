@@ -2,6 +2,7 @@
 //! handling, cutoff criterion, and base GEMM kernel.
 
 use crate::cutoff::CutoffCriterion;
+use crate::fastmm::Family;
 use blas::GemmConfig;
 
 /// Which 2×2 fast-multiplication construction to recurse with.
@@ -34,12 +35,36 @@ pub enum Scheme {
     /// as tasks on the in-tree thread pool (`parallel future work` of
     /// Section 5). Trades memory for task parallelism.
     SevenTemp,
+    /// Boyer–Dumas–Pernet–Zhou two-temporary schedule (ISSAC '09): only
+    /// the operand temporaries `X (m/2 × k/2)` and `Y (k/2 × n/2)` per
+    /// level, for a recursion-total bound of `(mk + kn)/3` extra
+    /// elements. For `β = 0` the products land directly in `C`'s
+    /// quadrants; for `β ≠ 0` it runs the in-place accumulating schedule
+    /// (see [`Scheme::InPlace`]). Only effective with
+    /// [`Variant::Winograd`] and the ⟨2,2,2⟩ family.
+    TwoTemp,
+    /// Boyer–Dumas–Pernet–Zhou fully in-place accumulating schedule:
+    /// `C ← αAB + βC` with *no* product temporaries for any `β` — a `β`
+    /// pre-scale, then seven multiply-accumulate children whose results
+    /// transfer between `C` quadrants through bracketed add passes.
+    /// Lowest memory of every general-update schedule (`(mk + kn)/3`
+    /// total, below STRASSEN2), at the cost of 20 add passes and a wider
+    /// error envelope. Only effective with [`Variant::Winograd`] and the
+    /// ⟨2,2,2⟩ family.
+    InPlace,
 }
 
 impl Scheme {
     /// Every schedule, for config-space sweeps and the differential
     /// fuzzer.
-    pub const ALL: [Scheme; 4] = [Scheme::Auto, Scheme::Strassen1, Scheme::Strassen2, Scheme::SevenTemp];
+    pub const ALL: [Scheme; 6] = [
+        Scheme::Auto,
+        Scheme::Strassen1,
+        Scheme::Strassen2,
+        Scheme::SevenTemp,
+        Scheme::TwoTemp,
+        Scheme::InPlace,
+    ];
 }
 
 /// How the parallel levels of [`Scheme::SevenTemp`] are executed on the
@@ -120,6 +145,12 @@ pub struct StrassenConfig {
     pub variant: Variant,
     /// Computation schedule.
     pub scheme: Scheme,
+    /// Recursive base case: which ⟨m,k,n⟩ coefficient-table family splits
+    /// each level. [`Family::F222`] (the default) runs the hand-scheduled
+    /// 2×2×2 paths selected by [`StrassenConfig::variant`] and
+    /// [`StrassenConfig::scheme`]; any other family runs its compiled
+    /// table through the generic executor (see `ALGORITHMS.md`).
+    pub family: Family,
     /// Odd-dimension strategy.
     pub odd: OddHandling,
     /// When to stop recursing (used for `β = 0`, and for `β ≠ 0` unless
@@ -174,6 +205,7 @@ impl StrassenConfig {
         Self {
             variant: Variant::Winograd,
             scheme: Scheme::Auto,
+            family: Family::F222,
             odd: OddHandling::DynamicPeeling,
             cutoff: CutoffCriterion::Hybrid { tau: 64, tau_m: 32, tau_k: 32, tau_n: 32 },
             cutoff_general: None,
@@ -245,8 +277,29 @@ impl StrassenConfig {
     }
 
     /// Replace the schedule.
+    ///
+    /// ```
+    /// use strassen::{Scheme, StrassenConfig};
+    ///
+    /// // The BDPZ low-memory pair is selected like any other schedule.
+    /// let cfg = StrassenConfig::dgefmm().scheme(Scheme::TwoTemp);
+    /// assert_eq!(cfg.scheme, Scheme::TwoTemp);
+    /// ```
     pub fn scheme(mut self, scheme: Scheme) -> Self {
         self.scheme = scheme;
+        self
+    }
+
+    /// Replace the ⟨m,k,n⟩ base-case family.
+    ///
+    /// ```
+    /// use strassen::{Family, StrassenConfig};
+    ///
+    /// let cfg = StrassenConfig::dgefmm().family(Family::F323);
+    /// assert_eq!(cfg.family.dims(), (3, 2, 3));
+    /// ```
+    pub fn family(mut self, family: Family) -> Self {
+        self.family = family;
         self
     }
 

@@ -22,6 +22,8 @@ pub struct CallCounts {
     pub gemv_calls: u64,
     /// Scalar dot-product corner fixups from dynamic peeling.
     pub dot_calls: u64,
+    /// Thin GEMM strip fixups (non-⟨2,2,2⟩ family peeling).
+    pub strip_calls: u64,
     /// Elementwise matrix add/subtract passes (the `G` operations).
     pub add_passes: u64,
     /// Recursion nodes that split (schedule applications).
@@ -38,6 +40,7 @@ impl CallCounts {
         self.ger_calls += times * child.ger_calls;
         self.gemv_calls += times * child.gemv_calls;
         self.dot_calls += times * child.dot_calls;
+        self.strip_calls += times * child.strip_calls;
         self.add_passes += times * child.add_passes;
         self.splits += times * child.splits;
         self.pad_copies += times * child.pad_copies;
@@ -52,8 +55,12 @@ impl CallCounts {
 /// data without adding): the original schedule's negate-copy and the
 /// accumulation schedules' `C ← βC` pre-scale are tracked separately by
 /// [`crate::probe::Trace`].
-fn adds_per_level(variant: Variant, scheme: ResolvedScheme) -> u64 {
+fn adds_per_level(variant: Variant, scheme: ResolvedScheme, beta_zero: bool) -> u64 {
     match (variant, scheme) {
+        // Compiled tables override the variant: staging adds plus
+        // write-back adds (first writes fold the caller's β: an add when
+        // β ≠ 0, a pure copy otherwise).
+        (_, ResolvedScheme::Compiled(fam)) => fam.compiled().add_passes(beta_zero),
         // 10 operand sums + 8 result accumulations (+1 negate-copy).
         (Variant::Original, _) => 18,
         // The 15 Winograd passes plus 4 axpby folds of the staged
@@ -66,6 +73,11 @@ fn adds_per_level(variant: Variant, scheme: ResolvedScheme) -> u64 {
         // The expanded schedule shares no U temporaries: 8 operand sums
         // + 11 per-quadrant accumulations (+ the β pre-scale).
         (Variant::Winograd, ResolvedScheme::SevenTemp) => 19,
+        // BDPZ two-temp β=0: 6 operand passes + 7 C-quadrant transfers.
+        (Variant::Winograd, ResolvedScheme::TwoTempBetaZero) => 13,
+        // BDPZ in-place: 10 operand passes + 10 bracket-import passes
+        // (+ the β pre-scale, tracked separately).
+        (Variant::Winograd, ResolvedScheme::InPlaceAccumulate) => 20,
         // STRASSEN1 β=0: Winograd's 8 operand + 7 result passes.
         (Variant::Winograd, _) => 15,
     }
@@ -107,8 +119,9 @@ fn predict_at(
 
     if cfg.odd == OddHandling::StaticPadding && depth == 0 {
         let d = crate::workspace::static_padding_depth_for(cfg, m, k, n, beta_zero);
-        let unit = 1usize << d;
-        let (mp, kp, np) = (m.next_multiple_of(unit), k.next_multiple_of(unit), n.next_multiple_of(unit));
+        let (dm, dk, dn) = cfg.family.dims();
+        let (mp, kp, np) =
+            (m.next_multiple_of(dm.pow(d)), k.next_multiple_of(dk.pow(d)), n.next_multiple_of(dn.pow(d)));
         let inner = StrassenConfig { odd: OddHandling::DynamicPadding, ..*cfg };
         if (mp, kp, np) == (m, k, n) {
             return predict_at(&inner, m, k, n, beta_zero, depth);
@@ -123,28 +136,39 @@ fn predict_at(
         return c;
     }
 
-    let odd = m % 2 != 0 || k % 2 != 0 || n % 2 != 0;
+    let (dm, dk, dn) = cfg.family.dims();
+    let odd = m % dm != 0 || k % dk != 0 || n % dn != 0;
     if odd {
         match cfg.odd {
             OddHandling::DynamicPeeling | OddHandling::DynamicPeelingFirst => {
-                let (me, ke, ne) = (m & !1, k & !1, n & !1);
+                let (me, ke, ne) = (m - m % dm, k - k % dk, n - n % dn);
                 out = predict_at(cfg, me, ke, ne, beta_zero, depth);
-                if ke != k {
-                    out.ger_calls += 1;
-                }
-                if ne != n {
-                    out.gemv_calls += 1;
-                }
-                if me != m {
-                    out.gemv_calls += 1;
-                }
-                if me != m && ne != n {
-                    out.dot_calls += 1;
+                if cfg.family == crate::fastmm::Family::F222 {
+                    if ke != k {
+                        out.ger_calls += 1;
+                    }
+                    if ne != n {
+                        out.gemv_calls += 1;
+                    }
+                    if me != m {
+                        out.gemv_calls += 1;
+                    }
+                    if me != m && ne != n {
+                        out.dot_calls += 1;
+                    }
+                } else {
+                    // Wider family residues fold back in as thin GEMM
+                    // strips: one each for the k/n/m residues plus the
+                    // m×n corner.
+                    out.strip_calls += u64::from(ke != k)
+                        + u64::from(ne != n)
+                        + u64::from(me != m)
+                        + u64::from(me != m && ne != n);
                 }
                 return out;
             }
             OddHandling::DynamicPadding | OddHandling::StaticPadding => {
-                let (mp, kp, np) = (m + (m & 1), k + (k & 1), n + (n & 1));
+                let (mp, kp, np) = (m.next_multiple_of(dm), k.next_multiple_of(dk), n.next_multiple_of(dn));
                 // The padded product runs β=0 into scratch, then writes
                 // back: an add pass when β ≠ 0, a plain copy otherwise.
                 let mut c = predict_at(cfg, mp, kp, np, true, depth);
@@ -157,21 +181,43 @@ fn predict_at(
         }
     }
 
-    // Even split: one schedule application, seven recursive products.
+    // Divisible split: one schedule application, rank-R recursive
+    // products (R = 7 for every ⟨2,2,2⟩ schedule).
     out.splits = 1;
-    out.add_passes = adds_per_level(cfg.variant, scheme);
-    let (m2, k2, n2) = (m / 2, k / 2, n / 2);
-    if scheme == ResolvedScheme::Strassen2 {
-        // Figure 1 spawns 2 β=0 products (αP5, αP1 into R3) and 5
-        // multiply-accumulates — the exact mix matters once the two β
-        // classes have different cutoff criteria.
-        let child0 = predict_at(cfg, m2, k2, n2, true, depth + 1);
-        let child1 = predict_at(cfg, m2, k2, n2, false, depth + 1);
-        out.merge_child(child0, 2);
-        out.merge_child(child1, 5);
-    } else {
-        let child = predict_at(cfg, m2, k2, n2, true, depth + 1);
-        out.merge_child(child, 7);
+    out.add_passes = adds_per_level(cfg.variant, scheme, beta_zero);
+    let (m2, k2, n2) = (m / dm, k / dk, n / dn);
+    match scheme {
+        ResolvedScheme::Strassen2 => {
+            // Figure 1 spawns 2 β=0 products (αP5, αP1 into R3) and 5
+            // multiply-accumulates — the exact mix matters once the two β
+            // classes have different cutoff criteria.
+            let child0 = predict_at(cfg, m2, k2, n2, true, depth + 1);
+            let child1 = predict_at(cfg, m2, k2, n2, false, depth + 1);
+            out.merge_child(child0, 2);
+            out.merge_child(child1, 5);
+        }
+        ResolvedScheme::TwoTempBetaZero => {
+            // P7, P5, P6, P1 land β=0 in C's quadrants; P3, P4, P2 are
+            // multiply-accumulates.
+            let child0 = predict_at(cfg, m2, k2, n2, true, depth + 1);
+            let child1 = predict_at(cfg, m2, k2, n2, false, depth + 1);
+            out.merge_child(child0, 4);
+            out.merge_child(child1, 3);
+        }
+        ResolvedScheme::InPlaceAccumulate => {
+            // All seven products are multiply-accumulates.
+            let child = predict_at(cfg, m2, k2, n2, false, depth + 1);
+            out.merge_child(child, 7);
+        }
+        ResolvedScheme::Compiled(fam) => {
+            // Every product runs β=0 into the staging temporary.
+            let child = predict_at(cfg, m2, k2, n2, true, depth + 1);
+            out.merge_child(child, fam.rank() as u64);
+        }
+        _ => {
+            let child = predict_at(cfg, m2, k2, n2, true, depth + 1);
+            out.merge_child(child, 7);
+        }
     }
     out
 }

@@ -2,7 +2,8 @@
 
 use crate::config::{OddHandling, StrassenConfig};
 use crate::cutoff::{CutoffCriterion, StopReason};
-use crate::schedules::{fused, original, seven_temp, winograd1, winograd2};
+use crate::fastmm::Family;
+use crate::schedules::{compiled, fused, original, seven_temp, two_temp, winograd1, winograd2};
 use crate::trace;
 use crate::trace::add::axpby;
 use crate::workspace::{
@@ -38,7 +39,7 @@ enum FusedSpan {
 /// serial ≡ parallel stays bitwise (a fused leaf reached *inside* a
 /// parallel region simply runs inside its product task).
 fn fused_span(cfg: &StrassenConfig, m: usize, k: usize, n: usize, depth: usize) -> FusedSpan {
-    if !cfg.fused || cfg.gemm.algo != GemmAlgo::Blocked {
+    if !cfg.fused || cfg.gemm.algo != GemmAlgo::Blocked || cfg.family != Family::F222 {
         return FusedSpan::No;
     }
     if m % 2 != 0 || k % 2 != 0 || n % 2 != 0 || m == 0 || k == 0 || n == 0 {
@@ -151,13 +152,25 @@ pub(crate) fn fmm<T: Scalar>(
         return;
     }
 
-    if m % 2 != 0 || k % 2 != 0 || n % 2 != 0 {
-        match cfg.odd {
-            OddHandling::DynamicPeeling => peel::multiply_peeled(cfg, alpha, a, b, beta, c, ws, depth),
-            OddHandling::DynamicPeelingFirst => {
+    let (dm, dk, dn) = cfg.family.dims();
+    if m % dm != 0 || k % dk != 0 || n % dn != 0 {
+        // The ⟨2,2,2⟩ residues are single rows/columns, handled with the
+        // paper's GER/GEMV/dot fixups; wider family residues fold back in
+        // as thin GEMM strips.
+        match (cfg.odd, cfg.family == Family::F222) {
+            (OddHandling::DynamicPeeling, true) => {
+                peel::multiply_peeled(cfg, alpha, a, b, beta, c, ws, depth)
+            }
+            (OddHandling::DynamicPeelingFirst, true) => {
                 peel::multiply_peeled_first(cfg, alpha, a, b, beta, c, ws, depth)
             }
-            OddHandling::DynamicPadding | OddHandling::StaticPadding => {
+            (OddHandling::DynamicPeeling, false) => {
+                peel::multiply_peeled_strips(cfg, alpha, a, b, beta, c, ws, depth)
+            }
+            (OddHandling::DynamicPeelingFirst, false) => {
+                peel::multiply_peeled_strips_first(cfg, alpha, a, b, beta, c, ws, depth)
+            }
+            (OddHandling::DynamicPadding | OddHandling::StaticPadding, _) => {
                 pad::multiply_padded(cfg, alpha, a, b, beta, c, ws, depth)
             }
         }
@@ -174,6 +187,13 @@ pub(crate) fn fmm<T: Scalar>(
         ResolvedScheme::OriginalBetaZero => original::original_beta_zero(cfg, alpha, a, b, c, ws, depth),
         ResolvedScheme::OriginalGeneral => unreachable!("staged above"),
         ResolvedScheme::SevenTemp => seven_temp::seven_temp(cfg, alpha, a, b, beta, c, ws, depth),
+        ResolvedScheme::TwoTempBetaZero => two_temp::two_temp_beta_zero(cfg, alpha, a, b, c, ws, depth),
+        ResolvedScheme::InPlaceAccumulate => {
+            two_temp::in_place_accumulate(cfg, alpha, a, b, beta, c, ws, depth)
+        }
+        ResolvedScheme::Compiled(fam) => {
+            compiled::compiled_schedule(cfg, fam.compiled(), alpha, a, b, beta, c, ws, depth)
+        }
     }
 }
 
@@ -344,11 +364,14 @@ pub fn planned_depth(cfg: &StrassenConfig, m: usize, k: usize, n: usize) -> u32 
         if depth >= cfg.max_depth || cfg.cutoff.should_stop(m, k, n) {
             return 0;
         }
+        let (dm, dk, dn) = cfg.family.dims();
         let (me, ke, ne) = match cfg.odd {
-            OddHandling::DynamicPeeling | OddHandling::DynamicPeelingFirst => (m & !1, k & !1, n & !1),
-            _ => (m + (m & 1), k + (k & 1), n + (n & 1)),
+            OddHandling::DynamicPeeling | OddHandling::DynamicPeelingFirst => {
+                (m - m % dm, k - k % dk, n - n % dn)
+            }
+            _ => (m.next_multiple_of(dm), k.next_multiple_of(dk), n.next_multiple_of(dn)),
         };
-        1 + go(cfg, me / 2, ke / 2, ne / 2, depth + 1)
+        1 + go(cfg, me / dm, ke / dk, ne / dn, depth + 1)
     }
     go(cfg, m, k, n, 0)
 }

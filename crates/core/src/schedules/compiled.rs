@@ -1,0 +1,189 @@
+//! Generic executor for compiled coefficient-table ⟨m,k,n⟩ schedules.
+//!
+//! One routine serves every [`crate::fastmm::Family`]: it walks the
+//! [`CompiledSchedule`]'s product list, staging composite operand sums
+//! into two workspace temporaries (`X`, `Y`), running each product into a
+//! third (`P`) as a plain `β = 0` recursive call, and accumulating `P`
+//! into the affected `C` blocks with `axpby` passes. The caller's `β` is
+//! applied exactly once per `C` block — on its first write (a pure copy
+//! pass when `β = 0`).
+//!
+//! Single-block operands skip their staging temp entirely; the `±1`
+//! coefficient folds into the product's `α`. That keeps the ⟨2,2,2⟩
+//! compiled table's pass count close to (though not below) the
+//! hand-scheduled legacy paths, which additionally reuse `C` quadrants
+//! as staging space — the hard-coded schedules stay the `F222` default.
+
+use crate::config::StrassenConfig;
+use crate::dispatch::fmm;
+use crate::fastmm::CompiledSchedule;
+use crate::trace::add::axpby;
+use matrix::{MatMut, MatRef, Scalar};
+
+/// Run one level of a compiled schedule: `C ← α A B + β C` with every
+/// dimension divisible by the family's base case.
+pub(crate) fn compiled_schedule<T: Scalar>(
+    cfg: &StrassenConfig,
+    sched: &CompiledSchedule,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+    ws: &mut [T],
+    depth: usize,
+) {
+    let (fm, fk, fnn) = sched.algorithm().dims();
+    let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
+    debug_assert!(m % fm == 0 && k % fk == 0 && n % fnn == 0);
+    let (bm, bk, bn) = (m / fm, k / fk, n / fnn);
+
+    let (x_buf, rest) = ws.split_at_mut(if sched.needs_x() { bm * bk } else { 0 });
+    let (y_buf, rest) = rest.split_at_mut(if sched.needs_y() { bk * bn } else { 0 });
+    let (p_buf, rest) = rest.split_at_mut(bm * bn);
+
+    let sign = |cf: i32| if cf >= 0 { T::ONE } else { -T::ONE };
+
+    for step in &sched.products {
+        let mut child_alpha = alpha;
+
+        if step.a_terms.len() > 1 {
+            let mut x = MatMut::from_slice(&mut *x_buf, bm, bk, bm.max(1));
+            for (t, &(blk, cf)) in step.a_terms.iter().enumerate() {
+                let blv = a.submatrix((blk / fk) * bm, (blk % fk) * bk, bm, bk);
+                axpby(sign(cf), blv, if t == 0 { T::ZERO } else { T::ONE }, x.rb_mut());
+            }
+        } else {
+            child_alpha *= sign(step.a_terms[0].1);
+        }
+        let s = if step.a_terms.len() > 1 {
+            MatRef::from_slice(&*x_buf, bm, bk, bm.max(1))
+        } else {
+            let blk = step.a_terms[0].0;
+            a.submatrix((blk / fk) * bm, (blk % fk) * bk, bm, bk)
+        };
+
+        if step.b_terms.len() > 1 {
+            let mut y = MatMut::from_slice(&mut *y_buf, bk, bn, bk.max(1));
+            for (t, &(blk, cf)) in step.b_terms.iter().enumerate() {
+                let blv = b.submatrix((blk / fnn) * bk, (blk % fnn) * bn, bk, bn);
+                axpby(sign(cf), blv, if t == 0 { T::ZERO } else { T::ONE }, y.rb_mut());
+            }
+        } else {
+            child_alpha *= sign(step.b_terms[0].1);
+        }
+        let t_view = if step.b_terms.len() > 1 {
+            MatRef::from_slice(&*y_buf, bk, bn, bk.max(1))
+        } else {
+            let blk = step.b_terms[0].0;
+            b.submatrix((blk / fnn) * bk, (blk % fnn) * bn, bk, bn)
+        };
+
+        let mut p = MatMut::from_slice(&mut *p_buf, bm, bn, bm.max(1));
+        fmm(cfg, child_alpha, s, t_view, T::ZERO, p.rb_mut(), rest, depth + 1);
+
+        let pr = MatRef::from_slice(&*p_buf, bm, bn, bm.max(1));
+        for &(blk, cf, first) in &step.writes {
+            let cblk = c.submatrix_mut((blk / fnn) * bm, (blk % fnn) * bn, bm, bn);
+            axpby(sign(cf), pr, if first { beta } else { T::ONE }, cblk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::CutoffCriterion;
+    use crate::fastmm::Family;
+    use blas::level3::{gemm, GemmConfig};
+    use blas::Op;
+    use matrix::{norms, random};
+
+    fn one_level_check(fam: Family, m: usize, k: usize, n: usize, alpha: f64, beta: f64) {
+        // Children always fall straight to GEMM: isolates ONE level.
+        let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Never).max_depth(1);
+        let sched = fam.compiled();
+        let a = random::uniform::<f64>(m, k, 7);
+        let b = random::uniform::<f64>(k, n, 8);
+        let c0 = random::uniform::<f64>(m, n, 9);
+        let mut c = c0.clone();
+        let mut ws = vec![0.0; sched.per_level_elements(m, k, n)];
+        compiled_schedule(&cfg, sched, alpha, a.as_ref(), b.as_ref(), beta, c.as_mut(), &mut ws, 0);
+        let mut expect = c0.clone();
+        gemm(
+            &GemmConfig::naive(),
+            alpha,
+            Op::NoTrans,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            beta,
+            expect.as_mut(),
+        );
+        norms::assert_allclose(c.as_ref(), expect.as_ref(), 1e-12, &format!("{fam:?} one level"));
+    }
+
+    #[test]
+    fn one_level_matches_gemm_for_every_family() {
+        one_level_check(Family::F222, 8, 6, 10, 1.0, 0.0);
+        one_level_check(Family::F222, 8, 6, 10, 2.0, -1.5);
+        one_level_check(Family::F223, 8, 6, 9, 1.0, 0.0);
+        one_level_check(Family::F223, 8, 6, 9, -0.5, 3.0);
+        one_level_check(Family::F323, 9, 8, 9, 1.0, 0.0);
+        one_level_check(Family::F323, 9, 8, 9, 1.25, 0.75);
+        one_level_check(Family::F234, 8, 9, 12, 1.0, 0.0);
+        one_level_check(Family::F234, 8, 9, 12, -2.0, 1.0);
+        one_level_check(Family::F333, 9, 9, 9, 1.0, 0.0);
+        one_level_check(Family::F333, 9, 9, 9, 0.5, -0.25);
+    }
+
+    #[test]
+    fn workspace_draw_is_exactly_per_level() {
+        // One level with exactly per_level_elements must not panic
+        // (split_at_mut would, on any overdraw).
+        one_level_check(Family::F333, 12, 9, 15, 1.0, 2.0);
+    }
+
+    /// Golden check against the legacy paths: on small exact-integer
+    /// inputs every operation any ⟨2,2,2⟩ schedule performs is exact, so
+    /// the compiled Winograd table must reproduce the hand-scheduled
+    /// STRASSEN1/2 result *bitwise* — same algorithm, different
+    /// association, zero rounding to hide behind.
+    #[test]
+    fn compiled_f222_is_bitwise_identical_to_legacy_on_integers() {
+        let (m, k, n) = (24usize, 24, 24);
+        let int = |rows: usize, cols: usize, seed: u64| {
+            let u = random::uniform::<f64>(rows, cols, seed);
+            matrix::Matrix::from_fn(rows, cols, |i, j| (u.at(i, j) * 9.0).floor() - 4.0)
+        };
+        let a = int(m, k, 3);
+        let b = int(k, n, 5);
+        let c0 = int(m, n, 7);
+        let sched = Family::F222.compiled();
+        for beta in [0.0, 1.0, -2.0] {
+            // One compiled level, children straight to GEMM …
+            let one = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Never).max_depth(1);
+            let mut compiled = c0.clone();
+            let mut ws = vec![0.0; sched.per_level_elements(m, k, n)];
+            compiled_schedule(&one, sched, 2.0, a.as_ref(), b.as_ref(), beta, compiled.as_mut(), &mut ws, 0);
+            // … against the full legacy recursion (τ = 4, two levels).
+            let legacy_cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 4 }).fused(false);
+            let mut legacy = c0.clone();
+            crate::dgefmm(
+                &legacy_cfg,
+                2.0,
+                Op::NoTrans,
+                a.as_ref(),
+                Op::NoTrans,
+                b.as_ref(),
+                beta,
+                legacy.as_mut(),
+            );
+            assert_eq!(
+                compiled.as_slice(),
+                legacy.as_slice(),
+                "β={beta}: compiled ⟨2,2,2⟩ diverges from the legacy schedules on integers"
+            );
+        }
+    }
+}

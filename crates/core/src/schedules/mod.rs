@@ -1,8 +1,10 @@
 //! The computation schedules: how the 7 recursive products and the
 //! operand/result additions are ordered and where temporaries live.
 
+pub(crate) mod compiled;
 pub(crate) mod fused;
 pub(crate) mod original;
 pub(crate) mod seven_temp;
+pub(crate) mod two_temp;
 pub(crate) mod winograd1;
 pub(crate) mod winograd2;

@@ -9,6 +9,7 @@
 //! exercises that invariant across shapes and configurations.
 
 use crate::config::{OddHandling, Scheme, StrassenConfig, Variant};
+use crate::fastmm::Family;
 
 /// The schedule that will actually execute for a given `β` under a
 /// configuration (resolves [`Scheme::Auto`]).
@@ -26,10 +27,29 @@ pub enum ResolvedScheme {
     OriginalGeneral,
     /// Seven-temporary fully parallelizable Winograd schedule.
     SevenTemp,
+    /// Boyer–Dumas–Pernet–Zhou two-temporary schedule, `β = 0` form
+    /// (temporaries `X (m/2 × k/2)`, `Y (k/2 × n/2)` only).
+    TwoTempBetaZero,
+    /// Boyer–Dumas–Pernet–Zhou in-place accumulating schedule: any `β`
+    /// with the same two temporaries and no product staging.
+    InPlaceAccumulate,
+    /// Generic compiled coefficient-table executor for a non-⟨2,2,2⟩
+    /// family (temporaries `X`, `Y`, `P` sized by the family's base
+    /// blocks; see [`Family::compiled`]).
+    Compiled(Family),
 }
 
 /// Resolve which schedule a configuration runs for a given `β`.
+///
+/// A non-default [`StrassenConfig::family`] overrides variant and scheme
+/// outright: only the compiled executor knows how to split ⟨m,k,n⟩ base
+/// cases other than 2×2×2. The BDPZ schemes are Winograd-variant 2×2×2
+/// schedules; under [`Variant::Original`] they fall back to the original
+/// paths like every other scheme.
 pub fn resolve_scheme(cfg: &StrassenConfig, beta_zero: bool) -> ResolvedScheme {
+    if cfg.family != Family::F222 {
+        return ResolvedScheme::Compiled(cfg.family);
+    }
     match (cfg.variant, cfg.scheme, beta_zero) {
         (Variant::Original, _, true) => ResolvedScheme::OriginalBetaZero,
         (Variant::Original, _, false) => ResolvedScheme::OriginalGeneral,
@@ -39,12 +59,15 @@ pub fn resolve_scheme(cfg: &StrassenConfig, beta_zero: bool) -> ResolvedScheme {
         (Variant::Winograd, Scheme::Strassen1, false) => ResolvedScheme::Strassen1General,
         (Variant::Winograd, Scheme::Strassen2, _) => ResolvedScheme::Strassen2,
         (Variant::Winograd, Scheme::SevenTemp, _) => ResolvedScheme::SevenTemp,
+        (Variant::Winograd, Scheme::TwoTemp, true) => ResolvedScheme::TwoTempBetaZero,
+        (Variant::Winograd, Scheme::TwoTemp, false) => ResolvedScheme::InPlaceAccumulate,
+        (Variant::Winograd, Scheme::InPlace, _) => ResolvedScheme::InPlaceAccumulate,
     }
 }
 
-/// Temporary elements one recursion level of `scheme` needs, given the
-/// *even* dimensions `(m, k, n)` being split (so quadrants are
-/// `m/2 × k/2` etc.).
+/// Temporary elements one recursion level of `scheme` needs, given
+/// dimensions `(m, k, n)` already divisible by the scheme's base case
+/// (so ⟨2,2,2⟩ quadrants are `m/2 × k/2` etc.).
 pub fn per_level_elements(scheme: ResolvedScheme, m: usize, k: usize, n: usize) -> usize {
     let (m2, k2, n2) = (m / 2, k / 2, n / 2);
     match scheme {
@@ -55,15 +78,29 @@ pub fn per_level_elements(scheme: ResolvedScheme, m: usize, k: usize, n: usize) 
         // General original: β=0 run into a staged full m×n buffer.
         ResolvedScheme::OriginalGeneral => m2 * k2 + k2 * n2 + m2 * n2 + 4 * m2 * n2,
         ResolvedScheme::SevenTemp => 4 * m2 * k2 + 4 * k2 * n2 + 7 * m2 * n2,
+        // BDPZ: only the two operand temporaries, both β classes.
+        ResolvedScheme::TwoTempBetaZero | ResolvedScheme::InPlaceAccumulate => m2 * k2 + k2 * n2,
+        ResolvedScheme::Compiled(fam) => fam.compiled().per_level_elements(m, k, n),
     }
 }
 
-/// Round each dimension down (peeling) or up (padding) to even, as the
-/// configured odd-handling will do at runtime.
+/// The base-case unit each dimension must be divisible by at a level.
+fn family_units(cfg: &StrassenConfig) -> (usize, usize, usize) {
+    cfg.family.dims()
+}
+
+/// Round each dimension down (peeling) or up (padding) to a multiple of
+/// the family's base case, as the configured odd-handling will do at
+/// runtime.
 fn evenized(cfg: &StrassenConfig, m: usize, k: usize, n: usize) -> (usize, usize, usize) {
+    let (dm, dk, dn) = family_units(cfg);
     match cfg.odd {
-        OddHandling::DynamicPeeling | OddHandling::DynamicPeelingFirst => (m & !1, k & !1, n & !1),
-        OddHandling::DynamicPadding | OddHandling::StaticPadding => (m + (m & 1), k + (k & 1), n + (n & 1)),
+        OddHandling::DynamicPeeling | OddHandling::DynamicPeelingFirst => {
+            (m - m % dm, k - k % dk, n - n % dn)
+        }
+        OddHandling::DynamicPadding | OddHandling::StaticPadding => {
+            (m.next_multiple_of(dm), k.next_multiple_of(dk), n.next_multiple_of(dn))
+        }
     }
 }
 
@@ -97,40 +134,43 @@ fn required_at_depth(
         return m * n + required_at_depth(cfg, m, k, n, true, depth);
     }
     if cfg.odd == OddHandling::StaticPadding && depth == 0 {
-        // Pad once up front to multiples of 2^d, then run with dynamic
-        // padding as the (normally never-triggered) fallback — exactly
-        // what the runtime path does.
+        // Pad once up front to multiples of fm^d/fk^d/fn^d, then run
+        // with dynamic padding as the (normally never-triggered)
+        // fallback — exactly what the runtime path does.
         let d = static_padding_depth_for(cfg, m, k, n, beta_zero);
-        let unit = 1usize << d;
+        let (dm, dk, dn) = family_units(cfg);
         let inner = StrassenConfig { odd: OddHandling::DynamicPadding, ..*cfg };
         return required_at_depth(
             &inner,
-            m.next_multiple_of(unit),
-            k.next_multiple_of(unit),
-            n.next_multiple_of(unit),
+            m.next_multiple_of(dm.pow(d)),
+            k.next_multiple_of(dk.pow(d)),
+            n.next_multiple_of(dn.pow(d)),
             beta_zero,
             depth,
         );
     }
     let (me, ke, ne) = evenized(cfg, m, k, n);
     let per = per_level_elements(scheme, me, ke, ne);
-    let (m2, k2, n2) = (me / 2, ke / 2, ne / 2);
-    // Sub-products: every scheme except STRASSEN2 spawns only β=0
-    // children. STRASSEN2 spawns both classes (2 β=0 products into R3,
-    // 5 multiply-accumulates); under a single criterion the β≠0 sizing
+    let (dm, dk, dn) = family_units(cfg);
+    let (m2, k2, n2) = (me / dm, ke / dk, ne / dn);
+    // Sub-products: STRASSEN1/original/seven-temp/compiled spawn only
+    // β=0 children; the in-place BDPZ schedule spawns only β=1
+    // multiply-accumulates. STRASSEN2 and the two-temp BDPZ schedule
+    // spawn both classes; under a single criterion the β≠0 sizing
     // dominates, but a `cutoff_general` override can let either class
     // recurse deeper — take the max.
-    let sub = if scheme == ResolvedScheme::Strassen2 {
-        required_at_depth(cfg, m2, k2, n2, true, depth + 1).max(required_at_depth(
+    let sub = match scheme {
+        ResolvedScheme::Strassen2 | ResolvedScheme::TwoTempBetaZero => required_at_depth(
             cfg,
             m2,
             k2,
             n2,
-            false,
+            true,
             depth + 1,
-        ))
-    } else {
-        required_at_depth(cfg, m2, k2, n2, true, depth + 1)
+        )
+        .max(required_at_depth(cfg, m2, k2, n2, false, depth + 1)),
+        ResolvedScheme::InPlaceAccumulate => required_at_depth(cfg, m2, k2, n2, false, depth + 1),
+        _ => required_at_depth(cfg, m2, k2, n2, true, depth + 1),
     };
     if scheme == ResolvedScheme::SevenTemp && depth < cfg.parallel_depth {
         per + 7 * sub
@@ -150,22 +190,24 @@ pub fn padding_copy_elements(cfg: &StrassenConfig, m: usize, k: usize, n: usize)
             if cfg.cutoff.should_stop(m, k, n) {
                 return 0;
             }
-            let (me, ke, ne) = (m + (m & 1), k + (k & 1), n + (n & 1));
+            let (dm, dk, dn) = family_units(cfg);
+            let (me, ke, ne) = (m.next_multiple_of(dm), k.next_multiple_of(dk), n.next_multiple_of(dn));
             let here = if (me, ke, ne) == (m, k, n) {
                 0
             } else {
                 // A, B, and C copies at the padded size.
                 me * ke + ke * ne + me * ne
             };
-            here + padding_copy_elements(cfg, me / 2, ke / 2, ne / 2)
+            here + padding_copy_elements(cfg, me / dm, ke / dk, ne / dn)
         }
         OddHandling::StaticPadding => {
             let d = static_padding_depth(cfg, m, k, n);
             if d == 0 {
                 return 0;
             }
-            let unit = 1usize << d;
-            let (mp, kp, np) = (m.next_multiple_of(unit), k.next_multiple_of(unit), n.next_multiple_of(unit));
+            let (dm, dk, dn) = family_units(cfg);
+            let (mp, kp, np) =
+                (m.next_multiple_of(dm.pow(d)), k.next_multiple_of(dk.pow(d)), n.next_multiple_of(dn.pow(d)));
             if (mp, kp, np) == (m, k, n) {
                 0
             } else {
@@ -184,12 +226,13 @@ pub fn static_padding_depth(cfg: &StrassenConfig, m: usize, k: usize, n: usize) 
 /// [`static_padding_depth`] under the criterion for the given `β` class.
 pub fn static_padding_depth_for(cfg: &StrassenConfig, m: usize, k: usize, n: usize, beta_zero: bool) -> u32 {
     let crit = cfg.criterion_for(beta_zero);
+    let (dm, dk, dn) = family_units(cfg);
     let (mut a, mut b, mut c) = (m, k, n);
     let mut d = 0;
     while !crit.should_stop(a, b, c) {
-        a = a.div_ceil(2);
-        b = b.div_ceil(2);
-        c = c.div_ceil(2);
+        a = a.div_ceil(dm);
+        b = b.div_ceil(dk);
+        c = c.div_ceil(dn);
         d += 1;
     }
     d

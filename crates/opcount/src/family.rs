@@ -1,0 +1,283 @@
+//! Generalized rank-R ⟨m,k,n⟩ recursion cost analysis.
+//!
+//! The paper's eq. (2) is the special case "rank 7, base case ⟨2,2,2⟩,
+//! every child in the β = 0 class" of a family of recurrences. A
+//! coefficient-table algorithm of rank `R` over an ⟨dm,dk,dn⟩ base case,
+//! with schedule-dependent elementwise pass counts, obeys
+//!
+//! ```text
+//! W_cls(m,k,n) = M_cls(m,k,n)                       if cutoff fires
+//!              = Σ_child W_child(m/dm, k/dk, n/dn)
+//!                + a·G(m/dm, k/dk) + b·G(k/dk, n/dn) + c·G(m/dm, n/dn)
+//! ```
+//!
+//! where `cls` is the β class the node runs in (`β = 0` leaves cost
+//! `2mkn − mn`, multiply-accumulate leaves `2mkn`), the child mix and
+//! the pass counts `(a, b, c)` depend on the class, and every add pass
+//! costs its destination area. [`FamilySpec`] carries both class
+//! descriptions; [`family_flops`] evaluates the recurrence exactly in
+//! `u128` (no float rounding at any depth); [`family_closed_form`] is
+//! the uniform-class geometric evaluation that reduces to the paper's
+//! eqs. (3)–(5) at `R = 7`, ⟨2,2,2⟩.
+//!
+//! This crate stays pure analysis: the pass counts for a concrete
+//! compiled schedule come from the caller (the core crate's tests feed
+//! its `CompiledSchedule` numbers in), and [`bdpz_spec`] encodes the
+//! Boyer–Dumas–Pernet–Zhou two-temp/in-place pair whose counts are
+//! fixed by the ISSAC '09 schedules themselves.
+
+/// Per-level structure of one β class of a family recursion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassLevel {
+    /// Children launched in the `β = 0` class (fresh products).
+    pub children_beta_zero: u128,
+    /// Children launched as multiply-accumulates (`β = 1`).
+    pub children_accumulate: u128,
+    /// Elementwise add passes on A-shaped blocks (`m/dm × k/dk`).
+    pub a_passes: u128,
+    /// Elementwise add passes on B-shaped blocks (`k/dk × n/dn`).
+    pub b_passes: u128,
+    /// Elementwise add passes on C-shaped blocks (`m/dm × n/dn`).
+    pub c_passes: u128,
+}
+
+/// A two-class rank-R family recursion: base-case split plus the level
+/// structure for each β class a node can run in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FamilySpec {
+    /// Base-case split ⟨dm, dk, dn⟩.
+    pub dims: (u128, u128, u128),
+    /// Level structure when a node is entered with `β = 0`.
+    pub beta_zero: ClassLevel,
+    /// Level structure when a node is entered as a multiply-accumulate.
+    pub accumulate: ClassLevel,
+}
+
+/// A spec whose two classes share the child mix (every child `β = 0`)
+/// and operand pass counts, differing only in C-side passes — the shape
+/// of every compiled coefficient-table schedule, whose first write per
+/// C block is a copy (not an add) exactly when the caller's `β = 0`.
+pub fn uniform_spec(
+    dims: (u128, u128, u128),
+    rank: u128,
+    a_passes: u128,
+    b_passes: u128,
+    c_passes_beta_zero: u128,
+    c_passes_accumulate: u128,
+) -> FamilySpec {
+    let class = |c_passes| ClassLevel {
+        children_beta_zero: rank,
+        children_accumulate: 0,
+        a_passes,
+        b_passes,
+        c_passes,
+    };
+    FamilySpec { dims, beta_zero: class(c_passes_beta_zero), accumulate: class(c_passes_accumulate) }
+}
+
+/// The Boyer–Dumas–Pernet–Zhou ⟨2,2,2⟩ pair (arXiv:0707.2347 / ISSAC
+/// '09), as the dispatcher schedules it:
+///
+/// * `β = 0` runs the **two-temp** schedule — products P1, P5, P6, P7
+///   land in `C` quadrants as fresh (`β = 0`) children, P2, P3, P4
+///   accumulate; 4 + 4 operand stagings and 5 cross-quadrant
+///   accumulation passes (13 adds total);
+/// * `β ≠ 0` runs the **in-place accumulating** schedule — all seven
+///   children are multiply-accumulates, with 5 + 5 operand stagings and
+///   10 bracket import/export passes on `C` quadrants (20 adds total;
+///   the `β` pre-scale is a multiply pass, not an add).
+pub fn bdpz_spec() -> FamilySpec {
+    FamilySpec {
+        dims: (2, 2, 2),
+        beta_zero: ClassLevel {
+            children_beta_zero: 4,
+            children_accumulate: 3,
+            a_passes: 4,
+            b_passes: 4,
+            c_passes: 5,
+        },
+        accumulate: ClassLevel {
+            children_beta_zero: 0,
+            children_accumulate: 7,
+            a_passes: 5,
+            b_passes: 5,
+            c_passes: 10,
+        },
+    }
+}
+
+/// Exact flop count of a two-class family recursion. Leaves cost
+/// `2mkn − mn` in the `β = 0` class and `2mkn` otherwise; recursion also
+/// stops when a dimension stops being divisible by its base-case unit
+/// (the model, like the paper's Section 2, assumes exact splits — the
+/// runtime's peel/pad residues are accounted separately).
+///
+/// ```
+/// use opcount::family::{bdpz_spec, family_flops};
+/// // One β = 0 BDPZ two-temp level on 8³ with order-4 leaves: four
+/// // fresh children (2·4³ − 4²), three accumulating ones (2·4³), and
+/// // 13 add passes of 4² elements.
+/// let cut = |m: u128, _: u128, _: u128, _: bool| m <= 4;
+/// assert_eq!(
+///     family_flops(&bdpz_spec(), 8, 8, 8, true, &cut),
+///     4 * (2 * 64 - 16) + 3 * (2 * 64) + 13 * 16,
+/// );
+/// ```
+pub fn family_flops(
+    spec: &FamilySpec,
+    m: u128,
+    k: u128,
+    n: u128,
+    beta_zero: bool,
+    cutoff: &dyn Fn(u128, u128, u128, bool) -> bool,
+) -> u128 {
+    let (dm, dk, dn) = spec.dims;
+    if cutoff(m, k, n, beta_zero) || m < dm || k < dk || n < dn || m % dm != 0 || k % dk != 0 || n % dn != 0 {
+        return 2 * m * k * n - if beta_zero { m * n } else { 0 };
+    }
+    let class = if beta_zero { spec.beta_zero } else { spec.accumulate };
+    let (bm, bk, bn) = (m / dm, k / dk, n / dn);
+    let mut total = class.a_passes * bm * bk + class.b_passes * bk * bn + class.c_passes * bm * bn;
+    if class.children_beta_zero > 0 {
+        total += class.children_beta_zero * family_flops(spec, bm, bk, bn, true, cutoff);
+    }
+    if class.children_accumulate > 0 {
+        total += class.children_accumulate * family_flops(spec, bm, bk, bn, false, cutoff);
+    }
+    total
+}
+
+/// Closed-form evaluation of `d` levels of a *uniform-class* rank-R
+/// recursion (every child `β = 0`) on a `dm^d·m0 × dk^d·k0` by
+/// `dk^d·k0 × dn^d·n0` product, standard algorithm at the bottom —
+/// the generalization of the paper's eq. (3). Evaluated as an exact
+/// bottom-up `u128` loop rather than a power formula, so rectangular
+/// base cases need no rational arithmetic.
+///
+/// ```
+/// use opcount::family::family_closed_form;
+/// // Depth 0 is a plain β = 0 leaf: 2·m·k·n − m·n.
+/// assert_eq!(family_closed_form(0, (2, 2, 2), 3, 5, 7, 7, 4, 4, 7), 2 * 3 * 5 * 7 - 3 * 7);
+/// // One Winograd level on 16³ with order-8 leaves: eq. (3) at d = 1.
+/// let leaf = 2u128 * 8 * 8 * 8 - 8 * 8;
+/// assert_eq!(family_closed_form(1, (2, 2, 2), 8, 8, 8, 7, 4, 4, 7), 7 * leaf + 15 * 64);
+/// ```
+pub fn family_closed_form(
+    d: u32,
+    dims: (u128, u128, u128),
+    m0: u128,
+    k0: u128,
+    n0: u128,
+    rank: u128,
+    a_passes: u128,
+    b_passes: u128,
+    c_passes: u128,
+) -> u128 {
+    let (dm, dk, dn) = dims;
+    let mut w = 2 * m0 * k0 * n0 - m0 * n0;
+    let (mut m, mut k, mut n) = (m0, k0, n0);
+    for _ in 0..d {
+        // At this level the children are the current (m, k, n); the add
+        // passes run on child-shaped blocks.
+        w = rank * w + a_passes * m * k + b_passes * k * n + c_passes * m * n;
+        m *= dm;
+        k *= dk;
+        n *= dn;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recurrence::{winograd_closed_form, winograd_square};
+
+    /// Eq. (2)'s 7/⟨2,2,2⟩/4-4-7 structure as a [`FamilySpec`].
+    fn winograd_spec() -> FamilySpec {
+        uniform_spec((2, 2, 2), 7, 4, 4, 7, 7)
+    }
+
+    #[test]
+    fn closed_form_reduces_to_paper_equations() {
+        for d in 0..5u32 {
+            assert_eq!(family_closed_form(d, (2, 2, 2), 9, 9, 9, 7, 4, 4, 7), winograd_square(d, 9));
+            assert_eq!(
+                family_closed_form(d, (2, 2, 2), 3, 5, 7, 7, 4, 4, 7),
+                winograd_closed_form(d, 3, 5, 7)
+            );
+        }
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn flops_recurrence_matches_closed_form_for_uniform_specs() {
+        // ⟨2,2,2⟩ rank 7 and a rectangular ⟨3,2,3⟩ rank 17 shape.
+        let cases: [(FamilySpec, (u128, u128, u128), u128, u128, u128); 2] = [
+            (winograd_spec(), (2, 2, 2), 3, 5, 7),
+            (uniform_spec((3, 2, 3), 17, 12, 14, 20, 25), (3, 2, 3), 2, 3, 4),
+        ];
+        for (spec, (dm, dk, dn), m0, k0, n0) in cases {
+            for d in 0..4u32 {
+                let (m, k, n) = (dm.pow(d) * m0, dk.pow(d) * k0, dn.pow(d) * n0);
+                let cut = move |a: u128, b: u128, c: u128, _: bool| a <= m0 && b <= k0 && c <= n0;
+                let cl = spec.beta_zero;
+                assert_eq!(
+                    family_flops(&spec, m, k, n, true, &cut),
+                    family_closed_form(
+                        d,
+                        spec.dims,
+                        m0,
+                        k0,
+                        n0,
+                        cl.children_beta_zero,
+                        cl.a_passes,
+                        cl.b_passes,
+                        cl.c_passes
+                    ),
+                    "d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bdpz_one_level_counts_by_hand() {
+        let spec = bdpz_spec();
+        let t = 4u128; // leaf order
+        let cut = move |a: u128, _: u128, _: u128, _: bool| a <= t;
+        // β = 0: 4 fresh + 3 accumulate leaves, 13 add passes of t².
+        let leaf_bz = 2 * t * t * t - t * t;
+        let leaf_acc = 2 * t * t * t;
+        assert_eq!(
+            family_flops(&spec, 2 * t, 2 * t, 2 * t, true, &cut),
+            4 * leaf_bz + 3 * leaf_acc + 13 * t * t
+        );
+        // β ≠ 0: 7 accumulate leaves, 20 add passes.
+        assert_eq!(family_flops(&spec, 2 * t, 2 * t, 2 * t, false, &cut), 7 * leaf_acc + 20 * t * t);
+    }
+
+    #[test]
+    fn bdpz_add_overhead_exceeds_winograds() {
+        // The BDPZ schedules trade adds for memory: at equal depth their
+        // flop count is never below the classic Winograd recursion's.
+        let cut = |a: u128, _: u128, _: u128, _: bool| a <= 8;
+        for &m in &[16u128, 32, 64, 128] {
+            let bdpz = family_flops(&bdpz_spec(), m, m, m, true, &cut);
+            let wino = family_flops(&winograd_spec(), m, m, m, true, &cut);
+            assert!(bdpz >= wino, "m={m}: {bdpz} < {wino}");
+        }
+    }
+
+    #[test]
+    fn indivisible_dimensions_stop_the_model() {
+        // ⟨3,2,3⟩ on 6×6×6: one exact split to 2×3×2 children, whose
+        // m = 2 < dm = 3 stops the next level even with no cutoff.
+        let spec = uniform_spec((3, 2, 3), 17, 2, 2, 17, 17);
+        let cut = |_: u128, _: u128, _: u128, _: bool| false;
+        let child = 2 * 2 * 3 * 2 - 2 * 2; // leaf 2×3×2, β = 0
+        assert_eq!(
+            family_flops(&spec, 6, 6, 6, true, &cut),
+            17 * child + 2 * (2 * 3) + 2 * (3 * 2) + 17 * (2 * 2)
+        );
+    }
+}

@@ -6,10 +6,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/12 offline release build =="
+echo "== 1/14 offline release build =="
 cargo build --release --offline
 
-echo "== 2/12 offline test suite (pinned-thread matrix) =="
+echo "== 2/14 offline test suite (pinned-thread matrix) =="
 # The full suite under both ends of the thread matrix: a single-worker
 # pool (serial order must still hold, helper-only execution) and four
 # workers (real stealing). Bitwise-determinism tests run in both, so a
@@ -17,25 +17,25 @@ echo "== 2/12 offline test suite (pinned-thread matrix) =="
 STRASSEN_THREADS=1 cargo test -q --offline
 STRASSEN_THREADS=4 cargo test -q --offline
 
-echo "== 3/12 bench targets compile (offline) =="
+echo "== 3/14 bench targets compile (offline) =="
 cargo build --release --offline -p strassen-bench --benches --bins
 
-echo "== 4/12 clippy (deny warnings) =="
+echo "== 4/14 clippy (deny warnings) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
-echo "== 5/12 rustfmt check =="
+echo "== 5/14 rustfmt check =="
 cargo fmt --check
 
-echo "== 6/12 rustdoc (deny warnings) =="
+echo "== 6/14 rustdoc (deny warnings) =="
 # cargo doc reuses cached rustdoc output even when RUSTDOCFLAGS would now
 # fail it; touch the crate roots so every crate is re-documented.
 touch crates/*/src/lib.rs src/lib.rs
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 
-echo "== 7/12 doc-tests =="
+echo "== 7/14 doc-tests =="
 cargo test --doc --workspace -q --offline
 
-echo "== 8/12 profile report (live run + schema validation) =="
+echo "== 8/14 profile report (live run + schema validation) =="
 # One live profiled run: flop totals are asserted against the eq. (4)
 # closed form inside the example, and the emitted JSON is re-parsed with
 # the independent testkit parser before the OK marker prints.
@@ -44,20 +44,27 @@ grep -q '"schema":1' results/profile_report.json
 grep -q '^dgefmm' results/profile_report.folded
 echo "profile_report artifacts validated"
 
-echo "== 9/12 differential fuzz campaign (pinned 256 cases) =="
+echo "== 9/14 algorithm catalog regeneration gate =="
+# ALGORITHMS.md's generated tables must match what the live coefficient
+# tables, compiled schedules, and trace probe produce, byte for byte;
+# the example also re-asserts traced flops == the generalized opcount
+# recurrence and high-water == the analytic requirement while rendering.
+cargo run --release --offline --example algorithm_catalog -- --check
+
+echo "== 10/14 differential fuzz campaign (pinned 256 cases) =="
 # The config-space fuzzer: 256 cases at a pinned master seed, every case
 # a full random DGEFMM configuration (shape incl. odd/prime, α/β,
-# transposes, variant, schedule, odd-handling, cutoff criterion,
-# parallel_depth 0-3, scheduler (task DAG vs fan-out), parallel width,
-# serial vs pool-parallel leaf GEMM, fused, probe) checked against the
-# compensated oracle
-# under the Higham envelope. Deterministic: a failure here reproduces
+# transposes, variant, schedule incl. the BDPZ pair, ⟨m,k,n⟩ family,
+# odd-handling, cutoff criterion, parallel_depth 0-3, scheduler (task
+# DAG vs fan-out), parallel width, serial vs pool-parallel leaf GEMM,
+# fused, probe) checked against the compensated oracle under that
+# family's Higham envelope. Deterministic: a failure here reproduces
 # bit-for-bit with the reported (case seed, size) pair.
 FUZZ_ITERS=256 TESTKIT_SEED=0xD1CE5EED \
     cargo test -q --offline --test fuzz_differential differential_fuzz_campaign
 echo "fuzz campaign: 256/256 cases within the theoretical envelope"
 
-echo "== 10/12 bench smoke (fast functional pass) =="
+echo "== 11/14 bench smoke (fast functional pass) =="
 # The whole bench pipeline — machine profile, token crossover sweep,
 # round-robin timing, the serial-vs-parallel headline with pool
 # utilization, JSON emission — at smoke scale. Guards are recorded but
@@ -71,7 +78,7 @@ grep -q '"utilization":' BENCH_PR7.smoke.json
 grep -q '"gates":' BENCH_PR7.smoke.json
 echo "bench smoke: BENCH_PR7.smoke.json written with utilization telemetry"
 
-echo "== 11/12 determinism spot-check at 2 workers =="
+echo "== 12/14 determinism spot-check at 2 workers =="
 # The thread matrix in step 2 covers 1 and 4 workers; this completes the
 # {1, 2, 4} set from the PR-7 acceptance criteria with the bitwise
 # determinism suite at a 2-worker pool. (parallel_smoke's pool pin
@@ -81,7 +88,16 @@ echo "== 11/12 determinism spot-check at 2 workers =="
 STRASSEN_THREADS=2 cargo test -q --offline --test parallel_smoke bitwise
 echo "determinism suite passed at 2 workers"
 
-echo "== 12/12 dependency audit: workspace-only graph =="
+echo "== 13/14 rectangular-family smoke at 4 workers =="
+# Every ⟨m,k,n⟩ family plus both BDPZ schedules on a rectangular
+# 33×40×27 problem, serial vs parallel_depth=2 bitwise, with a real
+# 4-worker pool underneath — families resolve to the serial compiled
+# executor, and this pins that claim under contention.
+STRASSEN_THREADS=4 cargo test -q --offline --test family_engine \
+    serial_parallel_bitwise_identical_across_new_axes
+echo "family smoke: serial == parallel across families and schedules at 4 workers"
+
+echo "== 14/14 dependency audit: workspace-only graph =="
 # Every package in the resolved graph must live under this repository;
 # a single registry/git dependency would appear without the (path) suffix.
 tree_out="$(cargo tree --workspace --edges normal,build,dev --prefix none --offline)"

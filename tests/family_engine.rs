@@ -1,0 +1,346 @@
+//! Integration tests for the coefficient-table ⟨m,k,n⟩ family engine
+//! and the BDPZ two-temp/in-place schedules: exact-integer golden
+//! checks, trace-probe flop counts against the generalized `opcount`
+//! recurrence, Table-1-style workspace high-water marks, analytic
+//! profile equality, and serial ≡ parallel determinism for every new
+//! configuration axis.
+
+use blas::level3::{gemm, GemmConfig};
+use blas::Op;
+use matrix::{random, Matrix};
+use opcount::family::{bdpz_spec, family_flops, uniform_spec, ClassLevel, FamilySpec};
+use opcount::memory::{bdpz_bound, family_bound};
+use strassen::{
+    counts, dgefmm, required_workspace, trace, CutoffCriterion, Family, OddHandling, Scheme, StrassenConfig,
+    Trace,
+};
+
+/// A matrix of small exact integers (stored as `f64`): every operation
+/// any schedule performs on them is exact, so algorithms that compute
+/// the same product must agree *bitwise*, not just within tolerance.
+fn integer_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+    let u = random::uniform::<f64>(rows, cols, seed);
+    Matrix::from_fn(rows, cols, |i, j| (u.at(i, j) * 9.0).floor() - 4.0)
+}
+
+fn traced_run(cfg: &StrassenConfig, m: usize, k: usize, n: usize, beta: f64) -> Trace {
+    let a = random::uniform::<f64>(m, k, 11);
+    let b = random::uniform::<f64>(k, n, 22);
+    let mut c = random::uniform::<f64>(m, n, 33);
+    let (_, tr) = trace::capture(|| {
+        dgefmm(cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+    });
+    tr
+}
+
+/// Two recursion levels of exactly divisible dimensions for a family,
+/// with every intermediate level above the τ = 4 simple cutoff.
+fn divisible_shape(fam: Family) -> (usize, usize, usize) {
+    match fam {
+        Family::F222 => (20, 20, 20),
+        Family::F223 => (20, 20, 27),
+        Family::F323 => (36, 20, 36),
+        Family::F234 => (12, 18, 32),
+        Family::F333 => (27, 27, 27),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden exact-integer checks: every family is bitwise-exact arithmetic.
+// ---------------------------------------------------------------------
+
+/// On exact-integer inputs every family schedule — including strip-peel
+/// and padded residue handling on odd rectangular shapes — must produce
+/// the *bitwise identical* result of the naive triple loop: all
+/// intermediate quantities are integers well below 2⁵³, so any
+/// discrepancy is an algebra bug, not rounding.
+#[test]
+fn families_are_bitwise_exact_on_integer_inputs() {
+    for fam in Family::ALL {
+        for &(m, k, n) in &[(24usize, 24, 24), (25, 23, 29), (17, 40, 11)] {
+            for odd in [OddHandling::DynamicPeeling, OddHandling::DynamicPadding] {
+                for beta in [0.0, 1.0, -2.0] {
+                    let cfg = StrassenConfig::dgefmm()
+                        .family(fam)
+                        .odd(odd)
+                        .cutoff(CutoffCriterion::Simple { tau: 4 })
+                        .fused(false);
+                    let a = integer_matrix(m, k, 3);
+                    let b = integer_matrix(k, n, 5);
+                    let c0 = integer_matrix(m, n, 7);
+                    let mut c = c0.clone();
+                    dgefmm(&cfg, 2.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+                    let mut want = c0.clone();
+                    gemm(
+                        &GemmConfig::naive(),
+                        2.0,
+                        Op::NoTrans,
+                        a.as_ref(),
+                        Op::NoTrans,
+                        b.as_ref(),
+                        beta,
+                        want.as_mut(),
+                    );
+                    assert_eq!(
+                        c.as_slice(),
+                        want.as_slice(),
+                        "{fam:?} {odd:?} β={beta} ({m}×{k}×{n}): integer product not bitwise exact"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Same golden property for the BDPZ schedules against the legacy
+/// Winograd paths: on integers, `TwoTemp` and `InPlace` are bitwise
+/// equal to the default (and to each other) across β classes.
+#[test]
+fn bdpz_schedules_are_bitwise_exact_on_integer_inputs() {
+    let shapes = [(32usize, 32, 32), (28, 36, 20), (27, 33, 21)];
+    for &(m, k, n) in &shapes {
+        for beta in [0.0, 1.0, -3.0] {
+            let a = integer_matrix(m, k, 13);
+            let b = integer_matrix(k, n, 17);
+            let c0 = integer_matrix(m, n, 19);
+            let mut results = Vec::new();
+            for scheme in [Scheme::Auto, Scheme::TwoTemp, Scheme::InPlace] {
+                let cfg = StrassenConfig::dgefmm()
+                    .scheme(scheme)
+                    .cutoff(CutoffCriterion::Simple { tau: 4 })
+                    .fused(false);
+                let mut c = c0.clone();
+                dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), beta, c.as_mut());
+                results.push((scheme, c));
+            }
+            let (_, reference) = &results[0];
+            for (scheme, c) in &results[1..] {
+                assert_eq!(
+                    c.as_slice(),
+                    reference.as_slice(),
+                    "{scheme:?} β={beta} ({m}×{k}×{n}): diverges from Auto on integers"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace-probe flops == generalized opcount recurrence, exactly.
+// ---------------------------------------------------------------------
+
+/// The [`FamilySpec`] of a compiled family's executor, with pass counts
+/// taken from the live [`strassen::CompiledSchedule`] — the model side
+/// of the exact crosscheck.
+fn compiled_spec(fam: Family) -> FamilySpec {
+    let sched = fam.compiled();
+    let (dm, dk, dn) = fam.dims();
+    let (a, b) = sched.staging_add_passes();
+    uniform_spec(
+        (dm as u128, dk as u128, dn as u128),
+        fam.rank() as u128,
+        a as u128,
+        b as u128,
+        sched.write_add_passes(true) as u128,
+        sched.write_add_passes(false) as u128,
+    )
+}
+
+/// Every family, both β classes: the measured flop total of a real
+/// `dgefmm` call equals the rank-R two-class recurrence as an integer.
+#[test]
+fn traced_flops_match_generalized_opcount_exactly() {
+    for fam in Family::ALL {
+        if fam == Family::F222 {
+            continue; // legacy schedules; covered by probe_crosscheck.rs
+        }
+        let (m, k, n) = divisible_shape(fam);
+        let cfg =
+            StrassenConfig::dgefmm().family(fam).cutoff(CutoffCriterion::Simple { tau: 4 }).fused(false);
+        let spec = compiled_spec(fam);
+        let cut = |m: u128, k: u128, n: u128, _: bool| m <= 4 || k <= 4 || n <= 4;
+        for (beta, beta_zero) in [(0.0, true), (1.0, false)] {
+            let tr = traced_run(&cfg, m, k, n, beta);
+            let want = family_flops(&spec, m as u128, k as u128, n as u128, beta_zero, &cut);
+            assert_eq!(
+                tr.total_flops(),
+                want,
+                "{fam:?} β={beta} ({m}×{k}×{n}): trace != generalized recurrence"
+            );
+            assert!(tr.max_depth() >= 2, "{fam:?}: shape did not recurse twice");
+        }
+    }
+}
+
+/// The BDPZ pair: `TwoTemp` entered with β = 0 runs the two-temp
+/// schedule whose P3/P4/P2 children accumulate; entered with β = 1 it
+/// runs the fully in-place schedule. Both flop totals must match the
+/// two-class [`bdpz_spec`] recurrence exactly.
+#[test]
+fn traced_bdpz_flops_match_two_class_recurrence() {
+    let cfg = StrassenConfig::dgefmm()
+        .scheme(Scheme::TwoTemp)
+        .cutoff(CutoffCriterion::Simple { tau: 8 })
+        .fused(false);
+    let spec = bdpz_spec();
+    let cut = |m: u128, k: u128, n: u128, _: bool| m <= 8 || k <= 8 || n <= 8;
+    for (beta, beta_zero) in [(0.0, true), (1.0, false)] {
+        for &m in &[64usize, 128] {
+            let tr = traced_run(&cfg, m, m, m, beta);
+            let want = family_flops(&spec, m as u128, m as u128, m as u128, beta_zero, &cut);
+            assert_eq!(tr.total_flops(), want, "BDPZ β={beta} m={m}: trace != recurrence");
+        }
+    }
+    // Scheme::InPlace forces the in-place schedule for β = 0 as well:
+    // the uniform accumulate-structure spec (leaves still priced by
+    // their own β class).
+    let in_place =
+        ClassLevel { children_beta_zero: 0, children_accumulate: 7, a_passes: 5, b_passes: 5, c_passes: 10 };
+    let spec_ip = FamilySpec { dims: (2, 2, 2), beta_zero: in_place, accumulate: in_place };
+    let cfg_ip = cfg.scheme(Scheme::InPlace);
+    let tr = traced_run(&cfg_ip, 64, 64, 64, 0.0);
+    assert_eq!(tr.total_flops(), family_flops(&spec_ip, 64, 64, 64, true, &cut));
+}
+
+/// `counts::predict` stays an exact mirror on the new axes, including
+/// strip-peeled and padded family residues.
+#[test]
+fn analytic_profile_matches_family_runs() {
+    let tau4 = CutoffCriterion::Simple { tau: 4 };
+    for fam in Family::ALL {
+        let (m, k, n) = divisible_shape(fam);
+        for (beta, beta_zero) in [(0.0, true), (1.0, false)] {
+            let cfg = StrassenConfig::dgefmm().family(fam).cutoff(tau4).fused(false);
+            let tr = traced_run(&cfg, m, k, n, beta);
+            assert_eq!(
+                tr.call_counts(),
+                counts::predict(&cfg, m, k, n, beta_zero),
+                "{fam:?} divisible β={beta}"
+            );
+            // Residues in every dimension: strips (peel) or zero-fill
+            // (padding).
+            for odd in [OddHandling::DynamicPeeling, OddHandling::DynamicPadding] {
+                let cfg = cfg.odd(odd);
+                let (mo, ko, no) = (m + 1, k + 1, n + 2);
+                let tr = traced_run(&cfg, mo, ko, no, beta);
+                assert_eq!(
+                    tr.call_counts(),
+                    counts::predict(&cfg, mo, ko, no, beta_zero),
+                    "{fam:?} {odd:?} residues β={beta}"
+                );
+            }
+        }
+    }
+    for scheme in [Scheme::TwoTemp, Scheme::InPlace] {
+        for (beta, beta_zero) in [(0.0, true), (1.0, false)] {
+            let cfg = StrassenConfig::dgefmm().scheme(scheme).cutoff(tau4).fused(false);
+            let tr = traced_run(&cfg, 48, 40, 56, beta);
+            assert_eq!(tr.call_counts(), counts::predict(&cfg, 48, 40, 56, beta_zero), "{scheme:?} β={beta}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table-1-style workspace high-water marks.
+// ---------------------------------------------------------------------
+
+/// Compiled families: the measured arena high-water equals the mirrored
+/// requirement exactly and sits under the geometric family bound.
+#[test]
+fn high_water_matches_requirement_for_families() {
+    for fam in Family::ALL {
+        if fam == Family::F222 {
+            continue;
+        }
+        let (m, k, n) = divisible_shape(fam);
+        let cfg =
+            StrassenConfig::dgefmm().family(fam).cutoff(CutoffCriterion::Simple { tau: 4 }).fused(false);
+        for (beta, beta_zero) in [(0.0, true), (1.0, false)] {
+            let tr = traced_run(&cfg, m, k, n, beta);
+            let need = required_workspace(&cfg, m, k, n, beta_zero);
+            assert_eq!(tr.ws_high_water, need, "{fam:?} β={beta}: high-water != requirement");
+            let sched = fam.compiled();
+            let bound = family_bound(
+                m as u128,
+                k as u128,
+                n as u128,
+                {
+                    let (dm, dk, dn) = fam.dims();
+                    (dm as u128, dk as u128, dn as u128)
+                },
+                sched.needs_x(),
+                sched.needs_y(),
+            );
+            assert!(
+                (tr.ws_high_water as f64) <= bound,
+                "{fam:?} β={beta}: {} exceeds geometric bound {bound}",
+                tr.ws_high_water
+            );
+        }
+    }
+}
+
+/// The BDPZ schedules: high-water equals the requirement and undercuts
+/// both the `(mk + kn)/3` BDPZ bound and STRASSEN2's Table 1 minimum.
+#[test]
+fn high_water_bdpz_beats_table1() {
+    for &m in &[64usize, 128, 256] {
+        for (scheme, beta, beta_zero) in
+            [(Scheme::TwoTemp, 0.0, true), (Scheme::TwoTemp, 1.0, false), (Scheme::InPlace, 0.0, true)]
+        {
+            let cfg = StrassenConfig::dgefmm()
+                .scheme(scheme)
+                .cutoff(CutoffCriterion::Simple { tau: 8 })
+                .fused(false);
+            let tr = traced_run(&cfg, m, m, m, beta);
+            let need = required_workspace(&cfg, m, m, m, beta_zero);
+            assert_eq!(tr.ws_high_water, need, "{scheme:?} β={beta} m={m}");
+            let bound = bdpz_bound(m as u128, m as u128, m as u128);
+            assert!(
+                (tr.ws_high_water as f64) <= bound,
+                "{scheme:?} β={beta} m={m}: {} exceeds BDPZ bound {bound}",
+                tr.ws_high_water
+            );
+            // Strictly below the m² the paper calls minimal for general β.
+            assert!((tr.ws_high_water as f64) < (m * m) as f64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism: the new axes never make results run-order dependent.
+// ---------------------------------------------------------------------
+
+/// Serial and parallel runs are bitwise identical for every family and
+/// both BDPZ schedules (families resolve to the serial compiled
+/// executor at any `parallel_depth`; the contract still must hold).
+#[test]
+fn serial_parallel_bitwise_identical_across_new_axes() {
+    let shapes = [(33usize, 40, 27)];
+    let mut configs: Vec<(String, StrassenConfig)> = Vec::new();
+    for fam in Family::ALL {
+        configs.push((
+            format!("{fam:?}"),
+            StrassenConfig::dgefmm().family(fam).cutoff(CutoffCriterion::Simple { tau: 4 }).fused(false),
+        ));
+    }
+    for scheme in [Scheme::TwoTemp, Scheme::InPlace] {
+        configs.push((
+            format!("{scheme:?}"),
+            StrassenConfig::dgefmm().scheme(scheme).cutoff(CutoffCriterion::Simple { tau: 4 }).fused(false),
+        ));
+    }
+    for &(m, k, n) in &shapes {
+        let a = random::uniform::<f64>(m, k, 41);
+        let b = random::uniform::<f64>(k, n, 43);
+        let c0 = random::uniform::<f64>(m, n, 47);
+        for (label, cfg) in &configs {
+            let mut serial = c0.clone();
+            dgefmm(cfg, 1.5, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), -0.5, serial.as_mut());
+            let par = StrassenConfig { parallel_depth: 2, ..*cfg };
+            let mut parallel = c0.clone();
+            dgefmm(&par, 1.5, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), -0.5, parallel.as_mut());
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "{label}: parallel_depth=2 changed the bits");
+        }
+    }
+}
