@@ -105,9 +105,13 @@ pub fn gemm_parallel<T: Scalar>(
     }
 
     pool::scope(|scope| {
-        for (jc0, cgroup) in groups {
+        for (group, (jc0, cgroup)) in groups.into_iter().enumerate() {
             let (a_ref, b_ref) = (&a, &b);
-            scope.spawn(move || {
+            // Timeline tags (see pool::ring::tag) let the trace exporter
+            // distinguish the GEMM task roles; they never affect
+            // scheduling.
+            let tag = pool::ring::tag::gemm_task(0, group as u8);
+            scope.spawn_tagged(None, tag, move || {
                 column_group(alpha, beta, op_a, a_ref, op_b, b_ref, cgroup, jc0, m, k, mc, kc, nc, ic_ways);
             });
         }
@@ -228,7 +232,8 @@ fn panel_nested<T: Scalar>(
                     rest = tail;
                     let cols = (panels * NR).min(nb - q0 * NR);
                     let jc_range = jc + q0 * NR;
-                    s.spawn(move || pack_b(op_b, b, pc, jc_range, kb, cols, chunk));
+                    let tag = pool::ring::tag::gemm_task(1, q0 as u8);
+                    s.spawn_tagged(None, tag, move || pack_b(op_b, b, pc, jc_range, kb, cols, chunk));
                     q0 += panels;
                 }
             });
@@ -240,12 +245,13 @@ fn panel_nested<T: Scalar>(
             pool::scope(|s| {
                 let mut rest = cpanel.rb_mut();
                 let mut r0 = 0;
-                for &quanta in &row_quanta {
+                for (block, &quanta) in row_quanta.iter().enumerate() {
                     let rows = (quanta * MR).min(m - r0);
                     let (crows, tail) = rest.split_rows(rows);
                     rest = tail;
                     let row0 = r0;
-                    s.spawn(move || {
+                    let tag = pool::ring::tag::gemm_task(2, block as u8);
+                    s.spawn_tagged(None, tag, move || {
                         let mut crows = crows;
                         let a_len = mc.div_ceil(MR) * MR * kc;
                         with_pack_slab::<T, _>(a_len, |packed_a| {

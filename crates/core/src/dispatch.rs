@@ -280,7 +280,12 @@ pub fn dgefmm<T: Scalar>(
         let b_eff = stage_transposed(op_b, b, b_buf);
         let staging_ns = stage_timer.map_or(0, |t| t.elapsed().as_nanos() as u64);
         trace::call_start(m, ka, n, beta == T::ZERO, ws.len());
+        // Timeline bracket: Mark(arg=0/1) events bound the whole dgefmm
+        // call in the exported trace (the caller's lane). Pure
+        // observation — no effect on scheduling or arithmetic.
+        pool::ring::record(pool::ring::EventKind::Mark, 0, 0);
         fmm(cfg, alpha, a_eff, b_eff, beta, c, ws, 0);
+        pool::ring::record(pool::ring::EventKind::Mark, 0, 1);
         staging_ns
     });
     if let Some(timer) = call_timer {

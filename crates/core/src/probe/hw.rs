@@ -1,0 +1,318 @@
+//! Optional hardware performance counters via raw `perf_event_open`.
+//!
+//! The workspace is hermetic — no `libc`, no `perf-event` crate — so this
+//! module issues the `perf_event_open(2)` syscall directly (x86-64 and
+//! aarch64 Linux) and reads the three counters the roofline analysis in
+//! `examples/profile_report.rs` needs: CPU cycles, retired instructions,
+//! and last-level-cache misses.
+//!
+//! Availability is probed at runtime, not assumed: [`HwCounters::try_new`]
+//! returns `None` when the kernel refuses (`perf_event_paranoid`,
+//! seccomp, containers without `CAP_PERFMON`, non-Linux builds), and
+//! every consumer degrades to "hardware counters unavailable" instead of
+//! failing. Individual counters can also be missing (e.g. LLC misses on
+//! some VMs); those read as zero and are reported as unavailable.
+//!
+//! # Scope
+//!
+//! Counters are opened for the **calling thread** (`pid = 0`,
+//! `cpu = -1`), user space only (`exclude_kernel | exclude_hv`). Work the
+//! recursion offloads to pool workers is *not* counted — per-phase
+//! attribution is exact for serial configurations and covers the root
+//! thread's share under `parallel_depth > 0`. The profile report states
+//! which configuration produced its roofline section.
+
+use super::Phase;
+
+/// One cumulative reading of the three hardware counters. A counter that
+/// could not be opened always reads zero; cycles cannot legitimately be
+/// zero across a real measurement window, so zero doubles as the
+/// "unavailable" marker in reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HwSample {
+    /// CPU cycles (user space, this thread).
+    pub cycles: u64,
+    /// Retired instructions (user space, this thread).
+    pub instructions: u64,
+    /// Last-level cache misses (user space, this thread).
+    pub cache_misses: u64,
+}
+
+impl HwSample {
+    /// Counter-wise `self − earlier`, saturating (a counter that wrapped
+    /// or was unavailable never produces a bogus huge delta).
+    pub fn delta(&self, earlier: &HwSample) -> HwSample {
+        HwSample {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+        }
+    }
+
+    /// Counter-wise accumulation.
+    pub fn add(&mut self, other: &HwSample) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// `(name, count)` pairs in schema order, for
+    /// [`super::json::report_json_full`]'s `hw_counters` section.
+    pub fn pairs(&self) -> [(&'static str, u64); 3] {
+        [("cycles", self.cycles), ("instructions", self.instructions), ("cache_misses", self.cache_misses)]
+    }
+
+    /// Instructions per cycle, when both counters are live.
+    pub fn ipc(&self) -> Option<f64> {
+        (self.cycles > 0 && self.instructions > 0).then(|| self.instructions as f64 / self.cycles as f64)
+    }
+}
+
+/// Per-phase hardware-counter attribution accumulated by a
+/// [`super::TimedProbe`] built with
+/// [`super::TimedProbe::with_hw_counters`].
+///
+/// Attribution is boundary-based: the counter delta since the previous
+/// timed event is filed under the phase of the event that just finished,
+/// so inter-span dispatch work lands in the phase it fed. Deltas sum to
+/// [`HwProfile::total`] minus the residual measured at `call_end`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HwProfile {
+    phases: [HwSample; 7],
+    /// Everything measured between `call_start` and the last reading,
+    /// including unattributed dispatch after the final span.
+    pub total: HwSample,
+}
+
+impl HwProfile {
+    /// The accumulated counters of `phase`.
+    pub fn phase(&self, phase: Phase) -> HwSample {
+        self.phases[phase as usize]
+    }
+
+    pub(super) fn file(&mut self, phase: Phase, delta: &HwSample) {
+        self.phases[phase as usize].add(delta);
+    }
+}
+
+/// An open set of per-thread hardware counters.
+///
+/// Dropping closes the file descriptors. See the module docs for scope
+/// and availability caveats.
+#[derive(Debug)]
+pub struct HwCounters {
+    imp: imp::Counters,
+}
+
+impl HwCounters {
+    /// Open cycles / instructions / LLC-miss counters for the calling
+    /// thread. `None` when the platform or kernel configuration does not
+    /// allow it — callers must treat that as "no hardware telemetry",
+    /// not an error.
+    pub fn try_new() -> Option<HwCounters> {
+        imp::Counters::open().map(|imp| HwCounters { imp })
+    }
+
+    /// Read the current cumulative counts.
+    pub fn read(&self) -> HwSample {
+        self.imp.read()
+    }
+
+    /// Which of the three counters actually opened, in
+    /// [`HwSample::pairs`] order.
+    pub fn available(&self) -> [bool; 3] {
+        self.imp.available()
+    }
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod imp {
+    use super::HwSample;
+    use std::fs::File;
+    use std::io::Read;
+    use std::os::unix::io::FromRawFd;
+
+    /// `PERF_TYPE_HARDWARE` generic event ids (`perf_event.h`).
+    const PERF_COUNT_HW_CPU_CYCLES: u64 = 0;
+    const PERF_COUNT_HW_INSTRUCTIONS: u64 = 1;
+    const PERF_COUNT_HW_CACHE_MISSES: u64 = 3;
+
+    /// `perf_event_attr`, built by offset into a zeroed 128-byte buffer
+    /// (the kernel accepts any size it knows; 128 is the v1 layout, a
+    /// prefix of every later version):
+    /// `type:u32@0`, `size:u32@4`, `config:u64@8`, bitfield `u64@40`
+    /// with `exclude_kernel = 1<<5`, `exclude_hv = 1<<6`.
+    #[repr(C, align(8))]
+    struct Attr([u8; 128]);
+
+    impl Attr {
+        fn hardware(config: u64) -> Attr {
+            let mut a = Attr([0u8; 128]);
+            // type = PERF_TYPE_HARDWARE (0) — already zero.
+            a.0[4..8].copy_from_slice(&128u32.to_ne_bytes());
+            a.0[8..16].copy_from_slice(&config.to_ne_bytes());
+            let flags: u64 = (1 << 5) | (1 << 6);
+            a.0[40..48].copy_from_slice(&flags.to_ne_bytes());
+            a
+        }
+    }
+
+    /// Raw `perf_event_open(&attr, pid = 0, cpu = -1, group_fd = -1,
+    /// flags = 0)`: calling thread, any CPU, standalone counter.
+    fn perf_event_open(attr: &Attr) -> Option<File> {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 298isize => ret,
+                in("rdi") attr as *const Attr,
+                in("rsi") 0isize,
+                in("rdx") -1isize,
+                in("r10") -1isize,
+                in("r8") 0isize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        unsafe {
+            std::arch::asm!(
+                "svc #0",
+                inlateout("x0") attr as *const Attr as isize => ret,
+                in("x1") 0isize,
+                in("x2") -1isize,
+                in("x3") -1isize,
+                in("x4") 0isize,
+                in("x8") 241isize,
+                options(nostack),
+            );
+        }
+        if ret < 0 {
+            return None;
+        }
+        // SAFETY: `ret` is a fresh fd the kernel just handed us; File
+        // takes sole ownership and closes it on drop.
+        Some(unsafe { File::from_raw_fd(ret as i32) })
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Counters {
+        fds: [Option<File>; 3],
+    }
+
+    impl Counters {
+        pub(super) fn open() -> Option<Counters> {
+            let fds = [
+                perf_event_open(&Attr::hardware(PERF_COUNT_HW_CPU_CYCLES)),
+                perf_event_open(&Attr::hardware(PERF_COUNT_HW_INSTRUCTIONS)),
+                perf_event_open(&Attr::hardware(PERF_COUNT_HW_CACHE_MISSES)),
+            ];
+            // Without cycles there is nothing to build a roofline from.
+            fds[0].as_ref()?;
+            Some(Counters { fds })
+        }
+
+        pub(super) fn read(&self) -> HwSample {
+            let read_one = |fd: &Option<File>| -> u64 {
+                let Some(f) = fd else { return 0 };
+                let mut buf = [0u8; 8];
+                match (&*f).read_exact(&mut buf) {
+                    Ok(()) => u64::from_ne_bytes(buf),
+                    Err(_) => 0,
+                }
+            };
+            HwSample {
+                cycles: read_one(&self.fds[0]),
+                instructions: read_one(&self.fds[1]),
+                cache_misses: read_one(&self.fds[2]),
+            }
+        }
+
+        pub(super) fn available(&self) -> [bool; 3] {
+            [self.fds[0].is_some(), self.fds[1].is_some(), self.fds[2].is_some()]
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod imp {
+    use super::HwSample;
+
+    /// Stub for platforms without our raw-syscall path: counters never
+    /// open, so every consumer takes its graceful-fallback branch.
+    #[derive(Debug)]
+    pub(super) struct Counters {}
+
+    impl Counters {
+        pub(super) fn open() -> Option<Counters> {
+            None
+        }
+
+        pub(super) fn read(&self) -> HwSample {
+            HwSample::default()
+        }
+
+        pub(super) fn available(&self) -> [bool; 3] {
+            [false; 3]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_delta_saturates_and_accumulates() {
+        let a = HwSample { cycles: 100, instructions: 300, cache_misses: 7 };
+        let b = HwSample { cycles: 250, instructions: 280, cache_misses: 9 };
+        let d = b.delta(&a);
+        assert_eq!(d, HwSample { cycles: 150, instructions: 0, cache_misses: 2 });
+        let mut acc = HwSample::default();
+        acc.add(&d);
+        acc.add(&d);
+        assert_eq!(acc.cycles, 300);
+        assert_eq!(d.pairs(), [("cycles", 150), ("instructions", 0), ("cache_misses", 2)]);
+    }
+
+    #[test]
+    fn ipc_requires_both_counters() {
+        assert_eq!(HwSample { cycles: 0, instructions: 10, cache_misses: 0 }.ipc(), None);
+        assert_eq!(HwSample { cycles: 10, instructions: 0, cache_misses: 0 }.ipc(), None);
+        let s = HwSample { cycles: 100, instructions: 250, cache_misses: 0 };
+        assert_eq!(s.ipc(), Some(2.5));
+    }
+
+    #[test]
+    fn hw_profile_files_by_phase() {
+        let mut hw = HwProfile::default();
+        let d = HwSample { cycles: 10, instructions: 20, cache_misses: 1 };
+        hw.file(Phase::GemmLeaf, &d);
+        hw.file(Phase::GemmLeaf, &d);
+        hw.file(Phase::Add, &d);
+        assert_eq!(hw.phase(Phase::GemmLeaf).cycles, 20);
+        assert_eq!(hw.phase(Phase::Add).instructions, 20);
+        assert_eq!(hw.phase(Phase::Copy), HwSample::default());
+    }
+
+    #[test]
+    fn try_new_is_graceful() {
+        // Whatever the kernel says, the answer must be a clean Option —
+        // and when counters do open, a read must not error.
+        if let Some(hw) = HwCounters::try_new() {
+            let first = hw.read();
+            // Burn a few cycles so a live counter visibly advances.
+            let mut x = 0u64;
+            for i in 0..100_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(x);
+            let second = hw.read();
+            assert!(hw.available()[0], "try_new requires the cycle counter");
+            assert!(second.cycles >= first.cycles);
+            assert!(second.cycles > 0, "an open cycle counter must count");
+        }
+    }
+}

@@ -4,15 +4,17 @@
 //! streaming [`JsonWriter`] (comma placement, string escaping, nesting)
 //! and the exporters that render [`Trace`], [`Profile`], and
 //! [`pool::PoolStats`] into one versioned document. The schema is stable
-//! and versioned: every top-level document carries `"schema": 1`, and any
+//! and versioned: every top-level document carries `"schema": 2`, and any
 //! breaking change to key names or nesting must bump that number.
-//! `tests/profile_json.rs` pins the layout with an in-tree checker.
+//! `tests/profile_json.rs` pins the layout with an in-tree checker, and
+//! `testkit::json::validate_profile_report` accepts both schema 1 (older
+//! result files on disk) and schema 2.
 //!
-//! # Schema 1 (top-level document, [`report_json`])
+//! # Schema 2 (top-level document, [`report_json_full`])
 //!
 //! ```text
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "kind": "strassen_profile_report",
 //!   "trace":   { calls, total_ns, staging_ns, ws_root, ws_high_water,
 //!                arena_capacity, max_depth, mul_flops, add_flops,
@@ -22,9 +24,17 @@
 //!                phases: [ { phase, spans, ns, flops, gflops? } … ],
 //!                levels: [ { depth, phases: [ … ] } … ] },
 //!   "pool":    { workers: [ { jobs, own_pops, steals, busy_ns, parks } … ],
-//!                helper_pops, wake_notifies, total_jobs, total_busy_ns }   // optional
+//!                helper_pops, wake_notifies, total_jobs, total_busy_ns },  // optional
+//!   "timeline": { workers, lanes, events, dropped, tasks, edges,
+//!                 levels: [ { level, tasks } … ] },                        // optional
+//!   "hw_counters": [ { name, count } … ]                                   // optional
 //! }
 //! ```
+//!
+//! Schema 2 is a strict superset of schema 1: the two new top-level
+//! sections (`timeline`, the per-worker event-ring summary, and
+//! `hw_counters`, `perf_event_open` readings) are optional, and every
+//! schema-1 key keeps its name and nesting.
 //!
 //! All numbers are finite by construction: integers render as decimal
 //! integers and [`JsonWriter::value_f64`] rejects NaN/infinity outright
@@ -331,6 +341,32 @@ pub fn write_pool_stats(w: &mut JsonWriter, stats: &pool::PoolStats) {
     w.end_object();
 }
 
+/// Write a [`Timeline`](super::timeline::Timeline) summary as an object
+/// in value position: lane/event totals plus executed Strassen-tagged
+/// task counts per recursion level. The full event stream is exported
+/// separately as Chrome trace JSON
+/// ([`super::timeline::chrome_trace_json`]); this summary is what lands
+/// in the profile report.
+pub fn write_timeline(w: &mut JsonWriter, tl: &super::timeline::Timeline) {
+    w.begin_object();
+    field_u64(w, "workers", tl.workers as u64);
+    field_u64(w, "lanes", tl.lanes.len() as u64);
+    field_u64(w, "events", tl.all_events().count() as u64);
+    field_u64(w, "dropped", tl.total_dropped());
+    field_u64(w, "tasks", tl.duration_events() as u64);
+    field_u64(w, "edges", tl.edges.len() as u64);
+    w.key("levels");
+    w.begin_array();
+    for (level, tasks) in tl.per_level_task_counts() {
+        w.begin_object();
+        field_u64(w, "level", level as u64);
+        field_u64(w, "tasks", tasks);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
 /// Render a [`Trace`] alone as a standalone JSON document.
 pub fn trace_json(trace: &Trace) -> String {
     let mut w = JsonWriter::new();
@@ -338,14 +374,28 @@ pub fn trace_json(trace: &Trace) -> String {
     w.finish()
 }
 
-/// Render the combined schema-1 report: trace, profile, and (when
+/// Render the combined schema-2 report: trace, profile, and (when
 /// telemetry was gathered) a pool-stats delta, under a versioned
 /// envelope. This is the document `examples/profile_report.rs` writes
-/// and `scripts/verify.sh` validates.
+/// and `scripts/verify.sh` validates. Equivalent to
+/// [`report_json_full`] with no timeline and no hardware counters.
 pub fn report_json(profile: &Profile, pool: Option<&pool::PoolStats>) -> String {
+    report_json_full(profile, pool, None, None)
+}
+
+/// Render the full schema-2 report: [`report_json`]'s sections plus an
+/// optional [`timeline`](super::timeline) summary and optional hardware
+/// counter readings (`(name, count)` pairs from
+/// [`super::hw::HwCounters`], or any other source).
+pub fn report_json_full(
+    profile: &Profile,
+    pool: Option<&pool::PoolStats>,
+    timeline: Option<&super::timeline::Timeline>,
+    hw_counters: Option<&[(&str, u64)]>,
+) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
-    field_u64(&mut w, "schema", 1);
+    field_u64(&mut w, "schema", 2);
     w.key("kind");
     w.value_str("strassen_profile_report");
     w.key("trace");
@@ -355,6 +405,22 @@ pub fn report_json(profile: &Profile, pool: Option<&pool::PoolStats>) -> String 
     if let Some(stats) = pool {
         w.key("pool");
         write_pool_stats(&mut w, stats);
+    }
+    if let Some(tl) = timeline {
+        w.key("timeline");
+        write_timeline(&mut w, tl);
+    }
+    if let Some(counters) = hw_counters {
+        w.key("hw_counters");
+        w.begin_array();
+        for &(name, count) in counters {
+            w.begin_object();
+            w.key("name");
+            w.value_str(name);
+            field_u64(&mut w, "count", count);
+            w.end_object();
+        }
+        w.end_array();
     }
     w.end_object();
     w.finish()
@@ -413,9 +479,40 @@ mod tests {
     fn report_has_versioned_envelope() {
         let profile = Profile::default();
         let json = report_json(&profile, None);
-        assert!(json.starts_with(r#"{"schema":1,"kind":"strassen_profile_report""#));
+        assert!(json.starts_with(r#"{"schema":2,"kind":"strassen_profile_report""#));
         assert!(json.contains(r#""trace":{"#));
         assert!(json.contains(r#""profile":{"#));
         assert!(!json.contains("pool"));
+        assert!(!json.contains("timeline"));
+        assert!(!json.contains("hw_counters"));
+    }
+
+    #[test]
+    fn full_report_carries_timeline_and_hw_sections() {
+        use crate::probe::timeline::{Lane, Timeline};
+        use pool::ring::{tag, Event, EventKind};
+
+        let t = tag::strassen_node(0, 8);
+        let tl = Timeline {
+            lanes: vec![Lane {
+                events: vec![
+                    Event { ts_ns: 1, kind: EventKind::Start, tag: t, arg: 0 },
+                    Event { ts_ns: 2, kind: EventKind::Finish, tag: t, arg: 0 },
+                ],
+                dropped: 0,
+            }],
+            edges: Vec::new(),
+            workers: 1,
+        };
+        let profile = Profile::default();
+        let json =
+            report_json_full(&profile, None, Some(&tl), Some(&[("cycles", 123), ("instructions", 456)]));
+        assert!(json.starts_with(r#"{"schema":2,"#));
+        assert!(json.contains(
+            r#""timeline":{"workers":1,"lanes":1,"events":2,"dropped":0,"tasks":1,"edges":0,"levels":[{"level":0,"tasks":1}]}"#
+        ));
+        assert!(json.contains(
+            r#""hw_counters":[{"name":"cycles","count":123},{"name":"instructions","count":456}]"#
+        ));
     }
 }

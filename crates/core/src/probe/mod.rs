@@ -55,10 +55,12 @@
 //! [`crate::StrassenConfig::fused`]`(false)` when comparing against the
 //! analytic model, which describes the classic schedules.
 
+pub mod hw;
 pub mod json;
 mod record;
 pub mod report;
 mod timed;
+pub mod timeline;
 
 pub use record::{LevelStats, StopCounts, Trace, TraceProbe};
 pub use timed::{LevelProfile, Phase, PhaseAgg, Profile, Span, TimedProbe};

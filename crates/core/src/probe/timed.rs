@@ -24,6 +24,7 @@
 //! costs at most 5% at n = 512, and the uninstalled hot path stays within
 //! the 1% NoopProbe budget (see DESIGN.md §9).
 
+use super::hw::{HwCounters, HwProfile, HwSample};
 use super::{
     AddPassEvent, CallEnd, CallStart, FusedEvent, LeafEvent, PadEvent, PassKind, PeelEvent, Probe,
     SplitEvent, Trace, TraceProbe,
@@ -155,6 +156,10 @@ pub struct Profile {
     pub spans: Vec<Span>,
     /// Spans that arrived after the span log hit its cap.
     pub spans_dropped: u64,
+    /// Per-phase hardware-counter attribution, present only when the
+    /// probe was built with [`TimedProbe::with_hw_counters`] *and* the
+    /// counters actually opened (see [`super::hw`]).
+    pub hw: Option<HwProfile>,
 }
 
 impl Profile {
@@ -309,6 +314,15 @@ pub struct TimedProbe {
     inner: TraceProbe,
     profile: Profile,
     span_cap: usize,
+    hw: Option<HwSession>,
+}
+
+/// Live hardware-counter session: the open counters plus the cumulative
+/// reading at the previous attribution boundary.
+#[derive(Clone, Debug)]
+struct HwSession {
+    counters: std::sync::Arc<HwCounters>,
+    last: HwSample,
 }
 
 impl TimedProbe {
@@ -325,6 +339,22 @@ impl TimedProbe {
         TimedProbe { span_cap: cap, ..Self::default() }
     }
 
+    /// Recorder that additionally samples hardware counters
+    /// ([`super::hw`]) at every timed event, attributing the delta since
+    /// the previous event to the finishing phase. When the counters
+    /// cannot open (non-Linux, `perf_event_paranoid`, containers) the
+    /// probe behaves exactly like [`TimedProbe::new`] and
+    /// [`Profile::hw`] stays `None`.
+    pub fn with_hw_counters() -> Self {
+        let mut probe = Self::default();
+        if let Some(counters) = HwCounters::try_new() {
+            let last = counters.read();
+            probe.profile.hw = Some(HwProfile::default());
+            probe.hw = Some(HwSession { counters: std::sync::Arc::new(counters), last });
+        }
+        probe
+    }
+
     /// Consume the recorder, yielding the aggregated profile (with the
     /// inner trace moved into [`Profile::trace`]).
     pub fn into_profile(mut self) -> Profile {
@@ -332,7 +362,23 @@ impl TimedProbe {
         self.profile
     }
 
+    /// Read the counters, return the delta since the previous boundary,
+    /// and advance the boundary. No-op `None` without a live session.
+    fn hw_delta(&mut self) -> Option<HwSample> {
+        let sess = self.hw.as_mut()?;
+        let now = sess.counters.read();
+        let delta = now.delta(&sess.last);
+        sess.last = now;
+        Some(delta)
+    }
+
     fn file(&mut self, depth: usize, phase: Phase, ns: u64, flops: u128) {
+        if let Some(delta) = self.hw_delta() {
+            if let Some(hw) = self.profile.hw.as_mut() {
+                hw.file(phase, &delta);
+                hw.total.add(&delta);
+            }
+        }
         self.profile.level_mut(depth).phases[phase.index()].file(ns, flops);
         if self.profile.spans.len() < self.span_cap {
             self.profile.spans.push(Span { depth, phase, ns });
@@ -345,10 +391,19 @@ impl TimedProbe {
 impl Probe for TimedProbe {
     fn call_start(&mut self, ev: &CallStart) {
         self.inner.call_start(ev);
+        // Open a fresh attribution window: counts accumulated between
+        // calls belong to no phase.
+        let _ = self.hw_delta();
     }
 
     fn call_end(&mut self, ev: &CallEnd) {
         self.inner.call_end(ev);
+        // Trailing dispatch/write-back since the last span: total-only.
+        if let Some(delta) = self.hw_delta() {
+            if let Some(hw) = self.profile.hw.as_mut() {
+                hw.total.add(&delta);
+            }
+        }
     }
 
     fn split(&mut self, ev: &SplitEvent) {

@@ -68,6 +68,15 @@ use crate::dispatch::fmm;
 use crate::trace::add::{accum, accum_sub, add_into, scale_in_place, sub_into};
 use matrix::{MatMut, MatRef, Scalar};
 use pool::dag::DagBuilder;
+use pool::ring::tag::strassen_node;
+
+/// Export names for the 21 schedule nodes, indexed by declaration order
+/// (= the node id carried in timeline tags). The trace exporter
+/// (`probe::timeline`) uses these to label duration events.
+pub(crate) const DAG_NODE_NAMES: [&str; 21] = [
+    "s1", "s2", "s3", "s4", "t1", "t2", "t3", "t4", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "c11", "u2",
+    "u3", "c12", "c21", "c22",
+];
 
 /// Raw slice handle for DAG node bodies (see module docs). `Copy` so
 /// many closures can capture the same carve-out; every dereference is
@@ -355,7 +364,11 @@ fn fanout_level<T: Scalar>(
             for (slot, (lhs, rhs)) in prod_ops.into_iter().enumerate() {
                 let pslot = p[slot];
                 let share = shares[slot];
-                scope.spawn_at(slot, move || {
+                // Same (level, node) timeline tags as the DAG mode's
+                // product nodes, so traces of either scheduler name the
+                // products identically.
+                let tag = strassen_node(depth as u8, 8 + slot as u8);
+                scope.spawn_tagged(Some(slot), tag, move || {
                     let lhs = lhs.view(m2, k2);
                     let rhs = rhs.view(k2, n2);
                     fmm(cfg, alpha, lhs, rhs, T::ZERO, pslot.mat_mut(m2, n2), share.slice_mut(), depth + 1);
@@ -386,32 +399,35 @@ fn dag_level<T: Scalar>(
 ) {
     let mut dag = DagBuilder::new();
     let (s, t, p) = (*s, *t, *p);
+    // Timeline tag for node id `i` (declaration order, the
+    // [`DAG_NODE_NAMES`] index) at this recursion level.
+    let ntag = |i: u8| strassen_node(depth as u8, i);
 
     // Pre-add nodes 0..=7, hinted at the product slot they feed.
     // SAFETY (all node bodies below): every conflicting access pair is
     // ordered by a declared edge — the module-doc discipline.
-    let s1 = dag.node(Some(4), &[], move || unsafe {
+    let s1 = dag.node_tagged(Some(4), &[], ntag(0), move || unsafe {
         add_into(s[0].mat_mut(m2, k2), a21, a22);
     });
-    let s2 = dag.node(Some(5), &[s1], move || unsafe {
+    let s2 = dag.node_tagged(Some(5), &[s1], ntag(1), move || unsafe {
         sub_into(s[1].mat_mut(m2, k2), s[0].mat(m2, k2), a11);
     });
-    let s3 = dag.node(Some(6), &[], move || unsafe {
+    let s3 = dag.node_tagged(Some(6), &[], ntag(2), move || unsafe {
         sub_into(s[2].mat_mut(m2, k2), a11, a21);
     });
-    let s4 = dag.node(Some(2), &[s2], move || unsafe {
+    let s4 = dag.node_tagged(Some(2), &[s2], ntag(3), move || unsafe {
         sub_into(s[3].mat_mut(m2, k2), a12, s[1].mat(m2, k2));
     });
-    let t1 = dag.node(Some(4), &[], move || unsafe {
+    let t1 = dag.node_tagged(Some(4), &[], ntag(4), move || unsafe {
         sub_into(t[0].mat_mut(k2, n2), b12, b11);
     });
-    let t2 = dag.node(Some(5), &[t1], move || unsafe {
+    let t2 = dag.node_tagged(Some(5), &[t1], ntag(5), move || unsafe {
         sub_into(t[1].mat_mut(k2, n2), b22, t[0].mat(k2, n2));
     });
-    let t3 = dag.node(Some(6), &[], move || unsafe {
+    let t3 = dag.node_tagged(Some(6), &[], ntag(6), move || unsafe {
         sub_into(t[2].mat_mut(k2, n2), b22, b12);
     });
-    let t4 = dag.node(Some(3), &[t2], move || unsafe {
+    let t4 = dag.node_tagged(Some(3), &[t2], ntag(7), move || unsafe {
         sub_into(t[3].mat_mut(k2, n2), t[1].mat(k2, n2), b21);
     });
 
@@ -421,7 +437,7 @@ fn dag_level<T: Scalar>(
     for (slot, (lhs, rhs)) in prod_ops.into_iter().enumerate() {
         let pslot = p[slot];
         let share = shares[slot];
-        prod[slot] = dag.node(Some(slot), sum_deps[slot], move || unsafe {
+        prod[slot] = dag.node_tagged(Some(slot), sum_deps[slot], ntag(8 + slot as u8), move || unsafe {
             let lhs = lhs.view(m2, k2);
             let rhs = rhs.view(k2, n2);
             fmm(cfg, alpha, lhs, rhs, T::ZERO, pslot.mat_mut(m2, n2), share.slice_mut(), depth + 1);
@@ -432,32 +448,32 @@ fn dag_level<T: Scalar>(
     // Write-back and shared-U nodes. Each C quadrant is owned by exactly
     // one node (the MatMut moves into it); U nodes mutate their P slot.
     let mut c11 = c11;
-    dag.node(None, &[p1, p2], move || unsafe {
+    dag.node_tagged(None, &[p1, p2], ntag(15), move || unsafe {
         scale_in_place(beta, c11.rb_mut());
         accum(c11.rb_mut(), p[0].mat(m2, n2));
         accum(c11.rb_mut(), p[1].mat(m2, n2));
     });
-    let u2 = dag.node(Some(5), &[p1, p6], move || unsafe {
+    let u2 = dag.node_tagged(Some(5), &[p1, p6], ntag(16), move || unsafe {
         accum(p[5].mat_mut(m2, n2), p[0].mat(m2, n2)); // P6 := U2 = P1+P6
     });
-    let u3 = dag.node(Some(6), &[u2, p7], move || unsafe {
+    let u3 = dag.node_tagged(Some(6), &[u2, p7], ntag(17), move || unsafe {
         accum(p[6].mat_mut(m2, n2), p[5].mat(m2, n2)); // P7 := U3 = U2+P7
     });
     let mut c12 = c12;
-    dag.node(None, &[u2, p5, p3], move || unsafe {
+    dag.node_tagged(None, &[u2, p5, p3], ntag(18), move || unsafe {
         scale_in_place(beta, c12.rb_mut());
         accum(c12.rb_mut(), p[5].mat(m2, n2));
         accum(c12.rb_mut(), p[4].mat(m2, n2));
         accum(c12.rb_mut(), p[2].mat(m2, n2));
     });
     let mut c21 = c21;
-    dag.node(None, &[u3, p4], move || unsafe {
+    dag.node_tagged(None, &[u3, p4], ntag(19), move || unsafe {
         scale_in_place(beta, c21.rb_mut());
         accum(c21.rb_mut(), p[6].mat(m2, n2));
         accum_sub(c21.rb_mut(), p[3].mat(m2, n2));
     });
     let mut c22 = c22;
-    dag.node(None, &[u3, p5], move || unsafe {
+    dag.node_tagged(None, &[u3, p5], ntag(20), move || unsafe {
         scale_in_place(beta, c22.rb_mut());
         accum(c22.rb_mut(), p[6].mat(m2, n2));
         accum(c22.rb_mut(), p[4].mat(m2, n2));

@@ -58,11 +58,13 @@ use std::sync::Mutex;
 
 use crate::{Job, Scope};
 
-/// One declared node: its erased body, affinity hint, and forward edges.
+/// One declared node: its erased body, affinity hint, forward edges, and
+/// timeline tag (0 = untagged; see [`crate::ring::tag`]).
 struct NodeSpec<'a> {
     body: Box<dyn FnOnce() + Send + 'a>,
     hint: Option<usize>,
     deps: Vec<usize>,
+    tag: u64,
 }
 
 /// Builder for a task DAG over the global pool. See the [module
@@ -78,6 +80,8 @@ pub struct DagBuilder<'a> {
 struct DagState {
     bodies: Vec<Mutex<Option<Job>>>,
     hints: Vec<Option<usize>>,
+    /// Per-node timeline tags with the run's instance id spliced in.
+    tags: Vec<u64>,
     /// Successor lists (forward edges reversed).
     succs: Vec<Vec<usize>>,
     /// Unmet-dependency counters, one per node.
@@ -120,6 +124,19 @@ impl<'a> DagBuilder<'a> {
     where
         F: FnOnce() + Send + 'a,
     {
+        self.node_tagged(hint, deps, 0, f)
+    }
+
+    /// [`DagBuilder::node`] with a timeline tag (see
+    /// [`crate::ring::tag`]). When event recording is on, the node's
+    /// spawn/start/finish ring events carry the tag with this run's
+    /// instance id spliced into its instance bits, and every dependency
+    /// edge between two tagged nodes is logged for the trace exporter's
+    /// flow events. Tags never affect scheduling or execution.
+    pub fn node_tagged<F>(&mut self, hint: Option<usize>, deps: &[usize], tag: u64, f: F) -> usize
+    where
+        F: FnOnce() + Send + 'a,
+    {
         let idx = self.nodes.len();
         let mut deps_vec: Vec<usize> = deps.to_vec();
         deps_vec.sort_unstable();
@@ -127,7 +144,7 @@ impl<'a> DagBuilder<'a> {
         for &d in &deps_vec {
             assert!(d < idx, "dag node {idx} depends on not-yet-declared node {d}");
         }
-        self.nodes.push(NodeSpec { body: Box::new(f), hint, deps: deps_vec });
+        self.nodes.push(NodeSpec { body: Box::new(f), hint, deps: deps_vec, tag });
         idx
     }
 
@@ -140,10 +157,32 @@ impl<'a> DagBuilder<'a> {
             return;
         }
         let n = self.nodes.len();
+        // Tagged nodes get this run's instance id spliced into their
+        // tags, so sibling sub-DAGs with identical (level, node)
+        // coordinates stay distinguishable in the exported timeline.
+        let recording = crate::ring::is_recording();
+        let instance = if recording && self.nodes.iter().any(|s| s.tag != 0) {
+            crate::ring::next_dag_instance()
+        } else {
+            0
+        };
+        let full_tag = |tag: u64| if tag == 0 { 0 } else { crate::ring::tag::with_instance(tag, instance) };
         let mut bodies = Vec::with_capacity(n);
         let mut hints = Vec::with_capacity(n);
+        let mut tags = Vec::with_capacity(n);
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut pending = Vec::with_capacity(n);
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+        if recording {
+            for spec in self.nodes.iter().filter(|s| s.tag != 0) {
+                for &d in &spec.deps {
+                    if self.nodes[d].tag != 0 {
+                        edges.push((full_tag(self.nodes[d].tag), full_tag(spec.tag)));
+                    }
+                }
+            }
+        }
+        crate::ring::record_edges(&edges);
         for (idx, spec) in self.nodes.into_iter().enumerate() {
             // SAFETY: only the lifetime is erased. `run` blocks in
             // `crate::scope` until every queued node body has run and
@@ -153,6 +192,7 @@ impl<'a> DagBuilder<'a> {
             let body: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(spec.body) };
             bodies.push(Mutex::new(Some(body)));
             hints.push(spec.hint);
+            tags.push(full_tag(spec.tag));
             pending.push(AtomicUsize::new(spec.deps.len()));
             for &d in &spec.deps {
                 succs[d].push(idx);
@@ -161,6 +201,7 @@ impl<'a> DagBuilder<'a> {
         let state = DagState {
             bodies,
             hints,
+            tags,
             succs,
             pending,
             sched: Mutex::new(SchedState { ready: BinaryHeap::new(), in_flight: 0 }),
@@ -209,6 +250,7 @@ fn drain_ready(sched: &mut SchedState, width: usize) -> Vec<usize> {
 /// surface without any thread blocking at a level barrier.
 fn spawn_node<'s>(scope: &Scope<'s>, state: &'s DagState, idx: usize) {
     let hint = state.hints[idx];
+    let tag = state.tags[idx];
     let alias = scope.alias();
     let task = move || {
         let body = state.bodies[idx].lock().unwrap().take().expect("dag node queued twice");
@@ -230,10 +272,7 @@ fn spawn_node<'s>(scope: &Scope<'s>, state: &'s DagState, idx: usize) {
             spawn_node(&alias, state, next_idx);
         }
     };
-    match hint {
-        Some(h) => scope.spawn_at(h, task),
-        None => scope.spawn(task),
-    }
+    scope.spawn_tagged(hint, tag, task);
 }
 
 #[cfg(test)]

@@ -43,11 +43,15 @@
 //! Per-worker telemetry ([`pool_stats`], [`worker_job_counts`]) makes
 //! "did the parallel path really fan out, and were the workers busy?"
 //! testable — the bench harness turns [`PoolStats::utilization`] into a
-//! gate.
+//! gate. The [`ring`] module adds an opt-in execution timeline on the
+//! same paths: per-worker event rings recording spawn / steal / start /
+//! finish / park with monotonic timestamps, which the trace exporter in
+//! the core crate renders as Perfetto-loadable Chrome trace JSON.
 
 #![warn(missing_docs)]
 
 pub mod dag;
+pub mod ring;
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -87,6 +91,9 @@ struct Shared {
     /// Sleep/wake plumbing for idle workers.
     sleep: Mutex<()>,
     wake: Condvar,
+    /// Timeline event rings: one per worker plus
+    /// [`ring::EXTERNAL_LANES`] lanes for helping/spawning threads.
+    rings: Vec<ring::Ring>,
 }
 
 impl Shared {
@@ -132,8 +139,12 @@ impl Shared {
                 self.queued.fetch_sub(1, Ordering::Release);
                 if me < n {
                     self.steals[me].fetch_add(1, Ordering::Relaxed);
+                    if ring::is_recording() {
+                        ring::record_worker(me, ring::EventKind::Steal, 0, victim as u32);
+                    }
                 } else {
                     self.helper_pops.fetch_add(1, Ordering::Relaxed);
+                    ring::record(ring::EventKind::HelperPop, 0, victim as u32);
                 }
                 return Some(job);
             }
@@ -162,6 +173,10 @@ impl Pool {
             next: AtomicUsize::new(0),
             sleep: Mutex::new(()),
             wake: Condvar::new(),
+            rings: {
+                let cap = ring::ring_capacity();
+                (0..nthreads + ring::EXTERNAL_LANES).map(|_| ring::Ring::new(cap)).collect()
+            },
         });
         for me in 0..nthreads {
             let shared = Arc::clone(&shared);
@@ -175,6 +190,7 @@ impl Pool {
 }
 
 fn worker_loop(shared: Arc<Shared>, me: usize) {
+    ring::set_worker_lane(me);
     loop {
         match shared.pop(me) {
             Some(job) => {
@@ -190,6 +206,9 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
                 let guard = shared.sleep.lock().unwrap();
                 if shared.queued.load(Ordering::Acquire) == 0 {
                     shared.parks[me].fetch_add(1, Ordering::Relaxed);
+                    if ring::is_recording() {
+                        ring::record_worker(me, ring::EventKind::Park, 0, 0);
+                    }
                     // Timeout bounds the cost of any lost wakeup race.
                     let _ = shared.wake.wait_timeout(guard, Duration::from_millis(50));
                 }
@@ -255,6 +274,12 @@ fn global() -> &'static Pool {
         let n = if requested > 0 { requested } else { default_threads() };
         Pool::start(n)
     })
+}
+
+/// The global pool's shared state (starts the pool on first call) — for
+/// the [`ring`] module's lane accessors.
+pub(crate) fn global_shared() -> &'static Shared {
+    &global().shared
 }
 
 /// Error from [`set_num_threads`]: the global pool is already running
@@ -475,7 +500,7 @@ impl<'scope> Scope<'scope> {
     where
         F: FnOnce() + Send + 'scope,
     {
-        self.spawn_job(None, f);
+        self.spawn_job(None, 0, f);
     }
 
     /// Queue `f` with an affinity hint: the job lands on worker
@@ -488,21 +513,43 @@ impl<'scope> Scope<'scope> {
     where
         F: FnOnce() + Send + 'scope,
     {
-        self.spawn_job(Some(hint), f);
+        self.spawn_job(Some(hint), 0, f);
     }
 
-    fn spawn_job<F>(&self, hint: Option<usize>, f: F)
+    /// [`Scope::spawn`]/[`Scope::spawn_at`] with a timeline tag: when
+    /// event recording is on ([`ring::start_recording`]) the task's
+    /// spawn/start/finish ring events carry `tag` (see [`ring::tag`]),
+    /// which is how the trace exporter names tasks and draws flow events
+    /// along DAG edges. `tag == 0` means untagged; the tag never affects
+    /// scheduling or execution.
+    pub fn spawn_tagged<F>(&self, hint: Option<usize>, tag: u64, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.spawn_job(hint, tag, f);
+    }
+
+    fn spawn_job<F>(&self, hint: Option<usize>, tag: u64, f: F)
     where
         F: FnOnce() + Send + 'scope,
     {
         self.state.pending.fetch_add(1, Ordering::AcqRel);
         let state = Arc::clone(&self.state);
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // Latch the recording gate once so Start/Finish always pair,
+            // even when recording toggles mid-job.
+            let rec = ring::is_recording();
+            if rec {
+                ring::record(ring::EventKind::Start, tag, 0);
+            }
             if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
                 let mut slot = state.panic.lock().unwrap();
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
+            }
+            if rec {
+                ring::record(ring::EventKind::Finish, tag, 0);
             }
             state.complete_one();
         });
@@ -513,6 +560,7 @@ impl<'scope> Scope<'scope> {
         // it points into is gone — the same argument as
         // `std::thread::scope`, enforced dynamically by the counter.
         let job: Job = unsafe { std::mem::transmute(job) };
+        ring::record(ring::EventKind::Spawn, tag, 0);
         match hint {
             Some(i) => global().shared.push_at(i, job),
             None => global().shared.push(job),

@@ -130,6 +130,81 @@ impl Json {
     }
 }
 
+/// Validate a parsed `strassen_profile_report` document against the
+/// versioned schema contract and return its schema number.
+///
+/// Accepts schema **1** (PR-7-era reports still on disk under
+/// `results/`) and schema **2** (adds the optional `timeline` event-ring
+/// summary and `hw_counters` sections). Anything else — wrong `kind`,
+/// unknown schema number, missing required sections, flop-count drift
+/// between the trace and profile layers, or malformed optional sections
+/// — is an error naming the offending part.
+pub fn validate_profile_report(doc: &Json) -> Result<u64, String> {
+    let kind = doc.get("kind").and_then(Json::as_str).ok_or("missing kind")?;
+    if kind != "strassen_profile_report" {
+        return Err(format!("unexpected kind {kind:?}"));
+    }
+    let schema = doc.get("schema").and_then(Json::as_u64).ok_or("missing schema")?;
+    if !(1..=2).contains(&schema) {
+        return Err(format!("unsupported schema {schema}"));
+    }
+
+    // Required in every schema: trace and profile with their arrays and
+    // consistent flop accounting.
+    for section in ["trace.levels", "profile.phases", "profile.levels"] {
+        if doc.path(section).and_then(Json::items).is_none() {
+            return Err(format!("missing or non-array section {section}"));
+        }
+    }
+    let trace_flops =
+        doc.path("trace.total_flops").and_then(Json::as_u128).ok_or("missing trace.total_flops")?;
+    let model_flops =
+        doc.path("profile.model_flops").and_then(Json::as_u128).ok_or("missing profile.model_flops")?;
+    if trace_flops != model_flops {
+        return Err(format!("flop accounting drift: trace {trace_flops} vs profile {model_flops}"));
+    }
+
+    // Optional pool section (any schema).
+    if let Some(pool) = doc.get("pool") {
+        if pool.get("workers").and_then(Json::items).is_none() {
+            return Err("pool present but pool.workers is not an array".into());
+        }
+    }
+
+    // The schema-2 sections; a schema-1 document must not carry them.
+    let timeline = doc.get("timeline");
+    let hw = doc.get("hw_counters");
+    if schema == 1 && (timeline.is_some() || hw.is_some()) {
+        return Err("schema 1 cannot carry timeline/hw_counters sections".into());
+    }
+    if let Some(tl) = timeline {
+        for key in ["workers", "lanes", "events", "dropped", "tasks", "edges"] {
+            if tl.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("timeline.{key} missing or not an unsigned integer"));
+            }
+        }
+        let levels = tl.get("levels").and_then(Json::items).ok_or("timeline.levels not an array")?;
+        for (i, level) in levels.iter().enumerate() {
+            if level.get("level").and_then(Json::as_u64).is_none()
+                || level.get("tasks").and_then(Json::as_u64).is_none()
+            {
+                return Err(format!("timeline.levels[{i}] needs level + tasks"));
+            }
+        }
+    }
+    if let Some(counters) = hw {
+        let items = counters.items().ok_or("hw_counters is not an array")?;
+        for (i, counter) in items.iter().enumerate() {
+            if counter.get("name").and_then(Json::as_str).is_none()
+                || counter.get("count").and_then(Json::as_u64).is_none()
+            {
+                return Err(format!("hw_counters[{i}] needs name + count"));
+            }
+        }
+    }
+    Ok(schema)
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -384,5 +459,52 @@ mod tests {
     fn path_handles_bare_indexes_and_chains() {
         let doc = Json::parse(r#"[[1,2],[3,4]]"#).unwrap();
         assert_eq!(doc.path("[1][0]").unwrap().as_u64(), Some(3));
+    }
+
+    /// Smallest documents the report validator accepts, per schema.
+    fn minimal_report(schema: u64, extra: &str) -> String {
+        format!(
+            r#"{{"schema":{schema},"kind":"strassen_profile_report","trace":{{"total_flops":88,"levels":[]}},"profile":{{"model_flops":88,"phases":[],"levels":[]}}{extra}}}"#
+        )
+    }
+
+    #[test]
+    fn report_validator_accepts_both_schemas() {
+        let v1 = Json::parse(&minimal_report(1, "")).unwrap();
+        assert_eq!(validate_profile_report(&v1), Ok(1));
+
+        let sections = concat!(
+            r#","pool":{"workers":[]}"#,
+            r#","timeline":{"workers":4,"lanes":8,"events":10,"dropped":0,"tasks":3,"edges":2,"levels":[{"level":0,"tasks":3}]}"#,
+            r#","hw_counters":[{"name":"cycles","count":512}]"#,
+        );
+        let v2 = Json::parse(&minimal_report(2, sections)).unwrap();
+        assert_eq!(validate_profile_report(&v2), Ok(2));
+        // The new sections stay optional in schema 2.
+        let v2_bare = Json::parse(&minimal_report(2, "")).unwrap();
+        assert_eq!(validate_profile_report(&v2_bare), Ok(2));
+    }
+
+    #[test]
+    fn report_validator_rejects_bad_documents() {
+        let cases: Vec<(String, &str)> = vec![
+            (minimal_report(3, ""), "unknown schema number"),
+            (minimal_report(1, r#","timeline":{"workers":1}"#), "schema 1 with a timeline"),
+            (
+                minimal_report(2, r#","timeline":{"workers":1,"lanes":1,"events":0,"dropped":0,"tasks":0}"#),
+                "timeline missing edges/levels",
+            ),
+            (minimal_report(2, r#","hw_counters":[{"name":"cycles"}]"#), "hw counter without a count"),
+            (minimal_report(2, r#","pool":{"helper_pops":0}"#), "pool without workers array"),
+            (
+                minimal_report(2, "").replace(r#""model_flops":88"#, r#""model_flops":89"#),
+                "flop drift between layers",
+            ),
+            (minimal_report(2, "").replace("strassen_profile_report", "other_kind"), "foreign kind"),
+        ];
+        for (doc, why) in cases {
+            let parsed = Json::parse(&doc).expect("test documents are well-formed JSON");
+            assert!(validate_profile_report(&parsed).is_err(), "validator accepted {why}: {doc}");
+        }
     }
 }

@@ -1,0 +1,160 @@
+//! Bench-trajectory differ: compare two `BENCH_*.json` files shape by
+//! shape.
+//!
+//! ```sh
+//! cargo run --release --example bench_diff -- \
+//!     BENCH_PR7.baseline.json BENCH_PR7.json [--threshold 10] [--waive]
+//! ```
+//!
+//! Both files are parsed with `testkit::json` (the strict parser — a
+//! malformed bench artifact fails here, not downstream) and joined on
+//! `(bench, n)`. For every shape present in both runs the differ reports
+//! the `gflops_min` ratio new/old, flags regressions beyond the
+//! threshold (default 10%), and summarizes each bench series with the
+//! geometric mean of its ratios — the aggregate under which a 2×
+//! regression and a 2× improvement cancel instead of averaging out to
+//! +25%.
+//!
+//! Exit status: 0 when no shape regresses beyond the threshold (or
+//! `--waive` was given — the report still prints loudly), 1 otherwise.
+//! Shapes present in only one file are listed but never gate; bench
+//! trajectories legitimately gain and lose sizes between PRs.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use testkit::json::Json;
+
+/// One `(bench, n)` measurement pulled out of a results array.
+#[derive(Clone, Debug)]
+struct Sample {
+    gflops_min: f64,
+    min_ms: f64,
+}
+
+type Key = (String, u64);
+
+fn load(path: &str) -> Result<BTreeMap<Key, Sample>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let results =
+        doc.get("results").and_then(Json::items).ok_or(format!("{path}: no top-level \"results\" array"))?;
+    let mut out = BTreeMap::new();
+    for (i, r) in results.iter().enumerate() {
+        let context = |what: &str| format!("{path}: results[{i}] missing {what}");
+        let bench = r.get("bench").and_then(Json::as_str).ok_or_else(|| context("bench"))?;
+        let n = r.get("n").and_then(Json::as_u64).ok_or_else(|| context("n"))?;
+        let gflops_min = r.get("gflops_min").and_then(Json::as_f64).ok_or_else(|| context("gflops_min"))?;
+        let min_ms = r.get("min_ms").and_then(Json::as_f64).ok_or_else(|| context("min_ms"))?;
+        out.insert((bench.to_string(), n), Sample { gflops_min, min_ms });
+    }
+    Ok(out)
+}
+
+fn run(old_path: &str, new_path: &str, threshold_pct: f64, waive: bool) -> Result<ExitCode, String> {
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+
+    println!("# bench diff: {old_path} -> {new_path} (threshold {threshold_pct}%)\n");
+    println!("| bench | n | old GFLOP/s | new GFLOP/s | ratio | delta | verdict |");
+    println!("|---|---|---|---|---|---|---|");
+
+    let mut per_bench: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    let mut regressions: Vec<String> = Vec::new();
+    for (key, old_s) in &old {
+        let Some(new_s) = new.get(key) else { continue };
+        if old_s.gflops_min <= 0.0 || new_s.gflops_min <= 0.0 {
+            return Err(format!("non-positive gflops_min for {key:?} — corrupt artifact"));
+        }
+        let ratio = new_s.gflops_min / old_s.gflops_min;
+        let delta_pct = 100.0 * (ratio - 1.0);
+        let regressed = delta_pct < -threshold_pct;
+        let verdict = if regressed {
+            "REGRESSED"
+        } else if delta_pct > threshold_pct {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "| {} | {} | {:.3} | {:.3} | {:.4} | {:+.1}% | {verdict} |",
+            key.0, key.1, old_s.gflops_min, new_s.gflops_min, ratio, delta_pct
+        );
+        per_bench.entry(key.0.as_str()).or_default().push(ratio);
+        if regressed {
+            regressions.push(format!(
+                "{} n={}: {:.3} -> {:.3} GFLOP/s ({:+.1}%, min {:.3} -> {:.3} ms)",
+                key.0, key.1, old_s.gflops_min, new_s.gflops_min, delta_pct, old_s.min_ms, new_s.min_ms
+            ));
+        }
+    }
+
+    let only_old: Vec<&Key> = old.keys().filter(|k| !new.contains_key(*k)).collect();
+    let only_new: Vec<&Key> = new.keys().filter(|k| !old.contains_key(*k)).collect();
+    if !only_old.is_empty() {
+        println!("\nshapes only in {old_path}: {only_old:?}");
+    }
+    if !only_new.is_empty() {
+        println!("shapes only in {new_path}: {only_new:?}");
+    }
+
+    println!("\n## per-bench geometric-mean ratio (new/old)\n");
+    let mut all_ratios = Vec::new();
+    for (bench, ratios) in &per_bench {
+        println!("  {bench}: {:.4} over {} shapes", stats::geomean(ratios), ratios.len());
+        all_ratios.extend_from_slice(ratios);
+    }
+    if all_ratios.is_empty() {
+        return Err("no common (bench, n) shapes between the two files".into());
+    }
+    println!("  overall: {:.4} over {} shapes", stats::geomean(&all_ratios), all_ratios.len());
+
+    if regressions.is_empty() {
+        println!("\nno regressions beyond {threshold_pct}%");
+        println!("BENCH DIFF OK");
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("\n{} shape(s) regressed beyond {threshold_pct}%:", regressions.len());
+    for r in &regressions {
+        println!("  REGRESSION: {r}");
+    }
+    if waive {
+        println!("WAIVED: regressions reported but not enforced (--waive)");
+        println!("BENCH DIFF OK");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("BENCH DIFF FAILED");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut threshold_pct = 10.0;
+    let mut waive = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .expect("--threshold needs a non-negative percentage");
+            }
+            "--waive" => waive = true,
+            other => files.push(other.to_string()),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        eprintln!("usage: bench_diff <old.json> <new.json> [--threshold PCT] [--waive]");
+        return ExitCode::FAILURE;
+    };
+    match run(old_path, new_path, threshold_pct, waive) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

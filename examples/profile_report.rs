@@ -3,31 +3,49 @@
 //! ```sh
 //! cargo run --release --example profile_report            # full sizes
 //! cargo run --release --example profile_report -- --quick # CI-sized
+//! cargo run --release --example profile_report -- --quick --check # staleness gate
 //! ```
 //!
 //! One invocation produces, from a single live profiled multiply plus a
-//! parallel telemetry run and a cutoff-tuning sweep:
+//! timeline-recorded parallel telemetry run and a cutoff-tuning sweep:
 //!
 //! * the per-level × per-phase wall-time table and the phase summary
 //!   with effective GFLOP/s (stdout, markdown);
-//! * `results/profile_report.json` — the versioned schema-1 document
-//!   combining trace, profile, pool-stats delta, and tuning report;
+//! * a hardware-counter roofline section (cycles, instructions, LLC
+//!   misses via `perf_event_open`) when the kernel grants access, and a
+//!   loud "unavailable" line otherwise — the report never fails for
+//!   lack of perf permissions;
+//! * an execution-timeline summary of the parallel run (tagged tasks
+//!   and DAG edges per recursion level, drop count);
+//! * `results/profile_report.json` — the versioned schema-2 document
+//!   combining trace, profile, pool-stats delta, timeline, hardware
+//!   counters, and tuning report;
 //! * `results/profile_report.folded` — folded stacks for flamegraph
 //!   tooling (`flamegraph.pl`, inferno, speedscope).
 //!
 //! The example is also an executable cross-check: the profile's flop
 //! accounting must equal the paper's eq. (4) closed form *exactly*, and
 //! the emitted JSON is re-parsed with `testkit::json` (an independent
-//! strict parser) before the success marker is printed — which is what
-//! lets `scripts/verify.sh` drive it as a verification step.
+//! strict parser) and run through `validate_profile_report` before the
+//! success marker is printed — which is what lets `scripts/verify.sh`
+//! drive it as a verification step.
+//!
+//! `--check` regenerates the document in memory and compares its
+//! *structural fingerprint* (schema, sections, flop totals, phase
+//! labels, timeline task/edge structure, folded frame set — everything
+//! except the wall-clock numbers that legitimately vary run to run)
+//! against `results/profile_report.{json,folded}`, exiting non-zero if
+//! the committed artifacts are stale.
 
 use blas::Op;
 use matrix::{random, Matrix};
 use opcount::recurrence::winograd_square;
 use strassen::probe::json::{self, JsonWriter};
+use strassen::probe::timeline::{self, Timeline};
+use strassen::probe::TimedProbe;
 use strassen::tuning::{tune_report, TuningReport};
 use strassen::{dgefmm, trace, CutoffCriterion, Profile, Scheme, StrassenConfig};
-use testkit::json::Json;
+use testkit::json::{validate_profile_report, Json};
 
 /// Sizing knobs: `--quick` keeps every stage CI-sized.
 struct Params {
@@ -74,17 +92,19 @@ impl Params {
 }
 
 /// Stage 1: one profiled classic-schedule multiply, flop-checked against
-/// the eq. (4) closed form.
+/// the eq. (4) closed form. The probe carries `perf_event_open` hardware
+/// counters when the kernel grants them.
 fn profiled_multiply(p: &Params) -> Profile {
     let n = p.profile_n;
     let cfg = StrassenConfig::dgefmm().cutoff(CutoffCriterion::Simple { tau: 32 }).fused(false);
     let a = random::uniform::<f64>(n, n, 101);
     let b = random::uniform::<f64>(n, n, 102);
-    let (_, profile) = trace::profile(|| {
+    let (_, probe) = trace::with_probe(TimedProbe::with_hw_counters(), || {
         let mut c = Matrix::<f64>::zeros(n, n);
         dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
         c
     });
+    let profile = probe.into_profile();
 
     let analytic = winograd_square(p.depth, 32);
     assert_eq!(profile.model_flops(), analytic, "profiled flops must equal eq. (4) at d={}, m0=32", p.depth);
@@ -104,12 +124,63 @@ fn profiled_multiply(p: &Params) -> Profile {
     profile
 }
 
-/// Stage 2: a parallel seven-temp run, reported as a pool-stats delta.
-fn pool_telemetry(p: &Params) -> pool::PoolStats {
+/// Roofline section from the hardware counters filed into the profile —
+/// or a loud, graceful fallback when `perf_event_open` is unavailable
+/// (unprivileged containers, non-Linux hosts).
+fn roofline(profile: &Profile) {
+    println!("## Hardware counters (perf_event_open, calling thread)\n");
+    let Some(hw) = &profile.hw else {
+        println!(
+            "hardware counters unavailable on this host (perf_event_open denied \
+             or unsupported) — roofline section skipped\n"
+        );
+        return;
+    };
+    let t = &hw.total;
+    println!("| counter | total |\n|---|---|");
+    for (name, count) in t.pairs() {
+        println!("| {name} | {count} |");
+    }
+    let flops = profile.model_flops() as f64;
+    println!("\n### Roofline / arithmetic-intensity estimates\n");
+    if let Some(ipc) = t.ipc() {
+        println!("* instructions per cycle: {ipc:.3}");
+    }
+    if t.cycles > 0 {
+        println!("* model flops per cycle: {:.3}", flops / t.cycles as f64);
+    }
+    if t.cache_misses > 0 {
+        // Each LLC miss moves one cache line (64 B); flops per byte of
+        // DRAM traffic is the operational intensity a roofline plots.
+        println!("* model flops per LLC miss: {:.1}", flops / t.cache_misses as f64);
+        println!(
+            "* operational intensity (flops / miss-byte): {:.3}",
+            flops / (64.0 * t.cache_misses as f64)
+        );
+    }
+    let leaf = hw.phase(strassen::Phase::GemmLeaf);
+    if leaf.cycles > 0 {
+        println!(
+            "* leaf-GEMM share of cycles: {:.1}% (IPC {})",
+            100.0 * leaf.cycles as f64 / t.cycles.max(1) as f64,
+            leaf.ipc().map_or("—".into(), |v| format!("{v:.3}")),
+        );
+    }
+    println!();
+}
+
+/// Stage 2: a parallel seven-temp run recorded by the per-worker event
+/// rings, reported as a pool-stats delta plus a timeline summary.
+/// Classic (non-fused) schedules so both parallel levels run real DAG
+/// instances with tagged tasks.
+fn pool_telemetry(p: &Params) -> (pool::PoolStats, Timeline) {
     let n = p.pool_n;
     let cfg = StrassenConfig {
         parallel_depth: 2,
-        ..StrassenConfig::dgefmm().scheme(Scheme::SevenTemp).cutoff(CutoffCriterion::Simple { tau: 128 })
+        ..StrassenConfig::dgefmm()
+            .scheme(Scheme::SevenTemp)
+            .cutoff(CutoffCriterion::Simple { tau: 128 })
+            .fused(false)
     };
     let a = random::uniform::<f64>(n, n, 201);
     let b = random::uniform::<f64>(n, n, 202);
@@ -117,8 +188,10 @@ fn pool_telemetry(p: &Params) -> pool::PoolStats {
 
     let before = pool::pool_stats();
     let t0 = std::time::Instant::now();
-    dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
-    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let (wall_ns, tl) = timeline::record(|| {
+        dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        t0.elapsed().as_nanos() as u64
+    });
     let delta = pool::pool_stats().since(&before);
 
     println!("## Pool telemetry — parallel {n}³ seven-temp run, {} workers\n", delta.workers.len());
@@ -141,7 +214,21 @@ fn pool_telemetry(p: &Params) -> pool::PoolStats {
         100.0 * delta.utilization(wall_ns) / delta.workers.len().max(1) as f64,
         delta.workers.len(),
     );
-    delta
+
+    println!("### Execution timeline (event rings)\n");
+    println!(
+        "{} events across {} lanes ({} dropped), {} tagged task slices, {} DAG edges",
+        tl.all_events().count(),
+        tl.lanes.len(),
+        tl.total_dropped(),
+        tl.duration_events(),
+        tl.edges.len(),
+    );
+    for (level, tasks) in tl.per_level_task_counts() {
+        println!("* level {level}: {tasks} tagged tasks");
+    }
+    println!();
+    (delta, tl)
 }
 
 /// Stage 3: the Section 3.4 sweeps under the profiler.
@@ -180,13 +267,14 @@ fn tuning(p: &Params) -> TuningReport {
     report
 }
 
-/// Compose the combined schema-1 document with the tuning report under
-/// its own key.
-fn combined_json(profile: &Profile, delta: &pool::PoolStats, tuning: &TuningReport) -> String {
+/// Compose the combined schema-2 document: the `report_json_full`
+/// envelope (trace, profile, pool, timeline, hardware counters) with
+/// the tuning report under its own key.
+fn combined_json(profile: &Profile, delta: &pool::PoolStats, tl: &Timeline, tuning: &TuningReport) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("schema");
-    w.value_u64(1);
+    w.value_u64(2);
     w.key("kind");
     w.value_str("strassen_profile_report");
     w.key("trace");
@@ -195,48 +283,150 @@ fn combined_json(profile: &Profile, delta: &pool::PoolStats, tuning: &TuningRepo
     json::write_profile(&mut w, profile);
     w.key("pool");
     json::write_pool_stats(&mut w, delta);
+    w.key("timeline");
+    json::write_timeline(&mut w, tl);
+    if let Some(hw) = &profile.hw {
+        w.key("hw_counters");
+        w.begin_array();
+        for (name, count) in hw.total.pairs() {
+            w.begin_object();
+            w.key("name");
+            w.value_str(name);
+            w.key("count");
+            w.value_u64(count);
+            w.end_object();
+        }
+        w.end_array();
+    }
     w.key("tuning");
     tuning.write_json(&mut w);
     w.end_object();
     w.finish()
 }
 
-/// Re-parse the emitted document with the independent `testkit` parser
-/// and spot-check the schema before declaring success.
+/// Re-parse the emitted document with the independent `testkit` parser,
+/// run the schema validator, and spot-check the cross-layer invariants
+/// before declaring success.
 fn validate(json_doc: &str, profile: &Profile) {
     let doc = Json::parse(json_doc).expect("emitted JSON must parse cleanly with finite numbers");
-    assert_eq!(doc.path("schema").unwrap().as_u64(), Some(1));
-    assert_eq!(doc.path("kind").unwrap().as_str(), Some("strassen_profile_report"));
+    assert_eq!(validate_profile_report(&doc), Ok(2), "document must satisfy the schema-2 validator");
     assert_eq!(
         doc.path("profile.model_flops").unwrap().as_u128(),
         Some(profile.model_flops()),
         "serialized flops drifted from the in-memory profile"
     );
     assert_eq!(doc.path("profile.model_flops").unwrap(), doc.path("trace.total_flops").unwrap());
-    for section in ["trace.levels", "profile.phases", "pool.workers", "tuning.sweeps"] {
+    for section in ["trace.levels", "profile.phases", "pool.workers", "timeline.levels", "tuning.sweeps"] {
         assert!(doc.path(section).unwrap().items().is_some(), "missing section {section}");
     }
 }
 
+/// The run-to-run-stable skeleton of a report document: everything the
+/// `--check` gate compares. Wall-clock numbers, counter values, steal
+/// counts, and worker counts vary between runs and hosts; the schema,
+/// section layout, exact flop accounting, phase labels, recursion
+/// shape, and tagged-task structure of the recorded timeline do not.
+fn fingerprint(doc: &Json) -> String {
+    let mut f = String::new();
+    let get_u128 = |path: &str| doc.path(path).and_then(|v| v.as_u128());
+    f.push_str(&format!("schema={:?}\n", doc.path("schema").and_then(|v| v.as_u64())));
+    f.push_str(&format!("kind={:?}\n", doc.path("kind").and_then(|v| v.as_str().map(str::to_owned))));
+    // `hw_counters` is deliberately absent from the fingerprint: its
+    // presence depends on whether the host grants perf_event_open, so a
+    // document generated in an unprivileged container must not read as
+    // stale on bare metal (or vice versa).
+    for section in ["trace", "profile", "pool", "timeline", "tuning"] {
+        f.push_str(&format!("has.{section}={}\n", doc.get(section).is_some()));
+    }
+    f.push_str(&format!("trace.total_flops={:?}\n", get_u128("trace.total_flops")));
+    f.push_str(&format!("trace.max_depth={:?}\n", get_u128("trace.max_depth")));
+    f.push_str(&format!("profile.model_flops={:?}\n", get_u128("profile.model_flops")));
+    let levels = doc.path("trace.levels").and_then(|v| v.items().map(|i| i.len()));
+    f.push_str(&format!("trace.levels.len={levels:?}\n"));
+    if let Some(phases) = doc.path("profile.phases").and_then(|v| v.items()) {
+        let labels: Vec<&str> = phases.iter().filter_map(|p| p.get("phase").and_then(Json::as_str)).collect();
+        f.push_str(&format!("profile.phase_labels={labels:?}\n"));
+    }
+    // The tagged-task structure of the recorded parallel run is fully
+    // determined by the telemetry config (fused off, parallel_depth 2):
+    // 21 tasks and 25 edges per seven-temp DAG instance, 1 + 7 instances.
+    for key in ["timeline.tasks", "timeline.edges"] {
+        f.push_str(&format!("{key}={:?}\n", get_u128(key)));
+    }
+    if let Some(levels) = doc.path("timeline.levels").and_then(|v| v.items()) {
+        for l in levels {
+            f.push_str(&format!(
+                "timeline.level[{:?}]={:?}\n",
+                l.get("level").and_then(Json::as_u64),
+                l.get("tasks").and_then(Json::as_u64)
+            ));
+        }
+    }
+    if let Some(sweeps) = doc.path("tuning.sweeps").and_then(|v| v.items()) {
+        for s in sweeps {
+            f.push_str(&format!(
+                "tuning.sweep[{:?}].points={:?}\n",
+                s.get("dim").and_then(Json::as_str),
+                s.get("points").and_then(|p| p.items().map(|i| i.len()))
+            ));
+        }
+    }
+    f
+}
+
+/// The frame set of a folded-stacks file — the call-tree structure,
+/// which is deterministic for a fixed config, unlike the sample counts.
+fn folded_frames(folded: &str) -> std::collections::BTreeSet<String> {
+    folded.lines().filter_map(|l| l.rsplit_once(' ').map(|(frames, _count)| frames.to_string())).collect()
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let check = std::env::args().any(|a| a == "--check");
     let p = Params::new(quick);
 
     let profile = profiled_multiply(&p);
-    let delta = pool_telemetry(&p);
+    roofline(&profile);
+    let (delta, tl) = pool_telemetry(&p);
     let tuning_report = tuning(&p);
 
-    let json_doc = combined_json(&profile, &delta, &tuning_report);
+    let json_doc = combined_json(&profile, &delta, &tl, &tuning_report);
     validate(&json_doc, &profile);
 
     let folded = profile.folded_stacks();
     let folded_sum: u64 = folded.lines().map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap()).sum();
     assert_eq!(folded_sum, profile.trace.total_ns, "folded stacks must partition the wall time");
 
+    if check {
+        let mode = if quick { " --quick" } else { "" };
+        let stale = |what: &str| -> ! {
+            eprintln!(
+                "results/profile_report.{what} is stale: \
+                 run `cargo run --release --example profile_report --{mode}`"
+            );
+            std::process::exit(1);
+        };
+        let disk_json = std::fs::read_to_string("results/profile_report.json").unwrap_or_default();
+        let fresh_fp = fingerprint(&Json::parse(&json_doc).unwrap());
+        let disk_fp = Json::parse(&disk_json).map(|d| fingerprint(&d)).unwrap_or_default();
+        if fresh_fp != disk_fp {
+            eprintln!("--- fingerprint of committed document:\n{disk_fp}");
+            eprintln!("--- fingerprint of fresh document:\n{fresh_fp}");
+            stale("json");
+        }
+        let disk_folded = std::fs::read_to_string("results/profile_report.folded").unwrap_or_default();
+        if folded_frames(&folded) != folded_frames(&disk_folded) {
+            stale("folded");
+        }
+        println!("profile_report --check: committed artifacts are structurally current");
+        println!("PROFILE REPORT OK");
+        return;
+    }
+
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/profile_report.json", &json_doc).expect("write JSON report");
     std::fs::write("results/profile_report.folded", &folded).expect("write folded stacks");
-    println!("wrote results/profile_report.json ({} bytes, schema 1, re-parsed OK)", json_doc.len());
+    println!("wrote results/profile_report.json ({} bytes, schema 2, re-parsed OK)", json_doc.len());
     println!("wrote results/profile_report.folded ({} stack lines)", folded.lines().count());
     println!("PROFILE REPORT OK");
 }

@@ -19,6 +19,12 @@
 # BENCH_WARMUP_MS / BENCH_MEASURE_MS; BENCH_NO_GUARD=1 demotes gate
 # failures to warnings on noisy hosts; BENCH_SMOKE=1 runs the fast
 # functional pass (small sizes, no gates, BENCH_PR7.smoke.json) CI uses.
+#
+# When a previous artifact for the same mode exists, the run ends with a
+# bench-trajectory diff against it: per-shape GFLOP/s ratios, per-bench
+# geometric means, and a regression gate at BENCH_DIFF_THRESHOLD percent
+# (default 10; BENCH_NO_GUARD=1 waives the gate but still prints the
+# full report).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,4 +45,22 @@ for pkg in strassen-bench strassen-repro strassen; do
 done
 echo "oracle audit: accuracy crate absent from all hot-path dependency graphs"
 
+# Snapshot the previous trajectory point (if any) before the run
+# overwrites it, so the differ below compares old vs new.
+out="BENCH_PR7.json"
+[ "${BENCH_SMOKE:-0}" != "0" ] && out="BENCH_PR7.smoke.json"
+baseline=""
+if [ -f "$out" ]; then
+    baseline="target/bench_baseline.$$.json"
+    mkdir -p target
+    cp "$out" "$baseline"
+fi
+
 cargo run --release --offline -p strassen-bench --bin bench_quick
+
+if [ -n "$baseline" ]; then
+    diff_args=("$baseline" "$out" --threshold "${BENCH_DIFF_THRESHOLD:-10}")
+    [ "${BENCH_NO_GUARD:-0}" != "0" ] && diff_args+=(--waive)
+    cargo run --release --offline --example bench_diff -- "${diff_args[@]}"
+    rm -f "$baseline"
+fi

@@ -4,10 +4,11 @@
 //! `testkit::json` — an independent strict parser that shares no code
 //! with the writer. Beyond well-formedness (balanced structure, finite
 //! numbers — the parser rejects anything else), the tests pin the
-//! schema-1 key layout and the cross-layer invariants: the profile's
-//! independently accumulated flops must equal the trace's exact count
-//! *and* the analytic closed form, and the folded-stacks lines must sum
-//! to the call's total wall time.
+//! schema-2 key layout (and the schema-1 compatibility path of
+//! `validate_profile_report`) and the cross-layer invariants: the
+//! profile's independently accumulated flops must equal the trace's
+//! exact count *and* the analytic closed form, and the folded-stacks
+//! lines must sum to the call's total wall time.
 
 use blas::Op;
 use matrix::{random, Matrix};
@@ -15,7 +16,7 @@ use opcount::recurrence::winograd_square;
 use strassen::cutoff::CutoffCriterion;
 use strassen::probe::json;
 use strassen::{dgefmm, trace, Phase, Profile, StrassenConfig};
-use testkit::json::Json;
+use testkit::json::{validate_profile_report, Json};
 
 /// 256³, τ=32, classic schedules: three recursion levels, 343 leaves —
 /// the same shape `probe_crosscheck` pins against eq. (4).
@@ -47,14 +48,15 @@ fn profile_flops_match_trace_and_closed_form() {
 }
 
 #[test]
-fn report_json_matches_schema_1() {
+fn report_json_matches_schema_2() {
     let profile = profiled_256();
     let doc = Json::parse(&json::report_json(&profile, Some(&pool::pool_stats())))
         .expect("report must be valid JSON with finite numbers");
 
-    // Versioned envelope.
-    assert_eq!(doc.path("schema").unwrap().as_u64(), Some(1));
+    // Versioned envelope, accepted by the independent schema validator.
+    assert_eq!(doc.path("schema").unwrap().as_u64(), Some(2));
     assert_eq!(doc.path("kind").unwrap().as_str(), Some("strassen_profile_report"));
+    assert_eq!(validate_profile_report(&doc), Ok(2));
 
     // Trace section: key presence and exact flop totals.
     for key in ["calls", "total_ns", "staging_ns", "ws_root", "ws_high_water", "max_depth", "levels"] {
@@ -102,6 +104,52 @@ fn folded_stacks_cover_total_wall_time() {
     }
     assert_eq!(sum, profile.trace.total_ns, "folded lines must partition the call's wall time");
     assert!(saw_leaf_at_depth3, "343 leaves live at depth 3:\n{folded}");
+}
+
+/// Schema-2 round trip with every optional section present: record a
+/// real timeline around a parallel seven-temp multiply, export with
+/// `report_json_full`, re-parse with the independent strict parser, and
+/// run the schema validator.
+#[test]
+fn full_report_round_trips_with_timeline_section() {
+    let cfg = strassen::StrassenConfig {
+        parallel_depth: 1,
+        ..StrassenConfig::dgefmm()
+            .scheme(strassen::Scheme::SevenTemp)
+            .cutoff(CutoffCriterion::Simple { tau: 16 })
+    };
+    let a = random::uniform::<f64>(64, 64, 31);
+    let b = random::uniform::<f64>(64, 64, 32);
+    let ((_, profile), tl) = strassen::probe::timeline::record(|| {
+        trace::profile(|| {
+            let mut c = Matrix::<f64>::zeros(64, 64);
+            dgefmm(&cfg, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+            c
+        })
+    });
+
+    let doc_text = json::report_json_full(
+        &profile,
+        Some(&pool::pool_stats()),
+        Some(&tl),
+        Some(&[("cycles", 77), ("instructions", 154)]),
+    );
+    let doc = Json::parse(&doc_text).expect("full report must parse strictly");
+    assert_eq!(validate_profile_report(&doc), Ok(2));
+
+    // The level-0 seven-temp DAG alone contributes 21 tagged tasks and
+    // 25 dependency edges (other pool activity during the bracket can
+    // only add to these).
+    assert!(doc.path("timeline.tasks").unwrap().as_u64().unwrap() >= 21);
+    assert!(doc.path("timeline.edges").unwrap().as_u64().unwrap() >= 25);
+    assert!(doc.path("timeline.workers").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(doc.path("hw_counters[0].name").unwrap().as_str(), Some("cycles"));
+    assert_eq!(doc.path("hw_counters[1].count").unwrap().as_u64(), Some(154));
+
+    // And the Chrome export of the same timeline is strictly valid too.
+    let trace_doc = strassen::probe::timeline::chrome_trace_json(&tl, None);
+    let parsed = Json::parse(&trace_doc).expect("chrome trace must parse strictly");
+    assert!(parsed.get("traceEvents").unwrap().items().unwrap().len() > 42);
 }
 
 #[test]
