@@ -147,21 +147,31 @@ pub struct FuzzOutcome {
     pub within_bound: bool,
 }
 
+/// Draw one `(m, k, n)` product shape from the fuzzer's traffic mix:
+/// each dimension is independently odd (primes included — the peel/pad
+/// paths) or arbitrary in `[HARD_FLOOR, 80]`. The mix covers square,
+/// skinny, and odd-prime geometries, which is why the serving layer's
+/// load harness reuses it verbatim as its request-shape sampler —
+/// deterministic per seed, like every [`Gen`] draw.
+pub fn draw_shape(g: &mut Gen) -> (usize, usize, usize) {
+    let dim = |g: &mut Gen| {
+        if g.bool() {
+            // Odd (includes primes): forces peel/pad paths.
+            g.odd_usize_in(CutoffCriterion::HARD_FLOOR, MAX_DIM)
+        } else {
+            g.usize_in_incl(CutoffCriterion::HARD_FLOOR, MAX_DIM)
+        }
+    };
+    (dim(g), dim(g), dim(g))
+}
+
 impl FuzzCase {
     /// Draw a case from the generator. Every axis uses either an
     /// unscaled `pick`/`bool` (enum-like choices stay exhaustive while
     /// shrinking) or a size-scaled range (shapes shrink toward the
     /// hard floor, so a failing 77×53×61 case replays as a minimal one).
     pub fn draw(g: &mut Gen) -> Self {
-        let dim = |g: &mut Gen| {
-            if g.bool() {
-                // Odd (includes primes): forces peel/pad paths.
-                g.odd_usize_in(CutoffCriterion::HARD_FLOOR, MAX_DIM)
-            } else {
-                g.usize_in_incl(CutoffCriterion::HARD_FLOOR, MAX_DIM)
-            }
-        };
-        let (m, k, n) = (dim(g), dim(g), dim(g));
+        let (m, k, n) = draw_shape(g);
         let alpha = match g.pick(&[0u8, 1, 2, 3]) {
             0 => 1.0,
             1 => -1.0,

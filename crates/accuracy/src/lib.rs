@@ -40,6 +40,6 @@ pub use bound::{
     classic_tolerance, gemm_bound, schedule_slack, sum_tolerance, theoretical_bound, tolerance_for,
     BoundSchedule,
 };
-pub use fuzz::{fuzz_budget, run_differential_fuzz, BlockingClass, FuzzCase, FuzzOutcome};
+pub use fuzz::{draw_shape, fuzz_budget, run_differential_fuzz, BlockingClass, FuzzCase, FuzzOutcome};
 pub use metrics::{compare, ErrorReport};
 pub use oracle::{dot2, gemm_oracle, mul_oracle, two_prod, two_sum};

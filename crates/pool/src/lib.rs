@@ -314,6 +314,15 @@ impl std::error::Error for PoolAlreadyRunning {}
 /// report the mismatch instead of silently computing with the wrong
 /// parallelism. Entry points that care (`bench_quick`, the examples) set
 /// the thread count up front, before touching any parallel path.
+///
+/// Pre-start staging is **last-write-wins**: each call before the pool
+/// starts overwrites the staged request, and none of them takes effect
+/// until first use. Two subsystems that each "set the thread count up
+/// front" (say, a serving layer and a bench harness in one process)
+/// therefore race on whichever touches the pool first — library code
+/// that merely *wants* a size but must coexist with other components
+/// should use [`pin_once`], which stages first-wins and resolves the
+/// effective count immediately.
 pub fn set_num_threads(n: usize) -> Result<(), PoolAlreadyRunning> {
     let n = n.max(1);
     let check = |pool: &Pool| {
@@ -338,6 +347,43 @@ pub fn set_num_threads(n: usize) -> Result<(), PoolAlreadyRunning> {
 /// Number of worker threads in the pool (starts the pool on first call).
 pub fn current_num_threads() -> usize {
     global().nthreads
+}
+
+/// Whether an environment override (`STRASSEN_THREADS` /
+/// `STRASSEN_NUM_THREADS`) pins the pool size for this process.
+fn env_threads_set() -> bool {
+    ["STRASSEN_THREADS", "STRASSEN_NUM_THREADS"]
+        .iter()
+        .any(|var| std::env::var(var).is_ok_and(|v| v.trim().parse::<usize>().is_ok()))
+}
+
+/// Pin-once pool sizing for library components: stage `n` workers only
+/// if nothing else has claimed the size yet, start the pool, and return
+/// the count it actually runs with.
+///
+/// Resolution order, strongest first:
+///
+/// 1. a pool that is already running keeps its size;
+/// 2. an environment override (`STRASSEN_THREADS`, legacy
+///    `STRASSEN_NUM_THREADS`) wins over any `pin_once` — this is what
+///    lets `scripts/verify.sh` run the whole suite at 1 and 4 workers
+///    without every component opting in;
+/// 3. an earlier staged request ([`set_num_threads`] or a previous
+///    `pin_once`) wins over this call (**first**-wins, unlike
+///    `set_num_threads`'s last-write-wins staging);
+/// 4. otherwise `n` (clamped to ≥ 1) becomes the pool size.
+///
+/// Because `pin_once` *starts* the pool before returning, the answer is
+/// final: later [`set_num_threads`] calls for a different count get a
+/// truthful [`PoolAlreadyRunning`] instead of silently re-staging, so a
+/// serving layer and a bench harness in one process cannot fight over
+/// sizing — whoever pins first decides, and everyone else *observes*.
+/// The regression test in `tests/parallel_smoke.rs` pins this contract.
+pub fn pin_once(n: usize) -> usize {
+    if !env_threads_set() {
+        let _ = REQUESTED.compare_exchange(0, n.max(1), Ordering::Relaxed, Ordering::Relaxed);
+    }
+    current_num_threads()
 }
 
 /// Tasks executed so far by each worker, indexed by worker id.
@@ -877,5 +923,22 @@ mod tests {
     #[test]
     fn machine_threads_is_positive() {
         assert!(machine_threads() >= 1);
+    }
+
+    #[test]
+    fn pin_once_observes_and_never_resizes() {
+        init();
+        // Whatever decided the size (env, an earlier staging, or this
+        // call), `pin_once` must return the running count and stay
+        // idempotent: later pins with other values merely observe.
+        let effective = pin_once(9);
+        assert_eq!(effective, current_num_threads());
+        assert_eq!(pin_once(1), effective, "second pin must not resize");
+        assert_eq!(pin_once(64), effective, "third pin must not resize");
+        // And the pool is genuinely running afterwards, so a mismatched
+        // explicit resize is a truthful typed error, not a silent stage.
+        if effective != 9 {
+            assert!(set_num_threads(9).is_err());
+        }
     }
 }

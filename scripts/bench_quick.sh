@@ -64,3 +64,31 @@ if [ -n "$baseline" ]; then
     cargo run --release --offline --example bench_diff -- "${diff_args[@]}"
     rm -f "$baseline"
 fi
+
+# Serving-layer latency sweep (PR 10): the deterministic load generator
+# against the shape-bucketed batching server — p50/p99/p999 end-to-end
+# latency, per-bucket GFLOP/s, and the batched-vs-unbatched comparison
+# into BENCH_PR10[.smoke].json. The batching gate (batched aggregate
+# throughput ≥ 1.3× unbatched) is enforced inside the example on full
+# runs with ≥ 2 physical cores and recorded-and-waived elsewhere;
+# BENCH_SMOKE / BENCH_NO_GUARD pass straight through. Ends with its own
+# trajectory diff against the previous serving artifact.
+serve_out="BENCH_PR10.json"
+[ "${BENCH_SMOKE:-0}" != "0" ] && serve_out="BENCH_PR10.smoke.json"
+serve_baseline=""
+if [ -f "$serve_out" ]; then
+    serve_baseline="target/serve_baseline.$$.json"
+    cp "$serve_out" "$serve_baseline"
+fi
+
+cargo run --release --offline --example serve_bench
+
+# Serving shapes are small (≤ 80), so per-bucket best-case GFLOP/s is
+# far noisier than the kernel benches' large fixed sizes — the serve
+# trajectory gates at a wider default threshold.
+if [ -n "$serve_baseline" ]; then
+    diff_args=("$serve_baseline" "$serve_out" --threshold "${SERVE_DIFF_THRESHOLD:-25}")
+    [ "${BENCH_NO_GUARD:-0}" != "0" ] && diff_args+=(--waive)
+    cargo run --release --offline --example bench_diff -- "${diff_args[@]}"
+    rm -f "$serve_baseline"
+fi

@@ -6,10 +6,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/16 offline release build =="
+echo "== 1/18 offline release build =="
 cargo build --release --offline
 
-echo "== 2/16 offline test suite (pinned-thread matrix) =="
+echo "== 2/18 offline test suite (pinned-thread matrix) =="
 # The full suite under both ends of the thread matrix: a single-worker
 # pool (serial order must still hold, helper-only execution) and four
 # workers (real stealing). Bitwise-determinism tests run in both, so a
@@ -17,25 +17,25 @@ echo "== 2/16 offline test suite (pinned-thread matrix) =="
 STRASSEN_THREADS=1 cargo test -q --offline
 STRASSEN_THREADS=4 cargo test -q --offline
 
-echo "== 3/16 bench targets compile (offline) =="
+echo "== 3/18 bench targets compile (offline) =="
 cargo build --release --offline -p strassen-bench --benches --bins
 
-echo "== 4/16 clippy (deny warnings) =="
+echo "== 4/18 clippy (deny warnings) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
-echo "== 5/16 rustfmt check =="
+echo "== 5/18 rustfmt check =="
 cargo fmt --check
 
-echo "== 6/16 rustdoc (deny warnings) =="
+echo "== 6/18 rustdoc (deny warnings) =="
 # cargo doc reuses cached rustdoc output even when RUSTDOCFLAGS would now
 # fail it; touch the crate roots so every crate is re-documented.
 touch crates/*/src/lib.rs src/lib.rs
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 
-echo "== 7/16 doc-tests =="
+echo "== 7/18 doc-tests =="
 cargo test --doc --workspace -q --offline
 
-echo "== 8/16 profile report (staleness gate + live run + schema validation) =="
+echo "== 8/18 profile report (staleness gate + live run + schema validation) =="
 # First the staleness gate: the committed artifacts must match the
 # structural fingerprint (schema, sections, exact flop totals, phase
 # labels, timeline task/edge structure, folded frame set) of a fresh
@@ -50,7 +50,7 @@ grep -q '"timeline":' results/profile_report.json
 grep -q '^dgefmm' results/profile_report.folded
 echo "profile_report artifacts validated"
 
-echo "== 9/16 execution timeline (record + strict re-parse + overhead gate) =="
+echo "== 9/18 execution timeline (record + strict re-parse + overhead gate) =="
 # Records a parallel task-DAG run into the per-worker event rings and
 # exports it as Chrome trace JSON. The example is its own acceptance
 # check: the export re-parses with the strict testkit parser, every
@@ -60,14 +60,14 @@ echo "== 9/16 execution timeline (record + strict re-parse + overhead gate) =="
 # hosts).
 cargo run --release --offline --example timeline_trace -- --n 512 --depth 2 | tail -n 3
 
-echo "== 10/16 algorithm catalog regeneration gate =="
+echo "== 10/18 algorithm catalog regeneration gate =="
 # ALGORITHMS.md's generated tables must match what the live coefficient
 # tables, compiled schedules, and trace probe produce, byte for byte;
 # the example also re-asserts traced flops == the generalized opcount
 # recurrence and high-water == the analytic requirement while rendering.
 cargo run --release --offline --example algorithm_catalog -- --check
 
-echo "== 11/16 differential fuzz campaign (pinned 256 cases) =="
+echo "== 11/18 differential fuzz campaign (pinned 256 cases) =="
 # The config-space fuzzer: 256 cases at a pinned master seed, every case
 # a full random DGEFMM configuration (shape incl. odd/prime, α/β,
 # transposes, variant, schedule incl. the BDPZ pair, ⟨m,k,n⟩ family,
@@ -80,7 +80,7 @@ FUZZ_ITERS=256 TESTKIT_SEED=0xD1CE5EED \
     cargo test -q --offline --test fuzz_differential differential_fuzz_campaign
 echo "fuzz campaign: 256/256 cases within the theoretical envelope"
 
-echo "== 12/16 bench smoke (fast functional pass) =="
+echo "== 12/18 bench smoke (fast functional pass) =="
 # Keep the pre-run smoke artifact around as the baseline for the
 # trajectory diff below (the file is committed, so it reflects the
 # last recorded run of this machine profile).
@@ -99,7 +99,7 @@ grep -q '"utilization":' BENCH_PR7.smoke.json
 grep -q '"gates":' BENCH_PR7.smoke.json
 echo "bench smoke: BENCH_PR7.smoke.json written with utilization telemetry"
 
-echo "== 13/16 bench trajectory diff (baseline smoke vs fresh smoke) =="
+echo "== 13/18 bench trajectory diff (baseline smoke vs fresh smoke) =="
 # The differ joins the two runs on (bench, n), reports per-shape
 # GFLOP/s ratios with per-bench and overall geometric means, and flags
 # regressions beyond the threshold. Smoke runs are functional, not
@@ -112,7 +112,39 @@ else
     echo "no committed smoke baseline; skipping diff"
 fi
 
-echo "== 14/16 determinism spot-check at 2 workers =="
+echo "== 14/18 serving layer at 2 workers (admission + determinism + soak) =="
+# Step 2 already ran the serve suites at 1 and 4 workers; this completes
+# the {1, 2, 4} matrix for the serving layer specifically. The
+# determinism suite's inline-replay anchor is worker-count independent,
+# so a served result that depends on the pool size fails one of the
+# three runs.
+STRASSEN_THREADS=2 cargo test -q --offline \
+    --test serve_admission --test serve_determinism --test serve_soak
+echo "serving suites passed at 2 workers"
+
+echo "== 15/18 serving load smoke (1e5 requests) + trajectory diff =="
+# The deterministic load generator end to end at smoke scale: 100 000
+# mixed-shape requests through the batching server with backpressure
+# (zero shed), latency percentiles and per-bucket throughput into
+# BENCH_PR10.smoke.json, the persistent tuning cache round-tripped.
+# Gates are recorded but waived in smoke mode; the enforced batching
+# gate lives in scripts/bench_quick.sh.
+[ -f BENCH_PR10.smoke.json ] && cp BENCH_PR10.smoke.json target/serve_smoke_baseline.json
+BENCH_SMOKE=1 cargo run --release --offline --example serve_bench | tail -n 3
+grep -q '"pr":10' BENCH_PR10.smoke.json
+grep -q '"latency":' BENCH_PR10.smoke.json
+grep -q '"p999_us":' BENCH_PR10.smoke.json
+grep -q '"gates":' BENCH_PR10.smoke.json
+grep -q '"rejected_full":0' BENCH_PR10.smoke.json
+if [ -f target/serve_smoke_baseline.json ]; then
+    cargo run --release --offline --example bench_diff -- \
+        target/serve_smoke_baseline.json BENCH_PR10.smoke.json --threshold 10 --waive | tail -n 6
+else
+    echo "no committed serve smoke baseline; skipping diff"
+fi
+echo "serve smoke: BENCH_PR10.smoke.json written with latency percentiles"
+
+echo "== 16/18 determinism spot-check at 2 workers =="
 # The thread matrix in step 2 covers 1 and 4 workers; this completes the
 # {1, 2, 4} set from the PR-7 acceptance criteria with the bitwise
 # determinism suite at a 2-worker pool. (parallel_smoke's pool pin
@@ -122,7 +154,7 @@ echo "== 14/16 determinism spot-check at 2 workers =="
 STRASSEN_THREADS=2 cargo test -q --offline --test parallel_smoke bitwise
 echo "determinism suite passed at 2 workers"
 
-echo "== 15/16 rectangular-family smoke at 4 workers =="
+echo "== 17/18 rectangular-family smoke at 4 workers =="
 # Every ⟨m,k,n⟩ family plus both BDPZ schedules on a rectangular
 # 33×40×27 problem, serial vs parallel_depth=2 bitwise, with a real
 # 4-worker pool underneath — families resolve to the serial compiled
@@ -131,7 +163,7 @@ STRASSEN_THREADS=4 cargo test -q --offline --test family_engine \
     serial_parallel_bitwise_identical_across_new_axes
 echo "family smoke: serial == parallel across families and schedules at 4 workers"
 
-echo "== 16/16 dependency audit: workspace-only graph =="
+echo "== 18/18 dependency audit: workspace-only graph =="
 # Every package in the resolved graph must live under this repository;
 # a single registry/git dependency would appear without the (path) suffix.
 tree_out="$(cargo tree --workspace --edges normal,build,dev --prefix none --offline)"

@@ -12,7 +12,10 @@
 //!   STRASSEN1/STRASSEN2 low-memory schedules, dynamic peeling, and the
 //!   parameterized hybrid cutoff criterion;
 //! * [`opcount`] — Section 2's operation-count and memory models;
-//! * [`eigen`] — the ISDA symmetric eigensolver application.
+//! * [`eigen`] — the ISDA symmetric eigensolver application;
+//! * [`serve`] — DGEFMM as a service: the shape-bucketed batched
+//!   serving layer with admission control and a persistent autotune
+//!   cache (see the README's "Serving" quickstart).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -31,4 +34,5 @@ pub use blas;
 pub use eigen;
 pub use matrix;
 pub use opcount;
+pub use serve;
 pub use strassen;

@@ -154,6 +154,36 @@ fn parallel_gemm_backend_uses_pool() {
     assert!(norms::rel_diff(c.as_ref(), expect.as_ref()) < 1e-12);
 }
 
+/// Regression: the pin-once contract between pool consumers.
+///
+/// `set_num_threads` stages **last-write-wins** before the pool starts,
+/// so two components that each "configure the pool first" (the serving
+/// layer and a bench harness, say) used to race on whichever touched a
+/// parallel path first — the loser's request silently vanished.
+/// `pool::pin_once` closes that hole: it stages first-wins, *starts* the
+/// pool, and returns the count actually running, so after any pin the
+/// size is final and observable. This test runs in the same binary as
+/// the rest of the parallel suite on purpose: whatever `pinned_workers`
+/// race decided the size, pins must observe it, never fight it.
+#[test]
+fn pool_sizing_is_pin_once() {
+    let workers = pinned_workers();
+
+    // A pin after the pool is running observes; it never resizes.
+    assert_eq!(pool::pin_once(128), workers, "pin_once must report the running count");
+    assert_eq!(pool::current_num_threads(), workers, "pin_once must not resize a running pool");
+
+    // Pins are idempotent with any argument — first decision is final.
+    assert_eq!(pool::pin_once(1), pool::pin_once(64));
+
+    // And an explicit mismatched resize is a truthful typed error
+    // carrying both counts, not a silent re-stage.
+    let err = pool::set_num_threads(workers + 9).unwrap_err();
+    assert_eq!(err.running, workers);
+    assert_eq!(err.requested, workers + 9);
+    assert_eq!(pool::set_num_threads(workers), Ok(()), "matching count stays idempotent");
+}
+
 // ---------------------------------------------------------------------
 // Bitwise determinism of the parallel path.
 // ---------------------------------------------------------------------

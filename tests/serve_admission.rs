@@ -1,0 +1,190 @@
+//! Admission control under the property harness: load shedding, the
+//! per-bucket in-flight cap, and per-bucket FIFO fairness.
+//!
+//! Every property starts its server **paused** so admission outcomes
+//! are deterministic — the queue cannot drain between submissions, so
+//! exactly `queue_capacity` requests are admitted and the rest shed.
+//! Resuming then lets the dispatch/fairness invariants play out on the
+//! full backlog at once, the worst case for both.
+
+use matrix::random;
+use serve::{RejectReason, Request, Server, ServerConfig, Ticket};
+use testkit::{cases_from_env, check, Gen};
+
+/// One small request; shape drawn per-case so shedding is exercised
+/// across buckets, operand data seeded from the case stream.
+fn small_request(g: &mut Gen) -> Request {
+    let (m, k, n) = (g.usize_in_incl(2, 12), g.usize_in_incl(2, 12), g.usize_in_incl(2, 12));
+    Request::new(random::uniform::<f64>(m, k, g.seed()), random::uniform::<f64>(k, n, g.seed()))
+}
+
+/// A request in the single fixed bucket the fairness properties use
+/// (`square/8`), so every submission contends on one cap chain.
+fn square8_request(g: &mut Gen) -> Request {
+    Request::new(random::uniform::<f64>(8, 8, g.seed()), random::uniform::<f64>(8, 8, g.seed()))
+}
+
+/// Load shedding is exact and typed: a paused server admits precisely
+/// `queue_capacity` requests (zero-capacity included), sheds the
+/// overflow as [`RejectReason::QueueFull`] **with the request handed
+/// back untouched**, and still serves every admitted ticket once
+/// resumed. The counters must balance to the submission history.
+#[test]
+fn queue_full_shedding_is_exact_and_returns_the_request() {
+    let _ = pool::pin_once(4);
+    check("serve::admission::shed", cases_from_env("SERVE_ADMISSION_CASES", 24), |g| {
+        let capacity = g.usize_in_incl(0, 6);
+        let overflow = g.usize_in_incl(1, 4);
+        let server = Server::start(ServerConfig {
+            queue_capacity: capacity,
+            max_batch: g.usize_in_incl(1, 8),
+            bucket_in_flight_cap: g.usize_in_incl(1, 4),
+            start_paused: true,
+            ..ServerConfig::default()
+        });
+
+        let mut admitted: Vec<Ticket> = Vec::new();
+        for i in 0..capacity + overflow {
+            let req = square8_request(g);
+            let sent_dims = req.dims();
+            match server.submit(req) {
+                Ok(ticket) => {
+                    assert!(i < capacity, "request {i} admitted past capacity {capacity}");
+                    admitted.push(ticket);
+                }
+                Err(rejected) => {
+                    assert!(i >= capacity, "request {i} shed below capacity {capacity}");
+                    assert_eq!(rejected.reason, RejectReason::QueueFull);
+                    assert_eq!(rejected.request.dims(), sent_dims, "shed request not returned intact");
+                }
+            }
+        }
+        assert_eq!(server.queue_len(), capacity, "paused queue must hold every admitted request");
+
+        server.resume();
+        for ticket in admitted {
+            drop(ticket.wait());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, capacity as u64);
+        assert_eq!(stats.completed, capacity as u64, "every admitted request must be served");
+        assert_eq!(stats.rejected_full, overflow as u64);
+        assert_eq!(stats.fifo_violations, 0);
+    });
+}
+
+/// A zero-capacity queue is reject-all on **both** admission paths —
+/// `submit_blocking` must shed instead of waiting for space that can
+/// never exist.
+#[test]
+fn zero_capacity_rejects_both_admission_paths() {
+    let _ = pool::pin_once(4);
+    let server = Server::start(ServerConfig { queue_capacity: 0, ..ServerConfig::default() });
+    let mut g = Gen::new(0xADA117, 1.0);
+
+    let shed = server.submit(square8_request(&mut g)).unwrap_err();
+    assert_eq!(shed.reason, RejectReason::QueueFull);
+    let shed = server.submit_blocking(square8_request(&mut g)).unwrap_err();
+    assert_eq!(shed.reason, RejectReason::QueueFull, "blocking on capacity 0 would wait forever");
+
+    let stats = server.shutdown();
+    assert_eq!((stats.submitted, stats.rejected_full), (0, 2));
+}
+
+/// The per-bucket in-flight cap holds inside every dispatch cycle.
+/// Chained dependency edges mean request `j` cannot *start* until
+/// request `j − cap` has fully completed, so within one bucket the
+/// global completion numbers satisfy `seq[j] > seq[j − cap]` in submit
+/// order — for `cap = 1` that is strict one-at-a-time completion order.
+/// FIFO batch formation is asserted alongside (`fifo_violations == 0`).
+#[test]
+fn bucket_in_flight_cap_orders_completions() {
+    let _ = pool::pin_once(4);
+    check("serve::admission::cap", cases_from_env("SERVE_ADMISSION_CASES", 16), |g| {
+        let cap = g.usize_in_incl(1, 4);
+        let count = g.usize_in_incl(cap + 1, 14);
+        let server = Server::start(ServerConfig {
+            bucket_in_flight_cap: cap,
+            max_batch: g.usize_in_incl(1, 8),
+            global_width: g.pick(&[1, 2, usize::MAX]),
+            start_paused: true,
+            ..ServerConfig::default()
+        });
+
+        let tickets: Vec<Ticket> =
+            (0..count).map(|_| server.submit(square8_request(g)).expect("under capacity")).collect();
+        server.resume();
+        let seqs: Vec<u64> = tickets.into_iter().map(|t| t.wait().serve_seq).collect();
+
+        for j in cap..seqs.len() {
+            assert!(
+                seqs[j] > seqs[j - cap],
+                "in-flight cap {cap} breached: submit-order completions {seqs:?}"
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.fifo_violations, 0, "per-bucket FIFO broken: {seqs:?}");
+        assert_eq!(stats.completed, count as u64);
+    });
+}
+
+/// Single-slot backpressure: with `queue_capacity = 1` a second
+/// submitter blocks in `submit_blocking` instead of being shed, gets
+/// admitted as soon as the first request dispatches, and both tickets
+/// complete with **zero** load shed.
+#[test]
+fn submit_blocking_applies_backpressure_on_a_single_slot() {
+    let _ = pool::pin_once(4);
+    let server =
+        Server::start(ServerConfig { queue_capacity: 1, start_paused: true, ..ServerConfig::default() });
+    let mut g = Gen::new(0xB10CED, 1.0);
+
+    let first = server.submit(small_request(&mut g)).expect("slot free");
+    let second_req = small_request(&mut g);
+    let second = std::thread::scope(|scope| {
+        let blocked = scope.spawn(|| server.submit_blocking(second_req).expect("admitted on space"));
+        // The queue is full and dispatch is paused, so the submitter
+        // must still be waiting; nothing may have been shed.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!blocked.is_finished(), "submit_blocking returned while the queue was full");
+        assert_eq!(server.stats().rejected_full, 0, "backpressure must not shed");
+        server.resume();
+        blocked.join().expect("blocked submitter panicked")
+    });
+
+    drop(first.wait());
+    drop(second.wait());
+    let stats = server.shutdown();
+    assert_eq!((stats.submitted, stats.completed, stats.rejected_full), (2, 2, 0));
+}
+
+/// Mixed-bucket fairness: a paused backlog across several buckets, a
+/// small `max_batch`, then resume — every ticket completes, per-bucket
+/// FIFO holds, batch sizes respect the bound, and nobody starves past
+/// the backlog's worst case.
+#[test]
+fn mixed_buckets_drain_fairly_under_small_batches() {
+    let _ = pool::pin_once(4);
+    check("serve::admission::fair", cases_from_env("SERVE_ADMISSION_CASES", 12), |g| {
+        let max_batch = g.usize_in_incl(1, 4);
+        let count = g.usize_in_incl(6, 20);
+        let server = Server::start(ServerConfig {
+            max_batch,
+            bucket_in_flight_cap: g.usize_in_incl(1, 2),
+            start_paused: true,
+            ..ServerConfig::default()
+        });
+        let tickets: Vec<Ticket> =
+            (0..count).map(|_| server.submit(small_request(g)).expect("under capacity")).collect();
+        server.resume();
+        tickets.into_iter().for_each(|t| drop(t.wait()));
+
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, count as u64);
+        assert_eq!(stats.fifo_violations, 0);
+        assert!(stats.max_bucket_batch <= max_batch, "batch bound {max_batch} breached");
+        // A bucket's backlog shrinks by max_batch per cycle, so no
+        // request can wait more cycles than the whole backlog needs.
+        assert!(stats.max_wait_cycles <= count.div_ceil(max_batch) as u64);
+    });
+}
